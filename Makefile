@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz experiments experiments-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzz sessions over every parser (extend -fuzztime for real runs).
+fuzz:
+	$(GO) test -fuzz FuzzParseIOS -fuzztime 15s ./internal/acl/
+	$(GO) test -fuzz FuzzParseNSG -fuzztime 15s ./internal/acl/
+	$(GO) test -fuzz FuzzParseSMTLIB2 -fuzztime 15s ./internal/bv/
+	$(GO) test -fuzz FuzzParseDIMACS -fuzztime 15s ./internal/sat/
+	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/devconf/
+
+# Regenerate every paper experiment (see DESIGN.md / EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/dcbench
+
+experiments-full:
+	$(GO) run ./cmd/dcbench -full
+
+clean:
+	$(GO) clean ./...

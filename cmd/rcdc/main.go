@@ -1,0 +1,140 @@
+// Command rcdc runs the Reality Checker for Data Centers over a synthetic
+// datacenter: it generates the topology, derives contracts from the
+// metadata facts, synthesizes the converged FIBs (optionally with injected
+// faults), validates every device locally, and prints the violation report
+// with severity classification.
+//
+// Usage:
+//
+//	rcdc -clusters 4 -tors 16 -leaves 4 -spines 2 \
+//	     -fail dc-c0-t0-0:dc-c0-t1-1,dc-c0-t0-0:dc-c0-t1-2 \
+//	     -engine trie -workers 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "dc", "datacenter name")
+		clusters = flag.Int("clusters", 4, "number of clusters")
+		tors     = flag.Int("tors", 16, "ToRs per cluster")
+		leaves   = flag.Int("leaves", 4, "leaves per cluster")
+		spines   = flag.Int("spines", 2, "spines per plane")
+		rs       = flag.Int("rs", 4, "regional spines")
+		rslinks  = flag.Int("rslinks", 2, "regional spines per spine")
+		fig3     = flag.Bool("fig3", false, "use the paper's Figure 3 topology")
+		fail     = flag.String("fail", "", "comma-separated a:b device-name pairs whose link is down")
+		shut     = flag.String("shut", "", "comma-separated a:b pairs whose BGP session is admin shut")
+		engine   = flag.String("engine", "trie", "verification engine: trie or smt")
+		exact    = flag.Bool("exact", false, "require exact ECMP sets on specific contracts")
+		workers  = flag.Int("workers", 0, "validation parallelism (0 = all CPUs)")
+		verbose  = flag.Bool("v", false, "print every violation")
+		fibDir   = flag.String("fibdir", "", "read routing tables (Figure 2 text, <device>.rt) from this directory instead of synthesizing them")
+	)
+	flag.Parse()
+
+	params := topology.Params{
+		Name: *name, Clusters: *clusters, ToRsPerCluster: *tors,
+		LeavesPerCluster: *leaves, SpinesPerPlane: *spines,
+		RegionalSpines: *rs, RSLinksPerSpine: *rslinks,
+	}
+	if *fig3 {
+		params = topology.Figure3Params()
+	}
+	topo, err := topology.New(params)
+	if err != nil {
+		fatal(err)
+	}
+	applyPairs(topo, *fail, topo.FailLink)
+	applyPairs(topo, *shut, topo.ShutSession)
+
+	var checker rcdc.Checker
+	switch *engine {
+	case "trie":
+		checker = rcdc.TrieChecker{Exact: *exact}
+	case "smt":
+		checker = rcdc.SMTChecker{Exact: *exact}
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	facts := metadata.FromTopology(topo)
+	var source fib.Source = bgp.NewSynth(topo, nil)
+	if *fibDir != "" {
+		source = dirSource{dir: *fibDir, topo: topo}
+	}
+	v := rcdc.Validator{Checker: checker, Workers: *workers}
+	rep, err := v.ValidateAll(facts, source)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("rcdc: %d devices, %d contracts checked in %s (%d workers, %s engine)\n",
+		len(rep.Devices), rep.Checked, rep.Elapsed.Round(1000), rep.Workers, *engine)
+	fmt.Printf("rcdc: %d violations (%d high risk)\n", rep.Failures, rep.HighRisk())
+	if *verbose {
+		for _, viol := range rep.Violations() {
+			fmt.Printf("  %-16s %s\n", topo.Device(viol.Device).Name, viol)
+		}
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func applyPairs(topo *topology.Topology, spec string, apply func(a, b topology.DeviceID) bool) {
+	if spec == "" {
+		return
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad pair %q (want a:b)", pair))
+		}
+		a, ok := topo.ByName(parts[0])
+		if !ok {
+			fatal(fmt.Errorf("unknown device %q", parts[0]))
+		}
+		b, ok := topo.ByName(parts[1])
+		if !ok {
+			fatal(fmt.Errorf("unknown device %q", parts[1]))
+		}
+		if !apply(a.ID, b.ID) {
+			fatal(fmt.Errorf("no link between %q and %q", parts[0], parts[1]))
+		}
+	}
+}
+
+// dirSource serves routing tables from per-device text files, the format
+// cmd/topogen -fibdir writes (and the puller of §2.6.1 would collect).
+type dirSource struct {
+	dir  string
+	topo *topology.Topology
+}
+
+func (s dirSource) Table(d topology.DeviceID) (*fib.Table, error) {
+	name := s.topo.Device(d).Name
+	f, err := os.Open(filepath.Join(s.dir, name+".rt"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fib.ParseText(f, d, s.topo)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcdc:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,101 @@
+// Command secguru checks a network connectivity policy — a Cisco IOS-style
+// ACL, an NSG JSON file, or a deny-overrides firewall config — against a
+// JSON contract suite, printing each violated contract with the offending
+// rule and a witness packet.
+//
+// Usage:
+//
+//	secguru -policy edge.acl -format ios -contracts suite.json
+//	secguru -policy vnet.json -format nsg -contracts suite.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/secguru"
+)
+
+func main() {
+	var (
+		policyPath    = flag.String("policy", "", "policy file (required)")
+		format        = flag.String("format", "ios", "policy format: ios or nsg")
+		contractsPath = flag.String("contracts", "", "JSON contract suite (required)")
+		denyOverrides = flag.Bool("deny-overrides", false, "use deny-overrides semantics (distributed firewalls)")
+		suggest       = flag.Bool("suggest", false, "propose verified repairs for failed contracts")
+	)
+	flag.Parse()
+	if *policyPath == "" || *contractsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pf, err := os.Open(*policyPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer pf.Close()
+	var policy *acl.Policy
+	switch *format {
+	case "ios":
+		policy, err = acl.ParseIOS(*policyPath, pf)
+	case "nsg":
+		policy, err = acl.ParseNSG(*policyPath, pf)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *denyOverrides {
+		policy.Semantics = acl.DenyOverrides
+	}
+
+	cf, err := os.Open(*contractsPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer cf.Close()
+	contracts, err := secguru.ParseContracts(cf)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := secguru.Check(policy, contracts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("secguru: %d rules, %d contracts, analyzed in %s\n",
+		len(policy.Rules), len(contracts), rep.Elapsed.Round(1000))
+	for _, o := range rep.Outcomes {
+		status := "PASS"
+		if !o.Preserved {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s", status, o.Contract.Name)
+		if !o.Preserved {
+			fmt.Printf("  rule=%s witness={src=%s:%d dst=%s:%d proto=%d}",
+				o.RuleName, o.Witness.SrcIP, o.Witness.SrcPort,
+				o.Witness.DstIP, o.Witness.DstPort, o.Witness.Protocol)
+		}
+		fmt.Println()
+		if !o.Preserved && *suggest {
+			r, rerr := secguru.SuggestRepair(policy, o, contracts)
+			if rerr != nil {
+				fmt.Printf("    no safe repair: %v\n", rerr)
+			} else {
+				fmt.Printf("    suggested repair (verified): %s\n", r)
+			}
+		}
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secguru:", err)
+	os.Exit(2)
+}

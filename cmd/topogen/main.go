@@ -1,0 +1,151 @@
+// Command topogen generates a synthetic Clos datacenter (the counterpart
+// to the paper's cloud topology generator [29]) and emits its metadata
+// facts as JSON, plus optionally the converged routing tables of every
+// device in the Figure 2 text format.
+//
+// Usage:
+//
+//	topogen -clusters 4 -tors 16 -leaves 4 -spines 2 -rs 4 -rslinks 2 \
+//	        -facts facts.json -fibdir fibs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "dc", "datacenter name")
+		clusters = flag.Int("clusters", 4, "number of clusters")
+		tors     = flag.Int("tors", 16, "ToRs per cluster")
+		leaves   = flag.Int("leaves", 4, "leaves per cluster (= spine planes)")
+		spines   = flag.Int("spines", 2, "spines per plane")
+		rs       = flag.Int("rs", 4, "regional spine devices")
+		rslinks  = flag.Int("rslinks", 2, "regional spines per spine")
+		prefixes = flag.Int("prefixes", 1, "VLAN prefixes per ToR")
+		factsOut = flag.String("facts", "", "write metadata facts JSON to this file (default stdout)")
+		fibDir   = flag.String("fibdir", "", "write every device's routing table (Figure 2 format) into this directory")
+		dotOut   = flag.String("dot", "", "write a Graphviz rendering of the topology to this file")
+		confDir  = flag.String("confdir", "", "write every device's configuration text into this directory")
+	)
+	flag.Parse()
+
+	topo, err := topology.New(topology.Params{
+		Name: *name, Clusters: *clusters, ToRsPerCluster: *tors,
+		LeavesPerCluster: *leaves, SpinesPerPlane: *spines,
+		RegionalSpines: *rs, RSLinksPerSpine: *rslinks, PrefixesPerToR: *prefixes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	facts := metadata.FromTopology(topo)
+
+	out := os.Stdout
+	if *factsOut != "" {
+		f, err := os.Create(*factsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := facts.WriteJSON(out); err != nil {
+		fatal(err)
+	}
+
+	if *fibDir != "" {
+		if err := os.MkdirAll(*fibDir, 0o755); err != nil {
+			fatal(err)
+		}
+		src := bgp.NewSynth(topo, nil)
+		for i := range topo.Devices {
+			d := &topo.Devices[i]
+			tbl, err := src.Table(d.ID)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*fibDir, d.Name+".rt"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.WriteText(f, topo); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "topogen: wrote %d routing tables to %s\n", len(topo.Devices), *fibDir)
+	}
+	if *confDir != "" {
+		if err := os.MkdirAll(*confDir, 0o755); err != nil {
+			fatal(err)
+		}
+		texts, err := devconf.RenderFleet(topo, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for name, text := range texts {
+			if err := os.WriteFile(filepath.Join(*confDir, name+".conf"), []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "topogen: wrote %d device configs to %s\n", len(texts), *confDir)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		writeDot(f, topo)
+		f.Close()
+	}
+	fmt.Fprintf(os.Stderr, "topogen: %d devices, %d links, %d hosted prefixes\n",
+		len(topo.Devices), len(topo.Links), len(topo.HostedPrefixes()))
+}
+
+// writeDot renders the Clos topology as ranked Graphviz, one rank per
+// tier, dashed edges for dead links.
+func writeDot(w *os.File, topo *topology.Topology) {
+	fmt.Fprintln(w, "graph datacenter {")
+	fmt.Fprintln(w, "  rankdir=BT; node [shape=box, fontsize=10];")
+	ranks := map[topology.Role][]string{}
+	for i := range topo.Devices {
+		d := &topo.Devices[i]
+		label := d.Name
+		if len(d.HostedPrefixes) > 0 {
+			label += "\\n" + d.HostedPrefixes[0].String()
+		}
+		fmt.Fprintf(w, "  %q [label=%q];\n", d.Name, label)
+		ranks[d.Role] = append(ranks[d.Role], d.Name)
+	}
+	for _, role := range []topology.Role{topology.RoleToR, topology.RoleLeaf,
+		topology.RoleSpine, topology.RoleRegionalSpine} {
+		fmt.Fprintf(w, "  { rank=same;")
+		for _, n := range ranks[role] {
+			fmt.Fprintf(w, " %q;", n)
+		}
+		fmt.Fprintln(w, " }")
+	}
+	for i := range topo.Links {
+		l := &topo.Links[i]
+		attrs := ""
+		if !l.Live() {
+			attrs = ` [style=dashed, color=red]`
+		}
+		fmt.Fprintf(w, "  %q -- %q%s;\n",
+			topo.Device(l.A).Name, topo.Device(l.B).Name, attrs)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,351 @@
+// Package dcvalidate is a reproduction of "Validating Datacenters At
+// Scale" (SIGCOMM 2019): the RCDC dataplane checker that validates every
+// device's forwarding table against local contracts derived automatically
+// from the datacenter architecture, and the SecGuru policy analyzer that
+// validates ACLs, network security groups, and distributed firewalls
+// against reachability contracts using bit-vector satisfiability checking.
+//
+// The package is a facade over the implementation packages. A typical RCDC
+// workflow:
+//
+//	dc, _ := dcvalidate.NewDatacenter(dcvalidate.TopologyParams{
+//		Clusters: 4, ToRsPerCluster: 16, LeavesPerCluster: 4,
+//		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+//	})
+//	dc.FailLink("dc-c0-t0-0", "dc-c0-t1-1") // or discover live state
+//	report, _ := dc.Validate(dcvalidate.ValidateOptions{})
+//	for _, v := range report.Violations() { fmt.Println(v) }
+//
+// and a SecGuru workflow:
+//
+//	policy, _ := dcvalidate.ParseIOSACL("edge", f)
+//	report, _ := dcvalidate.CheckPolicy(policy, contracts)
+//
+// Everything — the CDCL SAT solver, the bit-vector layer, the EBGP
+// simulation, the Clos topology generator, the monitoring pipeline — is
+// implemented in this module with no dependencies beyond the standard
+// library.
+package dcvalidate
+
+import (
+	"fmt"
+	"io"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/emulator"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/region"
+	"dcvalidate/internal/secguru"
+	"dcvalidate/internal/topology"
+)
+
+// Re-exported core types. The aliases make the full method sets of the
+// implementation types part of the public API.
+type (
+	// TopologyParams sizes a generated Clos datacenter (§2.1).
+	TopologyParams = topology.Params
+	// Topology is a datacenter network with live link state.
+	Topology = topology.Topology
+	// DeviceID identifies a device within a topology.
+	DeviceID = topology.DeviceID
+	// Facts is the metadata snapshot intent derives from (§2.3).
+	Facts = metadata.Facts
+	// Contract is a local forwarding contract (§2.4).
+	Contract = contracts.Contract
+	// FIB is one device's forwarding table (§2.2).
+	FIB = fib.Table
+	// FIBSource produces per-device FIBs without a global snapshot.
+	FIBSource = fib.Source
+	// Report aggregates a validation run.
+	Report = rcdc.Report
+	// Violation is one failed local contract.
+	Violation = rcdc.Violation
+	// DeviceConfig carries route-map/platform knobs (§2.6.2 error classes).
+	DeviceConfig = bgp.DeviceConfig
+
+	// Policy is an ordered packet-filter rule set (§3.1).
+	Policy = acl.Policy
+	// PolicyContract pairs a packet filter with a permit/deny expectation.
+	PolicyContract = secguru.Contract
+	// PolicyReport is the outcome of checking a policy against contracts.
+	PolicyReport = secguru.Report
+
+	// Pipeline is the §2.7 precheck workflow over an emulated network.
+	Pipeline = emulator.Pipeline
+	// MonitorInstance is one horizontally-scaled RCDC service instance.
+	MonitorInstance = monitor.Instance
+
+	// RefactorPlan is the §3.3 phased change workflow for legacy ACLs:
+	// prechecks on a test device, staged group rollout, postchecks,
+	// rollback.
+	RefactorPlan = secguru.Plan
+	// PolicyChange is one step of a refactor plan.
+	PolicyChange = secguru.Change
+	// PolicyDevice models a production device holding an ACL, with the
+	// rule-capacity limitation prechecks must account for.
+	PolicyDevice = secguru.Device
+	// NSGGuard is the §3.4 change-API validation hook protecting managed
+	// database backups.
+	NSGGuard = secguru.NSGGuard
+	// ManagedInstance locates a managed database and its infrastructure
+	// service for the NSG guard.
+	ManagedInstance = secguru.ManagedInstance
+	// FirewallTemplate generates and validates the §3.5 per-VM firewall.
+	FirewallTemplate = secguru.FirewallTemplate
+	// Packet is a concrete 5-tuple header.
+	Packet = acl.Packet
+	// PortRange is an inclusive port interval.
+	PortRange = acl.PortRange
+)
+
+// Ports returns the inclusive port range [lo, hi].
+func Ports(lo, hi uint16) PortRange { return PortRange{Lo: lo, Hi: hi} }
+
+// NewPolicyDevice returns a device pre-configured with an ACL; capacity 0
+// means unlimited rules.
+func NewPolicyDevice(name string, group, capacity int, p *Policy) *PolicyDevice {
+	return secguru.NewDevice(name, group, capacity, p)
+}
+
+// BackupContracts derives the §3.4 reachability contracts for a managed
+// database instance.
+func BackupContracts(mi ManagedInstance) []PolicyContract {
+	return secguru.BackupContracts(mi)
+}
+
+// GateFirewallDeployment validates a generated firewall configuration
+// against its template's contracts (§3.5).
+func GateFirewallDeployment(cfg *Policy, t FirewallTemplate) error {
+	return secguru.GateDeployment(cfg, t)
+}
+
+// Figure3Params returns the scaled-down topology of the paper's Figure 3,
+// used by the running example of §2.4.
+func Figure3Params() TopologyParams { return topology.Figure3Params() }
+
+// Region models multiple datacenters sharing a regional network, with the
+// §2.1 private-ASN stripping at the regional spine tier.
+type Region = region.Region
+
+// NewRegion builds a region from per-datacenter parameters; each must
+// carry a distinct RegionIndex.
+func NewRegion(params []TopologyParams) (*Region, error) {
+	return region.New(params)
+}
+
+// Datacenter bundles a topology with its metadata facts and a converged
+// FIB source — everything RCDC needs.
+type Datacenter struct {
+	Topo   *Topology
+	Config map[DeviceID]*DeviceConfig
+
+	facts *Facts // regenerated lazily if nil
+}
+
+// NewDatacenter generates a synthetic datacenter from the parameters.
+func NewDatacenter(p TopologyParams) (*Datacenter, error) {
+	topo, err := topology.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Datacenter{Topo: topo, Config: map[DeviceID]*DeviceConfig{}}, nil
+}
+
+// Facts returns the metadata snapshot for the datacenter (cached).
+func (d *Datacenter) Facts() *Facts {
+	if d.facts == nil {
+		d.facts = metadata.FromTopology(d.Topo)
+	}
+	return d.facts
+}
+
+// Source returns the converged-state FIB source reflecting current link
+// state and device configurations. Tables are synthesized lazily per
+// device; no global snapshot is formed.
+func (d *Datacenter) Source() FIBSource {
+	return bgp.NewSynth(d.Topo, d.Config)
+}
+
+// SimulateBGP runs the full EBGP path-vector simulation and returns it as
+// a FIB source (higher fidelity than Source; cost scales with the
+// datacenter).
+func (d *Datacenter) SimulateBGP() FIBSource {
+	sim := bgp.NewSim(d.Topo, d.Config)
+	sim.Run()
+	return sim
+}
+
+// FailLink marks the link between two named devices operationally down.
+func (d *Datacenter) FailLink(a, b string) error {
+	da, db, err := d.pair(a, b)
+	if err != nil {
+		return err
+	}
+	if !d.Topo.FailLink(da, db) {
+		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
+	}
+	return nil
+}
+
+// ShutSession administratively shuts the BGP session between two named
+// devices.
+func (d *Datacenter) ShutSession(a, b string) error {
+	da, db, err := d.pair(a, b)
+	if err != nil {
+		return err
+	}
+	if !d.Topo.ShutSession(da, db) {
+		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
+	}
+	return nil
+}
+
+func (d *Datacenter) pair(a, b string) (DeviceID, DeviceID, error) {
+	da, ok := d.Topo.ByName(a)
+	if !ok {
+		return 0, 0, fmt.Errorf("dcvalidate: unknown device %q", a)
+	}
+	db, ok := d.Topo.ByName(b)
+	if !ok {
+		return 0, 0, fmt.Errorf("dcvalidate: unknown device %q", b)
+	}
+	return da.ID, db.ID, nil
+}
+
+// Contracts generates the full contract set for every device from the
+// metadata facts (§2.4.1–2.4.3).
+func (d *Datacenter) Contracts() []contracts.DeviceContracts {
+	return contracts.NewGenerator(d.Facts()).All()
+}
+
+// Engine selects the verification algorithm of §2.5.
+type Engine int
+
+const (
+	// EngineTrie is the specialized hash-trie algorithm (§2.5.2), RCDC's
+	// fast path for the common workload.
+	EngineTrie Engine = iota
+	// EngineSMT is the bit-vector-logic engine (§2.5.1) discharged to the
+	// built-in SAT solver.
+	EngineSMT
+)
+
+// ValidateOptions configures a validation run.
+type ValidateOptions struct {
+	Engine Engine
+	// Exact extends the exact-ECMP-set requirement to specific contracts
+	// (the §2.5.1 all-output-ports variant); the default uses the paper's
+	// subset semantics with default-contract equality.
+	Exact bool
+	// Workers is the parallelism degree (0 = all CPUs, 1 = the paper's
+	// single-CPU measurement setup).
+	Workers int
+	// Source overrides the FIB source (e.g. a corrupted source for fault
+	// injection, or SimulateBGP output).
+	Source FIBSource
+}
+
+func (o ValidateOptions) checker() rcdc.Checker {
+	if o.Engine == EngineSMT {
+		return rcdc.SMTChecker{Exact: o.Exact}
+	}
+	return rcdc.TrieChecker{Exact: o.Exact}
+}
+
+// Validate runs local validation over every device of the datacenter.
+func (d *Datacenter) Validate(opts ValidateOptions) (*Report, error) {
+	src := opts.Source
+	if src == nil {
+		src = d.Source()
+	}
+	v := rcdc.Validator{Checker: opts.checker(), Workers: opts.Workers}
+	return v.ValidateAll(d.Facts(), src)
+}
+
+// CheckGlobalIntent materializes a global snapshot and verifies all-pairs
+// ToR reachability along maximally redundant shortest paths — the
+// whole-snapshot baseline the local technique replaces; empty result means
+// the intent holds.
+func (d *Datacenter) CheckGlobalIntent() ([]rcdc.PairResult, error) {
+	g, err := rcdc.NewGlobalChecker(d.Topo, d.Source())
+	if err != nil {
+		return nil, err
+	}
+	return g.Check(rcdc.FullRedundancy), nil
+}
+
+// NewPipeline returns the §2.7 precheck pipeline treating this datacenter
+// as production.
+func (d *Datacenter) NewPipeline() *Pipeline {
+	net := emulator.NewNetwork(d.Topo)
+	net.Cfg = d.Config
+	return &emulator.Pipeline{Production: net}
+}
+
+// NewMonitor returns an RCDC live-monitoring instance watching this
+// datacenter (Figure 5).
+func (d *Datacenter) NewMonitor(name string) *MonitorInstance {
+	dc := monitor.NewDatacenter(d.Topo.Params.Name, d.Topo, d.Config)
+	dc.Source = d.Source()
+	return monitor.NewInstance(name, dc)
+}
+
+// WriteFIB renders a device's routing table in the Figure 2 text format.
+func (d *Datacenter) WriteFIB(w io.Writer, device string) error {
+	dev, ok := d.Topo.ByName(device)
+	if !ok {
+		return fmt.Errorf("dcvalidate: unknown device %q", device)
+	}
+	tbl, err := d.Source().Table(dev.ID)
+	if err != nil {
+		return err
+	}
+	return tbl.WriteText(w, d.Topo)
+}
+
+// SecGuru facade.
+
+// ParseIOSACL parses a Cisco IOS-style access-control list (Figure 8).
+func ParseIOSACL(name string, r io.Reader) (*Policy, error) {
+	return acl.ParseIOS(name, r)
+}
+
+// ParseNSG parses a network security group from JSON (Figure 9).
+func ParseNSG(name string, r io.Reader) (*Policy, error) {
+	return acl.ParseNSG(name, r)
+}
+
+// ParsePolicyContracts reads a JSON contract suite.
+func ParsePolicyContracts(r io.Reader) ([]PolicyContract, error) {
+	return secguru.ParseContracts(r)
+}
+
+// CheckPolicy validates a connectivity policy against contracts with the
+// bit-vector engine (§3.2), identifying the violating rule and a witness
+// packet for every failed contract.
+func CheckPolicy(p *Policy, cs []PolicyContract) (*PolicyReport, error) {
+	return secguru.Check(p, cs)
+}
+
+// PoliciesEquivalent reports whether two policies admit exactly the same
+// traffic, with a distinguishing packet when they do not.
+func PoliciesEquivalent(a, b *Policy) (bool, acl.Packet, error) {
+	return secguru.Equivalent(a, b)
+}
+
+// CheckPolicyPath validates end-to-end contracts against the conjunction
+// of the policies along a forwarding path (edge ACL, hypervisor firewall,
+// destination NSG, ...), identifying the blocking hop — the cross-device
+// extension §3.6 describes.
+func CheckPolicyPath(path []*Policy, cs []PolicyContract) (*secguru.PathReport, error) {
+	return secguru.CheckPath(path, cs)
+}
+
+// ParsePrefix parses IPv4 CIDR notation.
+func ParsePrefix(s string) (ipnet.Prefix, error) { return ipnet.ParsePrefix(s) }

@@ -1,0 +1,102 @@
+package dcvalidate_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dcvalidate"
+)
+
+// Example demonstrates the core RCDC workflow: derive intent from the
+// architecture, break a link, and read the violations.
+func Example() {
+	dc, err := dcvalidate.NewDatacenter(dcvalidate.Figure3Params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dc.FailLink("fig3-c0-t0-0", "fig3-c0-t1-0"); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := dc.Validate(dcvalidate.ValidateOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("violations:", rep.Failures)
+	// Output:
+	// violations: 4
+}
+
+// ExampleCheckPolicy validates a Cisco-style ACL against a contract suite
+// and prints the violating rule with a witness packet.
+func ExampleCheckPolicy() {
+	policy, err := dcvalidate.ParseIOSACL("edge", strings.NewReader(
+		"deny ip 10.0.0.0/8 any\npermit ip any any\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := dcvalidate.ParsePolicyContracts(strings.NewReader(`[
+	  {"name":"private-isolated","expected":"deny","src":"10.0.0.0/8"},
+	  {"name":"smb-blocked","expected":"deny","protocol":"tcp","dstPorts":"445"}
+	]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := dcvalidate.CheckPolicy(policy, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Preserved {
+			fmt.Printf("%s: ok\n", o.Contract.Name)
+		} else {
+			fmt.Printf("%s: violated by %q\n", o.Contract.Name, o.RuleName)
+		}
+	}
+	// Output:
+	// private-isolated: ok
+	// smb-blocked: violated by "line 2 ()"
+}
+
+// ExampleDatacenter_CheckGlobalIntent shows Claim 1 in action: a healthy
+// datacenter passes both local validation and the independently computed
+// global intent.
+func ExampleDatacenter_CheckGlobalIntent() {
+	dc, err := dcvalidate.NewDatacenter(dcvalidate.Figure3Params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := dc.Validate(dcvalidate.ValidateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fails, err := dc.CheckGlobalIntent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local violations: %d, global failures: %d\n", rep.Failures, len(fails))
+	// Output:
+	// local violations: 0, global failures: 0
+}
+
+// ExampleCheckPolicyPath checks an end-to-end contract against the
+// conjunction of an edge ACL and a host NSG (§3.6's extension).
+func ExampleCheckPolicyPath() {
+	edge, _ := dcvalidate.ParseIOSACL("edge", strings.NewReader("permit ip any any\n"))
+	nsg, _ := dcvalidate.ParseNSG("nsg", strings.NewReader(`[
+	  {"name":"deny-smb","priority":100,"source":"*","sourcePorts":"*",
+	   "destination":"*","destinationPorts":"445","protocol":"Tcp","access":"Deny"},
+	  {"name":"allow","priority":200,"source":"*","sourcePorts":"*",
+	   "destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"}
+	]`))
+	suite, _ := dcvalidate.ParsePolicyContracts(strings.NewReader(`[
+	  {"name":"smb-blocked-end-to-end","expected":"deny","protocol":"tcp","dstPorts":"445"}
+	]`))
+	rep, err := dcvalidate.CheckPolicyPath([]*dcvalidate.Policy{edge, nsg}, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ok:", rep.OK())
+	// Output:
+	// ok: true
+}

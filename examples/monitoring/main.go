@@ -1,0 +1,74 @@
+// Monitoring runs the RCDC live-monitoring pipeline of §2.6 end to end:
+// a datacenter accumulates latent faults across the §2.6.2 taxonomy, the
+// service detects them cycle by cycle, the analytics triage classifies
+// each error and routes it to a remediation queue, auto-remediation
+// unshuts healthy sessions, and the violation count burns down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/topology"
+	"dcvalidate/internal/workload"
+)
+
+func main() {
+	topo := topology.MustNew(topology.Params{
+		Name: "mon", Clusters: 4, ToRsPerCluster: 12, LeavesPerCluster: 4,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+	})
+	s := workload.NewScenario(topo)
+
+	// Latent faults that accumulated before monitoring was deployed.
+	l1, _ := topo.LinkBetween(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	s.InjectOpticalFailure(l1.ID)
+	l2, _ := topo.LinkBetween(topo.ToRs()[5], topo.ClusterLeaves(0)[1])
+	s.InjectOperationDrift(l2.ID, false) // healthy link, forgotten shut
+	l3, _ := topo.LinkBetween(topo.ToRs()[6], topo.ClusterLeaves(0)[2])
+	s.InjectOperationDrift(l3.ID, true) // genuinely lossy link
+	s.InjectRIBFIBBug(topo.ToRs()[20], 1)
+	s.InjectPolicyECMPSingle(topo.ToRs()[30])
+
+	in := monitor.NewInstance("inst-0", s.Datacenter("mon"))
+	fmt.Printf("monitoring %d devices; %d latent faults injected\n\n",
+		len(topo.Devices), len(s.Injected))
+
+	for cycle := 1; cycle <= 3; cycle++ {
+		stats, err := in.RunCycle()
+		if err != nil {
+			log.Fatal(err)
+		}
+		high, low := in.Analytics.SeverityCounts(stats.Cycle)
+		fmt.Printf("cycle %d: %d devices validated, %d violations (%d high / %d low risk)\n",
+			cycle, stats.Devices, stats.Violations, high, low)
+		fmt.Printf("  modeled fleet pull time %s, validation %s\n",
+			stats.ModeledPullTime.Round(1000000), stats.ValidateTime.Round(1000000))
+
+		errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+		queues := map[monitor.RemediationQueueName]int{}
+		for _, te := range errs {
+			queues[te.Queue]++
+		}
+		for q, n := range queues {
+			fmt.Printf("  queue %-22s %d error(s)\n", q, n)
+		}
+
+		restored, escalated := monitor.AutoRemediate(errs, in.Datacenters, s.Lossy)
+		if restored+len(escalated) > 0 {
+			fmt.Printf("  auto-remediation: %d session(s) unshut, %d escalated (lossy)\n",
+				restored, len(escalated))
+		}
+		// Manual remediation between cycles: the cable gets replaced after
+		// cycle 2 (datacenter ops worked the replace-cable queue).
+		if cycle == 2 {
+			l1.Up = true
+			fmt.Println("  datacenter ops replaced the faulty cable")
+		}
+		fmt.Println()
+	}
+	fmt.Println("remaining violations trace to the faults needing engineering " +
+		"investigation (RIB-FIB bug, lossy link, ECMP policy) — the long tail " +
+		"of the Figure 6 burndown")
+}

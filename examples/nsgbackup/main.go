@@ -1,0 +1,76 @@
+// Nsgbackup replays the §3.4 case study: customers editing their network
+// security groups kept blocking the managed database's backup traffic to
+// its infrastructure service. Integrating SecGuru into the NSG change API
+// rejects such changes with an actionable error naming the offending rule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dcvalidate"
+)
+
+const currentNSG = `[
+  {"name":"AllowVnet","priority":100,"source":"10.1.0.0/16","sourcePorts":"*",
+   "destination":"10.1.0.0/16","destinationPorts":"*","protocol":"*","access":"Allow"},
+  {"name":"AllowInfraInbound","priority":200,"source":"40.90.0.0/16","sourcePorts":"*",
+   "destination":"10.1.0.0/16","destinationPorts":"*","protocol":"Tcp","access":"Allow"},
+  {"name":"AllowOutbound","priority":300,"source":"10.1.0.0/16","sourcePorts":"*",
+   "destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"},
+  {"name":"DenyAllInbound","priority":4096,"source":"*","sourcePorts":"*",
+   "destination":"*","destinationPorts":"*","protocol":"*","access":"Deny"}
+]`
+
+// The customer's "security hardening" edit: a high-priority lockdown that
+// inadvertently covers the infrastructure service range.
+const hardenedNSG = `[
+  {"name":"LockdownExternal","priority":50,"source":"*","sourcePorts":"*",
+   "destination":"40.0.0.0/8","destinationPorts":"*","protocol":"*","access":"Deny"},
+  {"name":"AllowVnet","priority":100,"source":"10.1.0.0/16","sourcePorts":"*",
+   "destination":"10.1.0.0/16","destinationPorts":"*","protocol":"*","access":"Allow"},
+  {"name":"AllowInfraInbound","priority":200,"source":"40.90.0.0/16","sourcePorts":"*",
+   "destination":"10.1.0.0/16","destinationPorts":"*","protocol":"Tcp","access":"Allow"},
+  {"name":"AllowOutbound","priority":300,"source":"10.1.0.0/16","sourcePorts":"*",
+   "destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"},
+  {"name":"DenyAllInbound","priority":4096,"source":"*","sourcePorts":"*",
+   "destination":"*","destinationPorts":"*","protocol":"*","access":"Deny"}
+]`
+
+func main() {
+	instanceSubnet, _ := dcvalidate.ParsePrefix("10.1.2.0/24")
+	infraService, _ := dcvalidate.ParsePrefix("40.90.0.0/16")
+	mi := dcvalidate.ManagedInstance{
+		InstanceSubnet: instanceSubnet,
+		InfraService:   infraService,
+		InfraPorts:     dcvalidate.Ports(1433, 1434),
+	}
+	guard := &dcvalidate.NSGGuard{Instance: &mi, Enabled: true}
+	fmt.Printf("managed DB at %v must reach infra service %v (auto-added contracts: %d)\n\n",
+		mi.InstanceSubnet, mi.InfraService, len(dcvalidate.BackupContracts(mi)))
+
+	// The current policy passes the guard.
+	cur, err := dcvalidate.ParseNSG("vnet-nsg", strings.NewReader(currentNSG))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := guard.ValidateChange(cur); err != nil {
+		log.Fatalf("current policy rejected: %v", err)
+	}
+	fmt.Println("change 1 (current policy): ACCEPTED")
+
+	// The hardening edit is rejected with the precise cause.
+	bad, err := dcvalidate.ParseNSG("vnet-nsg", strings.NewReader(hardenedNSG))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = guard.ValidateChange(bad)
+	if err == nil {
+		log.Fatal("breaking change accepted!")
+	}
+	fmt.Println("change 2 (lockdown edit): REJECTED")
+	fmt.Printf("  %v\n", err)
+	fmt.Println("\nwithout the guard this change would have shipped and the next " +
+		"periodic backup would have failed — the Figure 12 incident class")
+}

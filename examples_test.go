@@ -1,0 +1,41 @@
+package dcvalidate
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun compiles and runs every example main, asserting clean
+// exit — the examples are living documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	examples := []string{
+		"quickstart", "linkfailure", "legacyacl", "nsgbackup", "monitoring", "pathcheck",
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+				}
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", ex)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module dcvalidate
+
+go 1.22

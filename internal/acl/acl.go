@@ -1,0 +1,203 @@
+// Package acl models network connectivity restriction policies (§3.1):
+// network device access-control lists in a Cisco IOS-style syntax
+// (Figure 8), network security groups (Figure 9), and distributed firewall
+// configurations (§3.5). A policy is an ordered set of rules; each rule is
+// a packet filter over ⟨srcIP, srcPort, dstIP, dstPort, protocol⟩ plus a
+// Permit/Deny action. Two rule-combination conventions exist: first
+// applicable (ACLs, NSGs — Definition 3.1) and deny overrides (distributed
+// firewalls — Definition 3.2). If no rule matches, the packet is denied.
+package acl
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// Action is a rule's verdict for matching packets.
+type Action uint8
+
+const (
+	Deny Action = iota
+	Permit
+)
+
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// Semantics selects the rule-combination convention.
+type Semantics uint8
+
+const (
+	// FirstApplicable: the first matching rule decides (Definition 3.1).
+	FirstApplicable Semantics = iota
+	// DenyOverrides: permitted iff some Permit rule matches and no Deny
+	// rule does (Definition 3.2).
+	DenyOverrides
+)
+
+// Well-known protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// PortRange is an inclusive range of ports; the zero value with Hi set to
+// 65535 means any port.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches all 2^16 ports.
+var AnyPort = PortRange{0, 65535}
+
+// Port returns the range matching exactly p.
+func Port(p uint16) PortRange { return PortRange{p, p} }
+
+// Contains reports whether the port is inside the range.
+func (r PortRange) Contains(p uint16) bool { return r.Lo <= p && p <= r.Hi }
+
+// IsAny reports whether the range covers all ports.
+func (r PortRange) IsAny() bool { return r == AnyPort }
+
+func (r PortRange) String() string {
+	if r.IsAny() {
+		return "any"
+	}
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+// ProtoMatch matches the protocol field; Any matches every protocol.
+type ProtoMatch struct {
+	Any bool
+	Num uint8
+}
+
+// AnyProto matches all protocols.
+var AnyProto = ProtoMatch{Any: true}
+
+// Proto returns a match for one protocol number.
+func Proto(n uint8) ProtoMatch { return ProtoMatch{Num: n} }
+
+// Contains reports whether the protocol matches.
+func (m ProtoMatch) Contains(p uint8) bool { return m.Any || m.Num == p }
+
+func (m ProtoMatch) String() string {
+	if m.Any {
+		return "ip"
+	}
+	switch m.Num {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	}
+	return fmt.Sprintf("%d", m.Num)
+}
+
+// Rule is one packet filter plus action. The zero value of the filter
+// fields does not match anything useful; build rules through NewRule or
+// the parsers.
+type Rule struct {
+	Action   Action
+	Protocol ProtoMatch
+	Src, Dst ipnet.Prefix // 0.0.0.0/0 = any
+	SrcPorts PortRange
+	DstPorts PortRange
+
+	// Name is the NSG rule name or a synthesized identifier.
+	Name string
+	// Priority orders NSG rules (smaller = higher priority); for ACLs it
+	// is the sequence number.
+	Priority int
+	// Line is the source line for diagnostics.
+	Line int
+	// Remark is the preceding comment, if any.
+	Remark string
+}
+
+// NewRule builds a rule matching the given filter.
+func NewRule(a Action, proto ProtoMatch, src, dst ipnet.Prefix, sp, dp PortRange) Rule {
+	return Rule{Action: a, Protocol: proto, Src: src, Dst: dst, SrcPorts: sp, DstPorts: dp}
+}
+
+// Packet is a concrete header 5-tuple.
+type Packet struct {
+	SrcIP, DstIP     ipnet.Addr
+	SrcPort, DstPort uint16
+	Protocol         uint8
+}
+
+// Matches reports whether the packet satisfies the rule's filter.
+func (r *Rule) Matches(p Packet) bool {
+	return r.Protocol.Contains(p.Protocol) &&
+		r.Src.Contains(p.SrcIP) && r.Dst.Contains(p.DstIP) &&
+		r.SrcPorts.Contains(p.SrcPort) && r.DstPorts.Contains(p.DstPort)
+}
+
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s %s %s %s %s sport=%s dport=%s",
+		r.Action, r.Protocol, prefixString(r.Src), prefixString(r.Dst),
+		r.Name, r.SrcPorts, r.DstPorts)
+}
+
+func prefixString(p ipnet.Prefix) string {
+	if p.IsDefault() {
+		return "any"
+	}
+	return p.String()
+}
+
+// Policy is an ordered rule set under a combination convention.
+type Policy struct {
+	Name      string
+	Semantics Semantics
+	Rules     []Rule
+}
+
+// Evaluate decides whether the packet is admitted, and returns the index
+// of the deciding rule (-1 when the implicit default deny applies, or for
+// DenyOverrides when no Permit rule matched).
+func (p *Policy) Evaluate(pkt Packet) (bool, int) {
+	switch p.Semantics {
+	case FirstApplicable:
+		for i := range p.Rules {
+			if p.Rules[i].Matches(pkt) {
+				return p.Rules[i].Action == Permit, i
+			}
+		}
+		return false, -1
+	case DenyOverrides:
+		permitIdx := -1
+		for i := range p.Rules {
+			if !p.Rules[i].Matches(pkt) {
+				continue
+			}
+			if p.Rules[i].Action == Deny {
+				return false, i
+			}
+			if permitIdx < 0 {
+				permitIdx = i
+			}
+		}
+		if permitIdx >= 0 {
+			return true, permitIdx
+		}
+		return false, -1
+	}
+	return false, -1
+}
+
+// Clone returns a deep copy of the policy.
+func (p *Policy) Clone() *Policy {
+	out := &Policy{Name: p.Name, Semantics: p.Semantics}
+	out.Rules = append([]Rule(nil), p.Rules...)
+	return out
+}

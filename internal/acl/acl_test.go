@@ -1,0 +1,373 @@
+package acl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// figure8 is the Edge ACL of Figure 8, translated to CIDR address terms.
+const figure8 = `
+remark Isolating private addresses
+deny ip 0.0.0.0/32 any
+deny ip 10.0.0.0/8 any
+deny ip 172.16.0.0/12 any
+deny ip 192.168.0.0/16 any
+remark Anti spoofing ACLs
+deny ip 104.208.32.0/20 any
+deny ip 168.61.144.0/20 any
+remark permits for IPs without port and protocol blocks
+permit ip any 104.208.32.0/24
+permit ip any 104.208.33.0/24
+remark standard port and protocol blocks
+deny tcp any any eq 445
+deny udp any any eq 445
+deny tcp any any eq 593
+deny udp any any eq 593
+deny 53 any any
+deny 55 any any
+remark permits for IPs with port and protocol blocks
+permit ip any 104.208.32.0/20
+permit ip any 168.61.144.0/20
+`
+
+func parseFigure8(t *testing.T) *Policy {
+	t.Helper()
+	p, err := ParseIOS("edge", strings.NewReader(figure8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseIOSFigure8(t *testing.T) {
+	p := parseFigure8(t)
+	if len(p.Rules) != 16 {
+		t.Fatalf("rules = %d, want 16", len(p.Rules))
+	}
+	if p.Rules[0].Remark != "Isolating private addresses" {
+		t.Errorf("remark = %q", p.Rules[0].Remark)
+	}
+	r := p.Rules[1] // deny ip 10.0.0.0/8 any
+	if r.Action != Deny || !r.Protocol.Any || r.Src.String() != "10.0.0.0/8" || !r.Dst.IsDefault() {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	r = p.Rules[8] // deny tcp any any eq 445
+	if r.Action != Deny || r.Protocol.Num != ProtoTCP || !r.DstPorts.Contains(445) || r.DstPorts.Contains(446) {
+		t.Errorf("rule 8 = %+v", r)
+	}
+	r = p.Rules[12] // deny 53 any any
+	if r.Protocol.Num != 53 || r.Protocol.Any {
+		t.Errorf("rule 12 = %+v", r)
+	}
+}
+
+func TestFigure8Semantics(t *testing.T) {
+	p := parseFigure8(t)
+	mustIP := ipnet.MustParseAddr
+	cases := []struct {
+		name string
+		pkt  Packet
+		want bool
+	}{
+		{"private source blocked", Packet{SrcIP: mustIP("10.1.2.3"), DstIP: mustIP("104.208.32.5"), Protocol: ProtoTCP, DstPort: 80}, false},
+		{"spoofed own prefix blocked", Packet{SrcIP: mustIP("104.208.33.7"), DstIP: mustIP("104.208.32.5"), Protocol: ProtoTCP, DstPort: 80}, false},
+		{"no-block subnet admits port 445", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("104.208.32.5"), Protocol: ProtoTCP, DstPort: 445}, true},
+		{"blocked port on protected subnet", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("104.208.40.5"), Protocol: ProtoTCP, DstPort: 445}, false},
+		{"allowed port on protected subnet", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("104.208.40.5"), Protocol: ProtoTCP, DstPort: 443}, true},
+		{"proto 53 blocked everywhere", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("168.61.144.9"), Protocol: 53}, false},
+		{"default deny", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("9.9.9.9"), Protocol: ProtoTCP, DstPort: 80}, false},
+		{"udp 593 blocked", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("168.61.144.9"), Protocol: ProtoUDP, DstPort: 593}, false},
+		{"udp other port allowed", Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("168.61.144.9"), Protocol: ProtoUDP, DstPort: 594}, true},
+	}
+	for _, c := range cases {
+		got, _ := p.Evaluate(c.pkt)
+		if got != c.want {
+			t.Errorf("%s: Evaluate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateDecidingRule(t *testing.T) {
+	p := parseFigure8(t)
+	_, idx := p.Evaluate(Packet{SrcIP: ipnet.MustParseAddr("10.1.2.3"), DstIP: 1, Protocol: ProtoTCP})
+	if idx != 1 {
+		t.Errorf("deciding rule = %d, want 1", idx)
+	}
+	_, idx = p.Evaluate(Packet{SrcIP: ipnet.MustParseAddr("8.8.8.8"), DstIP: ipnet.MustParseAddr("9.9.9.9")})
+	if idx != -1 {
+		t.Errorf("default deny rule index = %d, want -1", idx)
+	}
+}
+
+func TestIOSRoundTrip(t *testing.T) {
+	p := parseFigure8(t)
+	var buf bytes.Buffer
+	if err := WriteIOS(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseIOS("edge", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rules) != len(p.Rules) {
+		t.Fatalf("round trip rules = %d", len(back.Rules))
+	}
+	for i := range p.Rules {
+		a, b := p.Rules[i], back.Rules[i]
+		if a.Action != b.Action || a.Protocol != b.Protocol || a.Src != b.Src ||
+			a.Dst != b.Dst || a.SrcPorts != b.SrcPorts || a.DstPorts != b.DstPorts {
+			t.Errorf("rule %d changed: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseIOSHostAndRange(t *testing.T) {
+	p, err := ParseIOS("t", strings.NewReader(
+		"permit tcp host 1.2.3.4 eq 1024 any range 8000 8080\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if r.Src.Bits != 32 || r.Src.Addr != ipnet.MustParseAddr("1.2.3.4") {
+		t.Errorf("src = %v", r.Src)
+	}
+	if r.SrcPorts != Port(1024) || r.DstPorts != (PortRange{8000, 8080}) {
+		t.Errorf("ports = %v %v", r.SrcPorts, r.DstPorts)
+	}
+}
+
+func TestParseIOSErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate ip any any",
+		"permit bogus any any",
+		"permit ip 10.0.0.1/8 any",
+		"permit ip any",
+		"permit ip host any",
+		"permit tcp any eq notaport any",
+		"permit ip any any extra",
+		"permit 300 any any",
+	}
+	for _, s := range bad {
+		if _, err := ParseIOS("t", strings.NewReader(s)); err == nil {
+			t.Errorf("ParseIOS accepted %q", s)
+		}
+	}
+}
+
+const figure9 = `[
+  {"name":"AllowWeb","priority":100,"source":"*","sourcePorts":"*",
+   "destination":"10.1.0.0/16","destinationPorts":"443","protocol":"Tcp","access":"Allow"},
+  {"name":"DenySMB","priority":110,"source":"*","sourcePorts":"*",
+   "destination":"*","destinationPorts":"445","protocol":"*","access":"Deny"},
+  {"name":"AllowVnetInbound","priority":200,"source":"10.0.0.0/8","sourcePorts":"*",
+   "destination":"10.0.0.0/8","destinationPorts":"*","protocol":"*","access":"Allow"},
+  {"name":"DenyAllInbound","priority":4096,"source":"*","sourcePorts":"*",
+   "destination":"*","destinationPorts":"*","protocol":"*","access":"Deny"}
+]`
+
+func TestParseNSG(t *testing.T) {
+	p, err := ParseNSG("nsg", strings.NewReader(figure9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 || p.Semantics != FirstApplicable {
+		t.Fatalf("policy = %+v", p)
+	}
+	// Priority ordering.
+	for i := 1; i < len(p.Rules); i++ {
+		if p.Rules[i-1].Priority >= p.Rules[i].Priority {
+			t.Error("rules not sorted by priority")
+		}
+	}
+	mustIP := ipnet.MustParseAddr
+	cases := []struct {
+		pkt  Packet
+		want bool
+	}{
+		{Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("10.1.2.3"), DstPort: 443, Protocol: ProtoTCP}, true},
+		{Packet{SrcIP: mustIP("10.9.9.9"), DstIP: mustIP("10.2.2.2"), DstPort: 445, Protocol: ProtoTCP}, false}, // DenySMB first
+		{Packet{SrcIP: mustIP("10.9.9.9"), DstIP: mustIP("10.2.2.2"), DstPort: 22, Protocol: ProtoTCP}, true},
+		{Packet{SrcIP: mustIP("8.8.8.8"), DstIP: mustIP("10.2.2.2"), DstPort: 22, Protocol: ProtoTCP}, false},
+	}
+	for i, c := range cases {
+		got, _ := p.Evaluate(c.pkt)
+		if got != c.want {
+			t.Errorf("case %d: Evaluate = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestNSGUnsortedInputSorted(t *testing.T) {
+	jsonIn := `[
+	 {"name":"b","priority":200,"source":"*","sourcePorts":"*","destination":"*","destinationPorts":"*","protocol":"*","access":"Deny"},
+	 {"name":"a","priority":100,"source":"*","sourcePorts":"*","destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"}
+	]`
+	p, err := ParseNSG("n", strings.NewReader(jsonIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Name != "a" {
+		t.Error("rules not sorted by priority")
+	}
+	ok, _ := p.Evaluate(Packet{})
+	if !ok {
+		t.Error("allow rule at priority 100 should win")
+	}
+}
+
+func TestNSGDuplicatePriorityRejected(t *testing.T) {
+	jsonIn := `[
+	 {"name":"a","priority":100,"source":"*","sourcePorts":"*","destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"},
+	 {"name":"b","priority":100,"source":"*","sourcePorts":"*","destination":"*","destinationPorts":"*","protocol":"*","access":"Deny"}
+	]`
+	if _, err := ParseNSG("n", strings.NewReader(jsonIn)); err == nil {
+		t.Error("duplicate priorities accepted")
+	}
+}
+
+func TestNSGParseErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"name":"a","priority":1,"access":"Maybe"}]`,
+		`[{"name":"a","priority":1,"access":"Allow","protocol":"bogus"}]`,
+		`[{"name":"a","priority":1,"access":"Allow","protocol":"*","source":"999.1.1.1/8"}]`,
+		`[{"name":"a","priority":1,"access":"Allow","protocol":"*","sourcePorts":"70000"}]`,
+		`[{"name":"a","priority":1,"access":"Allow","protocol":"*","destinationPorts":"9-2"}]`,
+	}
+	for _, s := range bad {
+		if _, err := ParseNSG("n", strings.NewReader(s)); err == nil {
+			t.Errorf("ParseNSG accepted %q", s)
+		}
+	}
+}
+
+func TestNSGRoundTrip(t *testing.T) {
+	p, err := ParseNSG("nsg", strings.NewReader(figure9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNSG(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNSG("nsg", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rules) != len(p.Rules) {
+		t.Fatal("rule count changed")
+	}
+	for i := range p.Rules {
+		if p.Rules[i] != back.Rules[i] {
+			t.Errorf("rule %d changed: %+v -> %+v", i, p.Rules[i], back.Rules[i])
+		}
+	}
+}
+
+func randomRule(rng *rand.Rand) Rule {
+	r := Rule{
+		Action:   Action(rng.Intn(2)),
+		Protocol: AnyProto,
+		SrcPorts: AnyPort,
+		DstPorts: AnyPort,
+	}
+	if rng.Intn(2) == 0 {
+		r.Protocol = Proto(uint8(rng.Intn(4) * 6))
+	}
+	if rng.Intn(2) == 0 {
+		r.Src = ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(33)))
+	}
+	if rng.Intn(2) == 0 {
+		r.Dst = ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(33)))
+	}
+	if rng.Intn(3) == 0 {
+		p := uint16(rng.Intn(1000))
+		r.DstPorts = PortRange{p, p + uint16(rng.Intn(100))}
+	}
+	return r
+}
+
+// TestDenyOverridesSemantics cross-checks Definition 3.2 against the
+// direct characterization: permitted iff some Permit matches and no Deny
+// matches.
+func TestDenyOverridesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		p := &Policy{Semantics: DenyOverrides}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			p.Rules = append(p.Rules, randomRule(rng))
+		}
+		for s := 0; s < 50; s++ {
+			pkt := Packet{
+				SrcIP: ipnet.Addr(rng.Uint32()), DstIP: ipnet.Addr(rng.Uint32()),
+				SrcPort: uint16(rng.Intn(2000)), DstPort: uint16(rng.Intn(2000)),
+				Protocol: uint8(rng.Intn(4) * 6),
+			}
+			got, _ := p.Evaluate(pkt)
+			anyPermit, anyDeny := false, false
+			for i := range p.Rules {
+				if p.Rules[i].Matches(pkt) {
+					if p.Rules[i].Action == Permit {
+						anyPermit = true
+					} else {
+						anyDeny = true
+					}
+				}
+			}
+			want := anyPermit && !anyDeny
+			if got != want {
+				t.Fatalf("iter %d: Evaluate = %v, want %v", iter, got, want)
+			}
+		}
+	}
+}
+
+// TestFirstApplicableOrderMatters: swapping a permit above a deny flips
+// the decision for overlapping packets.
+func TestFirstApplicableOrderMatters(t *testing.T) {
+	permit := NewRule(Permit, AnyProto, ipnet.Prefix{}, ipnet.MustParsePrefix("10.0.0.0/8"), AnyPort, AnyPort)
+	deny := NewRule(Deny, AnyProto, ipnet.Prefix{}, ipnet.MustParsePrefix("10.0.0.0/8"), AnyPort, AnyPort)
+	pkt := Packet{DstIP: ipnet.MustParseAddr("10.1.1.1")}
+
+	p1 := &Policy{Semantics: FirstApplicable, Rules: []Rule{permit, deny}}
+	p2 := &Policy{Semantics: FirstApplicable, Rules: []Rule{deny, permit}}
+	ok1, _ := p1.Evaluate(pkt)
+	ok2, _ := p2.Evaluate(pkt)
+	if !ok1 || ok2 {
+		t.Errorf("order insensitivity: %v %v", ok1, ok2)
+	}
+	// Under deny-overrides, order is irrelevant: both deny.
+	p1.Semantics, p2.Semantics = DenyOverrides, DenyOverrides
+	ok1, _ = p1.Evaluate(pkt)
+	ok2, _ = p2.Evaluate(pkt)
+	if ok1 || ok2 {
+		t.Error("deny overrides should deny in both orders")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := parseFigure8(t)
+	c := p.Clone()
+	c.Rules[0].Action = Permit
+	if p.Rules[0].Action == Permit {
+		t.Error("Clone shares rule storage")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Permit.String() != "permit" || Deny.String() != "deny" {
+		t.Error("Action strings")
+	}
+	if AnyProto.String() != "ip" || Proto(ProtoTCP).String() != "tcp" ||
+		Proto(ProtoUDP).String() != "udp" || Proto(53).String() != "53" {
+		t.Error("ProtoMatch strings")
+	}
+	if AnyPort.String() != "any" || Port(80).String() != "80" ||
+		(PortRange{1, 2}).String() != "1-2" {
+		t.Error("PortRange strings")
+	}
+}

@@ -1,0 +1,64 @@
+package acl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: parsers must never panic and accepted inputs must survive
+// a render/parse round trip. Seeds double as regression cases under plain
+// `go test`.
+
+func FuzzParseIOS(f *testing.F) {
+	f.Add("permit ip any any\n")
+	f.Add("deny tcp 10.0.0.0/8 eq 80 any range 1 65535\n")
+	f.Add("remark hello\ndeny 53 host 1.2.3.4 any\n")
+	f.Add("permit udp any eq 0 any eq 65535\n")
+	f.Add("!\n# comment\npermit ip any any extra")
+	f.Add("deny ip 300.1.2.3/8 any")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseIOS("f", strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip without error and with the same
+		// rule count.
+		var buf bytes.Buffer
+		if err := WriteIOS(&buf, p); err != nil {
+			t.Fatalf("WriteIOS failed on accepted input %q: %v", in, err)
+		}
+		back, err := ParseIOS("f", &buf)
+		if err != nil {
+			t.Fatalf("re-parse failed for %q: %v", in, err)
+		}
+		if len(back.Rules) != len(p.Rules) {
+			t.Fatalf("rule count changed: %d -> %d", len(p.Rules), len(back.Rules))
+		}
+	})
+}
+
+func FuzzParseNSG(f *testing.F) {
+	f.Add(`[{"name":"a","priority":1,"source":"*","sourcePorts":"*","destination":"*","destinationPorts":"*","protocol":"*","access":"Allow"}]`)
+	f.Add(`[{"name":"b","priority":10,"source":"10.0.0.0/8","destinationPorts":"1-2","protocol":"Tcp","access":"Deny"}]`)
+	f.Add(`[]`)
+	f.Add(`not json`)
+	f.Add(`[{"priority":1}]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseNSG("f", strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNSG(&buf, p); err != nil {
+			t.Fatalf("WriteNSG failed on accepted input: %v", err)
+		}
+		back, err := ParseNSG("f", &buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back.Rules) != len(p.Rules) {
+			t.Fatalf("rule count changed: %d -> %d", len(p.Rules), len(back.Rules))
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package acl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// ParseIOS parses an access-control list in the Cisco IOS-style syntax of
+// Figure 8:
+//
+//	remark <free text>
+//	permit|deny ip|tcp|udp|<proto-num> <src> [eq <port>] <dst> [eq <port>]
+//
+// where <src>/<dst> are `any`, `host A.B.C.D`, or `A.B.C.D/len`. The rule
+// order is the policy order (first-applicable semantics).
+func ParseIOS(name string, r io.Reader) (*Policy, error) {
+	p := &Policy{Name: name, Semantics: FirstApplicable}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	remark := ""
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "remark":
+			remark = strings.TrimSpace(strings.TrimPrefix(line, "remark"))
+			continue
+		case "permit", "deny":
+		default:
+			return nil, fmt.Errorf("acl: line %d: expected permit/deny/remark, got %q", lineNo, fields[0])
+		}
+		rule, err := parseIOSRule(fields, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		rule.Remark = remark
+		rule.Priority = len(p.Rules) + 1
+		remark = ""
+		p.Rules = append(p.Rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseIOSRule(fields []string, lineNo int) (Rule, error) {
+	rule := Rule{SrcPorts: AnyPort, DstPorts: AnyPort, Line: lineNo}
+	if fields[0] == "permit" {
+		rule.Action = Permit
+	}
+	if len(fields) < 2 {
+		return rule, fmt.Errorf("acl: line %d: missing protocol", lineNo)
+	}
+	switch fields[1] {
+	case "ip":
+		rule.Protocol = AnyProto
+	case "tcp":
+		rule.Protocol = Proto(ProtoTCP)
+	case "udp":
+		rule.Protocol = Proto(ProtoUDP)
+	default:
+		n, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return rule, fmt.Errorf("acl: line %d: bad protocol %q", lineNo, fields[1])
+		}
+		rule.Protocol = Proto(uint8(n))
+	}
+
+	rest := fields[2:]
+	var err error
+	rule.Src, rule.SrcPorts, rest, err = parseIOSAddr(rest, lineNo)
+	if err != nil {
+		return rule, err
+	}
+	rule.Dst, rule.DstPorts, rest, err = parseIOSAddr(rest, lineNo)
+	if err != nil {
+		return rule, err
+	}
+	if len(rest) != 0 {
+		return rule, fmt.Errorf("acl: line %d: trailing tokens %v", lineNo, rest)
+	}
+	return rule, nil
+}
+
+// parseIOSAddr consumes an address term (`any`, `host A.B.C.D`, or CIDR)
+// with an optional `eq <port>` qualifier, returning the remaining tokens.
+func parseIOSAddr(toks []string, lineNo int) (ipnet.Prefix, PortRange, []string, error) {
+	if len(toks) == 0 {
+		return ipnet.Prefix{}, AnyPort, nil, fmt.Errorf("acl: line %d: missing address", lineNo)
+	}
+	var pfx ipnet.Prefix
+	switch toks[0] {
+	case "any":
+		toks = toks[1:]
+	case "host":
+		if len(toks) < 2 {
+			return pfx, AnyPort, nil, fmt.Errorf("acl: line %d: host needs an address", lineNo)
+		}
+		a, err := ipnet.ParseAddr(toks[1])
+		if err != nil {
+			return pfx, AnyPort, nil, fmt.Errorf("acl: line %d: %v", lineNo, err)
+		}
+		pfx = ipnet.Prefix{Addr: a, Bits: 32}
+		toks = toks[2:]
+	default:
+		p, err := ipnet.ParsePrefix(toks[0])
+		if err != nil {
+			return pfx, AnyPort, nil, fmt.Errorf("acl: line %d: %v", lineNo, err)
+		}
+		pfx = p
+		toks = toks[1:]
+	}
+	ports := AnyPort
+	if len(toks) >= 2 && toks[0] == "eq" {
+		n, err := strconv.ParseUint(toks[1], 10, 16)
+		if err != nil {
+			return pfx, ports, nil, fmt.Errorf("acl: line %d: bad port %q", lineNo, toks[1])
+		}
+		ports = Port(uint16(n))
+		toks = toks[2:]
+	} else if len(toks) >= 3 && toks[0] == "range" {
+		lo, err1 := strconv.ParseUint(toks[1], 10, 16)
+		hi, err2 := strconv.ParseUint(toks[2], 10, 16)
+		if err1 != nil || err2 != nil || lo > hi {
+			return pfx, ports, nil, fmt.Errorf("acl: line %d: bad port range", lineNo)
+		}
+		ports = PortRange{uint16(lo), uint16(hi)}
+		toks = toks[3:]
+	}
+	return pfx, ports, toks, nil
+}
+
+// WriteIOS renders the policy back into the Figure 8 syntax.
+func WriteIOS(w io.Writer, p *Policy) error {
+	bw := bufio.NewWriter(w)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Remark != "" {
+			fmt.Fprintf(bw, "remark %s\n", r.Remark)
+		}
+		fmt.Fprintf(bw, "%s %s %s%s %s%s\n",
+			r.Action, r.Protocol,
+			iosAddr(r.Src), iosPorts(r.SrcPorts),
+			iosAddr(r.Dst), iosPorts(r.DstPorts))
+	}
+	return bw.Flush()
+}
+
+func iosAddr(p ipnet.Prefix) string {
+	if p.IsDefault() {
+		return "any"
+	}
+	if p.Bits == 32 {
+		return "host " + p.Addr.String()
+	}
+	return p.String()
+}
+
+func iosPorts(r PortRange) string {
+	if r.IsAny() {
+		return ""
+	}
+	if r.Lo == r.Hi {
+		return fmt.Sprintf(" eq %d", r.Lo)
+	}
+	return fmt.Sprintf(" range %d %d", r.Lo, r.Hi)
+}

@@ -1,0 +1,177 @@
+package acl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// NSGRule is the JSON shape of one network security group rule (Figure 9).
+// Wildcards are written "*" or "Any"; ports accept "N" or "N-M".
+type NSGRule struct {
+	Name             string `json:"name"`
+	Priority         int    `json:"priority"`
+	Source           string `json:"source"`
+	SourcePorts      string `json:"sourcePorts"`
+	Destination      string `json:"destination"`
+	DestinationPorts string `json:"destinationPorts"`
+	Protocol         string `json:"protocol"` // Tcp, Udp, *, Any
+	Access           string `json:"access"`   // Allow, Deny
+}
+
+// ParseNSG parses a network security group from its JSON representation
+// (an array of NSGRule objects) into a first-applicable Policy ordered by
+// ascending priority (§3.1: smaller numbers have higher priority).
+func ParseNSG(name string, r io.Reader) (*Policy, error) {
+	var rules []NSGRule
+	if err := json.NewDecoder(r).Decode(&rules); err != nil {
+		return nil, fmt.Errorf("acl: decoding NSG: %w", err)
+	}
+	p := &Policy{Name: name, Semantics: FirstApplicable}
+	seen := map[int]string{}
+	for i, nr := range rules {
+		rule, err := nr.toRule()
+		if err != nil {
+			return nil, fmt.Errorf("acl: NSG rule %d (%s): %w", i, nr.Name, err)
+		}
+		if prev, dup := seen[nr.Priority]; dup {
+			return nil, fmt.Errorf("acl: NSG rules %q and %q share priority %d", prev, nr.Name, nr.Priority)
+		}
+		seen[nr.Priority] = nr.Name
+		p.Rules = append(p.Rules, rule)
+	}
+	sort.SliceStable(p.Rules, func(i, j int) bool { return p.Rules[i].Priority < p.Rules[j].Priority })
+	return p, nil
+}
+
+func (nr NSGRule) toRule() (Rule, error) {
+	rule := Rule{Name: nr.Name, Priority: nr.Priority}
+	switch strings.ToLower(nr.Access) {
+	case "allow", "permit":
+		rule.Action = Permit
+	case "deny":
+		rule.Action = Deny
+	default:
+		return rule, fmt.Errorf("bad access %q", nr.Access)
+	}
+	switch strings.ToLower(nr.Protocol) {
+	case "*", "any", "":
+		rule.Protocol = AnyProto
+	case "tcp":
+		rule.Protocol = Proto(ProtoTCP)
+	case "udp":
+		rule.Protocol = Proto(ProtoUDP)
+	default:
+		n, err := strconv.ParseUint(nr.Protocol, 10, 8)
+		if err != nil {
+			return rule, fmt.Errorf("bad protocol %q", nr.Protocol)
+		}
+		rule.Protocol = Proto(uint8(n))
+	}
+	var err error
+	if rule.Src, err = parseNSGAddr(nr.Source); err != nil {
+		return rule, err
+	}
+	if rule.Dst, err = parseNSGAddr(nr.Destination); err != nil {
+		return rule, err
+	}
+	if rule.SrcPorts, err = parseNSGPorts(nr.SourcePorts); err != nil {
+		return rule, err
+	}
+	if rule.DstPorts, err = parseNSGPorts(nr.DestinationPorts); err != nil {
+		return rule, err
+	}
+	return rule, nil
+}
+
+func parseNSGAddr(s string) (ipnet.Prefix, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "*", "any", "internet", "":
+		return ipnet.Prefix{}, nil
+	}
+	return ipnet.ParsePrefix(strings.TrimSpace(s))
+}
+
+func parseNSGPorts(s string) (PortRange, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "*", "any", "":
+		return AnyPort, nil
+	}
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		lo, err1 := strconv.ParseUint(s[:i], 10, 16)
+		hi, err2 := strconv.ParseUint(s[i+1:], 10, 16)
+		if err1 != nil || err2 != nil || lo > hi {
+			return PortRange{}, fmt.Errorf("bad port range %q", s)
+		}
+		return PortRange{uint16(lo), uint16(hi)}, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("bad port %q", s)
+	}
+	return Port(uint16(n)), nil
+}
+
+// WriteNSG renders the policy as NSG JSON.
+func WriteNSG(w io.Writer, p *Policy) error {
+	rules := make([]NSGRule, len(p.Rules))
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		rules[i] = NSGRule{
+			Name:             r.Name,
+			Priority:         r.Priority,
+			Source:           nsgAddr(r.Src),
+			SourcePorts:      nsgPorts(r.SrcPorts),
+			Destination:      nsgAddr(r.Dst),
+			DestinationPorts: nsgPorts(r.DstPorts),
+			Protocol:         nsgProto(r.Protocol),
+			Access:           nsgAccess(r.Action),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rules)
+}
+
+func nsgAddr(p ipnet.Prefix) string {
+	if p.IsDefault() {
+		return "*"
+	}
+	return p.String()
+}
+
+func nsgPorts(r PortRange) string {
+	if r.IsAny() {
+		return "*"
+	}
+	if r.Lo == r.Hi {
+		return strconv.Itoa(int(r.Lo))
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+func nsgProto(m ProtoMatch) string {
+	if m.Any {
+		return "*"
+	}
+	switch m.Num {
+	case ProtoTCP:
+		return "Tcp"
+	case ProtoUDP:
+		return "Udp"
+	}
+	return strconv.Itoa(int(m.Num))
+}
+
+func nsgAccess(a Action) string {
+	if a == Permit {
+		return "Allow"
+	}
+	return "Deny"
+}

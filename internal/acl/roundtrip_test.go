@@ -1,0 +1,139 @@
+package acl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// genRule produces a random rule from quick-generated raw values.
+func genRule(action, proto byte, srcA, dstA uint32, srcBits, dstBits byte,
+	sp1, sp2, dp1, dp2 uint16) Rule {
+	r := Rule{
+		Action:   Action(action % 2),
+		Protocol: AnyProto,
+		Src:      ipnet.PrefixFrom(ipnet.Addr(srcA), srcBits%33),
+		Dst:      ipnet.PrefixFrom(ipnet.Addr(dstA), dstBits%33),
+		SrcPorts: AnyPort,
+		DstPorts: AnyPort,
+	}
+	switch proto % 4 {
+	case 1:
+		r.Protocol = Proto(ProtoTCP)
+	case 2:
+		r.Protocol = Proto(ProtoUDP)
+	case 3:
+		r.Protocol = Proto(proto)
+	}
+	if sp1 > 0 {
+		lo, hi := sp1, sp2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r.SrcPorts = PortRange{lo, hi}
+	}
+	if dp1 > 0 {
+		lo, hi := dp1, dp2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r.DstPorts = PortRange{lo, hi}
+	}
+	return r
+}
+
+// TestQuickIOSRoundTrip: WriteIOS then ParseIOS reproduces any rule whose
+// port ranges are expressible in the syntax.
+func TestQuickIOSRoundTrip(t *testing.T) {
+	f := func(action, proto byte, srcA, dstA uint32, srcBits, dstBits byte,
+		sp1, sp2, dp1, dp2 uint16) bool {
+		r := genRule(action, proto, srcA, dstA, srcBits, dstBits, sp1, sp2, dp1, dp2)
+		p := &Policy{Name: "q", Semantics: FirstApplicable, Rules: []Rule{r}}
+		var buf bytes.Buffer
+		if err := WriteIOS(&buf, p); err != nil {
+			return false
+		}
+		back, err := ParseIOS("q", &buf)
+		if err != nil || len(back.Rules) != 1 {
+			return false
+		}
+		g := back.Rules[0]
+		return g.Action == r.Action && g.Protocol == r.Protocol &&
+			g.Src == r.Src && g.Dst == r.Dst &&
+			g.SrcPorts == r.SrcPorts && g.DstPorts == r.DstPorts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNSGRoundTrip: WriteNSG then ParseNSG reproduces any rule.
+func TestQuickNSGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		p := &Policy{Name: "q", Semantics: FirstApplicable}
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			r := genRule(byte(rng.Intn(2)), byte(rng.Intn(256)),
+				rng.Uint32(), rng.Uint32(), byte(rng.Intn(33)), byte(rng.Intn(33)),
+				uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)),
+				uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)))
+			r.Name = "r"
+			r.Priority = (i + 1) * 10
+			p.Rules = append(p.Rules, r)
+		}
+		var buf bytes.Buffer
+		if err := WriteNSG(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseNSG("q", &buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(back.Rules) != len(p.Rules) {
+			t.Fatalf("iter %d: rule count %d != %d", iter, len(back.Rules), len(p.Rules))
+		}
+		for i := range p.Rules {
+			if p.Rules[i] != back.Rules[i] {
+				t.Fatalf("iter %d rule %d: %+v != %+v", iter, i, p.Rules[i], back.Rules[i])
+			}
+		}
+	}
+}
+
+// TestQuickEvaluationAgreesAfterRoundTrip: the parsed-back policy decides
+// every packet identically to the original.
+func TestQuickEvaluationAgreesAfterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 100; iter++ {
+		p := &Policy{Name: "q", Semantics: FirstApplicable}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			p.Rules = append(p.Rules, genRule(byte(rng.Intn(2)), byte(rng.Intn(4)),
+				rng.Uint32(), rng.Uint32(), byte(rng.Intn(9)), byte(rng.Intn(9)),
+				0, 0, uint16(rng.Intn(100)), uint16(rng.Intn(100))))
+		}
+		var buf bytes.Buffer
+		if err := WriteIOS(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseIOS("q", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 200; s++ {
+			pkt := Packet{
+				SrcIP: ipnet.Addr(rng.Uint32()), DstIP: ipnet.Addr(rng.Uint32()),
+				SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+				Protocol: uint8(rng.Intn(256)),
+			}
+			a, _ := p.Evaluate(pkt)
+			b, _ := back.Evaluate(pkt)
+			if a != b {
+				t.Fatalf("iter %d: decisions differ on %+v", iter, pkt)
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package bgp simulates the EBGP routing design of §2.1 over a generated
+// datacenter topology and produces per-device FIBs — the "reality" RCDC
+// validates.
+//
+// Two implementations of fib.Source live here:
+//
+//   - Sim is a faithful path-vector simulation: per-session advertisement
+//     with AS-path loop prevention, allowas-in acceptance on ToR upstream
+//     sessions (required by the ToR ASN-reuse scheme), shortest-AS-path best
+//     route selection with ECMP multipath, default-route origination at the
+//     regional spine, and the export policy that regional spines advertise
+//     only the default route back down (which is why, in §2.4.4, D1 and D2
+//     lose their specific route for Prefix_B rather than learning a detour
+//     through R1). Route-map misconfiguration knobs reproduce the §2.6.2
+//     policy errors.
+//
+//   - Synth computes the converged state of the same protocol analytically
+//     from topology and link state in O(prefixes) per device, so FIBs for
+//     datacenters of 10^4 devices can be generated lazily, one device at a
+//     time, without holding a global snapshot. TestSynthMatchesSim
+//     cross-validates the two on randomized topologies and failure sets.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// DeviceConfig carries the per-device route-map and platform knobs used to
+// inject the §2.6.2 error classes.
+type DeviceConfig struct {
+	// RejectDefaultIn drops default-route announcements from upstream
+	// devices (the route-map policy error of §2.6.2).
+	RejectDefaultIn bool
+	// MaxECMPPaths truncates the ECMP next-hop set (0 = unlimited). A value
+	// of 1 reproduces the ECMP misconfiguration of §2.6.2 where devices use
+	// a single next hop for upstream traffic.
+	MaxECMPPaths int
+	// SessionsDisabled models Software Bug 2: interfaces treated as layer-2
+	// switch ports, so no BGP session on the device can establish.
+	SessionsDisabled bool
+	// ASNOverride, when nonzero, replaces the device's allocated ASN — the
+	// migration misconfiguration of §2.6.2 (decommissioned and new leaf
+	// devices configured with the same ASN).
+	ASNOverride uint32
+}
+
+// External is a route a regional spine learned from the regional network
+// (another datacenter's prefix, with the origin datacenter's private ASNs
+// already stripped per §2.1).
+type External struct {
+	Prefix ipnet.Prefix
+	// Path is the AS path as received from the regional network; the RS
+	// prepends its own ASN when relaying it downward.
+	Path []uint32
+}
+
+// Sim is the path-vector EBGP simulator.
+type Sim struct {
+	topo *topology.Topology
+	cfg  map[topology.DeviceID]*DeviceConfig
+
+	// external[rs] are the regionally learned routes the RS relays into
+	// the datacenter (empty outside multi-datacenter simulations).
+	external map[topology.DeviceID][]External
+
+	// ribIn[d][prefix][neighbor] = AS path as advertised by neighbor
+	// (not yet prepended with the neighbor's view of us).
+	ribIn []map[ipnet.Prefix]map[topology.DeviceID][]uint32
+
+	converged bool
+	rounds    int
+}
+
+// SetExternal installs the regionally learned routes of one regional
+// spine. Must be called before Run.
+func (s *Sim) SetExternal(rs topology.DeviceID, routes []External) {
+	if s.topo.Device(rs).Role != topology.RoleRegionalSpine {
+		panic("bgp: SetExternal on a non-regional-spine device")
+	}
+	if s.external == nil {
+		s.external = map[topology.DeviceID][]External{}
+	}
+	s.external[rs] = routes
+	s.converged = false
+}
+
+// NewSim returns a simulator over the topology. Configs may be nil.
+func NewSim(topo *topology.Topology, cfg map[topology.DeviceID]*DeviceConfig) *Sim {
+	return &Sim{topo: topo, cfg: cfg}
+}
+
+func (s *Sim) config(d topology.DeviceID) DeviceConfig {
+	if c, ok := s.cfg[d]; ok {
+		return *c
+	}
+	return DeviceConfig{}
+}
+
+func (s *Sim) asn(d topology.DeviceID) uint32 {
+	if c, ok := s.cfg[d]; ok && c.ASNOverride != 0 {
+		return c.ASNOverride
+	}
+	return s.topo.Device(d).ASN
+}
+
+var defaultRoute = ipnet.Prefix{}
+
+// Run executes synchronous propagation rounds until a fixpoint. It returns
+// the number of rounds taken.
+func (s *Sim) Run() int {
+	n := len(s.topo.Devices)
+	s.ribIn = make([]map[ipnet.Prefix]map[topology.DeviceID][]uint32, n)
+	for i := range s.ribIn {
+		s.ribIn[i] = make(map[ipnet.Prefix]map[topology.DeviceID][]uint32)
+	}
+
+	for round := 1; ; round++ {
+		changed := false
+		// Compute every device's advertisements from the current RIB-Ins,
+		// then deliver them all at once (synchronous rounds).
+		type msg struct {
+			to     topology.DeviceID
+			from   topology.DeviceID
+			prefix ipnet.Prefix
+			path   []uint32
+		}
+		var msgs []msg
+		for d := topology.DeviceID(0); int(d) < n; d++ {
+			adv := s.advertisements(d)
+			for _, lid := range s.topo.LinksOf(d) {
+				l := s.topo.Link(lid)
+				if !l.Live() {
+					continue
+				}
+				peer, _ := l.Peer(d)
+				if s.config(peer).SessionsDisabled || s.config(d).SessionsDisabled {
+					continue
+				}
+				for pfx, path := range adv {
+					msgs = append(msgs, msg{to: peer, from: d, prefix: pfx, path: path})
+				}
+			}
+		}
+		// Rebuild RIB-Ins from this round's messages. (Withdrawals are
+		// implicit: a route not re-advertised disappears.)
+		newRibIn := make([]map[ipnet.Prefix]map[topology.DeviceID][]uint32, n)
+		for i := range newRibIn {
+			newRibIn[i] = make(map[ipnet.Prefix]map[topology.DeviceID][]uint32)
+		}
+		for _, m := range msgs {
+			if !s.accepts(m.to, m.prefix, m.path) {
+				continue
+			}
+			byNbr := newRibIn[m.to][m.prefix]
+			if byNbr == nil {
+				byNbr = make(map[topology.DeviceID][]uint32)
+				newRibIn[m.to][m.prefix] = byNbr
+			}
+			byNbr[m.from] = m.path
+		}
+		if !ribEqual(s.ribIn, newRibIn) {
+			changed = true
+		}
+		s.ribIn = newRibIn
+		if !changed {
+			s.converged = true
+			s.rounds = round
+			return round
+		}
+		if round > 4*n+16 {
+			panic("bgp: no convergence — loop prevention broken")
+		}
+	}
+}
+
+// accepts applies the import policy of device d to an announcement.
+func (s *Sim) accepts(d topology.DeviceID, pfx ipnet.Prefix, path []uint32) bool {
+	cfg := s.config(d)
+	if cfg.RejectDefaultIn && pfx == defaultRoute {
+		return false
+	}
+	dev := s.topo.Device(d)
+	own := s.asn(d)
+	for i, a := range path {
+		if a != own {
+			continue
+		}
+		// §2.1: ToR upstream sessions accept announcements for prefixes
+		// hosted in other ToRs with the same (reused) ASN — allowas-in,
+		// but only when the occurrence is the originating ToR's ASN.
+		if dev.Role == topology.RoleToR && i == len(path)-1 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// advertisements computes what device d sends to its peers this round:
+// locally originated prefixes plus the best path per learned prefix, with
+// d's ASN prepended, filtered by export policy.
+func (s *Sim) advertisements(d topology.DeviceID) map[ipnet.Prefix][]uint32 {
+	dev := s.topo.Device(d)
+	out := make(map[ipnet.Prefix][]uint32)
+	// Origination.
+	if dev.Role == topology.RoleToR {
+		for _, p := range dev.HostedPrefixes {
+			out[p] = []uint32{s.asn(d)}
+		}
+	}
+	if dev.Role == topology.RoleRegionalSpine {
+		// The regional spine relays the default route from the regional
+		// network; in a single-datacenter model it originates it.
+		out[defaultRoute] = []uint32{s.asn(d)}
+		// Regionally learned routes (other datacenters' prefixes, private
+		// ASNs already stripped) are relayed downward with the RS's ASN
+		// prepended.
+		for _, e := range s.external[d] {
+			adv := make([]uint32, 0, len(e.Path)+1)
+			adv = append(adv, s.asn(d))
+			adv = append(adv, e.Path...)
+			out[e.Prefix] = adv
+		}
+	}
+	for pfx := range s.ribIn[d] {
+		if _, own := out[pfx]; own {
+			continue // locally originated wins
+		}
+		// §2.1/§2.4.4: regional spines do not advertise datacenter
+		// prefixes back down into the same datacenter; they only relay
+		// the default route (and, across datacenters, strip private ASNs
+		// — out of scope for a single-DC model).
+		if dev.Role == topology.RoleRegionalSpine && pfx != defaultRoute {
+			continue
+		}
+		_, best := s.bestPaths(d, pfx)
+		if best == nil {
+			continue
+		}
+		adv := make([]uint32, 0, len(best)+1)
+		adv = append(adv, s.asn(d))
+		adv = append(adv, best...)
+		out[pfx] = adv
+	}
+	return out
+}
+
+// bestPaths returns the ECMP neighbor set (sorted) and a representative
+// shortest AS path for prefix pfx at device d, or nil if unreachable.
+func (s *Sim) bestPaths(d topology.DeviceID, pfx ipnet.Prefix) ([]topology.DeviceID, []uint32) {
+	byNbr := s.ribIn[d][pfx]
+	if len(byNbr) == 0 {
+		return nil, nil
+	}
+	bestLen := -1
+	for _, path := range byNbr {
+		if bestLen < 0 || len(path) < bestLen {
+			bestLen = len(path)
+		}
+	}
+	var nbrs []topology.DeviceID
+	for nbr, path := range byNbr {
+		if len(path) == bestLen {
+			nbrs = append(nbrs, nbr)
+		}
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	repr := byNbr[nbrs[0]]
+	if m := s.config(d).MaxECMPPaths; m > 0 && len(nbrs) > m {
+		nbrs = nbrs[:m]
+	}
+	return nbrs, repr
+}
+
+// Table extracts the FIB of one device from the converged RIB, implementing
+// fib.Source. Hosted prefixes appear as connected routes.
+func (s *Sim) Table(d topology.DeviceID) (*fib.Table, error) {
+	if !s.converged {
+		return nil, fmt.Errorf("bgp: Run must complete before extracting tables")
+	}
+	t := fib.NewTable(d)
+	dev := s.topo.Device(d)
+	for _, p := range dev.HostedPrefixes {
+		t.Add(fib.Entry{Prefix: p, Connected: true})
+	}
+	prefixes := make([]ipnet.Prefix, 0, len(s.ribIn[d]))
+	for pfx := range s.ribIn[d] {
+		prefixes = append(prefixes, pfx)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+	for _, pfx := range prefixes {
+		if dev.Role == topology.RoleToR && hostedBy(dev, pfx) {
+			continue // connected route wins over the reflected BGP route
+		}
+		nhs, _ := s.bestPaths(d, pfx)
+		if len(nhs) == 0 {
+			continue
+		}
+		t.Add(fib.Entry{Prefix: pfx, NextHops: nhs})
+	}
+	return t, nil
+}
+
+// PathOf returns a representative shortest AS path for the prefix at the
+// device; used by tests asserting INTENT 2 (shortest paths).
+func (s *Sim) PathOf(d topology.DeviceID, pfx ipnet.Prefix) ([]uint32, bool) {
+	_, p := s.bestPaths(d, pfx)
+	return p, p != nil
+}
+
+// Rounds returns how many synchronous rounds convergence took.
+func (s *Sim) Rounds() int { return s.rounds }
+
+func hostedBy(dev *topology.Device, pfx ipnet.Prefix) bool {
+	for _, p := range dev.HostedPrefixes {
+		if p == pfx {
+			return true
+		}
+	}
+	return false
+}
+
+func ribEqual(a, b []map[ipnet.Prefix]map[topology.DeviceID][]uint32) bool {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for pfx, byNbrA := range a[i] {
+			byNbrB, ok := b[i][pfx]
+			if !ok || len(byNbrA) != len(byNbrB) {
+				return false
+			}
+			for nbr, pa := range byNbrA {
+				pb, ok := byNbrB[nbr]
+				if !ok || len(pa) != len(pb) {
+					return false
+				}
+				for k := range pa {
+					if pa[k] != pb[k] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,391 @@
+package bgp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// fig3 returns the Figure 3 topology and the four prefixes A–D in order.
+func fig3(t *testing.T) (*topology.Topology, []topology.HostedPrefix) {
+	t.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	hps := topo.HostedPrefixes()
+	if len(hps) != 4 {
+		t.Fatalf("fig3 prefixes = %d", len(hps))
+	}
+	return topo, hps
+}
+
+func nhNames(topo *topology.Topology, nhs []topology.DeviceID) []string {
+	out := make([]string, len(nhs))
+	for i, d := range nhs {
+		out[i] = topo.Device(d).Name
+	}
+	return out
+}
+
+func entryFor(t *testing.T, tbl *fib.Table, p ipnet.Prefix) *fib.Entry {
+	t.Helper()
+	e, ok := tbl.Get(p)
+	if !ok {
+		t.Fatalf("no entry for %v in device %d", p, tbl.Device)
+	}
+	return e
+}
+
+// TestFigure4Contracts checks the converged healthy-state routes against the
+// expectations tabulated in Figure 4 (which the contracts encode).
+func TestFigure4Contracts(t *testing.T) {
+	topo, hps := fig3(t)
+	sim := NewSim(topo, nil)
+	sim.Run()
+
+	prefixA, prefixB := hps[0].Prefix, hps[1].Prefix
+	prefixC, prefixD := hps[2].Prefix, hps[3].Prefix
+
+	// ToR1 (cluster 0, index 0): default + all foreign prefixes via all
+	// four cluster-A leaves.
+	tor1 := topo.ClusterToRs(0)[0]
+	tbl, err := sim.Table(tor1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leavesA := topo.ClusterLeaves(0)
+	for _, p := range []ipnet.Prefix{{}, prefixB, prefixC, prefixD} {
+		e := entryFor(t, tbl, p)
+		if len(e.NextHops) != 4 {
+			t.Errorf("ToR1 %v next hops = %v", p, nhNames(topo, e.NextHops))
+			continue
+		}
+		for i, nh := range e.NextHops {
+			if nh != leavesA[i] {
+				t.Errorf("ToR1 %v next hop %d = %s", p, i, topo.Device(nh).Name)
+			}
+		}
+	}
+	// Own prefix is connected.
+	if e := entryFor(t, tbl, prefixA); !e.Connected {
+		t.Error("ToR1's own prefix not connected")
+	}
+
+	// A1 (cluster 0 leaf 0): default via D1 only; PrefixA via ToR1;
+	// PrefixB via ToR2; PrefixC and PrefixD via D1.
+	a1 := topo.ClusterLeaves(0)[0]
+	d1 := topo.Spines()[0]
+	tbl, err = sim.Table(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		p    ipnet.Prefix
+		want []topology.DeviceID
+	}{
+		{ipnet.Prefix{}, []topology.DeviceID{d1}},
+		{prefixA, []topology.DeviceID{topo.ClusterToRs(0)[0]}},
+		{prefixB, []topology.DeviceID{topo.ClusterToRs(0)[1]}},
+		{prefixC, []topology.DeviceID{d1}},
+		{prefixD, []topology.DeviceID{d1}},
+	}
+	for _, c := range checks {
+		e := entryFor(t, tbl, c.p)
+		if fmt.Sprint(e.NextHops) != fmt.Sprint(c.want) {
+			t.Errorf("A1 %v next hops = %v, want %v", c.p,
+				nhNames(topo, e.NextHops), nhNames(topo, c.want))
+		}
+	}
+
+	// D1 (spine plane 0): default via R1 and R3; PrefixA/B via A1 (the only
+	// cluster-A device connected to D1); PrefixC/D via B1.
+	tbl, err = sim.Table(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r3 := topo.RegionalSpines()[0], topo.RegionalSpines()[2]
+	b1 := topo.ClusterLeaves(1)[0]
+	dchecks := []struct {
+		p    ipnet.Prefix
+		want []topology.DeviceID
+	}{
+		{ipnet.Prefix{}, []topology.DeviceID{r1, r3}},
+		{prefixA, []topology.DeviceID{a1}},
+		{prefixB, []topology.DeviceID{a1}},
+		{prefixC, []topology.DeviceID{b1}},
+		{prefixD, []topology.DeviceID{b1}},
+	}
+	for _, c := range dchecks {
+		e := entryFor(t, tbl, c.p)
+		if fmt.Sprint(e.NextHops) != fmt.Sprint(c.want) {
+			t.Errorf("D1 %v next hops = %v, want %v", c.p,
+				nhNames(topo, e.NextHops), nhNames(topo, c.want))
+		}
+	}
+
+	// R1 has specific routes for all four prefixes via its spines.
+	tbl, err = sim.Table(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hp := range hps {
+		e := entryFor(t, tbl, hp.Prefix)
+		if len(e.NextHops) == 0 {
+			t.Errorf("R1 has no route for %v", hp.Prefix)
+		}
+	}
+	// RS has no default route in the model.
+	if _, ok := tbl.Get(ipnet.Prefix{}); ok {
+		t.Error("RS should have no default entry")
+	}
+}
+
+// TestFigure3Failures reproduces §2.4.4: ToR1 loses uplinks to A3/A4, ToR2
+// loses uplinks to A1/A2; the described route degradation must appear.
+func TestFigure3Failures(t *testing.T) {
+	topo, hps := fig3(t)
+	prefixA, prefixB := hps[0].Prefix, hps[1].Prefix
+	tor1, tor2 := topo.ClusterToRs(0)[0], topo.ClusterToRs(0)[1]
+	leavesA := topo.ClusterLeaves(0)
+	topo.FailLink(tor1, leavesA[2])
+	topo.FailLink(tor1, leavesA[3])
+	topo.FailLink(tor2, leavesA[0])
+	topo.FailLink(tor2, leavesA[1])
+
+	sim := NewSim(topo, nil)
+	sim.Run()
+
+	// ToR1 has no specific route for PrefixB (its surviving leaves A1, A2
+	// lost their links to ToR2) and a default with only 2 next hops.
+	tbl, _ := sim.Table(tor1)
+	if _, ok := tbl.Get(prefixB); ok {
+		t.Error("ToR1 still has a specific route for PrefixB")
+	}
+	def := entryFor(t, tbl, ipnet.Prefix{})
+	if len(def.NextHops) != 2 {
+		t.Errorf("ToR1 default next hops = %d, want 2", len(def.NextHops))
+	}
+
+	// A1, A2 have no route for PrefixB; A3, A4 have no route for PrefixA.
+	for _, i := range []int{0, 1} {
+		tbl, _ := sim.Table(leavesA[i])
+		if _, ok := tbl.Get(prefixB); ok {
+			t.Errorf("A%d still has PrefixB", i+1)
+		}
+		if _, ok := tbl.Get(prefixA); !ok {
+			t.Errorf("A%d lost PrefixA", i+1)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		tbl, _ := sim.Table(leavesA[i])
+		if _, ok := tbl.Get(prefixA); ok {
+			t.Errorf("A%d still has PrefixA", i+1)
+		}
+	}
+
+	// D1, D2 have no route for PrefixB; D3, D4 have no route for PrefixA.
+	spines := topo.Spines()
+	for _, i := range []int{0, 1} {
+		tbl, _ := sim.Table(spines[i])
+		if _, ok := tbl.Get(prefixB); ok {
+			t.Errorf("D%d still has PrefixB", i+1)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		tbl, _ := sim.Table(spines[i])
+		if _, ok := tbl.Get(prefixA); ok {
+			t.Errorf("D%d still has PrefixA", i+1)
+		}
+	}
+
+	// The R devices retain specific routes for both prefixes, providing
+	// the longer detour path of §2.4.4.
+	for _, rs := range topo.RegionalSpines() {
+		tbl, _ := sim.Table(rs)
+		for _, p := range []ipnet.Prefix{prefixA, prefixB} {
+			if _, ok := tbl.Get(p); !ok {
+				t.Errorf("%s lost %v", topo.Device(rs).Name, p)
+			}
+		}
+	}
+}
+
+// TestShortestPathLengths asserts INTENT 2: AS-path lengths are 2 within a
+// cluster and 4 across clusters.
+func TestShortestPathLengths(t *testing.T) {
+	topo, hps := fig3(t)
+	sim := NewSim(topo, nil)
+	sim.Run()
+
+	tor1 := topo.ClusterToRs(0)[0]
+	// Same cluster: ToR1 -> PrefixB (hosted at ToR2): path length 2.
+	if p, ok := sim.PathOf(tor1, hps[1].Prefix); !ok || len(p) != 2 {
+		t.Errorf("intra-cluster path = %v", p)
+	}
+	// Cross-cluster: ToR1 -> PrefixC: path length 4.
+	if p, ok := sim.PathOf(tor1, hps[2].Prefix); !ok || len(p) != 4 {
+		t.Errorf("inter-cluster path = %v", p)
+	}
+}
+
+func TestRejectDefaultInKnob(t *testing.T) {
+	topo, _ := fig3(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	cfg := map[topology.DeviceID]*DeviceConfig{
+		leaf: {RejectDefaultIn: true},
+	}
+	sim := NewSim(topo, cfg)
+	sim.Run()
+	tbl, _ := sim.Table(leaf)
+	if _, ok := tbl.Get(ipnet.Prefix{}); ok {
+		t.Error("leaf with RejectDefaultIn still has a default route")
+	}
+	// Downstream ToRs lose this leaf as a default next hop.
+	tor := topo.ClusterToRs(0)[0]
+	tbl, _ = sim.Table(tor)
+	def := entryFor(t, tbl, ipnet.Prefix{})
+	if len(def.NextHops) != 3 {
+		t.Errorf("ToR default next hops = %d, want 3", len(def.NextHops))
+	}
+	for _, nh := range def.NextHops {
+		if nh == leaf {
+			t.Error("ToR still uses the broken leaf for default")
+		}
+	}
+}
+
+func TestMaxECMPPathsKnob(t *testing.T) {
+	topo, _ := fig3(t)
+	tor := topo.ClusterToRs(0)[0]
+	sim := NewSim(topo, map[topology.DeviceID]*DeviceConfig{
+		tor: {MaxECMPPaths: 1},
+	})
+	sim.Run()
+	tbl, _ := sim.Table(tor)
+	def := entryFor(t, tbl, ipnet.Prefix{})
+	if len(def.NextHops) != 1 {
+		t.Errorf("default next hops = %d, want 1", len(def.NextHops))
+	}
+}
+
+func TestSessionsDisabledKnob(t *testing.T) {
+	topo, hps := fig3(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	sim := NewSim(topo, map[topology.DeviceID]*DeviceConfig{
+		leaf: {SessionsDisabled: true},
+	})
+	sim.Run()
+	tbl, _ := sim.Table(leaf)
+	if tbl.Len() != 0 {
+		t.Errorf("dead leaf has %d routes", tbl.Len())
+	}
+	// Neighbors drop it from ECMP sets.
+	tor := topo.ClusterToRs(0)[0]
+	tbl, _ = sim.Table(tor)
+	def := entryFor(t, tbl, ipnet.Prefix{})
+	if len(def.NextHops) != 3 {
+		t.Errorf("ToR default next hops = %d, want 3", len(def.NextHops))
+	}
+	_ = hps
+}
+
+// TestMigrationASNClash reproduces the §2.6.2 migration error: leaves of
+// cluster 1 configured with cluster 0's leaf ASN. ToRs in both clusters
+// must lose the other cluster's specific routes while keeping default
+// reachability.
+func TestMigrationASNClash(t *testing.T) {
+	topo, hps := fig3(t)
+	cfg := map[topology.DeviceID]*DeviceConfig{}
+	asnClusterA := topo.Device(topo.ClusterLeaves(0)[0]).ASN
+	for _, leaf := range topo.ClusterLeaves(1) {
+		cfg[leaf] = &DeviceConfig{ASNOverride: asnClusterA}
+	}
+	sim := NewSim(topo, cfg)
+	sim.Run()
+
+	tor1 := topo.ClusterToRs(0)[0] // cluster A
+	tor3 := topo.ClusterToRs(1)[0] // cluster B
+	prefixA, prefixC := hps[0].Prefix, hps[2].Prefix
+
+	tblA, _ := sim.Table(tor1)
+	if _, ok := tblA.Get(prefixC); ok {
+		t.Error("cluster-A ToR still sees cluster-B prefix")
+	}
+	tblB, _ := sim.Table(tor3)
+	if _, ok := tblB.Get(prefixA); ok {
+		t.Error("cluster-B ToR still sees cluster-A prefix")
+	}
+	// Default routes are intact, so traffic still reaches its destination
+	// (the paper notes there were no reachability issues, only risk).
+	for _, tbl := range []*fib.Table{tblA, tblB} {
+		def := entryFor(t, tbl, ipnet.Prefix{})
+		if len(def.NextHops) != 4 {
+			t.Errorf("default degraded under ASN clash: %d hops", len(def.NextHops))
+		}
+	}
+	// Intra-cluster specifics survive.
+	if _, ok := tblA.Get(hps[1].Prefix); !ok {
+		t.Error("intra-cluster specific lost under ASN clash")
+	}
+}
+
+func TestTableBeforeRunErrors(t *testing.T) {
+	topo, _ := fig3(t)
+	sim := NewSim(topo, nil)
+	if _, err := sim.Table(0); err == nil {
+		t.Error("Table before Run should error")
+	}
+}
+
+func TestConvergenceRounds(t *testing.T) {
+	topo, _ := fig3(t)
+	sim := NewSim(topo, nil)
+	rounds := sim.Run()
+	// Clos diameter is 6 hops device-to-device; convergence should be quick.
+	if rounds > 12 {
+		t.Errorf("convergence took %d rounds", rounds)
+	}
+	if sim.Rounds() != rounds {
+		t.Error("Rounds() mismatch")
+	}
+}
+
+// TestFIBTextRoundTrip exercises the Figure 2 format against simulated
+// tables: print then parse must reproduce the table.
+func TestFIBTextRoundTrip(t *testing.T) {
+	topo, _ := fig3(t)
+	sim := NewSim(topo, nil)
+	sim.Run()
+	for _, dev := range []topology.DeviceID{
+		topo.ToRs()[0], topo.ClusterLeaves(0)[0], topo.Spines()[0], topo.RegionalSpines()[0],
+	} {
+		tbl, err := sim.Table(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteText(&buf, topo); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		back, err := fib.ParseText(&buf, dev, topo)
+		if err != nil {
+			t.Fatalf("device %d: parse: %v\n%s", dev, err, text)
+		}
+		want := tbl.Clone()
+		want.Sort()
+		back.Sort()
+		if len(back.Entries) != len(want.Entries) {
+			t.Fatalf("device %d: %d entries, want %d", dev, len(back.Entries), len(want.Entries))
+		}
+		for i := range want.Entries {
+			w, g := want.Entries[i], back.Entries[i]
+			if w.Prefix != g.Prefix || w.Connected != g.Connected ||
+				fmt.Sprint(w.NextHops) != fmt.Sprint(g.NextHops) {
+				t.Errorf("device %d entry %d: got %+v want %+v", dev, i, g, w)
+			}
+		}
+	}
+}

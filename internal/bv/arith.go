@@ -1,0 +1,289 @@
+package bv
+
+// This file completes the quantifier-free bit-vector fragment §3.2
+// attributes to the solver: "modular addition, subtraction,
+// multiplication, bit-wise logical operations, and comparisons" plus the
+// structural operations (extract, concat, shifts) SMT-LIB's QF_BV offers.
+// The policy encodings only need comparisons, but the engine is a general
+// substrate and downstream users (checksum reasoning, header rewriting)
+// need the rest.
+
+import "fmt"
+
+const (
+	kBVNot kind = iota + 64 // keep clear of the boolean kinds
+	kBVAnd
+	kBVOr
+	kBVXor
+	kBVAdd
+	kBVSub
+	kBVMul
+	kBVNeg
+	kBVShl     // shift left by constant (in val)
+	kBVLshr    // logical shift right by constant (in val)
+	kBVExtract // bits [val>>8 : val&0xff] inclusive, lsb-indexed
+	kBVConcat  // args[0] is the high part
+	kBVIte     // bit-vector ite(cond, a, b)
+	kSle       // signed <=
+)
+
+func (c *Ctx) bvBinary(k kind, a, b Term, op string) Term {
+	c.checkBVPair(a, b, op)
+	return c.intern(node{kind: k, width: c.n(a).width, args: []Term{a, b}})
+}
+
+func (c *Ctx) constFold2(a, b Term, f func(x, y uint64) uint64) (Term, bool) {
+	na, nb := c.n(a), c.n(b)
+	if na.kind == kBVConst && nb.kind == kBVConst {
+		return c.BVConst(f(na.val, nb.val), int(na.width)), true
+	}
+	return 0, false
+}
+
+// BVNot returns the bitwise complement of a.
+func (c *Ctx) BVNot(a Term) Term {
+	n := c.n(a)
+	if n.width == 0 {
+		panic("bv: BVNot of boolean term")
+	}
+	if n.kind == kBVConst {
+		return c.BVConst(^n.val, int(n.width))
+	}
+	if n.kind == kBVNot {
+		return n.args[0]
+	}
+	return c.intern(node{kind: kBVNot, width: n.width, args: []Term{a}})
+}
+
+// BVAnd returns the bitwise conjunction a & b.
+func (c *Ctx) BVAnd(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x & y }); ok {
+		return t
+	}
+	if a == b {
+		return a
+	}
+	return c.bvBinary(kBVAnd, a, b, "BVAnd")
+}
+
+// BVOr returns the bitwise disjunction a | b.
+func (c *Ctx) BVOr(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x | y }); ok {
+		return t
+	}
+	if a == b {
+		return a
+	}
+	return c.bvBinary(kBVOr, a, b, "BVOr")
+}
+
+// BVXor returns a ^ b.
+func (c *Ctx) BVXor(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x ^ y }); ok {
+		return t
+	}
+	if a == b {
+		return c.BVConst(0, int(c.n(a).width))
+	}
+	return c.bvBinary(kBVXor, a, b, "BVXor")
+}
+
+// Add returns a + b modulo 2^width.
+func (c *Ctx) Add(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x + y }); ok {
+		return t
+	}
+	if v, isC := c.isConstTerm(b); isC && v == 0 {
+		return a
+	}
+	if v, isC := c.isConstTerm(a); isC && v == 0 {
+		return b
+	}
+	return c.bvBinary(kBVAdd, a, b, "Add")
+}
+
+// Sub returns a - b modulo 2^width.
+func (c *Ctx) Sub(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x - y }); ok {
+		return t
+	}
+	if a == b {
+		return c.BVConst(0, int(c.n(a).width))
+	}
+	if v, isC := c.isConstTerm(b); isC && v == 0 {
+		return a
+	}
+	return c.bvBinary(kBVSub, a, b, "Sub")
+}
+
+// Mul returns a * b modulo 2^width.
+func (c *Ctx) Mul(a, b Term) Term {
+	if t, ok := c.constFold2(a, b, func(x, y uint64) uint64 { return x * y }); ok {
+		return t
+	}
+	if v, isC := c.isConstTerm(b); isC {
+		switch v {
+		case 0:
+			return c.BVConst(0, int(c.n(a).width))
+		case 1:
+			return a
+		}
+	}
+	if v, isC := c.isConstTerm(a); isC {
+		switch v {
+		case 0:
+			return c.BVConst(0, int(c.n(b).width))
+		case 1:
+			return b
+		}
+	}
+	return c.bvBinary(kBVMul, a, b, "Mul")
+}
+
+// Neg returns -a (two's complement).
+func (c *Ctx) Neg(a Term) Term {
+	n := c.n(a)
+	if n.width == 0 {
+		panic("bv: Neg of boolean term")
+	}
+	if n.kind == kBVConst {
+		return c.BVConst(-n.val, int(n.width))
+	}
+	return c.intern(node{kind: kBVNeg, width: n.width, args: []Term{a}})
+}
+
+// Shl returns a << k for a constant shift k.
+func (c *Ctx) Shl(a Term, k int) Term {
+	n := c.n(a)
+	if n.width == 0 {
+		panic("bv: Shl of boolean term")
+	}
+	if k < 0 || k > int(n.width) {
+		panic("bv: shift amount out of range")
+	}
+	if k == 0 {
+		return a
+	}
+	if n.kind == kBVConst {
+		if k >= 64 {
+			return c.BVConst(0, int(n.width))
+		}
+		return c.BVConst(n.val<<k, int(n.width))
+	}
+	return c.intern(node{kind: kBVShl, width: n.width, val: uint64(k), args: []Term{a}})
+}
+
+// Lshr returns a >> k (logical) for a constant shift k.
+func (c *Ctx) Lshr(a Term, k int) Term {
+	n := c.n(a)
+	if n.width == 0 {
+		panic("bv: Lshr of boolean term")
+	}
+	if k < 0 || k > int(n.width) {
+		panic("bv: shift amount out of range")
+	}
+	if k == 0 {
+		return a
+	}
+	if n.kind == kBVConst {
+		if k >= 64 {
+			return c.BVConst(0, int(n.width))
+		}
+		return c.BVConst(n.val>>k, int(n.width))
+	}
+	return c.intern(node{kind: kBVLshr, width: n.width, val: uint64(k), args: []Term{a}})
+}
+
+// Extract returns bits hi..lo of a (inclusive, lsb-indexed) as a
+// bit-vector of width hi-lo+1.
+func (c *Ctx) Extract(a Term, hi, lo int) Term {
+	n := c.n(a)
+	if n.width == 0 {
+		panic("bv: Extract of boolean term")
+	}
+	if lo < 0 || hi < lo || hi >= int(n.width) {
+		panic(fmt.Sprintf("bv: Extract [%d:%d] out of range for width %d", hi, lo, n.width))
+	}
+	w := hi - lo + 1
+	if n.kind == kBVConst {
+		return c.BVConst(n.val>>lo, w)
+	}
+	if lo == 0 && hi == int(n.width)-1 {
+		return a
+	}
+	return c.intern(node{kind: kBVExtract, width: uint8(w),
+		val: uint64(hi)<<8 | uint64(lo), args: []Term{a}})
+}
+
+// Concat returns the concatenation hi ++ lo (hi becomes the most
+// significant part).
+func (c *Ctx) Concat(hi, lo Term) Term {
+	nh, nl := c.n(hi), c.n(lo)
+	if nh.width == 0 || nl.width == 0 {
+		panic("bv: Concat of boolean term")
+	}
+	w := int(nh.width) + int(nl.width)
+	if w > 64 {
+		panic("bv: Concat result exceeds 64 bits")
+	}
+	if nh.kind == kBVConst && nl.kind == kBVConst {
+		return c.BVConst(nh.val<<nl.width|nl.val, w)
+	}
+	return c.intern(node{kind: kBVConcat, width: uint8(w), args: []Term{hi, lo}})
+}
+
+// BVIte returns if cond then a else b for bit-vector a, b.
+func (c *Ctx) BVIte(cond, a, b Term) Term {
+	c.checkBVPair(a, b, "BVIte")
+	switch c.n(cond).kind {
+	case kTrue:
+		return a
+	case kFalse:
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return c.intern(node{kind: kBVIte, width: c.n(a).width, args: []Term{cond, a, b}})
+}
+
+// Sle returns the signed comparison a ≤ b (two's complement).
+func (c *Ctx) Sle(a, b Term) Term {
+	c.checkBVPair(a, b, "Sle")
+	na, nb := c.n(a), c.n(b)
+	if na.kind == kBVConst && nb.kind == kBVConst {
+		w := na.width
+		sa := signExtend(na.val, w)
+		sb := signExtend(nb.val, w)
+		if sa <= sb {
+			return c.True()
+		}
+		return c.False()
+	}
+	if a == b {
+		return c.True()
+	}
+	return c.intern(node{kind: kSle, args: []Term{a, b}})
+}
+
+// Slt returns the signed comparison a < b.
+func (c *Ctx) Slt(a, b Term) Term { return c.Not(c.Sle(b, a)) }
+
+func signExtend(v uint64, w uint8) int64 {
+	if w == 64 {
+		return int64(v)
+	}
+	sign := uint64(1) << (w - 1)
+	if v&sign != 0 {
+		v |= ^uint64(0) << w
+	}
+	return int64(v)
+}
+
+func (c *Ctx) isConstTerm(t Term) (uint64, bool) {
+	n := c.n(t)
+	if n.kind == kBVConst {
+		return n.val, true
+	}
+	return 0, false
+}

@@ -1,0 +1,346 @@
+package bv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArithConstFolding(t *testing.T) {
+	c := NewCtx()
+	a := c.BVConst(200, 8)
+	b := c.BVConst(100, 8)
+	cases := []struct {
+		got  Term
+		want uint64
+	}{
+		{c.Add(a, b), 44}, // 300 mod 256
+		{c.Sub(b, a), 156},
+		{c.Mul(a, b), (200 * 100) % 256},
+		{c.BVAnd(a, b), 200 & 100},
+		{c.BVOr(a, b), 200 | 100},
+		{c.BVXor(a, b), 200 ^ 100},
+		{c.BVNot(a), 0xff &^ 200},
+		{c.Neg(b), 156},
+		{c.Shl(b, 2), (100 << 2) % 256},
+		{c.Lshr(a, 3), 200 >> 3},
+		{c.Extract(a, 7, 4), 200 >> 4},
+		{c.Concat(c.BVConst(0xab, 8), c.BVConst(0xcd, 8)), 0xabcd},
+	}
+	for i, cs := range cases {
+		n := c.n(cs.got)
+		if n.kind != kBVConst || n.val != cs.want {
+			t.Errorf("case %d: got kind=%v val=%d, want const %d", i, n.kind, n.val, cs.want)
+		}
+	}
+	if c.Sle(c.BVConst(0xff, 8), c.BVConst(0, 8)) != c.True() {
+		t.Error("-1 <=s 0 should fold to true")
+	}
+	if c.Sle(c.BVConst(1, 8), c.BVConst(0xff, 8)) != c.False() {
+		t.Error("1 <=s -1 should fold to false")
+	}
+}
+
+func TestArithIdentities(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	zero := c.BVConst(0, 8)
+	one := c.BVConst(1, 8)
+	if c.Add(x, zero) != x || c.Add(zero, x) != x {
+		t.Error("x+0 != x")
+	}
+	if c.Sub(x, zero) != x || c.Sub(x, x) != zero {
+		t.Error("sub identities")
+	}
+	if c.Mul(x, one) != x || c.Mul(one, x) != x || c.Mul(x, zero) != zero {
+		t.Error("mul identities")
+	}
+	if c.BVNot(c.BVNot(x)) != x {
+		t.Error("double complement")
+	}
+	if c.BVXor(x, x) != zero {
+		t.Error("x^x != 0")
+	}
+	if c.BVAnd(x, x) != x || c.BVOr(x, x) != x {
+		t.Error("idempotence")
+	}
+	if c.Shl(x, 0) != x || c.Lshr(x, 0) != x {
+		t.Error("zero shift")
+	}
+	if c.Extract(x, 7, 0) != x {
+		t.Error("full extract")
+	}
+	if c.BVIte(c.True(), x, zero) != x || c.BVIte(c.False(), x, zero) != zero {
+		t.Error("BVIte const folding")
+	}
+}
+
+func TestArithSolveBasics(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	y := c.BVVar("y", 8)
+	// x + y = 10 ∧ x - y = 4 → x=7, y=3.
+	f := c.And(
+		c.Eq(c.Add(x, y), c.BVConst(10, 8)),
+		c.Eq(c.Sub(x, y), c.BVConst(4, 8)),
+	)
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatalf("Solve: %v %v", res.Sat, err)
+	}
+	if res.Model.BVs["x"] != 7 || res.Model.BVs["y"] != 3 {
+		t.Errorf("model = %v", res.Model.BVs)
+	}
+
+	// x * 3 = 21 has solutions x=7 and x=7+256/gcd... mod 256: 3 invertible,
+	// unique solution 7... plus overflow wraps: 3x ≡ 21 (mod 256) → x ≡ 7·3^{-1}·3 = 7.
+	g := c.Eq(c.Mul(x, c.BVConst(3, 8)), c.BVConst(21, 8))
+	res, err = Solve(c, g)
+	if err != nil || !res.Sat {
+		t.Fatal("mul unsat")
+	}
+	if v := res.Model.BVs["x"]; v*3%256 != 21 {
+		t.Errorf("x = %d", v)
+	}
+}
+
+// evalBVFull extends the interpreter to the arithmetic kinds.
+func evalBVFull(c *Ctx, t Term, bvs map[string]uint64) uint64 {
+	n := c.n(t)
+	mask := ^uint64(0)
+	if n.width < 64 {
+		mask = (1 << n.width) - 1
+	}
+	switch n.kind {
+	case kBVConst:
+		return n.val
+	case kBVVar:
+		return bvs[n.name] & mask
+	case kBVNot:
+		return ^evalBVFull(c, n.args[0], bvs) & mask
+	case kBVAnd:
+		return evalBVFull(c, n.args[0], bvs) & evalBVFull(c, n.args[1], bvs)
+	case kBVOr:
+		return evalBVFull(c, n.args[0], bvs) | evalBVFull(c, n.args[1], bvs)
+	case kBVXor:
+		return evalBVFull(c, n.args[0], bvs) ^ evalBVFull(c, n.args[1], bvs)
+	case kBVAdd:
+		return (evalBVFull(c, n.args[0], bvs) + evalBVFull(c, n.args[1], bvs)) & mask
+	case kBVSub:
+		return (evalBVFull(c, n.args[0], bvs) - evalBVFull(c, n.args[1], bvs)) & mask
+	case kBVMul:
+		return (evalBVFull(c, n.args[0], bvs) * evalBVFull(c, n.args[1], bvs)) & mask
+	case kBVNeg:
+		return (-evalBVFull(c, n.args[0], bvs)) & mask
+	case kBVShl:
+		return (evalBVFull(c, n.args[0], bvs) << n.val) & mask
+	case kBVLshr:
+		return evalBVFull(c, n.args[0], bvs) >> n.val
+	case kBVExtract:
+		return (evalBVFull(c, n.args[0], bvs) >> (n.val & 0xff)) & mask
+	case kBVConcat:
+		lo := c.n(n.args[1])
+		return evalBVFull(c, n.args[0], bvs)<<lo.width | evalBVFull(c, n.args[1], bvs)
+	}
+	panic("evalBVFull: bad kind")
+}
+
+// randomBVExpr builds a random arithmetic expression over x, y of width w.
+func randomBVExpr(c *Ctx, rng *rand.Rand, depth, w int) Term {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return c.BVVar("x", w)
+		case 1:
+			return c.BVVar("y", w)
+		default:
+			return c.BVConst(uint64(rng.Intn(1<<w)), w)
+		}
+	}
+	a := randomBVExpr(c, rng, depth-1, w)
+	b := randomBVExpr(c, rng, depth-1, w)
+	switch rng.Intn(8) {
+	case 0:
+		return c.Add(a, b)
+	case 1:
+		return c.Sub(a, b)
+	case 2:
+		return c.Mul(a, b)
+	case 3:
+		return c.BVAnd(a, b)
+	case 4:
+		return c.BVOr(a, b)
+	case 5:
+		return c.BVXor(a, b)
+	case 6:
+		return c.BVNot(a)
+	default:
+		return c.Shl(a, rng.Intn(w))
+	}
+}
+
+// TestArithSolverVsBrute cross-checks the arithmetic bit-blasting against
+// exhaustive evaluation: for random expressions e1, e2 the formula
+// e1 = e2 must be satisfiable exactly when some (x, y) satisfies it, and
+// returned models must check out.
+func TestArithSolverVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const w = 4
+	for iter := 0; iter < 250; iter++ {
+		c := NewCtx()
+		e1 := randomBVExpr(c, rng, 1+rng.Intn(2), w)
+		e2 := randomBVExpr(c, rng, 1+rng.Intn(2), w)
+		f := c.Eq(e1, e2)
+
+		want := false
+		for x := uint64(0); x < 1<<w && !want; x++ {
+			for y := uint64(0); y < 1<<w; y++ {
+				bvs := map[string]uint64{"x": x, "y": y}
+				if evalBVFull(c, e1, bvs) == evalBVFull(c, e2, bvs) {
+					want = true
+					break
+				}
+			}
+		}
+		res, err := Solve(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat != want {
+			t.Fatalf("iter %d: solver=%v brute=%v f=%s", iter, res.Sat, want, c.String(f))
+		}
+		if res.Sat {
+			bvs := map[string]uint64{"x": res.Model.BVs["x"], "y": res.Model.BVs["y"]}
+			if evalBVFull(c, e1, bvs) != evalBVFull(c, e2, bvs) {
+				t.Fatalf("iter %d: model invalid for %s", iter, c.String(f))
+			}
+		}
+	}
+}
+
+// TestSleVsBrute cross-checks signed comparison.
+func TestSleVsBrute(t *testing.T) {
+	const w = 4
+	for x := uint64(0); x < 1<<w; x++ {
+		for y := uint64(0); y < 1<<w; y++ {
+			c := NewCtx()
+			xv := c.BVVar("x", w)
+			yv := c.BVVar("y", w)
+			f := c.And(
+				c.Eq(xv, c.BVConst(x, w)),
+				c.Eq(yv, c.BVConst(y, w)),
+				c.Sle(xv, yv),
+			)
+			res, err := Solve(c, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := signExtend(x, w) <= signExtend(y, w)
+			if res.Sat != want {
+				t.Fatalf("Sle(%d, %d) solver=%v want %v", x, y, res.Sat, want)
+			}
+		}
+	}
+}
+
+func TestSltSolve(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	// x <s 0 ∧ x >=s -3  → x in {-3, -2, -1} = {253, 254, 255}.
+	f := c.And(
+		c.Slt(x, c.BVConst(0, 8)),
+		c.Sle(c.BVConst(0xfd, 8), x),
+	)
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatal("signed range unsat")
+	}
+	v := res.Model.BVs["x"]
+	if v < 253 {
+		t.Errorf("x = %d", v)
+	}
+}
+
+func TestConcatExtractRoundTrip(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 12)
+	hi := c.Extract(x, 11, 8)
+	lo := c.Extract(x, 7, 0)
+	f := c.Not(c.Eq(c.Concat(hi, lo), x))
+	res, err := Solve(c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Error("concat(extract_hi, extract_lo) != x should be unsat")
+	}
+}
+
+func TestAdderCommutesAssociates(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 16)
+	y := c.BVVar("y", 16)
+	z := c.BVVar("z", 16)
+	// (x+y)+z != x+(y+z) must be unsat.
+	f := c.Not(c.Eq(c.Add(c.Add(x, y), z), c.Add(x, c.Add(y, z))))
+	res, err := Solve(c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Error("addition not associative under blasting")
+	}
+	// x - y = x + (-y) must hold.
+	g := c.Not(c.Eq(c.Sub(x, y), c.Add(x, c.Neg(y))))
+	res, err = Solve(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Error("sub != add of negation")
+	}
+}
+
+func TestBVIteSolve(t *testing.T) {
+	c := NewCtx()
+	p := c.BoolVar("p")
+	x := c.BVVar("x", 8)
+	r := c.BVIte(p, c.BVConst(10, 8), c.BVConst(20, 8))
+	f := c.And(c.Eq(r, c.BVConst(10, 8)), c.Not(p))
+	res, err := Solve(c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Error("BVIte contradiction sat")
+	}
+	f2 := c.And(c.Eq(r, x), p)
+	res, err = Solve(c, f2)
+	if err != nil || !res.Sat {
+		t.Fatal("BVIte consistent case unsat")
+	}
+	if res.Model.BVs["x"] != 10 {
+		t.Errorf("x = %d", res.Model.BVs["x"])
+	}
+}
+
+func TestArithPanics(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	for i, fn := range []func(){
+		func() { c.Extract(x, 8, 0) },
+		func() { c.Extract(x, 3, 5) },
+		func() { c.Shl(x, -1) },
+		func() { c.Shl(x, 9) },
+		func() { c.BVNot(c.BoolVar("p")) },
+		func() { c.Concat(c.BVVar("a", 40), c.BVVar("b", 40)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,177 @@
+package bv
+
+import "dcvalidate/internal/sat"
+
+// Bit-blasting circuits for the arithmetic/structural operations. The
+// boolean-side encodings live in bv.go; everything here produces bit
+// slices (lsb first) from composite bit-vector terms.
+
+// blastBV dispatches composite bit-vector kinds; called from bits().
+func (s *Solver) blastBV(t Term) []sat.Lit {
+	n := s.ctx.n(t)
+	switch n.kind {
+	case kBVNot:
+		in := s.bits(n.args[0])
+		out := make([]sat.Lit, len(in))
+		for i, l := range in {
+			out[i] = l.Not()
+		}
+		return out
+	case kBVAnd, kBVOr, kBVXor:
+		a, b := s.bits(n.args[0]), s.bits(n.args[1])
+		out := make([]sat.Lit, len(a))
+		for i := range a {
+			switch n.kind {
+			case kBVAnd:
+				out[i] = s.defineAnd([]sat.Lit{a[i], b[i]})
+			case kBVOr:
+				out[i] = s.defineAnd([]sat.Lit{a[i].Not(), b[i].Not()}).Not()
+			default:
+				out[i] = s.defineXor(a[i], b[i])
+			}
+		}
+		return out
+	case kBVAdd:
+		a, b := s.bits(n.args[0]), s.bits(n.args[1])
+		sum, _ := s.adder(a, b, s.tlit.Not())
+		return sum
+	case kBVSub:
+		// a - b = a + ^b + 1.
+		a, b := s.bits(n.args[0]), s.bits(n.args[1])
+		nb := make([]sat.Lit, len(b))
+		for i, l := range b {
+			nb[i] = l.Not()
+		}
+		sum, _ := s.adder(a, nb, s.tlit)
+		return sum
+	case kBVNeg:
+		a := s.bits(n.args[0])
+		na := make([]sat.Lit, len(a))
+		for i, l := range a {
+			na[i] = l.Not()
+		}
+		zero := make([]sat.Lit, len(a))
+		for i := range zero {
+			zero[i] = s.tlit.Not()
+		}
+		sum, _ := s.adder(na, zero, s.tlit)
+		return sum
+	case kBVMul:
+		return s.multiplier(s.bits(n.args[0]), s.bits(n.args[1]))
+	case kBVShl:
+		in := s.bits(n.args[0])
+		k := int(n.val)
+		out := make([]sat.Lit, len(in))
+		for i := range out {
+			if i < k {
+				out[i] = s.tlit.Not()
+			} else {
+				out[i] = in[i-k]
+			}
+		}
+		return out
+	case kBVLshr:
+		in := s.bits(n.args[0])
+		k := int(n.val)
+		out := make([]sat.Lit, len(in))
+		for i := range out {
+			if i+k < len(in) {
+				out[i] = in[i+k]
+			} else {
+				out[i] = s.tlit.Not()
+			}
+		}
+		return out
+	case kBVExtract:
+		in := s.bits(n.args[0])
+		hi, lo := int(n.val>>8), int(n.val&0xff)
+		out := make([]sat.Lit, hi-lo+1)
+		copy(out, in[lo:hi+1])
+		return out
+	case kBVConcat:
+		hi, lo := s.bits(n.args[0]), s.bits(n.args[1])
+		out := make([]sat.Lit, 0, len(hi)+len(lo))
+		out = append(out, lo...)
+		out = append(out, hi...)
+		return out
+	case kBVIte:
+		cl := s.litFor(n.args[0])
+		a, b := s.bits(n.args[1]), s.bits(n.args[2])
+		out := make([]sat.Lit, len(a))
+		for i := range a {
+			r := s.freshLit()
+			s.sat.AddClause(cl.Not(), a[i].Not(), r)
+			s.sat.AddClause(cl.Not(), a[i], r.Not())
+			s.sat.AddClause(cl, b[i].Not(), r)
+			s.sat.AddClause(cl, b[i], r.Not())
+			out[i] = r
+		}
+		return out
+	}
+	panic("bv: blastBV of unsupported kind")
+}
+
+// defineXor returns a literal e with e ↔ a ⊕ b.
+func (s *Solver) defineXor(a, b sat.Lit) sat.Lit {
+	e := s.freshLit()
+	s.sat.AddClause(e.Not(), a, b)
+	s.sat.AddClause(e.Not(), a.Not(), b.Not())
+	s.sat.AddClause(e, a.Not(), b)
+	s.sat.AddClause(e, a, b.Not())
+	return e
+}
+
+// adder builds a ripple-carry adder, returning the sum bits and carry-out.
+func (s *Solver) adder(a, b []sat.Lit, cin sat.Lit) (sum []sat.Lit, cout sat.Lit) {
+	sum = make([]sat.Lit, len(a))
+	c := cin
+	for i := range a {
+		sum[i] = s.defineXor(s.defineXor(a[i], b[i]), c)
+		// cout ↔ majority(a, b, c).
+		m := s.freshLit()
+		x, y, z := a[i], b[i], c
+		s.sat.AddClause(m, x.Not(), y.Not())
+		s.sat.AddClause(m, x.Not(), z.Not())
+		s.sat.AddClause(m, y.Not(), z.Not())
+		s.sat.AddClause(m.Not(), x, y)
+		s.sat.AddClause(m.Not(), x, z)
+		s.sat.AddClause(m.Not(), y, z)
+		c = m
+	}
+	return sum, c
+}
+
+// multiplier builds a shift-add multiplier modulo 2^w.
+func (s *Solver) multiplier(a, b []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := make([]sat.Lit, w)
+	for i := range acc {
+		acc[i] = s.tlit.Not() // zero
+	}
+	for i := 0; i < w; i++ {
+		// Partial product: (a << i) gated by b[i].
+		pp := make([]sat.Lit, w)
+		for j := range pp {
+			if j < i {
+				pp[j] = s.tlit.Not()
+			} else {
+				pp[j] = s.defineAnd([]sat.Lit{a[j-i], b[i]})
+			}
+		}
+		acc, _ = s.adder(acc, pp, s.tlit.Not())
+	}
+	return acc
+}
+
+// uleBits encodes unsigned ≤ over raw bit slices (lexicographic chain).
+func (s *Solver) uleBits(a, b []sat.Lit) sat.Lit {
+	g := s.tlit // equal so far ⇒ ≤ holds
+	for i := 0; i < len(a); i++ {
+		x, y := a[i], b[i]
+		lt := s.defineAnd([]sat.Lit{x.Not(), y})
+		e := s.defineXor(x, y).Not()
+		t := s.defineAnd([]sat.Lit{e, g})
+		g = s.defineAnd([]sat.Lit{lt.Not(), t.Not()}).Not() // lt ∨ (eq ∧ g)
+	}
+	return g
+}

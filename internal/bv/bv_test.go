@@ -1,0 +1,453 @@
+package bv
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestConstFolding(t *testing.T) {
+	c := NewCtx()
+	if c.And() != c.True() {
+		t.Error("empty And != true")
+	}
+	if c.Or() != c.False() {
+		t.Error("empty Or != false")
+	}
+	x := c.BoolVar("x")
+	if c.And(x, c.True()) != x {
+		t.Error("And(x, true) != x")
+	}
+	if c.And(x, c.False()) != c.False() {
+		t.Error("And(x, false) != false")
+	}
+	if c.Or(x, c.True()) != c.True() {
+		t.Error("Or(x, true) != true")
+	}
+	if c.Or(x, c.False()) != x {
+		t.Error("Or(x, false) != x")
+	}
+	if c.Not(c.Not(x)) != x {
+		t.Error("double negation not folded")
+	}
+	if c.And(x, c.Not(x)) != c.False() {
+		t.Error("And(x, ¬x) != false")
+	}
+	if c.Or(x, c.Not(x)) != c.True() {
+		t.Error("Or(x, ¬x) != true")
+	}
+	if c.And(x, x) != x {
+		t.Error("And(x, x) != x")
+	}
+}
+
+func TestConstComparisons(t *testing.T) {
+	c := NewCtx()
+	a := c.BVConst(5, 8)
+	b := c.BVConst(9, 8)
+	if c.Eq(a, b) != c.False() || c.Eq(a, a) != c.True() {
+		t.Error("const Eq not folded")
+	}
+	if c.Ule(a, b) != c.True() || c.Ule(b, a) != c.False() {
+		t.Error("const Ule not folded")
+	}
+	x := c.BVVar("x", 8)
+	if c.Ule(c.BVConst(0, 8), x) != c.True() {
+		t.Error("0 <= x not folded")
+	}
+	if c.Ule(x, c.BVConst(255, 8)) != c.True() {
+		t.Error("x <= max not folded")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	c := NewCtx()
+	x1 := c.BVVar("x", 32)
+	x2 := c.BVVar("x", 32)
+	if x1 != x2 {
+		t.Error("same var interned twice")
+	}
+	a := c.And(c.BoolVar("p"), c.BoolVar("q"))
+	b := c.And(c.BoolVar("p"), c.BoolVar("q"))
+	if a != b {
+		t.Error("structurally equal terms not shared")
+	}
+}
+
+func TestSortMismatchPanics(t *testing.T) {
+	c := NewCtx()
+	defer func() {
+		if recover() == nil {
+			t.Error("Eq of mismatched widths did not panic")
+		}
+	}()
+	c.Eq(c.BVVar("a", 8), c.BVVar("b", 16))
+}
+
+func TestSolveSimple(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	f := c.And(c.Uge(x, c.BVConst(10, 8)), c.Ule(x, c.BVConst(12, 8)))
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatalf("Solve = %+v, %v", res, err)
+	}
+	v := res.Model.BVs["x"]
+	if v < 10 || v > 12 {
+		t.Errorf("model x = %d, want in [10,12]", v)
+	}
+}
+
+func TestSolveUNSATRange(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	f := c.And(c.Uge(x, c.BVConst(200, 8)), c.Ule(x, c.BVConst(100, 8)))
+	res, err := Solve(c, f)
+	if err != nil || res.Sat {
+		t.Fatalf("expected unsat, got %+v, %v", res, err)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 16)
+	y := c.BVVar("y", 16)
+	f := c.And(c.Eq(x, y), c.Eq(x, c.BVConst(445, 16)))
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatalf("Solve = %+v, %v", res, err)
+	}
+	if res.Model.BVs["x"] != 445 || res.Model.BVs["y"] != 445 {
+		t.Errorf("model = %v", res.Model.BVs)
+	}
+}
+
+func TestValid(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	// x <= 100 → x <= 200 is valid.
+	f := c.Implies(c.Ule(x, c.BVConst(100, 8)), c.Ule(x, c.BVConst(200, 8)))
+	ok, _, err := Valid(c, f)
+	if err != nil || !ok {
+		t.Errorf("valid implication rejected: %v %v", ok, err)
+	}
+	// The converse is invalid, counterexample in (100, 200].
+	g := c.Implies(c.Ule(x, c.BVConst(200, 8)), c.Ule(x, c.BVConst(100, 8)))
+	ok, m, err := Valid(c, g)
+	if err != nil || ok {
+		t.Fatalf("invalid implication accepted")
+	}
+	cx := m.BVs["x"]
+	if cx <= 100 || cx > 200 {
+		t.Errorf("counterexample x = %d not in (100,200]", cx)
+	}
+}
+
+func TestPrefixRangeAtom(t *testing.T) {
+	// The predicate of §2.5.1 eq (1): 10.20.20.0/24.
+	c := NewCtx()
+	x := c.BVVar("dstIp", 32)
+	lo := uint64(0x0a141400)
+	hi := uint64(0x0a1414ff)
+	f := c.InRange(x, lo, hi)
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatal("prefix range should be sat")
+	}
+	v := res.Model.BVs["dstIp"]
+	if v < lo || v > hi {
+		t.Errorf("model %#x outside range", v)
+	}
+	// Conjunction with exclusion of the whole range is unsat.
+	g := c.And(f, c.Not(c.InRange(x, lo, hi)))
+	res, _ = Solve(c, g)
+	if res.Sat {
+		t.Error("range ∧ ¬range sat")
+	}
+}
+
+func TestIte(t *testing.T) {
+	c := NewCtx()
+	p := c.BoolVar("p")
+	a := c.BoolVar("a")
+	b := c.BoolVar("b")
+	// ite(p,a,b) ∧ p ∧ ¬a is unsat.
+	f := c.And(c.Ite(p, a, b), p, c.Not(a))
+	res, _ := Solve(c, f)
+	if res.Sat {
+		t.Error("ite contradiction sat")
+	}
+	// ite(p,a,b) ∧ ¬p ∧ ¬b is unsat.
+	f2 := c.And(c.Ite(p, a, b), c.Not(p), c.Not(b))
+	res, _ = Solve(c, f2)
+	if res.Sat {
+		t.Error("ite else contradiction sat")
+	}
+	// ite(p,a,b) ∧ ¬p ∧ b is sat.
+	f3 := c.And(c.Ite(p, a, b), c.Not(p), b)
+	res, _ = Solve(c, f3)
+	if !res.Sat {
+		t.Error("consistent ite unsat")
+	}
+	// Ite simplifications.
+	if c.Ite(c.True(), a, b) != a || c.Ite(c.False(), a, b) != b || c.Ite(p, a, a) != a {
+		t.Error("Ite not simplified")
+	}
+}
+
+// eval interprets a term under an assignment, the independent semantics used
+// to cross-check the bit-blaster.
+func eval(c *Ctx, t Term, bools map[string]bool, bvs map[string]uint64) bool {
+	n := c.n(t)
+	switch n.kind {
+	case kTrue:
+		return true
+	case kFalse:
+		return false
+	case kBoolVar:
+		return bools[n.name]
+	case kNot:
+		return !eval(c, n.args[0], bools, bvs)
+	case kAnd:
+		for _, a := range n.args {
+			if !eval(c, a, bools, bvs) {
+				return false
+			}
+		}
+		return true
+	case kOr:
+		for _, a := range n.args {
+			if eval(c, a, bools, bvs) {
+				return true
+			}
+		}
+		return false
+	case kIte:
+		if eval(c, n.args[0], bools, bvs) {
+			return eval(c, n.args[1], bools, bvs)
+		}
+		return eval(c, n.args[2], bools, bvs)
+	case kEq:
+		return evalBV(c, n.args[0], bvs) == evalBV(c, n.args[1], bvs)
+	case kUle:
+		return evalBV(c, n.args[0], bvs) <= evalBV(c, n.args[1], bvs)
+	}
+	panic("eval: bad kind")
+}
+
+func evalBV(c *Ctx, t Term, bvs map[string]uint64) uint64 {
+	n := c.n(t)
+	switch n.kind {
+	case kBVConst:
+		return n.val
+	case kBVVar:
+		return bvs[n.name]
+	}
+	panic("evalBV: bad kind")
+}
+
+// randomTerm builds a random boolean term over small-width variables.
+func randomTerm(c *Ctx, rng *rand.Rand, depth int, width int) Term {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return c.BoolVar([]string{"p", "q", "r"}[rng.Intn(3)])
+		case 1:
+			v := c.BVVar([]string{"x", "y"}[rng.Intn(2)], width)
+			return c.Eq(v, c.BVConst(uint64(rng.Intn(1<<width)), width))
+		case 2:
+			v := c.BVVar([]string{"x", "y"}[rng.Intn(2)], width)
+			return c.Ule(v, c.BVConst(uint64(rng.Intn(1<<width)), width))
+		default:
+			a := c.BVVar("x", width)
+			b := c.BVVar("y", width)
+			if rng.Intn(2) == 0 {
+				return c.Ule(a, b)
+			}
+			return c.Eq(a, b)
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return c.Not(randomTerm(c, rng, depth-1, width))
+	case 1:
+		return c.And(randomTerm(c, rng, depth-1, width), randomTerm(c, rng, depth-1, width))
+	case 2:
+		return c.Or(randomTerm(c, rng, depth-1, width), randomTerm(c, rng, depth-1, width))
+	case 3:
+		return c.Ite(randomTerm(c, rng, depth-1, width),
+			randomTerm(c, rng, depth-1, width), randomTerm(c, rng, depth-1, width))
+	default:
+		a := c.BVVar("x", width)
+		lo := uint64(rng.Intn(1 << width))
+		hi := uint64(rng.Intn(1 << width))
+		return c.InRange(a, lo, hi)
+	}
+}
+
+// bruteSat enumerates all assignments over the fixed variable universe.
+func bruteSat(c *Ctx, t Term, width int) bool {
+	boolNames := []string{"p", "q", "r"}
+	for bm := 0; bm < 8; bm++ {
+		bools := map[string]bool{}
+		for i, n := range boolNames {
+			bools[n] = bm>>i&1 == 1
+		}
+		for x := 0; x < 1<<width; x++ {
+			for y := 0; y < 1<<width; y++ {
+				if eval(c, t, bools, map[string]uint64{"x": uint64(x), "y": uint64(y)}) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestSolverVsBrute cross-checks the bit-blaster + SAT pipeline against
+// exhaustive evaluation on hundreds of random formulas.
+func TestSolverVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width = 4
+	for iter := 0; iter < 400; iter++ {
+		c := NewCtx()
+		f := randomTerm(c, rng, 2+rng.Intn(3), width)
+		want := bruteSat(c, f, width)
+		res, err := Solve(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat != want {
+			t.Fatalf("iter %d: solver=%v brute=%v term=%s", iter, res.Sat, want, c.String(f))
+		}
+		if res.Sat {
+			// The returned model must actually satisfy the formula.
+			bools := map[string]bool{"p": res.Model.Bools["p"], "q": res.Model.Bools["q"], "r": res.Model.Bools["r"]}
+			bvs := map[string]uint64{"x": res.Model.BVs["x"], "y": res.Model.BVs["y"]}
+			if !eval(c, f, bools, bvs) {
+				t.Fatalf("iter %d: model does not satisfy term %s (model %v %v)",
+					iter, c.String(f), bools, bvs)
+			}
+		}
+	}
+}
+
+// TestSolverVsBruteWide repeats the cross-check at width 8 with fewer
+// iterations, exercising longer comparison chains.
+func TestSolverVsBruteWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const width = 8
+	for iter := 0; iter < 60; iter++ {
+		c := NewCtx()
+		f := randomTerm(c, rng, 2, width)
+		want := bruteSat(c, f, width)
+		res, err := Solve(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat != want {
+			t.Fatalf("iter %d: solver=%v brute=%v term=%s", iter, res.Sat, want, c.String(f))
+		}
+	}
+}
+
+func TestSolve32BitBoundaries(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 32)
+	// Exactly one value: x = 0xffffffff.
+	f := c.Uge(x, c.BVConst(0xffffffff, 32))
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatal("boundary sat failed")
+	}
+	if res.Model.BVs["x"] != 0xffffffff {
+		t.Errorf("x = %#x", res.Model.BVs["x"])
+	}
+	// x < 0 impossible.
+	g := c.Ult(x, c.BVConst(0, 32))
+	res, _ = Solve(c, g)
+	if res.Sat {
+		t.Error("x < 0 sat")
+	}
+}
+
+func TestSolve64BitWidth(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 64)
+	f := c.And(
+		c.Uge(x, c.BVConst(1<<63, 64)),
+		c.Ule(x, c.BVConst(1<<63|1, 64)),
+	)
+	res, err := Solve(c, f)
+	if err != nil || !res.Sat {
+		t.Fatal("64-bit range unsat")
+	}
+	v := res.Model.BVs["x"]
+	if v != 1<<63 && v != 1<<63|1 {
+		t.Errorf("x = %#x", v)
+	}
+}
+
+func TestBooleanConvenience(t *testing.T) {
+	c := NewCtx()
+	p, q := c.BoolVar("p"), c.BoolVar("q")
+	if c.Iff(p, p) != c.True() {
+		t.Error("Iff(p,p) != true")
+	}
+	// Iff(p,q) ∧ p ∧ ¬q is unsat.
+	res, err := Solve(c, c.And(c.Iff(p, q), p, c.Not(q)))
+	if err != nil || res.Sat {
+		t.Error("Iff contradiction sat")
+	}
+	// Ugt: x > 254 over 8 bits pins x = 255.
+	x := c.BVVar("x", 8)
+	res, err = Solve(c, c.Ugt(x, c.BVConst(254, 8)))
+	if err != nil || !res.Sat || res.Model.BVs["x"] != 255 {
+		t.Errorf("Ugt solve = %+v, %v", res, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	f := c.And(c.BoolVar("p"), c.Not(c.Ule(x, c.BVConst(3, 8))), c.Sle(x, c.Neg(x)))
+	s := c.String(f)
+	for _, w := range []string{"and", "p", "bvule", "x", "3", "bvsle", "bvneg"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("String %q missing %q", s, w)
+		}
+	}
+	g := c.Eq(c.Extract(c.Shl(x, 2), 7, 4), c.BVConst(1, 4))
+	s = c.String(g)
+	for _, w := range []string{"extract", "bvshl"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("String %q missing %q", s, w)
+		}
+	}
+}
+
+func TestSolveAssumingReuse(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	s := NewSolver(c)
+	// Mutually exclusive assumptions against shared structure.
+	lo := c.Ule(x, c.BVConst(10, 8))
+	hi := c.Uge(x, c.BVConst(200, 8))
+	r1, err := s.SolveAssuming(lo)
+	if err != nil || !r1.Sat || r1.Model.BVs["x"] > 10 {
+		t.Fatalf("r1 = %+v, %v", r1, err)
+	}
+	r2, err := s.SolveAssuming(hi)
+	if err != nil || !r2.Sat || r2.Model.BVs["x"] < 200 {
+		t.Fatalf("r2 = %+v, %v", r2, err)
+	}
+	r3, err := s.SolveAssuming(lo, hi)
+	if err != nil || r3.Sat {
+		t.Fatalf("contradictory assumptions sat")
+	}
+	// The solver is still usable after UNSAT-under-assumptions.
+	r4, err := s.SolveAssuming(lo)
+	if err != nil || !r4.Sat {
+		t.Fatalf("solver unusable after unsat assumptions")
+	}
+}

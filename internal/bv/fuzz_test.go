@@ -1,0 +1,29 @@
+package bv
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseSMTLIB2(f *testing.F) {
+	f.Add("(set-logic QF_BV)\n(declare-const x (_ BitVec 8))\n(assert (bvule x #x10))\n(check-sat)")
+	f.Add("(declare-const p Bool)(assert (and p (not p)))")
+	f.Add("(assert (= #b1010 ((_ extract 3 0) #x5a)))")
+	f.Add("((((")
+	f.Add("(assert)")
+	f.Add("; just a comment")
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, err := ParseSMTLIB2(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted scripts must be solvable without panic; bound the work.
+		f := sc.Formula()
+		s := NewSolver(sc.Ctx)
+		if _, err := s.Solve(f); err != nil {
+			// Conflict limits are not configured here, so any error is a
+			// bug.
+			t.Fatalf("solve failed on accepted script: %v", err)
+		}
+	})
+}

@@ -1,0 +1,432 @@
+package bv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SMT-LIB 2 interchange for the QF_BV fragment this package implements.
+// WriteSMTLIB2 serializes a formula so it can be cross-checked against a
+// full SMT solver (the paper's Z3); ParseSMTLIB2 reads the same fragment
+// back, so externally produced benchmarks can be discharged by the
+// built-in engine.
+
+// WriteSMTLIB2 emits a complete script: set-logic, declarations for every
+// free variable of f, a single assert, and check-sat.
+func WriteSMTLIB2(w io.Writer, c *Ctx, f Term) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "(set-logic QF_BV)")
+
+	// Collect free variables deterministically.
+	type decl struct {
+		name  string
+		width int // 0 = Bool
+	}
+	seen := map[Term]bool{}
+	var decls []decl
+	var walk func(t Term)
+	walk = func(t Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		n := c.n(t)
+		switch n.kind {
+		case kBoolVar:
+			decls = append(decls, decl{n.name, 0})
+		case kBVVar:
+			decls = append(decls, decl{n.name, int(n.width)})
+		}
+		for _, a := range n.args {
+			walk(a)
+		}
+	}
+	walk(f)
+	sort.Slice(decls, func(i, j int) bool { return decls[i].name < decls[j].name })
+	for _, d := range decls {
+		if d.width == 0 {
+			fmt.Fprintf(bw, "(declare-const %s Bool)\n", d.name)
+		} else {
+			fmt.Fprintf(bw, "(declare-const %s (_ BitVec %d))\n", d.name, d.width)
+		}
+	}
+	fmt.Fprintf(bw, "(assert %s)\n", c.smt2(f))
+	fmt.Fprintln(bw, "(check-sat)")
+	return bw.Flush()
+}
+
+// smt2 renders a term in SMT-LIB 2 concrete syntax.
+func (c *Ctx) smt2(t Term) string {
+	n := c.n(t)
+	switch n.kind {
+	case kTrue:
+		return "true"
+	case kFalse:
+		return "false"
+	case kBoolVar, kBVVar:
+		return n.name
+	case kBVConst:
+		return fmt.Sprintf("(_ bv%d %d)", n.val, n.width)
+	case kBVExtract:
+		return fmt.Sprintf("((_ extract %d %d) %s)", n.val>>8, n.val&0xff, c.smt2(n.args[0]))
+	case kBVShl, kBVLshr:
+		// Constant shifts are stored with the amount in val; emit the
+		// standard binary operator with a constant operand.
+		op := "bvshl"
+		if n.kind == kBVLshr {
+			op = "bvlshr"
+		}
+		return fmt.Sprintf("(%s %s (_ bv%d %d))", op, c.smt2(n.args[0]), n.val, n.width)
+	}
+	op, ok := map[kind]string{
+		kNot: "not", kAnd: "and", kOr: "or", kIte: "ite", kEq: "=",
+		kUle: "bvule", kSle: "bvsle", kBVNot: "bvnot", kBVAnd: "bvand",
+		kBVOr: "bvor", kBVXor: "bvxor", kBVAdd: "bvadd", kBVSub: "bvsub",
+		kBVMul: "bvmul", kBVNeg: "bvneg", kBVConcat: "concat", kBVIte: "ite",
+	}[n.kind]
+	if !ok {
+		panic(fmt.Sprintf("bv: smt2 of kind %d", n.kind))
+	}
+	parts := make([]string, 0, len(n.args)+1)
+	parts = append(parts, op)
+	for _, a := range n.args {
+		parts = append(parts, c.smt2(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// sexpr is a parsed S-expression: either an atom or a list.
+type sexpr struct {
+	atom string
+	list []sexpr
+}
+
+func (s sexpr) isAtom() bool { return s.list == nil }
+
+// Script is a parsed SMT-LIB 2 script restricted to our fragment.
+type Script struct {
+	Ctx *Ctx
+	// Asserts are the asserted formulas, in order; their conjunction is
+	// the script's satisfiability query.
+	Asserts []Term
+}
+
+// Formula returns the conjunction of the script's assertions.
+func (s *Script) Formula() Term { return s.Ctx.And(s.Asserts...) }
+
+// ParseSMTLIB2 reads a QF_BV script containing set-logic/set-info,
+// declare-const/declare-fun (zero arity), assert, check-sat, and exit
+// commands over the operator fragment this package supports.
+func ParseSMTLIB2(r io.Reader) (*Script, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := tokenizeSMT(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	var exprs []sexpr
+	for len(toks) > 0 {
+		var e sexpr
+		e, toks, err = parseSexpr(toks)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+
+	sc := &Script{Ctx: NewCtx()}
+	vars := map[string]Term{}
+	for _, e := range exprs {
+		if e.isAtom() || len(e.list) == 0 || !e.list[0].isAtom() {
+			return nil, fmt.Errorf("bv: unexpected toplevel %v", e)
+		}
+		switch e.list[0].atom {
+		case "set-logic", "set-info", "set-option", "check-sat", "exit", "get-model":
+			continue
+		case "declare-const", "declare-fun":
+			t, name, err := parseDecl(sc.Ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			vars[name] = t
+		case "assert":
+			if len(e.list) != 2 {
+				return nil, fmt.Errorf("bv: malformed assert")
+			}
+			t, err := buildTerm(sc.Ctx, vars, e.list[1])
+			if err != nil {
+				return nil, err
+			}
+			if sc.Ctx.n(t).width != 0 {
+				return nil, fmt.Errorf("bv: assert of non-boolean term")
+			}
+			sc.Asserts = append(sc.Asserts, t)
+		default:
+			return nil, fmt.Errorf("bv: unsupported command %q", e.list[0].atom)
+		}
+	}
+	return sc, nil
+}
+
+func tokenizeSMT(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		ch := s[i]
+		switch {
+		case ch == ';': // comment to end of line
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case ch == '(' || ch == ')':
+			toks = append(toks, string(ch))
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '"': // string literal (set-info); skip
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("bv: unterminated string")
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune("() \t\n\r;", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseSexpr(toks []string) (sexpr, []string, error) {
+	if len(toks) == 0 {
+		return sexpr{}, nil, fmt.Errorf("bv: unexpected end of input")
+	}
+	switch toks[0] {
+	case "(":
+		rest := toks[1:]
+		var list []sexpr
+		for {
+			if len(rest) == 0 {
+				return sexpr{}, nil, fmt.Errorf("bv: unbalanced parentheses")
+			}
+			if rest[0] == ")" {
+				return sexpr{list: append([]sexpr{}, list...)}, rest[1:], nil
+			}
+			var e sexpr
+			var err error
+			e, rest, err = parseSexpr(rest)
+			if err != nil {
+				return sexpr{}, nil, err
+			}
+			list = append(list, e)
+		}
+	case ")":
+		return sexpr{}, nil, fmt.Errorf("bv: unexpected )")
+	default:
+		return sexpr{atom: toks[0]}, toks[1:], nil
+	}
+}
+
+func parseDecl(c *Ctx, e sexpr) (Term, string, error) {
+	// (declare-const name sort) or (declare-fun name () sort)
+	args := e.list[1:]
+	if e.list[0].atom == "declare-fun" {
+		if len(args) != 3 || !args[1].isAtom() && len(args[1].list) != 0 {
+			return 0, "", fmt.Errorf("bv: only zero-arity declare-fun supported")
+		}
+		args = []sexpr{args[0], args[2]}
+	}
+	if len(args) != 2 || !args[0].isAtom() {
+		return 0, "", fmt.Errorf("bv: malformed declaration")
+	}
+	name := args[0].atom
+	sortE := args[1]
+	if sortE.isAtom() && sortE.atom == "Bool" {
+		return c.BoolVar(name), name, nil
+	}
+	// (_ BitVec w)
+	if !sortE.isAtom() && len(sortE.list) == 3 &&
+		sortE.list[0].atom == "_" && sortE.list[1].atom == "BitVec" {
+		w, err := strconv.Atoi(sortE.list[2].atom)
+		if err != nil || w < 1 || w > 64 {
+			return 0, "", fmt.Errorf("bv: unsupported width in declaration of %s", name)
+		}
+		return c.BVVar(name, w), name, nil
+	}
+	return 0, "", fmt.Errorf("bv: unsupported sort for %s", name)
+}
+
+func buildTerm(c *Ctx, vars map[string]Term, e sexpr) (Term, error) {
+	if e.isAtom() {
+		switch e.atom {
+		case "true":
+			return c.True(), nil
+		case "false":
+			return c.False(), nil
+		}
+		if t, ok := vars[e.atom]; ok {
+			return t, nil
+		}
+		if strings.HasPrefix(e.atom, "#b") {
+			v, err := strconv.ParseUint(e.atom[2:], 2, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bv: bad binary literal %q", e.atom)
+			}
+			return c.BVConst(v, len(e.atom)-2), nil
+		}
+		if strings.HasPrefix(e.atom, "#x") {
+			v, err := strconv.ParseUint(e.atom[2:], 16, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bv: bad hex literal %q", e.atom)
+			}
+			return c.BVConst(v, 4*(len(e.atom)-2)), nil
+		}
+		return 0, fmt.Errorf("bv: unknown symbol %q", e.atom)
+	}
+	if len(e.list) == 0 {
+		return 0, fmt.Errorf("bv: empty application")
+	}
+	// (_ bvN w)
+	if e.list[0].isAtom() && e.list[0].atom == "_" {
+		if len(e.list) == 3 && strings.HasPrefix(e.list[1].atom, "bv") {
+			v, err1 := strconv.ParseUint(e.list[1].atom[2:], 10, 64)
+			w, err2 := strconv.Atoi(e.list[2].atom)
+			if err1 != nil || err2 != nil {
+				return 0, fmt.Errorf("bv: bad indexed literal")
+			}
+			return c.BVConst(v, w), nil
+		}
+		return 0, fmt.Errorf("bv: unsupported indexed identifier")
+	}
+	// ((_ extract hi lo) x)
+	if !e.list[0].isAtom() {
+		h := e.list[0]
+		if len(h.list) == 4 && h.list[0].atom == "_" && h.list[1].atom == "extract" {
+			hi, err1 := strconv.Atoi(h.list[2].atom)
+			lo, err2 := strconv.Atoi(h.list[3].atom)
+			if err1 != nil || err2 != nil || len(e.list) != 2 {
+				return 0, fmt.Errorf("bv: malformed extract")
+			}
+			arg, err := buildTerm(c, vars, e.list[1])
+			if err != nil {
+				return 0, err
+			}
+			return c.Extract(arg, hi, lo), nil
+		}
+		return 0, fmt.Errorf("bv: unsupported head %v", h)
+	}
+
+	op := e.list[0].atom
+	args := make([]Term, 0, len(e.list)-1)
+	for _, a := range e.list[1:] {
+		t, err := buildTerm(c, vars, a)
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, t)
+	}
+	bin := func(f func(a, b Term) Term) (Term, error) {
+		if len(args) != 2 {
+			return 0, fmt.Errorf("bv: %s wants 2 arguments", op)
+		}
+		return f(args[0], args[1]), nil
+	}
+	switch op {
+	case "not":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("bv: not wants 1 argument")
+		}
+		return c.Not(args[0]), nil
+	case "and":
+		return c.And(args...), nil
+	case "or":
+		return c.Or(args...), nil
+	case "=>":
+		return bin(c.Implies)
+	case "xor":
+		return bin(func(a, b Term) Term { return c.Not(c.Iff(a, b)) })
+	case "=":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("bv: = wants 2 arguments")
+		}
+		if c.n(args[0]).width == 0 {
+			return c.Iff(args[0], args[1]), nil
+		}
+		return c.Eq(args[0], args[1]), nil
+	case "ite":
+		if len(args) != 3 {
+			return 0, fmt.Errorf("bv: ite wants 3 arguments")
+		}
+		if c.n(args[1]).width == 0 {
+			return c.Ite(args[0], args[1], args[2]), nil
+		}
+		return c.BVIte(args[0], args[1], args[2]), nil
+	case "bvule":
+		return bin(c.Ule)
+	case "bvult":
+		return bin(c.Ult)
+	case "bvuge":
+		return bin(c.Uge)
+	case "bvugt":
+		return bin(c.Ugt)
+	case "bvsle":
+		return bin(c.Sle)
+	case "bvslt":
+		return bin(c.Slt)
+	case "bvand":
+		return bin(c.BVAnd)
+	case "bvor":
+		return bin(c.BVOr)
+	case "bvxor":
+		return bin(c.BVXor)
+	case "bvadd":
+		return bin(c.Add)
+	case "bvsub":
+		return bin(c.Sub)
+	case "bvmul":
+		return bin(c.Mul)
+	case "bvnot":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("bv: bvnot wants 1 argument")
+		}
+		return c.BVNot(args[0]), nil
+	case "bvneg":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("bv: bvneg wants 1 argument")
+		}
+		return c.Neg(args[0]), nil
+	case "concat":
+		return bin(c.Concat)
+	case "bvshl", "bvlshr":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("bv: %s wants 2 arguments", op)
+		}
+		k, ok := c.isConstTerm(args[1])
+		if !ok {
+			return 0, fmt.Errorf("bv: only constant shift amounts supported")
+		}
+		w := c.Width(args[0])
+		if k > uint64(w) {
+			k = uint64(w)
+		}
+		if op == "bvshl" {
+			return c.Shl(args[0], int(k)), nil
+		}
+		return c.Lshr(args[0], int(k)), nil
+	}
+	return 0, fmt.Errorf("bv: unsupported operator %q", op)
+}

@@ -1,0 +1,132 @@
+package bv
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteSMTLIB2Shape(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("dstIp", 32)
+	p := c.BoolVar("nhA")
+	f := c.And(c.InRange(x, 10, 20), p)
+	var buf bytes.Buffer
+	if err := WriteSMTLIB2(&buf, c, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{
+		"(set-logic QF_BV)",
+		"(declare-const dstIp (_ BitVec 32))",
+		"(declare-const nhA Bool)",
+		"(assert ",
+		"bvule",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestParseSMTLIB2Basic(t *testing.T) {
+	in := `
+; a comment
+(set-logic QF_BV)
+(set-info :source "test")
+(declare-const x (_ BitVec 8))
+(declare-const p Bool)
+(assert (and p (bvule (_ bv10 8) x) (bvule x #x14)))
+(check-sat)
+(exit)
+`
+	sc, err := ParseSMTLIB2(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(sc.Ctx, sc.Formula())
+	if err != nil || !res.Sat {
+		t.Fatalf("Solve = %v %v", res.Sat, err)
+	}
+	v := res.Model.BVs["x"]
+	if v < 10 || v > 0x14 {
+		t.Errorf("x = %d", v)
+	}
+	if !res.Model.Bools["p"] {
+		t.Error("p must hold")
+	}
+}
+
+func TestParseSMTLIB2BinaryLiteralAndExtract(t *testing.T) {
+	in := `
+(declare-const x (_ BitVec 8))
+(assert (= ((_ extract 7 4) x) #b1010))
+(assert (= ((_ extract 3 0) x) #b0101))
+`
+	sc, err := ParseSMTLIB2(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(sc.Ctx, sc.Formula())
+	if err != nil || !res.Sat {
+		t.Fatal("should be sat")
+	}
+	if res.Model.BVs["x"] != 0xa5 {
+		t.Errorf("x = %#x", res.Model.BVs["x"])
+	}
+}
+
+func TestParseSMTLIB2Errors(t *testing.T) {
+	bad := []string{
+		"(assert x)",                      // unknown symbol
+		"(declare-const x (_ BitVec 99))", // width out of range
+		"(frobnicate)",                    // unknown command
+		"(assert (bvadd #b1 #b1))",        // non-boolean assert
+		"(declare-const x (_ BitVec 8)) (assert (bvshl x x))", // variable shift
+		"(assert (and",           // unbalanced
+		"(declare-const x Real)", // unsupported sort
+	}
+	for i, in := range bad {
+		if _, err := ParseSMTLIB2(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+// TestSMTLIB2RoundTrip: random formulas survive write→parse with identical
+// satisfiability and, when satisfiable, cross-valid models.
+func TestSMTLIB2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const w = 4
+	for iter := 0; iter < 150; iter++ {
+		c := NewCtx()
+		var f Term
+		if iter%2 == 0 {
+			f = randomTerm(c, rng, 2, w)
+		} else {
+			f = c.Eq(randomBVExpr(c, rng, 2, w), randomBVExpr(c, rng, 2, w))
+		}
+		var buf bytes.Buffer
+		if err := WriteSMTLIB2(&buf, c, f); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		sc, err := ParseSMTLIB2(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("iter %d: parse: %v\n%s", iter, err, text)
+		}
+		r1, err := Solve(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Solve(sc.Ctx, sc.Formula())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Sat != r2.Sat {
+			t.Fatalf("iter %d: satisfiability changed across round trip\n%s", iter, text)
+		}
+	}
+}

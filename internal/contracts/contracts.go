@@ -1,0 +1,204 @@
+// Package contracts implements the device contract generator of §2.4: the
+// automatic derivation of per-device forwarding intent from architectural
+// metadata. A local forwarding contract names a destination prefix and the
+// exact set of ECMP next hops every packet matching that prefix must be
+// forwarded to. Contracts come in two kinds:
+//
+//   - A specific contract covers one hosted VLAN prefix and requires a
+//     non-default route with exactly the expected next hops. Packets that
+//     would fall through to the default route violate it — this is what
+//     flags the missing specific announcements in the §2.6.2 migration
+//     incident even though default routing still delivered the traffic.
+//
+//   - A default contract covers 0.0.0.0/0, i.e. the complement of all
+//     specific prefixes, and requires the device's default route to carry
+//     exactly the expected (fully redundant) uplink set.
+//
+// Contracts are generated from the expected topology recorded in the
+// metadata service and deliberately ignore current link state (§2.4):
+// correctness must hold across state fluctuations, and deviations are
+// exactly what RCDC is built to flag.
+package contracts
+
+import (
+	"sort"
+
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+// Kind distinguishes default from specific contracts.
+type Kind uint8
+
+const (
+	// Specific contracts state expectations for concrete hosted prefixes.
+	Specific Kind = iota
+	// Default contracts state expectations for the default route.
+	Default
+)
+
+func (k Kind) String() string {
+	if k == Default {
+		return "default"
+	}
+	return "specific"
+}
+
+// Contract is a local forwarding contract for one device (§2.4).
+type Contract struct {
+	Device   topology.DeviceID
+	Kind     Kind
+	Prefix   ipnet.Prefix // 0.0.0.0/0 for default contracts
+	NextHops []topology.DeviceID
+}
+
+// DeviceContracts bundles every contract of one device.
+type DeviceContracts struct {
+	Device    topology.DeviceID
+	Contracts []Contract
+}
+
+// Generator derives contracts from metadata facts.
+type Generator struct {
+	facts *metadata.Facts
+}
+
+// NewGenerator returns a contract generator over the given facts snapshot.
+func NewGenerator(f *metadata.Facts) *Generator {
+	return &Generator{facts: f}
+}
+
+// ForDevice generates the comprehensive contract set for one device,
+// implementing the rules of §2.4.1 (ToR), §2.4.2 (leaf), §2.4.3 (spine),
+// plus the regional-spine specific contracts §2.4.4 relies on.
+//
+// Next-hop slices are sorted once and shared between the contracts that
+// expect the same set (a ToR expects its leaves for every prefix); treat
+// Contract.NextHops as immutable.
+func (g *Generator) ForDevice(id topology.DeviceID) DeviceContracts {
+	df := g.facts.Device(id)
+	dc := DeviceContracts{Device: id}
+
+	uplinks := devIDs(df.Uplinks)
+	switch df.Role {
+	case topology.RoleToR:
+		// Default contract: all neighboring leaves.
+		dc.add(Contract{Device: id, Kind: Default, NextHops: uplinks})
+		// Specific contract for every datacenter prefix not hosted here,
+		// next hops the neighboring leaves.
+		hosted := prefixSet(df.HostedPrefixes)
+		dc.grow(len(g.facts.Prefixes))
+		for _, p := range g.facts.Prefixes {
+			if hosted[p.Prefix] {
+				continue
+			}
+			dc.add(Contract{Device: id, Kind: Specific, Prefix: p.Prefix, NextHops: uplinks})
+		}
+
+	case topology.RoleLeaf:
+		// Default contract: the neighboring spines.
+		dc.add(Contract{Device: id, Kind: Default, NextHops: uplinks})
+		// Specific contracts: same-cluster prefixes go straight to the
+		// hosting ToR; everything else goes to the spines.
+		dc.grow(len(g.facts.Prefixes))
+		for _, p := range g.facts.Prefixes {
+			if p.Cluster == df.Cluster {
+				dc.add(Contract{Device: id, Kind: Specific, Prefix: p.Prefix,
+					NextHops: []topology.DeviceID{p.ToR}})
+			} else {
+				dc.add(Contract{Device: id, Kind: Specific, Prefix: p.Prefix, NextHops: uplinks})
+			}
+		}
+
+	case topology.RoleSpine:
+		// Default contract: the neighboring regional spines.
+		dc.add(Contract{Device: id, Kind: Default, NextHops: uplinks})
+		// Specific contracts: the neighboring leaves of the hosting
+		// cluster (with the plane structure, exactly one per cluster).
+		downByCluster := make(map[int][]topology.DeviceID)
+		for _, n := range df.Downlinks {
+			downByCluster[n.Cluster] = append(downByCluster[n.Cluster], n.Device)
+		}
+		for c, hops := range downByCluster {
+			downByCluster[c] = sortedCopy(hops)
+		}
+		dc.grow(len(g.facts.Prefixes))
+		for _, p := range g.facts.Prefixes {
+			dc.add(Contract{Device: id, Kind: Specific, Prefix: p.Prefix,
+				NextHops: downByCluster[p.Cluster]})
+		}
+
+	case topology.RoleRegionalSpine:
+		// No default contract: the regional spine's default points into
+		// the regional network, outside the datacenter model. Specific
+		// contracts expect every neighboring spine, since each spine
+		// reaches every cluster through its plane leaf.
+		downs := devIDs(df.Downlinks)
+		dc.grow(len(g.facts.Prefixes))
+		for _, p := range g.facts.Prefixes {
+			dc.add(Contract{Device: id, Kind: Specific, Prefix: p.Prefix, NextHops: downs})
+		}
+	}
+	return dc
+}
+
+// All generates contracts for every device in the datacenter.
+func (g *Generator) All() []DeviceContracts {
+	out := make([]DeviceContracts, 0, len(g.facts.Devices))
+	for i := range g.facts.Devices {
+		out = append(out, g.ForDevice(g.facts.Devices[i].ID))
+	}
+	return out
+}
+
+// Count returns the total number of contracts across all devices; the
+// paper's "billions of reachability invariants" reduce to this many local
+// checks.
+func (g *Generator) Count() int {
+	n := 0
+	for i := range g.facts.Devices {
+		n += len(g.ForDevice(g.facts.Devices[i].ID).Contracts)
+	}
+	return n
+}
+
+func (dc *DeviceContracts) add(c Contract) {
+	if len(c.NextHops) == 0 {
+		// A device with no expected next hops toward a prefix (possible in
+		// degenerate topologies) has no forwarding obligation.
+		return
+	}
+	dc.Contracts = append(dc.Contracts, c)
+}
+
+func (dc *DeviceContracts) grow(n int) {
+	if cap(dc.Contracts)-len(dc.Contracts) < n {
+		next := make([]Contract, len(dc.Contracts), len(dc.Contracts)+n)
+		copy(next, dc.Contracts)
+		dc.Contracts = next
+	}
+}
+
+func sortedCopy(hops []topology.DeviceID) []topology.DeviceID {
+	out := append([]topology.DeviceID(nil), hops...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func devIDs(ns []metadata.Neighbor) []topology.DeviceID {
+	out := make([]topology.DeviceID, len(ns))
+	for i, n := range ns {
+		out[i] = n.Device
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func prefixSet(ps []ipnet.Prefix) map[ipnet.Prefix]bool {
+	m := make(map[ipnet.Prefix]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}

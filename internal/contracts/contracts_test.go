@@ -1,0 +1,187 @@
+package contracts
+
+import (
+	"testing"
+
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+func fig3Gen(t *testing.T) (*topology.Topology, *Generator, []topology.HostedPrefix) {
+	t.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	g := NewGenerator(metadata.FromTopology(topo))
+	return topo, g, topo.HostedPrefixes()
+}
+
+func find(dc DeviceContracts, p ipnet.Prefix, k Kind) (Contract, bool) {
+	for _, c := range dc.Contracts {
+		if c.Kind == k && c.Prefix == p {
+			return c, true
+		}
+	}
+	return Contract{}, false
+}
+
+// TestFigure4ToR1 checks the exact contract table of Figure 4 for ToR1.
+func TestFigure4ToR1(t *testing.T) {
+	topo, g, hps := fig3Gen(t)
+	tor1 := topo.ClusterToRs(0)[0]
+	dc := g.ForDevice(tor1)
+
+	// 1 default + 3 specific (PrefixB, PrefixC, PrefixD).
+	if len(dc.Contracts) != 4 {
+		t.Fatalf("ToR1 contracts = %d, want 4", len(dc.Contracts))
+	}
+	leaves := topo.ClusterLeaves(0)
+	def, ok := find(dc, ipnet.Prefix{}, Default)
+	if !ok || len(def.NextHops) != 4 {
+		t.Fatalf("ToR1 default contract = %+v", def)
+	}
+	for i, nh := range def.NextHops {
+		if nh != leaves[i] {
+			t.Errorf("default next hop %d = %v", i, nh)
+		}
+	}
+	for _, hp := range hps[1:] {
+		c, ok := find(dc, hp.Prefix, Specific)
+		if !ok {
+			t.Errorf("missing specific contract for %v", hp.Prefix)
+			continue
+		}
+		if len(c.NextHops) != 4 {
+			t.Errorf("contract %v next hops = %v", hp.Prefix, c.NextHops)
+		}
+	}
+	// No contract for the ToR's own hosted prefix.
+	if _, ok := find(dc, hps[0].Prefix, Specific); ok {
+		t.Error("ToR has a contract for its own prefix")
+	}
+}
+
+// TestFigure4A1 checks the Figure 4 contract table for leaf A1.
+func TestFigure4A1(t *testing.T) {
+	topo, g, hps := fig3Gen(t)
+	a1 := topo.ClusterLeaves(0)[0]
+	d1 := topo.Spines()[0]
+	dc := g.ForDevice(a1)
+	if len(dc.Contracts) != 5 {
+		t.Fatalf("A1 contracts = %d, want 5", len(dc.Contracts))
+	}
+	def, _ := find(dc, ipnet.Prefix{}, Default)
+	if len(def.NextHops) != 1 || def.NextHops[0] != d1 {
+		t.Errorf("A1 default contract = %v", def.NextHops)
+	}
+	// PrefixA -> ToR1, PrefixB -> ToR2 (direct to hosting ToR).
+	for i, wantToR := range []topology.DeviceID{topo.ClusterToRs(0)[0], topo.ClusterToRs(0)[1]} {
+		c, _ := find(dc, hps[i].Prefix, Specific)
+		if len(c.NextHops) != 1 || c.NextHops[0] != wantToR {
+			t.Errorf("A1 %v contract = %v", hps[i].Prefix, c.NextHops)
+		}
+	}
+	// PrefixC, PrefixD -> D1.
+	for _, i := range []int{2, 3} {
+		c, _ := find(dc, hps[i].Prefix, Specific)
+		if len(c.NextHops) != 1 || c.NextHops[0] != d1 {
+			t.Errorf("A1 %v contract = %v", hps[i].Prefix, c.NextHops)
+		}
+	}
+}
+
+// TestFigure4D1 checks the Figure 4 contract table for spine D1.
+func TestFigure4D1(t *testing.T) {
+	topo, g, hps := fig3Gen(t)
+	d1 := topo.Spines()[0]
+	dc := g.ForDevice(d1)
+	if len(dc.Contracts) != 5 {
+		t.Fatalf("D1 contracts = %d, want 5", len(dc.Contracts))
+	}
+	r1, r3 := topo.RegionalSpines()[0], topo.RegionalSpines()[2]
+	def, _ := find(dc, ipnet.Prefix{}, Default)
+	if len(def.NextHops) != 2 || def.NextHops[0] != r1 || def.NextHops[1] != r3 {
+		t.Errorf("D1 default contract = %v", def.NextHops)
+	}
+	a1, b1 := topo.ClusterLeaves(0)[0], topo.ClusterLeaves(1)[0]
+	for i, want := range []topology.DeviceID{a1, a1, b1, b1} {
+		c, _ := find(dc, hps[i].Prefix, Specific)
+		if len(c.NextHops) != 1 || c.NextHops[0] != want {
+			t.Errorf("D1 %v contract = %v, want [%v]", hps[i].Prefix, c.NextHops, want)
+		}
+	}
+}
+
+func TestRegionalSpineContracts(t *testing.T) {
+	topo, g, hps := fig3Gen(t)
+	r1 := topo.RegionalSpines()[0]
+	dc := g.ForDevice(r1)
+	// Specific contracts only — no default contract.
+	if _, ok := find(dc, ipnet.Prefix{}, Default); ok {
+		t.Error("RS has a default contract")
+	}
+	if len(dc.Contracts) != len(hps) {
+		t.Fatalf("RS contracts = %d, want %d", len(dc.Contracts), len(hps))
+	}
+	// Next hops: the two spines connected to R1 (D1 and D3).
+	d1, d3 := topo.Spines()[0], topo.Spines()[2]
+	for _, hp := range hps {
+		c, _ := find(dc, hp.Prefix, Specific)
+		if len(c.NextHops) != 2 || c.NextHops[0] != d1 || c.NextHops[1] != d3 {
+			t.Errorf("R1 %v contract = %v", hp.Prefix, c.NextHops)
+		}
+	}
+}
+
+func TestContractsIgnoreLinkState(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	before := NewGenerator(metadata.FromTopology(topo)).ForDevice(topo.ToRs()[0])
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	after := NewGenerator(metadata.FromTopology(topo)).ForDevice(topo.ToRs()[0])
+	if len(before.Contracts) != len(after.Contracts) {
+		t.Fatal("contract count changed with link state")
+	}
+	for i := range before.Contracts {
+		b, a := before.Contracts[i], after.Contracts[i]
+		if b.Prefix != a.Prefix || len(b.NextHops) != len(a.NextHops) {
+			t.Fatal("contracts changed with link state")
+		}
+	}
+}
+
+func TestAllAndCount(t *testing.T) {
+	topo, g, _ := fig3Gen(t)
+	all := g.All()
+	if len(all) != len(topo.Devices) {
+		t.Fatalf("All = %d device sets", len(all))
+	}
+	total := 0
+	for _, dc := range all {
+		total += len(dc.Contracts)
+	}
+	if g.Count() != total {
+		t.Errorf("Count = %d, sum = %d", g.Count(), total)
+	}
+	// fig3: 4 ToRs × 4 + 8 leaves × 5 + 4 spines × 5 + 4 RS × 4 = 92.
+	if total != 92 {
+		t.Errorf("total contracts = %d, want 92", total)
+	}
+}
+
+func TestNextHopsSorted(t *testing.T) {
+	_, g, _ := fig3Gen(t)
+	for _, dc := range g.All() {
+		for _, c := range dc.Contracts {
+			for i := 1; i < len(c.NextHops); i++ {
+				if c.NextHops[i-1] >= c.NextHops[i] {
+					t.Fatalf("unsorted next hops in %+v", c)
+				}
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Specific.String() != "specific" || Default.String() != "default" {
+		t.Error("Kind.String wrong")
+	}
+}

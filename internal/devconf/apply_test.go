@@ -1,0 +1,99 @@
+package devconf
+
+import (
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/topology"
+)
+
+func TestApplyDevice(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	leaf := topo.ClusterLeaves(0)[0]
+	tor := topo.ToRs()[0]
+	var sb strings.Builder
+	if err := Render(&sb, topo, leaf, &bgp.DeviceConfig{RejectDefaultIn: true, MaxECMPPaths: 2}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, cfg, err := ApplyDevice(topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != leaf {
+		t.Errorf("device = %d, want %d", dev, leaf)
+	}
+	if !cfg.RejectDefaultIn || cfg.MaxECMPPaths != 2 || cfg.ASNOverride != 0 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+
+	// Shutdown in the config pulls the session down; re-applying the
+	// original config restores it.
+	l, _ := topo.LinkBetween(leaf, tor)
+	_, torAddr := l.Peer(leaf)
+	shutCfg := strings.Replace(sb.String(),
+		"neighbor "+torAddr.String()+" remote-as",
+		"neighbor "+torAddr.String()+" shutdown\n  neighbor "+torAddr.String()+" remote-as", 1)
+	spec2, err := Parse(strings.NewReader(shutCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ApplyDevice(topo, spec2); err != nil {
+		t.Fatal(err)
+	}
+	if l.SessionUp {
+		t.Error("shutdown stanza did not shut the session")
+	}
+	if _, _, err := ApplyDevice(topo, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !l.SessionUp {
+		t.Error("re-applying the clean config did not restore the session")
+	}
+}
+
+func TestApplyDeviceL2Bug(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	leaf := topo.ClusterLeaves(0)[1]
+	var sb strings.Builder
+	if err := Render(&sb, topo, leaf, &bgp.DeviceConfig{SessionsDisabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cfg, err := ApplyDevice(topo, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.SessionsDisabled {
+		t.Error("missing router stanza not mapped to SessionsDisabled")
+	}
+}
+
+func TestApplyDeviceErrors(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	if _, _, err := ApplyDevice(topo, &Spec{Hostname: "nope"}); err == nil {
+		t.Error("unknown hostname accepted")
+	}
+	if _, _, err := ApplyDevice(topo, &Spec{
+		Hostname: "fig3-c0-t0-0", ASN: 1,
+		Neighbors: []Neighbor{{Addr: 1}},
+	}); err == nil {
+		t.Error("unknown neighbor interface accepted")
+	}
+	// Known interface but no link toward it from this device (a cluster-1
+	// leaf is not adjacent to a cluster-0 ToR).
+	other := topo.Link(topo.LinksOf(topo.ClusterToRs(1)[0])[0])
+	if _, _, err := ApplyDevice(topo, &Spec{
+		Hostname: "fig3-c0-t0-0", ASN: 1,
+		Neighbors: []Neighbor{{Addr: other.AddrB}},
+	}); err == nil {
+		t.Error("non-adjacent neighbor accepted")
+	}
+}

@@ -1,0 +1,343 @@
+// Package devconf implements a device configuration language for the
+// datacenter's switches — the artifact that, in the paper, defines reality
+// (§1: "reality is given as configurations that reside on network
+// devices") and that the §2.7 emulation pipeline loads from production
+// devices before re-converging the network.
+//
+// The syntax is an IOS/FRR-flavored BGP stanza:
+//
+//	hostname dc-c0-t0-0
+//	router bgp 4210000000
+//	  maximum-paths 64
+//	  network 10.0.0.0/24
+//	  neighbor 100.64.0.1 remote-as 4200001000
+//	  neighbor 100.64.0.1 allowas-in
+//	  neighbor 100.64.0.3 shutdown
+//	  neighbor 100.64.0.5 route-map DENY-DEFAULT-IN in
+//	!
+//
+// Render generates the fleet's configurations from a topology plus the
+// simulator's DeviceConfig knobs; Parse reads one back; ApplyFleet
+// reconstructs topology session state and simulator knobs from a set of
+// parsed configurations. Round-tripping is exact: rendering a fleet,
+// parsing it, and applying it to a fresh topology reproduces the same
+// converged FIBs (see devconf_test.go).
+package devconf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// RouteMapDenyDefaultIn is the route-map name modeling the §2.6.2 policy
+// error of rejecting default-route announcements from upstream devices.
+const RouteMapDenyDefaultIn = "DENY-DEFAULT-IN"
+
+// Neighbor is one BGP session stanza.
+type Neighbor struct {
+	Addr       ipnet.Addr // far-end interface address
+	RemoteAS   uint32
+	Shutdown   bool
+	AllowASIn  bool
+	RouteMapIn string
+}
+
+// Spec is one device's parsed configuration.
+type Spec struct {
+	Hostname  string
+	ASN       uint32
+	MaxPaths  int
+	Networks  []ipnet.Prefix
+	Neighbors []Neighbor
+	// NoRouterStanza marks a device whose interfaces came up as layer-2
+	// switch ports (Software Bug 2): no BGP process at all.
+	NoRouterStanza bool
+}
+
+// Render produces the configuration text of one device given the topology
+// and its simulator knobs (nil means default configuration).
+func Render(w io.Writer, topo *topology.Topology, d topology.DeviceID, cfg *bgp.DeviceConfig) error {
+	bw := bufio.NewWriter(w)
+	dev := topo.Device(d)
+	fmt.Fprintf(bw, "hostname %s\n", dev.Name)
+	if cfg != nil && cfg.SessionsDisabled {
+		// Software Bug 2: ports are L2, no BGP process configured.
+		fmt.Fprintf(bw, "! interfaces in switchport mode; no routing process\n!\n")
+		return bw.Flush()
+	}
+	asn := dev.ASN
+	if cfg != nil && cfg.ASNOverride != 0 {
+		asn = cfg.ASNOverride
+	}
+	fmt.Fprintf(bw, "router bgp %d\n", asn)
+	if cfg != nil && cfg.MaxECMPPaths > 0 {
+		fmt.Fprintf(bw, "  maximum-paths %d\n", cfg.MaxECMPPaths)
+	}
+	for _, p := range dev.HostedPrefixes {
+		fmt.Fprintf(bw, "  network %s\n", p)
+	}
+	// Stable neighbor order: by far-end address.
+	lids := append([]topology.LinkID(nil), topo.LinksOf(d)...)
+	sort.Slice(lids, func(i, j int) bool {
+		pi, ai := topo.Link(lids[i]).Peer(d)
+		pj, aj := topo.Link(lids[j]).Peer(d)
+		_, _ = pi, pj
+		return ai < aj
+	})
+	for _, lid := range lids {
+		l := topo.Link(lid)
+		peer, peerAddr := l.Peer(d)
+		pd := topo.Device(peer)
+		fmt.Fprintf(bw, "  neighbor %s remote-as %d\n", peerAddr, pd.ASN)
+		if dev.Role == topology.RoleToR && pd.Role == topology.RoleLeaf {
+			// §2.1: ToR upstream sessions accept announcements carrying
+			// their own (reused) ASN.
+			fmt.Fprintf(bw, "  neighbor %s allowas-in\n", peerAddr)
+		}
+		if !l.SessionUp {
+			fmt.Fprintf(bw, "  neighbor %s shutdown\n", peerAddr)
+		}
+		if cfg != nil && cfg.RejectDefaultIn {
+			fmt.Fprintf(bw, "  neighbor %s route-map %s in\n", peerAddr, RouteMapDenyDefaultIn)
+		}
+	}
+	fmt.Fprintf(bw, "!\n")
+	return bw.Flush()
+}
+
+// RenderFleet renders every device, returning configuration text keyed by
+// hostname.
+func RenderFleet(topo *topology.Topology, cfgs map[topology.DeviceID]*bgp.DeviceConfig) (map[string]string, error) {
+	out := make(map[string]string, len(topo.Devices))
+	for i := range topo.Devices {
+		d := topology.DeviceID(i)
+		var sb strings.Builder
+		if err := Render(&sb, topo, d, cfgs[d]); err != nil {
+			return nil, err
+		}
+		out[topo.Device(d).Name] = sb.String()
+	}
+	return out, nil
+}
+
+// Parse reads one device configuration.
+func Parse(r io.Reader) (*Spec, error) {
+	sc := bufio.NewScanner(r)
+	spec := &Spec{NoRouterStanza: true}
+	nbrIdx := map[ipnet.Addr]int{}
+	lineNo := 0
+	inRouter := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "hostname":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("devconf: line %d: malformed hostname", lineNo)
+			}
+			spec.Hostname = f[1]
+		case "router":
+			if len(f) != 3 || f[1] != "bgp" {
+				return nil, fmt.Errorf("devconf: line %d: only 'router bgp <asn>' supported", lineNo)
+			}
+			asn, err := strconv.ParseUint(f[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("devconf: line %d: bad ASN %q", lineNo, f[2])
+			}
+			spec.ASN = uint32(asn)
+			spec.NoRouterStanza = false
+			inRouter = true
+		case "maximum-paths":
+			if !inRouter || len(f) != 2 {
+				return nil, fmt.Errorf("devconf: line %d: maximum-paths outside router bgp", lineNo)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("devconf: line %d: bad maximum-paths", lineNo)
+			}
+			spec.MaxPaths = n
+		case "network":
+			if !inRouter || len(f) != 2 {
+				return nil, fmt.Errorf("devconf: line %d: network outside router bgp", lineNo)
+			}
+			p, err := ipnet.ParsePrefix(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("devconf: line %d: %v", lineNo, err)
+			}
+			spec.Networks = append(spec.Networks, p)
+		case "neighbor":
+			if !inRouter || len(f) < 3 {
+				return nil, fmt.Errorf("devconf: line %d: malformed neighbor", lineNo)
+			}
+			addr, err := ipnet.ParseAddr(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("devconf: line %d: %v", lineNo, err)
+			}
+			i, ok := nbrIdx[addr]
+			if !ok {
+				i = len(spec.Neighbors)
+				nbrIdx[addr] = i
+				spec.Neighbors = append(spec.Neighbors, Neighbor{Addr: addr})
+			}
+			nb := &spec.Neighbors[i]
+			switch f[2] {
+			case "remote-as":
+				if len(f) != 4 {
+					return nil, fmt.Errorf("devconf: line %d: malformed remote-as", lineNo)
+				}
+				ras, err := strconv.ParseUint(f[3], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("devconf: line %d: bad remote-as", lineNo)
+				}
+				nb.RemoteAS = uint32(ras)
+			case "shutdown":
+				nb.Shutdown = true
+			case "allowas-in":
+				nb.AllowASIn = true
+			case "route-map":
+				if len(f) != 5 || f[4] != "in" {
+					return nil, fmt.Errorf("devconf: line %d: only 'route-map <name> in' supported", lineNo)
+				}
+				nb.RouteMapIn = f[3]
+			default:
+				return nil, fmt.Errorf("devconf: line %d: unknown neighbor option %q", lineNo, f[2])
+			}
+		default:
+			return nil, fmt.Errorf("devconf: line %d: unknown statement %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Hostname == "" {
+		return nil, fmt.Errorf("devconf: missing hostname")
+	}
+	return spec, nil
+}
+
+// ApplyDevice applies a single parsed configuration to the network,
+// returning the device and its reconstructed simulator knobs, and setting
+// the BGP session state of the device's links according to its neighbor
+// stanzas (shutdown present → session down; absent → session up). This is
+// the primitive behind config-text changes in the §2.7 emulation pipeline.
+func ApplyDevice(topo *topology.Topology, spec *Spec) (topology.DeviceID, *bgp.DeviceConfig, error) {
+	dev, ok := topo.ByName(spec.Hostname)
+	if !ok {
+		return 0, nil, fmt.Errorf("devconf: unknown device %q", spec.Hostname)
+	}
+	cfg := &bgp.DeviceConfig{}
+	if spec.NoRouterStanza {
+		cfg.SessionsDisabled = true
+		return dev.ID, cfg, nil
+	}
+	if spec.ASN != dev.ASN {
+		cfg.ASNOverride = spec.ASN
+	}
+	if spec.MaxPaths > 0 {
+		cfg.MaxECMPPaths = spec.MaxPaths
+	}
+	shut := map[ipnet.Addr]bool{}
+	for _, nb := range spec.Neighbors {
+		peer, ok := topo.DeviceByAddr(nb.Addr)
+		if !ok {
+			return 0, nil, fmt.Errorf("devconf: %s: neighbor %s is not a known interface",
+				spec.Hostname, nb.Addr)
+		}
+		if _, ok := topo.LinkBetween(dev.ID, peer); !ok {
+			return 0, nil, fmt.Errorf("devconf: %s: no link toward neighbor %s",
+				spec.Hostname, nb.Addr)
+		}
+		if nb.Shutdown {
+			shut[nb.Addr] = true
+		}
+		if nb.RouteMapIn == RouteMapDenyDefaultIn {
+			cfg.RejectDefaultIn = true
+		}
+	}
+	for _, lid := range topo.LinksOf(dev.ID) {
+		l := topo.Link(lid)
+		_, peerAddr := l.Peer(dev.ID)
+		l.SessionUp = !shut[peerAddr]
+	}
+	return dev.ID, cfg, nil
+}
+
+// ApplyFleet reconstructs simulator state from parsed configurations: it
+// returns the DeviceConfig knob map and sets per-link session admin state
+// on the topology (a session is up only if neither end shuts it down).
+// Every config must correspond to a device in the topology, and neighbor
+// addresses must resolve to real interfaces.
+func ApplyFleet(topo *topology.Topology, specs []*Spec) (map[topology.DeviceID]*bgp.DeviceConfig, error) {
+	cfgs := map[topology.DeviceID]*bgp.DeviceConfig{}
+	// First pass: mark every session up, then let shutdowns pull down.
+	seen := map[topology.DeviceID]bool{}
+	type shut struct{ a, b topology.DeviceID }
+	var shuts []shut
+
+	for _, spec := range specs {
+		dev, ok := topo.ByName(spec.Hostname)
+		if !ok {
+			return nil, fmt.Errorf("devconf: unknown device %q", spec.Hostname)
+		}
+		if seen[dev.ID] {
+			return nil, fmt.Errorf("devconf: duplicate configuration for %q", spec.Hostname)
+		}
+		seen[dev.ID] = true
+
+		cfg := &bgp.DeviceConfig{}
+		if spec.NoRouterStanza {
+			cfg.SessionsDisabled = true
+			cfgs[dev.ID] = cfg
+			continue
+		}
+		if spec.ASN != dev.ASN {
+			cfg.ASNOverride = spec.ASN
+		}
+		if spec.MaxPaths > 0 {
+			cfg.MaxECMPPaths = spec.MaxPaths
+		}
+		for _, nb := range spec.Neighbors {
+			peer, ok := topo.DeviceByAddr(nb.Addr)
+			if !ok {
+				return nil, fmt.Errorf("devconf: %s: neighbor %s is not a known interface",
+					spec.Hostname, nb.Addr)
+			}
+			if _, ok := topo.LinkBetween(dev.ID, peer); !ok {
+				return nil, fmt.Errorf("devconf: %s: no link toward neighbor %s",
+					spec.Hostname, nb.Addr)
+			}
+			if nb.Shutdown {
+				shuts = append(shuts, shut{dev.ID, peer})
+			}
+			if nb.RouteMapIn == RouteMapDenyDefaultIn {
+				cfg.RejectDefaultIn = true
+			}
+		}
+		if *cfg != (bgp.DeviceConfig{}) {
+			cfgs[dev.ID] = cfg
+		}
+	}
+	if len(seen) != len(topo.Devices) {
+		return nil, fmt.Errorf("devconf: %d of %d devices configured", len(seen), len(topo.Devices))
+	}
+	// Session state: up unless some side shuts it.
+	for i := range topo.Links {
+		topo.Links[i].SessionUp = true
+	}
+	for _, s := range shuts {
+		topo.ShutSession(s.a, s.b)
+	}
+	return cfgs, nil
+}

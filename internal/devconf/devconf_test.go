@@ -1,0 +1,239 @@
+package devconf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/topology"
+)
+
+func TestRenderHealthyToR(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	var sb strings.Builder
+	if err := Render(&sb, topo, topo.ToRs()[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{
+		"hostname fig3-c0-t0-0",
+		"router bgp 4210000000",
+		"network 10.0.0.0/24",
+		"remote-as 4200001000",
+		"allowas-in",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("config missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "shutdown") || strings.Contains(out, "route-map") {
+		t.Errorf("healthy config has fault stanzas:\n%s", out)
+	}
+}
+
+func TestRenderKnobs(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	leaf := topo.ClusterLeaves(0)[0]
+	var sb strings.Builder
+	if err := Render(&sb, topo, leaf, &bgp.DeviceConfig{
+		RejectDefaultIn: true, MaxECMPPaths: 1, ASNOverride: 4200001777,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{"router bgp 4200001777", "maximum-paths 1", "route-map DENY-DEFAULT-IN in"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("config missing %q:\n%s", w, out)
+		}
+	}
+
+	// Software Bug 2 renders with no router stanza at all.
+	sb.Reset()
+	if err := Render(&sb, topo, leaf, &bgp.DeviceConfig{SessionsDisabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "router bgp") {
+		t.Error("L2-bug config still has a router stanza")
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	in := `
+hostname sw1
+router bgp 65001
+  maximum-paths 8
+  network 10.0.0.0/24
+  neighbor 100.64.0.1 remote-as 65002
+  neighbor 100.64.0.1 allowas-in
+  neighbor 100.64.0.3 remote-as 65003
+  neighbor 100.64.0.3 shutdown
+  neighbor 100.64.0.3 route-map DENY-DEFAULT-IN in
+!
+`
+	spec, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Hostname != "sw1" || spec.ASN != 65001 || spec.MaxPaths != 8 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.Networks) != 1 || spec.Networks[0].String() != "10.0.0.0/24" {
+		t.Errorf("networks = %v", spec.Networks)
+	}
+	if len(spec.Neighbors) != 2 {
+		t.Fatalf("neighbors = %d", len(spec.Neighbors))
+	}
+	n0, n1 := spec.Neighbors[0], spec.Neighbors[1]
+	if !n0.AllowASIn || n0.RemoteAS != 65002 || n0.Shutdown {
+		t.Errorf("n0 = %+v", n0)
+	}
+	if !n1.Shutdown || n1.RouteMapIn != RouteMapDenyDefaultIn {
+		t.Errorf("n1 = %+v", n1)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"router bgp 65001\n",                        // missing hostname
+		"hostname x\nrouter ospf 1\n",               // not bgp
+		"hostname x\nrouter bgp zz\n",               // bad asn
+		"hostname x\nnetwork 10.0.0.0/24\n",         // network outside router
+		"hostname x\nrouter bgp 1\n  network bad\n", // bad prefix
+		"hostname x\nrouter bgp 1\n  neighbor 1.2.3.4 frob\n",
+		"hostname x\nrouter bgp 1\n  neighbor bad remote-as 2\n",
+		"hostname x\nrouter bgp 1\n  maximum-paths -1\n",
+		"hostname x\nfrobnicate\n",
+		"hostname x\nrouter bgp 1\n  neighbor 1.2.3.4 route-map X out\n",
+	}
+	for i, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+// fleetRoundTrip renders, parses, applies to a fresh topology, and returns
+// the reconstructed config map.
+func fleetRoundTrip(t *testing.T, topo *topology.Topology,
+	cfgs map[topology.DeviceID]*bgp.DeviceConfig) (*topology.Topology, map[topology.DeviceID]*bgp.DeviceConfig) {
+	t.Helper()
+	texts, err := RenderFleet(topo, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := topo.Clone()
+	// The clone copies link state; ApplyFleet recomputes session state
+	// from the configs, so only physical (Up) state carries over.
+	var specs []*Spec
+	for _, text := range texts {
+		spec, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, text)
+		}
+		specs = append(specs, spec)
+	}
+	back, err := ApplyFleet(fresh, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh, back
+}
+
+// TestFleetRoundTripReproducesFIBs: render→parse→apply reproduces the same
+// converged forwarding state, across random fault/knob injections.
+func TestFleetRoundTripReproducesFIBs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 15; iter++ {
+		topo := topology.MustNew(topology.Figure3Params())
+		cfgs := map[topology.DeviceID]*bgp.DeviceConfig{}
+		// Random session shuts (physical Up faults are out of config scope).
+		for i := range topo.Links {
+			if rng.Intn(8) == 0 {
+				topo.Links[i].SessionUp = false
+			}
+		}
+		for id := range topo.Devices {
+			if rng.Intn(8) != 0 {
+				continue
+			}
+			d := topology.DeviceID(id)
+			switch rng.Intn(4) {
+			case 0:
+				cfgs[d] = &bgp.DeviceConfig{RejectDefaultIn: true}
+			case 1:
+				cfgs[d] = &bgp.DeviceConfig{MaxECMPPaths: 1 + rng.Intn(3)}
+			case 2:
+				cfgs[d] = &bgp.DeviceConfig{SessionsDisabled: true}
+			case 3:
+				cfgs[d] = &bgp.DeviceConfig{ASNOverride: 4200009000 + uint32(rng.Intn(3))}
+			}
+		}
+
+		fresh, back := fleetRoundTrip(t, topo, cfgs)
+
+		// Converged state must match device by device.
+		origSrc := bgp.NewSynth(topo, cfgs)
+		backSrc := bgp.NewSynth(fresh, back)
+		for id := range topo.Devices {
+			d := topology.DeviceID(id)
+			a, err := origSrc.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := backSrc.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Entries) != len(b.Entries) {
+				t.Fatalf("iter %d dev %s: %d vs %d entries",
+					iter, topo.Device(d).Name, len(a.Entries), len(b.Entries))
+			}
+			for i := range a.Entries {
+				x, y := a.Entries[i], b.Entries[i]
+				if x.Prefix != y.Prefix || x.Connected != y.Connected ||
+					fmt.Sprint(x.NextHops) != fmt.Sprint(y.NextHops) {
+					t.Fatalf("iter %d dev %s entry %d: %+v vs %+v",
+						iter, topo.Device(d).Name, i, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyFleetErrors(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	texts, err := RenderFleet(topo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []*Spec
+	for _, text := range texts {
+		s, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	// Unknown hostname.
+	bad := *specs[0]
+	bad.Hostname = "nope"
+	if _, err := ApplyFleet(topo.Clone(), append([]*Spec{&bad}, specs[1:]...)); err == nil {
+		t.Error("unknown hostname accepted")
+	}
+	// Missing device.
+	if _, err := ApplyFleet(topo.Clone(), specs[1:]); err == nil {
+		t.Error("partial fleet accepted")
+	}
+	// Duplicate.
+	if _, err := ApplyFleet(topo.Clone(), append(specs, specs[0])); err == nil {
+		t.Error("duplicate config accepted")
+	}
+	// Unknown neighbor interface.
+	bad2 := *specs[0]
+	bad2.Neighbors = append([]Neighbor{{Addr: 1}}, bad2.Neighbors...)
+	if _, err := ApplyFleet(topo.Clone(), append([]*Spec{&bad2}, specs[1:]...)); err == nil {
+		t.Error("unknown neighbor accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package devconf
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add("hostname x\nrouter bgp 65000\n  network 10.0.0.0/24\n  neighbor 1.2.3.4 remote-as 65001\n!\n")
+	f.Add("hostname y\n! L2 only\n")
+	f.Add("router bgp 1\n")
+	f.Add("hostname z\nrouter bgp 1\n  neighbor 1.2.3.4 shutdown\n  neighbor 1.2.3.4 remote-as 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if spec.Hostname == "" {
+			t.Fatal("accepted config without hostname")
+		}
+	})
+}

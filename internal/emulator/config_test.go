@@ -1,0 +1,134 @@
+package emulator
+
+import (
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// renderConfig returns the current config text of a device.
+func renderConfig(t *testing.T, n *Network, dev topology.DeviceID) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := devconf.Render(&sb, n.Topo, dev, n.Cfg[dev]); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestConfigTextPrecheck drives the Figure 7 pipeline with actual device
+// configuration text: a config edit adding a default-rejecting route map
+// must be caught; re-submitting the original config must pass.
+func TestConfigTextPrecheck(t *testing.T) {
+	p, topo := newPipeline(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	orig := renderConfig(t, p.Production, leaf)
+
+	// The "operator edit": apply the deny-default route map to every
+	// neighbor (simulating a bad template rollout).
+	var edited strings.Builder
+	for _, line := range strings.SplitAfter(orig, "\n") {
+		edited.WriteString(line)
+		if strings.HasPrefix(strings.TrimSpace(line), "neighbor ") &&
+			strings.Contains(line, "remote-as") {
+			addr := strings.Fields(line)[1]
+			edited.WriteString("  neighbor " + addr + " route-map " +
+				devconf.RouteMapDenyDefaultIn + " in\n")
+		}
+	}
+	res, err := p.Precheck(ReplaceConfig{Text: edited.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Fatal("config edit with deny-default route map approved")
+	}
+	found := false
+	for _, v := range res.NewViolations {
+		if v.Device == leaf && v.Kind == rcdc.MissingDefault {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected MissingDefault, got %v", res.NewViolations)
+	}
+
+	// Re-submitting the unmodified config is a no-op and passes.
+	res, err = p.Precheck(ReplaceConfig{Text: orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Errorf("original config rejected: %v", res.NewViolations)
+	}
+}
+
+// TestConfigTextSessionShutdown: a config with a neighbor shutdown stanza
+// surfaces the default-contract violation downstream.
+func TestConfigTextSessionShutdown(t *testing.T) {
+	p, topo := newPipeline(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	orig := renderConfig(t, p.Production, leaf)
+	tor := topo.ToRs()[0]
+	l, _ := topo.LinkBetween(leaf, tor)
+	_, torAddr := l.Peer(leaf)
+
+	edited := strings.Replace(orig,
+		"neighbor "+torAddr.String()+" remote-as",
+		"neighbor "+torAddr.String()+" shutdown\n  neighbor "+torAddr.String()+" remote-as", 1)
+	res, err := p.Precheck(ReplaceConfig{Text: edited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Fatal("shutdown edit approved")
+	}
+	// Production untouched.
+	if lp, _ := p.Production.Topo.LinkBetween(leaf, tor); !lp.SessionUp {
+		t.Error("precheck mutated production session state")
+	}
+}
+
+func TestConfigTextDeployRoundTrip(t *testing.T) {
+	p, topo := newPipeline(t)
+	tor := topo.ToRs()[1]
+	orig := renderConfig(t, p.Production, tor)
+	// A benign edit: raise maximum-paths.
+	edited := strings.Replace(orig, "router bgp",
+		"router bgp", 1) // no structural change yet
+	edited = strings.Replace(edited, "\n  network",
+		"\n  maximum-paths 64\n  network", 1)
+	res, err := p.Precheck(ReplaceConfig{Text: edited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Fatalf("benign config edit rejected: %v", res.NewViolations)
+	}
+	rep, err := p.Deploy(res, ReplaceConfig{Text: edited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("postcheck failures: %d", rep.Failures)
+	}
+	if p.Production.Cfg[tor] == nil || p.Production.Cfg[tor].MaxECMPPaths != 64 {
+		t.Error("config change did not deploy")
+	}
+}
+
+func TestReplaceConfigErrors(t *testing.T) {
+	p, _ := newPipeline(t)
+	if _, err := p.Precheck(ReplaceConfig{Text: "garbage"}); err == nil {
+		t.Error("garbage config accepted")
+	}
+	if _, err := p.Precheck(ReplaceConfig{Text: "hostname nope\nrouter bgp 1\n"}); err == nil {
+		t.Error("unknown hostname accepted")
+	}
+	if (ReplaceConfig{Text: "garbage"}).Describe() == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,203 @@
+// Package emulator implements the change-validation pipeline of §2.7
+// (Figure 7): before a configuration change rolls out to production, it is
+// applied to an emulated network — virtualized devices connected with the
+// production topology and configured with production state — BGP is
+// re-converged, FIBs are extracted, and RCDC validates them, reporting the
+// same class of errors as on the live network. Only changes whose emulated
+// validation is clean are approved for deployment.
+//
+// The emulator stands in for CrystalNet [27] and the BGP simulator [31];
+// the fidelity here is the internal/bgp path-vector simulation.
+package emulator
+
+import (
+	"fmt"
+	"strings"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// Network is the production network state: topology (with live link
+// state) plus per-device configuration.
+type Network struct {
+	Topo *topology.Topology
+	Cfg  map[topology.DeviceID]*bgp.DeviceConfig
+}
+
+// NewNetwork wraps a topology with an empty configuration set.
+func NewNetwork(t *topology.Topology) *Network {
+	return &Network{Topo: t, Cfg: map[topology.DeviceID]*bgp.DeviceConfig{}}
+}
+
+// clone deep-copies the network for emulation.
+func (n *Network) clone() *Network {
+	cp := &Network{Topo: n.Topo.Clone(), Cfg: map[topology.DeviceID]*bgp.DeviceConfig{}}
+	for d, c := range n.Cfg {
+		cc := *c
+		cp.Cfg[d] = &cc
+	}
+	return cp
+}
+
+// Change is one proposed modification to the network. Changes mutate the
+// (emulated or production) network they are applied to.
+type Change interface {
+	Describe() string
+	Apply(*Network) error
+}
+
+// SetConfig replaces a device's route-map/platform configuration.
+type SetConfig struct {
+	Device topology.DeviceID
+	Config bgp.DeviceConfig
+}
+
+func (c SetConfig) Describe() string { return fmt.Sprintf("set-config device %d", c.Device) }
+
+func (c SetConfig) Apply(n *Network) error {
+	if int(c.Device) >= len(n.Topo.Devices) {
+		return fmt.Errorf("emulator: no device %d", c.Device)
+	}
+	cfg := c.Config
+	n.Cfg[c.Device] = &cfg
+	return nil
+}
+
+// SetLinkState changes a link's physical or session state (e.g. planned
+// maintenance shutting BGP on a link).
+type SetLinkState struct {
+	A, B      topology.DeviceID
+	Up        bool
+	SessionUp bool
+}
+
+func (c SetLinkState) Describe() string {
+	return fmt.Sprintf("set-link %d-%d up=%v session=%v", c.A, c.B, c.Up, c.SessionUp)
+}
+
+func (c SetLinkState) Apply(n *Network) error {
+	l, ok := n.Topo.LinkBetween(c.A, c.B)
+	if !ok {
+		return fmt.Errorf("emulator: no link between %d and %d", c.A, c.B)
+	}
+	l.Up, l.SessionUp = c.Up, c.SessionUp
+	return nil
+}
+
+// ReplaceConfig swaps a device's full configuration text (the artifact the
+// §2.7 pipeline receives): the text is parsed, the device's route-map and
+// platform knobs reconstructed, and its sessions' admin state set from the
+// neighbor stanzas.
+type ReplaceConfig struct {
+	Text string
+}
+
+func (c ReplaceConfig) Describe() string {
+	spec, err := devconf.Parse(strings.NewReader(c.Text))
+	if err != nil {
+		return "replace-config (unparsed)"
+	}
+	return "replace-config " + spec.Hostname
+}
+
+func (c ReplaceConfig) Apply(n *Network) error {
+	spec, err := devconf.Parse(strings.NewReader(c.Text))
+	if err != nil {
+		return err
+	}
+	dev, cfg, err := devconf.ApplyDevice(n.Topo, spec)
+	if err != nil {
+		return err
+	}
+	if *cfg == (bgp.DeviceConfig{}) {
+		delete(n.Cfg, dev)
+	} else {
+		n.Cfg[dev] = cfg
+	}
+	return nil
+}
+
+// PrecheckResult is the verdict of emulating a change set.
+type PrecheckResult struct {
+	Changes  []string
+	Report   *rcdc.Report
+	Approved bool
+	// NewViolations are violations present after the change but not
+	// before — a change is judged against the delta so that pre-existing
+	// live issues don't block unrelated changes.
+	NewViolations []rcdc.Violation
+}
+
+// Pipeline is the Figure 7 workflow: emulate, validate, gate, deploy.
+type Pipeline struct {
+	Production *Network
+	Validator  rcdc.Validator
+}
+
+// Precheck applies the changes to an emulated copy of production, runs
+// full BGP convergence, extracts FIBs, and validates all contracts.
+func (p *Pipeline) Precheck(changes ...Change) (*PrecheckResult, error) {
+	res := &PrecheckResult{}
+	for _, ch := range changes {
+		res.Changes = append(res.Changes, ch.Describe())
+	}
+
+	baseline, err := p.validate(p.Production)
+	if err != nil {
+		return nil, err
+	}
+
+	emu := p.Production.clone()
+	for _, ch := range changes {
+		if err := ch.Apply(emu); err != nil {
+			return nil, err
+		}
+	}
+	after, err := p.validate(emu)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = after
+
+	seen := map[string]bool{}
+	for _, v := range baseline.Violations() {
+		seen[violationKey(v)] = true
+	}
+	for _, v := range after.Violations() {
+		if !seen[violationKey(v)] {
+			res.NewViolations = append(res.NewViolations, v)
+		}
+	}
+	res.Approved = len(res.NewViolations) == 0
+	return res, nil
+}
+
+// Deploy applies approved changes to production and re-validates
+// (the postcheck of the rollout workflow). It refuses unapproved results.
+func (p *Pipeline) Deploy(res *PrecheckResult, changes ...Change) (*rcdc.Report, error) {
+	if !res.Approved {
+		return nil, fmt.Errorf("emulator: refusing to deploy: %d new violations in precheck",
+			len(res.NewViolations))
+	}
+	for _, ch := range changes {
+		if err := ch.Apply(p.Production); err != nil {
+			return nil, err
+		}
+	}
+	return p.validate(p.Production)
+}
+
+func (p *Pipeline) validate(n *Network) (*rcdc.Report, error) {
+	sim := bgp.NewSim(n.Topo, n.Cfg)
+	sim.Run()
+	facts := metadata.FromTopology(n.Topo)
+	return p.Validator.ValidateAll(facts, sim)
+}
+
+func violationKey(v rcdc.Violation) string {
+	return fmt.Sprintf("%d|%s|%v|%v", v.Device, v.Contract.Kind, v.Contract.Prefix, v.Kind)
+}

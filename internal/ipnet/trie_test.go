@@ -1,0 +1,307 @@
+package ipnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie[int]
+	ps := []string{"0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/16", "10.20.20.0/24", "192.168.1.0/24"}
+	for i, s := range ps {
+		if replaced := tr.Insert(MustParsePrefix(s), i); replaced {
+			t.Errorf("Insert(%s) reported replaced on first insert", s)
+		}
+	}
+	if tr.Len() != len(ps) {
+		t.Errorf("Len = %d, want %d", tr.Len(), len(ps))
+	}
+	for i, s := range ps {
+		v, ok := tr.Get(MustParsePrefix(s))
+		if !ok || v != i {
+			t.Errorf("Get(%s) = %d,%v", s, v, ok)
+		}
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.30.0.0/16")); ok {
+		t.Error("Get of absent prefix succeeded")
+	}
+	if replaced := tr.Insert(MustParsePrefix("10.0.0.0/8"), 99); !replaced {
+		t.Error("re-insert did not report replaced")
+	}
+	if v, _ := tr.Get(MustParsePrefix("10.0.0.0/8")); v != 99 {
+		t.Errorf("after replace Get = %d", v)
+	}
+	if tr.Len() != len(ps) {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	if !tr.Delete(p) {
+		t.Error("Delete of present prefix failed")
+	}
+	if tr.Delete(p) {
+		t.Error("Delete of absent prefix succeeded")
+	}
+	if _, ok := tr.Get(p); ok {
+		t.Error("Get after Delete succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieLookupLPM(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten")
+	tr.Insert(MustParsePrefix("10.20.0.0/16"), "ten-twenty")
+	cases := []struct {
+		addr, want string
+	}{
+		{"10.20.1.1", "ten-twenty"},
+		{"10.21.1.1", "ten"},
+		{"11.0.0.1", "default"},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.Lookup(MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q", c.addr, v, ok, c.want)
+		}
+	}
+
+	var empty Trie[string]
+	if _, _, ok := empty.Lookup(0); ok {
+		t.Error("Lookup in empty trie succeeded")
+	}
+}
+
+func TestTrieLookupHostRoute(t *testing.T) {
+	var tr Trie[int]
+	a := MustParseAddr("10.0.0.1")
+	tr.Insert(Prefix{a, 32}, 7)
+	p, v, ok := tr.Lookup(a)
+	if !ok || v != 7 || p.Bits != 32 {
+		t.Errorf("Lookup host route = %v,%d,%v", p, v, ok)
+	}
+	if _, _, ok := tr.Lookup(a + 1); ok {
+		t.Error("adjacent address matched host route")
+	}
+}
+
+func TestTrieAncestorsDescendants(t *testing.T) {
+	var tr Trie[int]
+	all := []string{"0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/16", "10.20.20.0/24", "10.20.20.0/28", "192.168.0.0/16"}
+	for i, s := range all {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+
+	var anc []string
+	tr.Ancestors(MustParsePrefix("10.20.20.0/24"), func(p Prefix, _ int) bool {
+		anc = append(anc, p.String())
+		return true
+	})
+	wantAnc := []string{"0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/16", "10.20.20.0/24"}
+	if !eqStrings(anc, wantAnc) {
+		t.Errorf("Ancestors = %v, want %v", anc, wantAnc)
+	}
+
+	var desc []string
+	tr.Descendants(MustParsePrefix("10.20.0.0/16"), func(p Prefix, _ int) bool {
+		desc = append(desc, p.String())
+		return true
+	})
+	wantDesc := []string{"10.20.0.0/16", "10.20.20.0/24", "10.20.20.0/28"}
+	if !eqStrings(desc, wantDesc) {
+		t.Errorf("Descendants = %v, want %v", desc, wantDesc)
+	}
+
+	var rel []string
+	tr.Related(MustParsePrefix("10.20.0.0/16"), func(p Prefix, _ int) bool {
+		rel = append(rel, p.String())
+		return true
+	})
+	wantRel := []string{"0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/16", "10.20.20.0/24", "10.20.20.0/28"}
+	if !eqStrings(rel, wantRel) {
+		t.Errorf("Related = %v, want %v", rel, wantRel)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	var tr Trie[int]
+	ins := []string{"192.168.0.0/16", "10.0.0.0/8", "10.20.0.0/16", "0.0.0.0/0"}
+	for i, s := range ins {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/16", "192.168.0.0/16"}
+	if !eqStrings(got, want) {
+		t.Errorf("Walk = %v, want %v", got, want)
+	}
+}
+
+func TestTrieEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	for i := 0; i < 10; i++ {
+		tr.Insert(PrefixFrom(Addr(i)<<24, 8), i)
+	}
+	count := 0
+	tr.Walk(func(Prefix, int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// TestTrieLookupMatchesLinearScan cross-checks trie LPM against a brute-force
+// longest-prefix scan on random rule sets.
+func TestTrieLookupMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		var tr Trie[int]
+		var rules []Prefix
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(33)))
+			if _, dup := tr.Get(p); dup {
+				continue
+			}
+			tr.Insert(p, len(rules))
+			rules = append(rules, p)
+		}
+		for s := 0; s < 100; s++ {
+			a := Addr(rng.Uint32())
+			// Brute force: longest containing prefix.
+			best, bestIdx := -1, -1
+			for i, p := range rules {
+				if p.Contains(a) && int(p.Bits) > best {
+					best, bestIdx = int(p.Bits), i
+				}
+			}
+			_, v, ok := tr.Lookup(a)
+			if (bestIdx >= 0) != ok {
+				t.Fatalf("iter %d: Lookup(%v) ok=%v want %v", iter, a, ok, bestIdx >= 0)
+			}
+			if ok && v != bestIdx {
+				// Same length is impossible: prefixes of equal Bits containing
+				// a are identical, and duplicates were skipped.
+				t.Fatalf("iter %d: Lookup(%v) = rule %d, want %d", iter, a, v, bestIdx)
+			}
+		}
+	}
+}
+
+// TestTrieRelatedMatchesLinearScan cross-checks Related against brute force.
+func TestTrieRelatedMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 100; iter++ {
+		var tr Trie[int]
+		var rules []Prefix
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(25))) // bias to shorter
+			if _, dup := tr.Get(p); dup {
+				continue
+			}
+			tr.Insert(p, len(rules))
+			rules = append(rules, p)
+		}
+		q := PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(33)))
+		var got []string
+		tr.Related(q, func(p Prefix, _ int) bool {
+			got = append(got, p.String())
+			return true
+		})
+		var want []string
+		for _, p := range rules {
+			if p.ContainsPrefix(q) || q.ContainsPrefix(p) {
+				want = append(want, p.String())
+			}
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if !eqStrings(got, want) {
+			t.Fatalf("iter %d: Related(%v) = %v, want %v", iter, q, got, want)
+		}
+	}
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHasStrictDescendant(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("10.20.0.0/16"), 2)
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"10.0.0.0/8", true},    // /16 below
+		{"10.20.0.0/16", false}, // nothing strictly below
+		{"10.0.0.0/9", true},    // /16 is inside the /9
+		{"10.128.0.0/9", false}, // other half is empty
+		{"0.0.0.0/0", true},
+		{"11.0.0.0/8", false},
+		{"10.20.0.0/24", false},
+	}
+	for _, c := range cases {
+		if got := tr.HasStrictDescendant(MustParsePrefix(c.q)); got != c.want {
+			t.Errorf("HasStrictDescendant(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Delete clears the value but not the node: the unset node must not
+	// count as a descendant.
+	tr.Delete(MustParsePrefix("10.20.0.0/16"))
+	if tr.HasStrictDescendant(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("deleted entry still reported as descendant")
+	}
+}
+
+func TestHasStrictDescendantMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 100; iter++ {
+		var tr Trie[int]
+		var rules []Prefix
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(20)))
+			if _, dup := tr.Get(p); !dup {
+				tr.Insert(p, i)
+				rules = append(rules, p)
+			}
+		}
+		for s := 0; s < 30; s++ {
+			q := PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(22)))
+			want := false
+			for _, p := range rules {
+				if p != q && q.ContainsPrefix(p) {
+					want = true
+					break
+				}
+			}
+			if got := tr.HasStrictDescendant(q); got != want {
+				t.Fatalf("iter %d: HasStrictDescendant(%v) = %v, want %v", iter, q, got, want)
+			}
+		}
+	}
+}

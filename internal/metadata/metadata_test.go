@@ -1,0 +1,111 @@
+package metadata
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dcvalidate/internal/topology"
+)
+
+func TestFromTopology(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := FromTopology(topo)
+	if f.Datacenter != "fig3" {
+		t.Errorf("Datacenter = %q", f.Datacenter)
+	}
+	if len(f.Devices) != len(topo.Devices) {
+		t.Fatalf("devices = %d", len(f.Devices))
+	}
+	if len(f.Prefixes) != 4 {
+		t.Fatalf("prefixes = %d", len(f.Prefixes))
+	}
+
+	// ToR facts: 4 uplinks (leaves), no downlinks, one hosted prefix.
+	tor := f.Device(topo.ToRs()[0])
+	if len(tor.Uplinks) != 4 || len(tor.Downlinks) != 0 || len(tor.HostedPrefixes) != 1 {
+		t.Errorf("ToR facts: up=%d down=%d hosted=%d",
+			len(tor.Uplinks), len(tor.Downlinks), len(tor.HostedPrefixes))
+	}
+	for _, u := range tor.Uplinks {
+		if u.Role != topology.RoleLeaf || u.Cluster != 0 {
+			t.Errorf("ToR uplink = %+v", u)
+		}
+	}
+
+	// Leaf facts: 1 uplink (spine), 2 downlinks (ToRs).
+	leaf := f.Device(topo.ClusterLeaves(0)[0])
+	if len(leaf.Uplinks) != 1 || len(leaf.Downlinks) != 2 {
+		t.Errorf("leaf facts: up=%d down=%d", len(leaf.Uplinks), len(leaf.Downlinks))
+	}
+
+	// Spine facts: 2 uplinks (RS), 2 downlinks (leaves).
+	spine := f.Device(topo.Spines()[0])
+	if len(spine.Uplinks) != 2 || len(spine.Downlinks) != 2 {
+		t.Errorf("spine facts: up=%d down=%d", len(spine.Uplinks), len(spine.Downlinks))
+	}
+
+	// RS facts: downlinks only.
+	rs := f.Device(topo.RegionalSpines()[0])
+	if len(rs.Uplinks) != 0 || len(rs.Downlinks) == 0 {
+		t.Errorf("rs facts: up=%d down=%d", len(rs.Uplinks), len(rs.Downlinks))
+	}
+}
+
+func TestFactsIgnoreLinkState(t *testing.T) {
+	// Contracts derive from expected topology (§2.4): failing links must
+	// not change the metadata facts.
+	topo := topology.MustNew(topology.Figure3Params())
+	before := FromTopology(topo)
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	topo.ShutSession(topo.ToRs()[0], topo.ClusterLeaves(0)[1])
+	after := FromTopology(topo)
+	if !reflect.DeepEqual(before.Devices, after.Devices) {
+		t.Error("metadata changed with link state")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := FromTopology(topo)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Datacenter != f.Datacenter ||
+		!reflect.DeepEqual(back.Devices, f.Devices) ||
+		!reflect.DeepEqual(back.Prefixes, f.Prefixes) {
+		t.Error("JSON round trip changed facts")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("ReadJSON accepted invalid input")
+	}
+}
+
+func TestByNameAndClusterQueries(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := FromTopology(topo)
+	d, ok := f.ByName("fig3-c1-t1-2")
+	if !ok || d.Role != topology.RoleLeaf || d.Cluster != 1 {
+		t.Errorf("ByName = %+v, %v", d, ok)
+	}
+	if _, ok := f.ByName("missing"); ok {
+		t.Error("ByName matched missing device")
+	}
+	ps := f.PrefixesInCluster(1)
+	if len(ps) != 2 {
+		t.Errorf("PrefixesInCluster(1) = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Cluster != 1 {
+			t.Errorf("wrong cluster in %+v", p)
+		}
+	}
+}

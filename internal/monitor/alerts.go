@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// Alert lifecycle tracking (§2.6.4: "Validation reports are used to derive
+// automatic alerts, that in turn trigger an automated triaging process").
+// Violations are deduplicated into alerts keyed by (datacenter, device,
+// contract, kind); an alert opens when its violation first appears in a
+// cycle and resolves when a later cycle no longer reports it. The open
+// counts per cycle are the real-pipeline version of the Figure 6 burndown.
+
+// AlertState is the lifecycle stage of an alert.
+type AlertState uint8
+
+const (
+	AlertOpen AlertState = iota
+	AlertResolved
+)
+
+func (s AlertState) String() string {
+	if s == AlertResolved {
+		return "resolved"
+	}
+	return "open"
+}
+
+// Alert is one deduplicated, tracked violation.
+type Alert struct {
+	Key        string
+	Datacenter string
+	Device     topology.DeviceID
+	Violation  rcdc.Violation
+	Severity   rcdc.Severity
+	State      AlertState
+	FirstCycle int
+	LastCycle  int // last cycle the violation was observed
+	// ResolvedCycle is set when the alert resolves.
+	ResolvedCycle int
+}
+
+// AlertTracker folds per-cycle validation records into alert lifecycles.
+type AlertTracker struct {
+	alerts map[string]*Alert
+	// series records (cycle, open-high, open-low).
+	series []AlertPoint
+}
+
+// AlertPoint is one cycle of the burndown series.
+type AlertPoint struct {
+	Cycle             int
+	OpenHigh, OpenLow int
+	Opened, Resolved  int
+}
+
+// NewAlertTracker returns an empty tracker.
+func NewAlertTracker() *AlertTracker {
+	return &AlertTracker{alerts: map[string]*Alert{}}
+}
+
+func alertKey(dc string, v rcdc.Violation) string {
+	return fmt.Sprintf("%s|%d|%s|%v|%v", dc, v.Device, v.Contract.Kind, v.Contract.Prefix, v.Kind)
+}
+
+// ObserveCycle ingests one cycle's analytics records: present violations
+// open or refresh alerts; open alerts without a matching violation
+// resolve. Returns that cycle's burndown point.
+func (t *AlertTracker) ObserveCycle(cycle int, a *Analytics) AlertPoint {
+	seen := map[string]bool{}
+	pt := AlertPoint{Cycle: cycle}
+	for _, r := range a.UnhealthyInCycle(cycle) {
+		for _, v := range r.Violations {
+			k := alertKey(r.Datacenter, v)
+			seen[k] = true
+			al, ok := t.alerts[k]
+			if !ok || al.State == AlertResolved {
+				t.alerts[k] = &Alert{
+					Key: k, Datacenter: r.Datacenter, Device: v.Device,
+					Violation: v, Severity: v.Severity,
+					State: AlertOpen, FirstCycle: cycle, LastCycle: cycle,
+				}
+				pt.Opened++
+				continue
+			}
+			al.LastCycle = cycle
+		}
+	}
+	for _, al := range t.alerts {
+		if al.State == AlertOpen && !seen[al.Key] {
+			al.State = AlertResolved
+			al.ResolvedCycle = cycle
+			pt.Resolved++
+		}
+	}
+	for _, al := range t.alerts {
+		if al.State != AlertOpen {
+			continue
+		}
+		if al.Severity == rcdc.HighRisk {
+			pt.OpenHigh++
+		} else {
+			pt.OpenLow++
+		}
+	}
+	t.series = append(t.series, pt)
+	return pt
+}
+
+// Open returns the open alerts, high risk first, oldest first within a
+// severity (the remediation priority order of §2.6.4).
+func (t *AlertTracker) Open() []*Alert {
+	var out []*Alert
+	for _, al := range t.alerts {
+		if al.State == AlertOpen {
+			out = append(out, al)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].FirstCycle != out[j].FirstCycle {
+			return out[i].FirstCycle < out[j].FirstCycle
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Series returns the per-cycle burndown points observed so far.
+func (t *AlertTracker) Series() []AlertPoint { return t.series }

@@ -1,0 +1,115 @@
+package monitor
+
+import (
+	"testing"
+
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+func TestAlertLifecycle(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	tor := topo.ToRs()[0]
+	leaf := topo.ClusterLeaves(0)[0]
+	topo.FailLink(tor, leaf)
+	in := NewInstance("a", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	tracker := NewAlertTracker()
+
+	s1, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := tracker.ObserveCycle(s1.Cycle, in.Analytics)
+	if p1.Opened == 0 || p1.OpenHigh+p1.OpenLow != p1.Opened {
+		t.Fatalf("first cycle point = %+v", p1)
+	}
+	open1 := len(tracker.Open())
+	if open1 != p1.Opened {
+		t.Errorf("Open() = %d, point %d", open1, p1.Opened)
+	}
+
+	// Same state: alerts persist, nothing new opens or resolves.
+	s2, _ := in.RunCycle()
+	p2 := tracker.ObserveCycle(s2.Cycle, in.Analytics)
+	if p2.Opened != 0 || p2.Resolved != 0 || p2.OpenHigh+p2.OpenLow != open1 {
+		t.Fatalf("steady-state point = %+v", p2)
+	}
+	for _, al := range tracker.Open() {
+		if al.LastCycle != s2.Cycle {
+			t.Errorf("alert %s not refreshed", al.Key)
+		}
+	}
+
+	// Repair: everything resolves.
+	topo.RestoreAll()
+	s3, _ := in.RunCycle()
+	p3 := tracker.ObserveCycle(s3.Cycle, in.Analytics)
+	if p3.OpenHigh+p3.OpenLow != 0 || p3.Resolved != open1 {
+		t.Fatalf("post-repair point = %+v", p3)
+	}
+	if len(tracker.Open()) != 0 {
+		t.Error("alerts still open after repair")
+	}
+	if len(tracker.Series()) != 3 {
+		t.Errorf("series length = %d", len(tracker.Series()))
+	}
+}
+
+func TestAlertReopenCountsAsNew(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	tor := topo.ToRs()[0]
+	leaf := topo.ClusterLeaves(0)[0]
+	in := NewInstance("a", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	tracker := NewAlertTracker()
+
+	topo.FailLink(tor, leaf)
+	s1, _ := in.RunCycle()
+	tracker.ObserveCycle(s1.Cycle, in.Analytics)
+	topo.RestoreAll()
+	s2, _ := in.RunCycle()
+	tracker.ObserveCycle(s2.Cycle, in.Analytics)
+	// The same link fails again: a fresh alert opens.
+	topo.FailLink(tor, leaf)
+	s3, _ := in.RunCycle()
+	p3 := tracker.ObserveCycle(s3.Cycle, in.Analytics)
+	if p3.Opened == 0 {
+		t.Error("re-failure did not open a new alert")
+	}
+	for _, al := range tracker.Open() {
+		if al.FirstCycle != s3.Cycle {
+			t.Errorf("reopened alert kept old FirstCycle: %+v", al)
+		}
+	}
+}
+
+func TestAlertPriorityOrder(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	// A high-risk error (single default hop) and low-risk errors.
+	tor := topo.ToRs()[0]
+	leaves := topo.ClusterLeaves(0)
+	topo.FailLink(tor, leaves[1])
+	topo.FailLink(tor, leaves[2])
+	topo.FailLink(tor, leaves[3])
+	in := NewInstance("a", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	tracker := NewAlertTracker()
+	s1, _ := in.RunCycle()
+	tracker.ObserveCycle(s1.Cycle, in.Analytics)
+	open := tracker.Open()
+	if len(open) == 0 {
+		t.Fatal("no alerts")
+	}
+	seenLow := false
+	for _, al := range open {
+		if al.Severity == rcdc.LowRisk {
+			seenLow = true
+		} else if seenLow {
+			t.Fatal("high-risk alert after low-risk in priority order")
+		}
+	}
+	if open[0].Severity != rcdc.HighRisk {
+		t.Error("first alert not high risk")
+	}
+}

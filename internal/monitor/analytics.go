@@ -1,0 +1,252 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// Record is one device validation result in the analytics stream.
+type Record struct {
+	Cycle      int
+	Datacenter string
+	Device     topology.DeviceID
+	Name       string
+	Role       topology.Role
+	Violations []rcdc.Violation
+}
+
+// Analytics is the stream-analytics substitute (§2.6.1): it ingests
+// validation results and offers the interactive query interface the
+// alerting and remediation rules are written against.
+type Analytics struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// NewAnalytics returns an empty stream.
+func NewAnalytics() *Analytics { return &Analytics{} }
+
+// Ingest appends a record to the stream.
+func (a *Analytics) Ingest(r Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.records = append(a.records, r)
+}
+
+// Query returns the records satisfying the predicate.
+func (a *Analytics) Query(pred func(*Record) bool) []Record {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []Record
+	for i := range a.records {
+		if pred(&a.records[i]) {
+			out = append(out, a.records[i])
+		}
+	}
+	return out
+}
+
+// UnhealthyInCycle returns the records with violations in a given cycle.
+func (a *Analytics) UnhealthyInCycle(cycle int) []Record {
+	return a.Query(func(r *Record) bool { return r.Cycle == cycle && len(r.Violations) > 0 })
+}
+
+// SeverityCounts tallies violations by severity for one cycle.
+func (a *Analytics) SeverityCounts(cycle int) (high, low int) {
+	for _, r := range a.UnhealthyInCycle(cycle) {
+		for _, v := range r.Violations {
+			if v.Severity == rcdc.HighRisk {
+				high++
+			} else {
+				low++
+			}
+		}
+	}
+	return high, low
+}
+
+// ErrorClass is the §2.6.2 root-cause taxonomy.
+type ErrorClass uint8
+
+const (
+	ClassUnknown ErrorClass = iota
+	// ClassRIBFIBBug: Software Bug 1 — RIB-FIB inconsistency, fewer next
+	// hops in the FIB default route than expected with all links healthy.
+	ClassRIBFIBBug
+	// ClassL2PortBug: Software Bug 2 — interfaces treated as layer-2
+	// ports, no BGP sessions on the device at all.
+	ClassL2PortBug
+	// ClassHardwareFailure: optical faults, links operationally down.
+	ClassHardwareFailure
+	// ClassOperationDrift: BGP sessions administratively shut and never
+	// remediated.
+	ClassOperationDrift
+	// ClassMigration: ASN misconfiguration during infrastructure
+	// migration.
+	ClassMigration
+	// ClassPolicyError: route-map or ECMP configuration errors.
+	ClassPolicyError
+)
+
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassRIBFIBBug:
+		return "rib-fib-inconsistency"
+	case ClassL2PortBug:
+		return "l2-port-bug"
+	case ClassHardwareFailure:
+		return "hardware-failure"
+	case ClassOperationDrift:
+		return "operation-drift"
+	case ClassMigration:
+		return "migration-misconfig"
+	case ClassPolicyError:
+		return "policy-error"
+	}
+	return "unknown"
+}
+
+// RemediationQueueName routes a triaged error to the right team/automation
+// (§2.6.1: cabling faults to datacenter operations, admin-shut sessions to
+// automatic unshut, the rest to engineering investigation).
+type RemediationQueueName string
+
+const (
+	QueueReplaceCable  RemediationQueueName = "replace-cable"
+	QueueAutoUnshut    RemediationQueueName = "auto-unshut"
+	QueueConfigReview  RemediationQueueName = "config-review"
+	QueueInvestigation RemediationQueueName = "device-investigation"
+)
+
+// TriagedError is one classified violation with its remediation routing.
+type TriagedError struct {
+	Record   Record
+	Class    ErrorClass
+	Queue    RemediationQueueName
+	Severity rcdc.Severity
+	Detail   string
+}
+
+// Triage classifies each unhealthy record of a cycle by correlating the
+// violations with device configuration and link state, mirroring the
+// §2.6.1 query rules, and returns the errors ordered high-risk first
+// (§2.6.4: address errors in order of severity).
+func (a *Analytics) Triage(cycle int, dcs []*Datacenter) []TriagedError {
+	byName := map[string]*Datacenter{}
+	for _, dc := range dcs {
+		byName[dc.Name] = dc
+	}
+	var out []TriagedError
+	for _, r := range a.UnhealthyInCycle(cycle) {
+		dc := byName[r.Datacenter]
+		if dc == nil {
+			continue
+		}
+		te := classify(r, dc)
+		out = append(out, te)
+	}
+	// High-risk first, stable within class.
+	var ordered []TriagedError
+	for _, sev := range []rcdc.Severity{rcdc.HighRisk, rcdc.LowRisk} {
+		for _, te := range out {
+			if te.Severity == sev {
+				ordered = append(ordered, te)
+			}
+		}
+	}
+	return ordered
+}
+
+func classify(r Record, dc *Datacenter) TriagedError {
+	te := TriagedError{Record: r, Class: ClassUnknown, Queue: QueueInvestigation}
+	for _, v := range r.Violations {
+		if v.Severity == rcdc.HighRisk {
+			te.Severity = rcdc.HighRisk
+		}
+	}
+	cfg := dc.Cfg[r.Device]
+	switch {
+	case cfg != nil && cfg.SessionsDisabled:
+		te.Class, te.Queue = ClassL2PortBug, QueueInvestigation
+		te.Detail = "no BGP session on any interface"
+		return te
+	case cfg != nil && cfg.ASNOverride != 0:
+		te.Class, te.Queue = ClassMigration, QueueConfigReview
+		te.Detail = fmt.Sprintf("ASN override %d", cfg.ASNOverride)
+		return te
+	case cfg != nil && (cfg.RejectDefaultIn || cfg.MaxECMPPaths > 0):
+		te.Class, te.Queue = ClassPolicyError, QueueConfigReview
+		te.Detail = "route-map/ECMP configuration deviates"
+		return te
+	}
+	// Correlate with link state.
+	var down, shut int
+	for _, lid := range dc.Topo.LinksOf(r.Device) {
+		l := dc.Topo.Link(lid)
+		switch {
+		case !l.Up:
+			down++
+		case !l.SessionUp:
+			shut++
+		}
+	}
+	switch {
+	case down > 0:
+		te.Class, te.Queue = ClassHardwareFailure, QueueReplaceCable
+		te.Detail = fmt.Sprintf("%d links operationally down", down)
+	case shut > 0:
+		te.Class, te.Queue = ClassOperationDrift, QueueAutoUnshut
+		te.Detail = fmt.Sprintf("%d sessions administratively shut", shut)
+	default:
+		// All links healthy yet the FIB deviates: RIB-FIB inconsistency.
+		for _, v := range r.Violations {
+			if v.Kind == rcdc.DefaultMismatch && len(v.Missing) > 0 {
+				te.Class, te.Queue = ClassRIBFIBBug, QueueInvestigation
+				te.Detail = "FIB default route missing next hops with healthy links"
+				return te
+			}
+		}
+	}
+	return te
+}
+
+// AutoRemediate executes the automated §2.6.1 remediation for operation
+// drift: administratively shut sessions are unshut and monitored; sessions
+// on links marked lossy turn unhealthy again and are re-shut and escalated
+// to investigation. It returns the number of sessions restored and the
+// escalated errors.
+func AutoRemediate(errs []TriagedError, dcs []*Datacenter, lossy map[topology.LinkID]bool) (restored int, escalated []TriagedError) {
+	byName := map[string]*Datacenter{}
+	for _, dc := range dcs {
+		byName[dc.Name] = dc
+	}
+	for _, te := range errs {
+		if te.Queue != QueueAutoUnshut {
+			continue
+		}
+		dc := byName[te.Record.Datacenter]
+		if dc == nil {
+			continue
+		}
+		for _, lid := range dc.Topo.LinksOf(te.Record.Device) {
+			l := dc.Topo.Link(lid)
+			if !l.Up || l.SessionUp {
+				continue
+			}
+			if lossy[lid] {
+				// Unshut, observed unhealthy, shut again, escalate.
+				esc := te
+				esc.Queue = QueueInvestigation
+				esc.Detail = fmt.Sprintf("link %d lossy: re-shut after unshut", lid)
+				escalated = append(escalated, esc)
+				continue
+			}
+			l.SessionUp = true
+			restored++
+		}
+	}
+	return restored, escalated
+}

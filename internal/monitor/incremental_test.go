@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"testing"
+
+	"dcvalidate/internal/topology"
+)
+
+func TestSkipUnchangedCarriesResultsForward(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	in := NewInstance("inc", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	in.SkipUnchanged = true
+
+	s1, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Skipped != 0 {
+		t.Errorf("first cycle skipped %d", s1.Skipped)
+	}
+	if s1.Violations == 0 {
+		t.Fatal("failure not detected")
+	}
+
+	// Nothing changed: the second cycle skips every device but reports the
+	// same violations, and analytics still shows the unhealthy records.
+	s2, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Skipped != s2.Devices {
+		t.Errorf("skipped %d of %d devices", s2.Skipped, s2.Devices)
+	}
+	if s2.Violations != s1.Violations {
+		t.Errorf("violations drifted: %d -> %d", s1.Violations, s2.Violations)
+	}
+	if got := len(in.Analytics.UnhealthyInCycle(s2.Cycle)); got == 0 {
+		t.Error("carried-forward records missing from analytics")
+	}
+
+	// Repair the link: only the affected devices revalidate.
+	topo.RestoreAll()
+	s3, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Violations != 0 {
+		t.Errorf("violations after repair: %d", s3.Violations)
+	}
+	if s3.Skipped == 0 || s3.Skipped == s3.Devices {
+		t.Errorf("expected partial skip, got %d of %d", s3.Skipped, s3.Devices)
+	}
+}
+
+func TestSkipUnchangedOffRevalidatesEverything(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	in := NewInstance("all", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	for i := 0; i < 2; i++ {
+		stats, err := in.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Skipped != 0 {
+			t.Errorf("cycle %d skipped %d without SkipUnchanged", i, stats.Skipped)
+		}
+	}
+}
+
+func TestServicePartitioning(t *testing.T) {
+	var dcs []*Datacenter
+	for i := 0; i < 3; i++ {
+		p := topology.Figure3Params()
+		p.Name = "dc" + string(rune('a'+i))
+		topo := topology.MustNew(p)
+		if i == 1 {
+			topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+		}
+		dcs = append(dcs, NewDatacenter(p.Name, topo, nil))
+	}
+	svc := NewService(2, dcs...)
+	if len(svc.Instances) != 2 {
+		t.Fatalf("instances = %d", len(svc.Instances))
+	}
+	if len(svc.Instances[0].Datacenters)+len(svc.Instances[1].Datacenters) != 3 {
+		t.Fatal("datacenters not partitioned")
+	}
+	stats, err := svc.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatal("stats per instance missing")
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Devices
+	}
+	if total != 3*20 {
+		t.Errorf("total devices = %d", total)
+	}
+	if TotalViolations(stats) == 0 {
+		t.Error("failure in dcb not detected by the service")
+	}
+	errs := svc.Triage()
+	if len(errs) == 0 {
+		t.Error("service-level triage empty")
+	}
+	// High-risk first across instances.
+	seenLow := false
+	for _, te := range errs {
+		if te.Severity == 0 {
+			seenLow = true
+		} else if seenLow {
+			t.Fatal("triage not ordered by severity")
+		}
+	}
+}
+
+func TestServiceSingleInstanceClamp(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	svc := NewService(5, NewDatacenter("only", topo, nil))
+	if len(svc.Instances) != 1 {
+		t.Errorf("instances = %d, want clamp to 1", len(svc.Instances))
+	}
+	if _, err := svc.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+func healthyInstance(t *testing.T) (*Instance, *topology.Topology) {
+	t.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	in := NewInstance("inst-0", NewDatacenter("fig3", topo, nil))
+	in.Workers = 4
+	return in, topo
+}
+
+func TestCycleOnHealthyDatacenter(t *testing.T) {
+	in, _ := healthyInstance(t)
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Devices != 20 {
+		t.Errorf("devices = %d, want 20", stats.Devices)
+	}
+	if stats.Contracts != 92 {
+		t.Errorf("contracts = %d, want 92", stats.Contracts)
+	}
+	if stats.Violations != 0 {
+		t.Errorf("violations = %d", stats.Violations)
+	}
+	if stats.ModeledPullTime <= 0 {
+		t.Error("modeled pull time not accounted")
+	}
+	if in.Queue.Len() != 0 {
+		t.Error("queue not drained")
+	}
+	if got := in.Store.Len("tables"); got != 20 {
+		t.Errorf("stored tables = %d", got)
+	}
+}
+
+func TestCycleDetectsLinkFailure(t *testing.T) {
+	in, topo := healthyInstance(t)
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	// Reflect the live state in the source (synth reads topology state).
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations == 0 {
+		t.Fatal("link failure not detected")
+	}
+	high, low := in.Analytics.SeverityCounts(stats.Cycle)
+	if high+low != stats.Violations {
+		t.Errorf("severity counts %d+%d != %d", high, low, stats.Violations)
+	}
+	unhealthy := in.Analytics.UnhealthyInCycle(stats.Cycle)
+	if len(unhealthy) == 0 {
+		t.Error("no unhealthy records in analytics")
+	}
+}
+
+func TestModeledPullTimeScalesWithWorkers(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	in1 := NewInstance("one", NewDatacenter("fig3", topo, nil))
+	in1.Workers = 1
+	m1, err := in1.PullTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in8 := NewInstance("eight", NewDatacenter("fig3", topo, nil))
+	in8.Workers = 8
+	m8, err := in8.PullTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 devices at 200-800ms each: a single worker needs >= 20*200ms.
+	if m1 < 4*time.Second {
+		t.Errorf("single-worker modeled time = %v", m1)
+	}
+	if m8 >= m1/2 {
+		t.Errorf("8 workers modeled %v, 1 worker %v — no speedup", m8, m1)
+	}
+}
+
+func TestTriageClassification(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	cfg := map[topology.DeviceID]*bgp.DeviceConfig{}
+	l2dev := topo.ClusterLeaves(1)[0]
+	cfg[l2dev] = &bgp.DeviceConfig{SessionsDisabled: true}
+	polDev := topo.ClusterLeaves(1)[1]
+	cfg[polDev] = &bgp.DeviceConfig{RejectDefaultIn: true}
+
+	dc := NewDatacenter("fig3", topo, cfg)
+	// Hardware failure and operation drift.
+	hwTor := topo.ToRs()[0]
+	topo.FailLink(hwTor, topo.ClusterLeaves(0)[0])
+	driftTor := topo.ToRs()[1]
+	topo.ShutSession(driftTor, topo.ClusterLeaves(0)[1])
+
+	in := NewInstance("inst", dc)
+	in.Workers = 4
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+	if len(errs) == 0 {
+		t.Fatal("no triaged errors")
+	}
+	classOf := map[topology.DeviceID]ErrorClass{}
+	queueOf := map[topology.DeviceID]RemediationQueueName{}
+	for _, te := range errs {
+		classOf[te.Record.Device] = te.Class
+		queueOf[te.Record.Device] = te.Queue
+	}
+	if classOf[l2dev] != ClassL2PortBug || queueOf[l2dev] != QueueInvestigation {
+		t.Errorf("l2 device: %v %v", classOf[l2dev], queueOf[l2dev])
+	}
+	if classOf[polDev] != ClassPolicyError || queueOf[polDev] != QueueConfigReview {
+		t.Errorf("policy device: %v %v", classOf[polDev], queueOf[polDev])
+	}
+	if classOf[hwTor] != ClassHardwareFailure || queueOf[hwTor] != QueueReplaceCable {
+		t.Errorf("hw tor: %v %v", classOf[hwTor], queueOf[hwTor])
+	}
+	if classOf[driftTor] != ClassOperationDrift || queueOf[driftTor] != QueueAutoUnshut {
+		t.Errorf("drift tor: %v %v", classOf[driftTor], queueOf[driftTor])
+	}
+	// High-risk errors come first (§2.6.4).
+	seenLow := false
+	for _, te := range errs {
+		if te.Severity == rcdc.LowRisk {
+			seenLow = true
+		} else if seenLow {
+			t.Fatal("high-risk error after low-risk in triage order")
+		}
+	}
+}
+
+func TestAutoRemediation(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	dc := NewDatacenter("fig3", topo, nil)
+	tor := topo.ToRs()[0]
+	leafGood := topo.ClusterLeaves(0)[0]
+	leafLossy := topo.ClusterLeaves(0)[1]
+	topo.ShutSession(tor, leafGood)
+	topo.ShutSession(tor, leafLossy)
+	lossyLink, _ := topo.LinkBetween(tor, leafLossy)
+	lossy := map[topology.LinkID]bool{lossyLink.ID: true}
+
+	in := NewInstance("inst", dc)
+	in.Workers = 2
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+	restored, escalated := AutoRemediate(errs, in.Datacenters, lossy)
+	if restored != 1 {
+		t.Errorf("restored = %d, want 1", restored)
+	}
+	if len(escalated) == 0 {
+		t.Error("lossy link not escalated")
+	}
+	goodLink, _ := topo.LinkBetween(tor, leafGood)
+	if !goodLink.SessionUp {
+		t.Error("healthy session not unshut")
+	}
+	if lossyLink.SessionUp {
+		t.Error("lossy session wrongly unshut")
+	}
+
+	// After remediation the next cycle shows fewer violations.
+	stats2, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Violations >= stats.Violations {
+		t.Errorf("violations did not decrease: %d -> %d", stats.Violations, stats2.Violations)
+	}
+}
+
+func TestRIBFIBTriage(t *testing.T) {
+	// A device whose FIB lost default hops with healthy links classifies
+	// as RIB-FIB inconsistency. Build via a corrupting source.
+	topo := topology.MustNew(topology.Figure3Params())
+	dc := NewDatacenter("fig3", topo, nil)
+	victim := topo.ToRs()[2]
+	dc.Source = truncatingSource{inner: dc.Source, dev: victim, keep: 1}
+
+	in := NewInstance("inst", dc)
+	in.Workers = 2
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+	found := false
+	for _, te := range errs {
+		if te.Record.Device == victim {
+			found = true
+			if te.Class != ClassRIBFIBBug {
+				t.Errorf("class = %v", te.Class)
+			}
+			if te.Severity != rcdc.HighRisk {
+				t.Error("single-hop default should be high risk")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("RIB-FIB corruption not detected")
+	}
+}
+
+type truncatingSource struct {
+	inner fib.Source
+	dev   topology.DeviceID
+	keep  int
+}
+
+func (s truncatingSource) Table(d topology.DeviceID) (*fib.Table, error) {
+	t, err := s.inner.Table(d)
+	if err != nil || d != s.dev {
+		return t, err
+	}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Prefix.IsDefault() && len(e.NextHops) > s.keep {
+			e.NextHops = e.NextHops[:s.keep]
+		}
+	}
+	return t, nil
+}

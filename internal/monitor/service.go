@@ -1,0 +1,405 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// Datacenter is one monitored datacenter: its metadata facts, the device
+// fleet to pull routing tables from, and (for triage) the live topology
+// and device configurations.
+type Datacenter struct {
+	Name   string
+	Topo   *topology.Topology
+	Facts  *metadata.Facts
+	Source fib.Source
+	Cfg    map[topology.DeviceID]*bgp.DeviceConfig
+}
+
+// NewDatacenter bundles a topology with its derived facts and a synthesized
+// FIB source honoring cfg.
+func NewDatacenter(name string, topo *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig) *Datacenter {
+	return &Datacenter{
+		Name: name, Topo: topo, Facts: metadata.FromTopology(topo),
+		Source: bgp.NewSynth(topo, cfg), Cfg: cfg,
+	}
+}
+
+// Instance is one horizontally-scaled service instance (§2.6.1): it
+// monitors the devices of a set of datacenters, chosen so that the store
+// and queue are close to the devices. Production instances watch O(10K)
+// devices each.
+type Instance struct {
+	Name        string
+	Datacenters []*Datacenter
+	Store       *Store
+	Queue       *Queue
+	Analytics   *Analytics
+
+	// Workers bounds pull/validate parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SkipUnchanged enables incremental validation: devices whose stored
+	// table and contract documents are unchanged since their last
+	// validation are skipped and their previous result carried forward.
+	SkipUnchanged bool
+	// PullLatencyMin/Max model the 200–800ms per-device routing table
+	// fetch of §2.6.1. Latencies are accounted virtually (no sleeping) and
+	// reported in CycleStats.ModeledPullTime.
+	PullLatencyMin, PullLatencyMax time.Duration
+
+	rng   *rand.Rand
+	cycle int
+	memo  map[string]deviceMemo // incremental-validation cache
+}
+
+// NewInstance creates a service instance with the §2.6.1 default latency
+// model.
+func NewInstance(name string, dcs ...*Datacenter) *Instance {
+	return &Instance{
+		Name: name, Datacenters: dcs,
+		Store: NewStore(), Queue: NewQueue(), Analytics: NewAnalytics(),
+		PullLatencyMin: 200 * time.Millisecond,
+		PullLatencyMax: 800 * time.Millisecond,
+		rng:            rand.New(rand.NewSource(1)),
+	}
+}
+
+func (in *Instance) workers() int {
+	if in.Workers > 0 {
+		return in.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CycleStats reports one monitoring cycle.
+type CycleStats struct {
+	Cycle      int
+	Devices    int
+	Contracts  int
+	Violations int
+	// Skipped counts devices whose validation was skipped because their
+	// table and contracts were unchanged (SkipUnchanged).
+	Skipped int
+	// ModeledPullTime is the wall time the table pulls would take given
+	// the per-device fetch latency model and the worker parallelism.
+	ModeledPullTime time.Duration
+	// ValidateTime is the actual CPU-side validation wall time.
+	ValidateTime time.Duration
+}
+
+// document types persisted in the store.
+
+type contractDoc struct {
+	Kind     contracts.Kind      `json:"kind"`
+	Prefix   string              `json:"prefix"`
+	NextHops []topology.DeviceID `json:"nextHops"`
+}
+
+type tableDoc struct {
+	Entries []entryDoc `json:"entries"`
+}
+
+type entryDoc struct {
+	Prefix    string              `json:"prefix"`
+	NextHops  []topology.DeviceID `json:"nextHops,omitempty"`
+	Connected bool                `json:"connected,omitempty"`
+}
+
+// GenerateContracts is the device contract generator micro-service: it
+// consumes metadata facts, generates the comprehensive contract set for
+// each device, and pushes them to the store.
+func (in *Instance) GenerateContracts() (int, error) {
+	total := 0
+	for _, dc := range in.Datacenters {
+		gen := contracts.NewGenerator(dc.Facts)
+		for i := range dc.Facts.Devices {
+			id := dc.Facts.Devices[i].ID
+			set := gen.ForDevice(id)
+			docs := make([]contractDoc, len(set.Contracts))
+			for j, c := range set.Contracts {
+				docs[j] = contractDoc{Kind: c.Kind, Prefix: c.Prefix.String(), NextHops: c.NextHops}
+			}
+			raw, err := json.Marshal(docs)
+			if err != nil {
+				return total, err
+			}
+			in.Store.Put("contracts", contractsKey(dc.Name, int32(id)), raw)
+			total += len(docs)
+		}
+	}
+	return total, nil
+}
+
+// refresher is implemented by FIB sources whose derived state must be
+// recomputed from live topology before a pull cycle (e.g. bgp.Synth).
+type refresher interface{ Refresh() }
+
+// PullTables is the routing table puller micro-service: it fetches every
+// device's routing table, stores it, and posts a notification to the
+// queue. Fetch latency is sampled per device and accounted virtually.
+func (in *Instance) PullTables() (time.Duration, error) {
+	for _, dc := range in.Datacenters {
+		if r, ok := dc.Source.(refresher); ok {
+			r.Refresh()
+		}
+	}
+	var mu sync.Mutex
+	var modeled time.Duration
+	var firstErr error
+
+	type job struct {
+		dc  *Datacenter
+		dev topology.DeviceID
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var latencies []time.Duration
+	for w := 0; w < in.workers(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				tbl, err := j.dc.Source.Table(j.dev)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				doc := tableDoc{}
+				for _, e := range tbl.Entries {
+					doc.Entries = append(doc.Entries, entryDoc{
+						Prefix: e.Prefix.String(), NextHops: e.NextHops, Connected: e.Connected,
+					})
+				}
+				raw, err := json.Marshal(doc)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				in.Store.Put("tables", tableKey(j.dc.Name, int32(j.dev)), raw)
+				in.Queue.Push(fmt.Sprintf("%s/%d", j.dc.Name, j.dev))
+				lat := in.PullLatencyMin
+				mu.Lock()
+				if span := in.PullLatencyMax - in.PullLatencyMin; span > 0 {
+					lat += time.Duration(in.rng.Int63n(int64(span)))
+				}
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for _, dc := range in.Datacenters {
+		for i := range dc.Facts.Devices {
+			jobs <- job{dc, dc.Facts.Devices[i].ID}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	// The modeled wall time is the makespan of the sampled fetch latencies
+	// over the worker pool (greedy least-loaded assignment), independent of
+	// actual goroutine scheduling.
+	busy := make([]time.Duration, in.workers())
+	for _, lat := range latencies {
+		least := 0
+		for w := 1; w < len(busy); w++ {
+			if busy[w] < busy[least] {
+				least = w
+			}
+		}
+		busy[least] += lat
+	}
+	for _, b := range busy {
+		if b > modeled {
+			modeled = b
+		}
+	}
+	return modeled, firstErr
+}
+
+// ValidateQueued is the routing table validator micro-service: it drains
+// the notification queue, loads each device's table and contracts from the
+// store, validates them, and pushes the results to the analytics stream.
+// With SkipUnchanged set, devices whose documents hash identically to
+// their last validated state are skipped and the previous result carried
+// forward (re-ingested under the current cycle).
+func (in *Instance) ValidateQueued() (devices, violations, skipped int, err error) {
+	dcByName := make(map[string]*Datacenter, len(in.Datacenters))
+	for _, dc := range in.Datacenters {
+		dcByName[dc.Name] = dc
+	}
+	type msgT struct {
+		dc  *Datacenter
+		dev topology.DeviceID
+	}
+	var msgs []msgT
+	for {
+		m, ok := in.Queue.Pop()
+		if !ok {
+			break
+		}
+		i := lastSlash(m)
+		if i < 0 {
+			return devices, violations, skipped, fmt.Errorf("monitor: bad message %q", m)
+		}
+		dcName := m[:i]
+		dev, err := strconv.Atoi(m[i+1:])
+		if err != nil {
+			return devices, violations, skipped, fmt.Errorf("monitor: bad message %q", m)
+		}
+		dc, ok := dcByName[dcName]
+		if !ok {
+			return devices, violations, skipped, fmt.Errorf("monitor: unknown datacenter %q", dcName)
+		}
+		msgs = append(msgs, msgT{dc, topology.DeviceID(dev)})
+	}
+
+	if in.memo == nil {
+		in.memo = make(map[string]deviceMemo)
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, in.workers())
+	for _, m := range msgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m msgT) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rawT, okT := in.Store.Get("tables", tableKey(m.dc.Name, int32(m.dev)))
+			rawC, okC := in.Store.Get("contracts", contractsKey(m.dc.Name, int32(m.dev)))
+			if !okT || !okC {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("monitor: missing documents for %s/%d", m.dc.Name, m.dev)
+				}
+				mu.Unlock()
+				return
+			}
+			key := memoKey(m.dc.Name, int32(m.dev))
+			h := hashDocs(rawT, rawC)
+			if in.SkipUnchanged {
+				mu.Lock()
+				prev, ok := in.memo[key]
+				mu.Unlock()
+				if ok && prev.hash == h {
+					rec := prev.record
+					rec.Cycle = in.cycle
+					mu.Lock()
+					devices++
+					skipped++
+					violations += len(rec.Violations)
+					in.Analytics.Ingest(rec)
+					mu.Unlock()
+					return
+				}
+			}
+			rep, verr := in.validateDocs(m.dc, m.dev, rawT, rawC)
+			mu.Lock()
+			defer mu.Unlock()
+			if verr != nil {
+				if firstErr == nil {
+					firstErr = verr
+				}
+				return
+			}
+			rec := Record{
+				Cycle: in.cycle, Datacenter: m.dc.Name, Device: m.dev,
+				Name: rep.Name, Role: rep.Role, Violations: rep.Violations,
+			}
+			devices++
+			violations += len(rep.Violations)
+			in.Analytics.Ingest(rec)
+			in.memo[key] = deviceMemo{hash: h, record: rec}
+		}(m)
+	}
+	wg.Wait()
+	return devices, violations, skipped, firstErr
+}
+
+func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, rawC []byte) (rcdc.DeviceReport, error) {
+	var tdoc tableDoc
+	if err := json.Unmarshal(rawT, &tdoc); err != nil {
+		return rcdc.DeviceReport{}, err
+	}
+	var cdocs []contractDoc
+	if err := json.Unmarshal(rawC, &cdocs); err != nil {
+		return rcdc.DeviceReport{}, err
+	}
+	tbl := fib.NewTable(dev)
+	for _, e := range tdoc.Entries {
+		p, err := ipnet.ParsePrefix(e.Prefix)
+		if err != nil {
+			return rcdc.DeviceReport{}, err
+		}
+		tbl.Add(fib.Entry{Prefix: p, NextHops: e.NextHops, Connected: e.Connected})
+	}
+	set := contracts.DeviceContracts{Device: dev}
+	for _, d := range cdocs {
+		p, err := ipnet.ParsePrefix(d.Prefix)
+		if err != nil {
+			return rcdc.DeviceReport{}, err
+		}
+		set.Contracts = append(set.Contracts, contracts.Contract{
+			Device: dev, Kind: d.Kind, Prefix: p, NextHops: d.NextHops,
+		})
+	}
+	v := rcdc.Validator{Workers: 1}
+	return v.ValidateDevice(dc.Facts, tbl, set)
+}
+
+// RunCycle performs one full monitoring cycle: regenerate contracts, pull
+// all tables, validate everything that was notified.
+func (in *Instance) RunCycle() (CycleStats, error) {
+	in.cycle++
+	stats := CycleStats{Cycle: in.cycle}
+	n, err := in.GenerateContracts()
+	if err != nil {
+		return stats, err
+	}
+	stats.Contracts = n
+	modeled, err := in.PullTables()
+	if err != nil {
+		return stats, err
+	}
+	stats.ModeledPullTime = modeled
+	start := time.Now()
+	devs, viols, skipped, err := in.ValidateQueued()
+	if err != nil {
+		return stats, err
+	}
+	stats.Devices = devs
+	stats.Violations = viols
+	stats.Skipped = skipped
+	stats.ValidateTime = time.Since(start)
+	return stats, nil
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

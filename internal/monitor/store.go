@@ -1,0 +1,100 @@
+// Package monitor implements the RCDC live-monitoring service of §2.6:
+// three micro-services (device contract generator, routing table puller,
+// routing table validator) glued by a NoSQL store and a cloud queue
+// (Figure 5), feeding a stream-analytics system that drives alerts,
+// automated triage, and remediation queues (§2.6.4). The storage and
+// queueing substrates are in-memory stand-ins with the same interfaces and
+// data flow; the paper's claims concern the validation pipeline, not the
+// storage backend.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is the NoSQL document store substitute: namespaced key-value
+// buckets, safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{buckets: make(map[string]map[string][]byte)}
+}
+
+// Put stores a document.
+func (s *Store) Put(bucket, key string, doc []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[bucket]
+	if b == nil {
+		b = make(map[string][]byte)
+		s.buckets[bucket] = b
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	b[key] = cp
+}
+
+// Get retrieves a document.
+func (s *Store) Get(bucket, key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	doc, ok := s.buckets[bucket][key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	return cp, true
+}
+
+// Len reports how many documents a bucket holds.
+func (s *Store) Len(bucket string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[bucket])
+}
+
+// Queue is the cloud-queue substitute: an unbounded FIFO of notification
+// messages, safe for concurrent use.
+type Queue struct {
+	mu    sync.Mutex
+	items []string
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends a message.
+func (q *Queue) Push(msg string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, msg)
+}
+
+// Pop removes and returns the oldest message.
+func (q *Queue) Pop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return "", false
+	}
+	msg := q.items[0]
+	q.items = q.items[1:]
+	return msg, true
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// bucket and key naming helpers shared by the micro-services.
+func contractsKey(dc string, dev int32) string { return fmt.Sprintf("%s/contracts/%d", dc, dev) }
+func tableKey(dc string, dev int32) string     { return fmt.Sprintf("%s/table/%d", dc, dev) }

@@ -1,0 +1,152 @@
+package rcdc
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+// Network beliefs: the intro contrasts RCDC's architecture-derived intent
+// with the approach of labelling networks with template properties, a.k.a.
+// beliefs ([30], "Checking Beliefs in Dynamic Networks"). This file
+// implements that alternative so the two can be compared: beliefs are
+// generic per-role templates an operator writes down, checked against each
+// device's table. They are easy to state and catch gross drift, but —
+// unlike contracts — they do not know which specific next hops the
+// architecture intends, so they miss misdirected-but-plausible forwarding
+// (see TestBeliefsVsContracts).
+
+// Belief is one template property instantiated per device.
+type Belief interface {
+	// Name identifies the template in reports.
+	Name() string
+	// Check returns violation descriptions for one device (empty = holds).
+	Check(facts *metadata.Facts, dev *metadata.DeviceFacts, tbl *fib.Table) []string
+}
+
+// DefaultFanoutAtLeast believes every device of the role has a default
+// route with at least Min next hops.
+type DefaultFanoutAtLeast struct {
+	Role topology.Role
+	Min  int
+}
+
+func (b DefaultFanoutAtLeast) Name() string {
+	return fmt.Sprintf("default-fanout(%v)>=%d", b.Role, b.Min)
+}
+
+func (b DefaultFanoutAtLeast) Check(_ *metadata.Facts, dev *metadata.DeviceFacts, tbl *fib.Table) []string {
+	if dev.Role != b.Role {
+		return nil
+	}
+	def, ok := tbl.Default()
+	if !ok {
+		return []string{"no default route"}
+	}
+	if len(def.NextHops) < b.Min {
+		return []string{fmt.Sprintf("default route has %d next hops, believe >= %d",
+			len(def.NextHops), b.Min)}
+	}
+	return nil
+}
+
+// HasSpecificRouteForAllPrefixes believes every device of the role carries
+// a specific route for every hosted prefix it does not own.
+type HasSpecificRouteForAllPrefixes struct {
+	Role topology.Role
+}
+
+func (b HasSpecificRouteForAllPrefixes) Name() string {
+	return fmt.Sprintf("specific-routes(%v)", b.Role)
+}
+
+func (b HasSpecificRouteForAllPrefixes) Check(facts *metadata.Facts, dev *metadata.DeviceFacts, tbl *fib.Table) []string {
+	if dev.Role != b.Role {
+		return nil
+	}
+	hosted := map[string]bool{}
+	for _, p := range dev.HostedPrefixes {
+		hosted[p.String()] = true
+	}
+	var out []string
+	for _, p := range facts.Prefixes {
+		if hosted[p.Prefix.String()] {
+			continue
+		}
+		if _, ok := tbl.Get(p.Prefix); !ok {
+			out = append(out, fmt.Sprintf("no specific route for %v", p.Prefix))
+		}
+	}
+	return out
+}
+
+// NextHopsPointUpward believes a device of the role only uses devices of
+// the expected neighbor role as default-route next hops.
+type NextHopsPointUpward struct {
+	Role     topology.Role
+	NextRole topology.Role
+}
+
+func (b NextHopsPointUpward) Name() string {
+	return fmt.Sprintf("default-points(%v->%v)", b.Role, b.NextRole)
+}
+
+func (b NextHopsPointUpward) Check(facts *metadata.Facts, dev *metadata.DeviceFacts, tbl *fib.Table) []string {
+	if dev.Role != b.Role {
+		return nil
+	}
+	def, ok := tbl.Default()
+	if !ok {
+		return nil // covered by DefaultFanoutAtLeast
+	}
+	var out []string
+	for _, nh := range def.NextHops {
+		if facts.Device(nh).Role != b.NextRole {
+			out = append(out, fmt.Sprintf("default next hop %d is a %v, believe %v",
+				nh, facts.Device(nh).Role, b.NextRole))
+		}
+	}
+	return out
+}
+
+// StandardBeliefs is the belief set an operator would plausibly write for
+// the §2.1 architecture without consulting the topology database.
+func StandardBeliefs(p topology.Params) []Belief {
+	return []Belief{
+		DefaultFanoutAtLeast{topology.RoleToR, p.LeavesPerCluster},
+		DefaultFanoutAtLeast{topology.RoleLeaf, p.SpinesPerPlane},
+		DefaultFanoutAtLeast{topology.RoleSpine, p.RSLinksPerSpine},
+		HasSpecificRouteForAllPrefixes{topology.RoleToR},
+		HasSpecificRouteForAllPrefixes{topology.RoleSpine},
+		NextHopsPointUpward{topology.RoleToR, topology.RoleLeaf},
+		NextHopsPointUpward{topology.RoleLeaf, topology.RoleSpine},
+		NextHopsPointUpward{topology.RoleSpine, topology.RoleRegionalSpine},
+	}
+}
+
+// BeliefViolation is one failed belief on one device.
+type BeliefViolation struct {
+	Device topology.DeviceID
+	Belief string
+	Detail string
+}
+
+// CheckBeliefs validates every device against the belief set.
+func CheckBeliefs(facts *metadata.Facts, source fib.Source, beliefs []Belief) ([]BeliefViolation, error) {
+	var out []BeliefViolation
+	for i := range facts.Devices {
+		dev := &facts.Devices[i]
+		tbl, err := source.Table(dev.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range beliefs {
+			for _, d := range b.Check(facts, dev, tbl) {
+				out = append(out, BeliefViolation{Device: dev.ID, Belief: b.Name(), Detail: d})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package rcdc
+
+import (
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+func TestBeliefsHealthyDatacenter(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	vs, err := CheckBeliefs(facts, bgp.NewSynth(topo, nil), StandardBeliefs(topo.Params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("healthy datacenter fails beliefs: %v", vs)
+	}
+}
+
+func TestBeliefsCatchGrossDrift(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	tor1 := topo.ClusterToRs(0)[0]
+	topo.FailLink(tor1, topo.ClusterLeaves(0)[2])
+	topo.FailLink(tor1, topo.ClusterLeaves(0)[3])
+	facts := metadata.FromTopology(topo)
+	vs, err := CheckBeliefs(facts, bgp.NewSynth(topo, nil), StandardBeliefs(topo.Params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fanout, missing bool
+	for _, v := range vs {
+		if v.Device == tor1 {
+			switch {
+			case v.Belief == "default-fanout(tor)>=4":
+				fanout = true
+			case v.Belief == "specific-routes(tor)":
+				missing = true
+			}
+		}
+	}
+	if !fanout {
+		t.Errorf("degraded default fan-out not believed broken: %v", vs)
+	}
+	// With only ToR1's links failed, ToR1 keeps all specific routes (the
+	// leaves keep theirs); PrefixB routes at ToR1 survive via A1/A2.
+	_ = missing
+}
+
+// TestBeliefsVsContracts demonstrates the intro's positioning: beliefs are
+// satisfied by a table that forwards a prefix through entirely wrong — but
+// role-plausible — next hops, while the architecture-derived contracts
+// catch it.
+func TestBeliefsVsContracts(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	hps := topo.HostedPrefixes()
+	a1 := topo.ClusterLeaves(0)[0]
+	d1 := topo.Spines()[0]
+
+	// A1's real table, except PrefixA (which should go straight to ToR1)
+	// is misdirected up to the spine — role-wise plausible, semantically a
+	// needless detour the architecture forbids (leaf must send
+	// same-cluster traffic directly to the hosting ToR, §2.4.2).
+	src := bgp.NewSynth(topo, nil)
+	tbl, err := src.Table(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := fib.NewTable(a1)
+	for _, e := range tbl.Entries {
+		if e.Prefix == hps[0].Prefix {
+			bad.Add(fib.Entry{Prefix: e.Prefix, NextHops: []topology.DeviceID{d1}})
+			continue
+		}
+		bad.Add(e)
+	}
+
+	// Beliefs: all pass (default fan-out intact, specific routes exist,
+	// default points at the spine).
+	devFacts := facts.Device(a1)
+	for _, b := range StandardBeliefs(topo.Params) {
+		if got := b.Check(facts, devFacts, bad); len(got) != 0 {
+			t.Fatalf("belief %s unexpectedly caught the detour: %v", b.Name(), got)
+		}
+	}
+
+	// Contracts: the misdirected next hop is flagged.
+	gen := contractsForDevice(t, facts, a1)
+	vs, err := (TrieChecker{}).CheckDevice(bad, gen, topology.RoleLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Contract.Prefix == hps[0].Prefix && v.Kind == WrongNextHops {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("contracts missed the detour: %v", vs)
+	}
+}
+
+func TestBeliefNoDefaultRoute(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	tor := topo.ToRs()[0]
+	empty := fib.NewTable(tor)
+	empty.Add(fib.Entry{Prefix: ipnet.MustParsePrefix("10.0.0.0/24"), Connected: true})
+	b := DefaultFanoutAtLeast{topology.RoleToR, 4}
+	if got := b.Check(facts, facts.Device(tor), empty); len(got) != 1 {
+		t.Errorf("missing default not believed broken: %v", got)
+	}
+	// Wrong role: belief does not apply.
+	leaf := topo.ClusterLeaves(0)[0]
+	if got := b.Check(facts, facts.Device(leaf), empty); len(got) != 0 {
+		t.Errorf("belief applied to wrong role: %v", got)
+	}
+}
+
+func contractsForDevice(t *testing.T, facts *metadata.Facts, d topology.DeviceID) contracts.DeviceContracts {
+	t.Helper()
+	return contracts.NewGenerator(facts).ForDevice(d)
+}

@@ -1,0 +1,181 @@
+package rcdc
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// This file implements the abstract local-validation formalism of §2.4.5:
+// policies P_v : H → 2^(H×V) are validated against a ranking function
+// δ : H×V → ℕ (think time-to-live) and a cardinality bound C : H×V → ℕ
+// such that
+//
+//	(h', v') ∈ P_v(h) ⇒ δ(h,v) > δ(h',v'),
+//	δ(h,v) = 0 ⇒ v is the intended destination of h,
+//	δ(h,v) > 0 ⇒ C(h,v) > 0 and |{v' : (h',v') ∈ P_v(h)}| ≥ C(h,v).
+//
+// δ-decrease makes forwarding loop-free by construction and pins path
+// lengths (every step reduces the rank by exactly one here), and the
+// cardinality bound expresses the ECMP redundancy requirement. The checker
+// below instantiates δ and C from the Clos architecture and validates each
+// device's FIB against them — a second, independently-derived notion of
+// local correctness used to cross-check the contract-based checker.
+
+// Rank is δ(prefix, device): the number of forwarding steps to the hosting
+// ToR along intended paths, or -1 when the device is not on any intended
+// path for the prefix.
+func (f *FormalChecker) Rank(d topology.DeviceID, hp topology.HostedPrefix) int {
+	dev := f.topo.Device(d)
+	switch dev.Role {
+	case topology.RoleToR:
+		if hp.ToR == d {
+			return 0
+		}
+		if dev.Cluster == hp.Cluster {
+			return 2
+		}
+		return 4
+	case topology.RoleLeaf:
+		if dev.Cluster == hp.Cluster {
+			return 1
+		}
+		return 3
+	case topology.RoleSpine:
+		return 2
+	case topology.RoleRegionalSpine:
+		return 3
+	}
+	return -1
+}
+
+// Cardinality is C(prefix, device): the minimum ECMP fan-out the
+// architecture promises at each rank (maximal redundancy under healthy
+// state; the checker may be configured with MinFraction < 1 to tolerate a
+// redundancy budget).
+func (f *FormalChecker) Cardinality(d topology.DeviceID, hp topology.HostedPrefix) int {
+	dev := f.topo.Device(d)
+	p := f.topo.Params
+	switch dev.Role {
+	case topology.RoleToR:
+		if hp.ToR == d {
+			return 0
+		}
+		return p.LeavesPerCluster
+	case topology.RoleLeaf:
+		if dev.Cluster == hp.Cluster {
+			return 1
+		}
+		return p.SpinesPerPlane
+	case topology.RoleSpine:
+		return 1
+	case topology.RoleRegionalSpine:
+		// Spines connect to RS groups round-robin: spine k attaches to RS
+		// group k mod groups, so this RS sees every spine whose index is
+		// congruent to its own group.
+		groups := p.RegionalSpines / p.RSLinksPerSpine
+		nSpines := p.LeavesPerCluster * p.SpinesPerPlane
+		g := dev.Index % groups
+		return (nSpines - g + groups - 1) / groups
+	}
+	return 0
+}
+
+// FormalViolation is one failed §2.4.5 obligation.
+type FormalViolation struct {
+	Device topology.DeviceID
+	Prefix ipnet.Prefix
+	// Kind is "rank" when some next hop does not strictly decrease δ,
+	// "cardinality" when the fan-out is below C.
+	Kind    string
+	Detail  string
+	NextHop topology.DeviceID
+}
+
+func (v FormalViolation) String() string {
+	return fmt.Sprintf("dev=%d prefix=%v %s: %s", v.Device, v.Prefix, v.Kind, v.Detail)
+}
+
+// FormalChecker validates FIBs against the §2.4.5 obligations.
+type FormalChecker struct {
+	topo *topology.Topology
+	// byPrefix maps each hosted prefix to its facts.
+	byPrefix map[ipnet.Prefix]topology.HostedPrefix
+}
+
+// NewFormalChecker builds the checker for a topology.
+func NewFormalChecker(topo *topology.Topology) *FormalChecker {
+	f := &FormalChecker{topo: topo, byPrefix: map[ipnet.Prefix]topology.HostedPrefix{}}
+	for _, hp := range topo.HostedPrefixes() {
+		f.byPrefix[hp.Prefix] = hp
+	}
+	return f
+}
+
+// CheckDevice validates one device's FIB: every specific route's next hops
+// must strictly decrease δ (by exactly one — shortest paths), and the
+// fan-out must meet the cardinality bound.
+func (f *FormalChecker) CheckDevice(tbl *fib.Table) []FormalViolation {
+	var out []FormalViolation
+	d := tbl.Device
+	for i := range tbl.Entries {
+		e := &tbl.Entries[i]
+		if e.Connected || e.Prefix.IsDefault() {
+			continue
+		}
+		hp, ok := f.byPrefix[e.Prefix]
+		if !ok {
+			continue // not a hosted VLAN prefix (out of model)
+		}
+		rank := f.Rank(d, hp)
+		if rank <= 0 {
+			continue
+		}
+		for _, nh := range e.NextHops {
+			nrank := f.Rank(nh, hp)
+			if nrank < 0 || nrank != rank-1 {
+				out = append(out, FormalViolation{
+					Device: d, Prefix: e.Prefix, Kind: "rank", NextHop: nh,
+					Detail: fmt.Sprintf("next hop %d has δ=%d, need %d", nh, nrank, rank-1),
+				})
+			}
+		}
+		if want := f.Cardinality(d, hp); len(e.NextHops) < want {
+			out = append(out, FormalViolation{
+				Device: d, Prefix: e.Prefix, Kind: "cardinality",
+				Detail: fmt.Sprintf("fan-out %d < C=%d", len(e.NextHops), want),
+			})
+		}
+	}
+	return out
+}
+
+// CheckAll validates every device from a source and additionally requires
+// that each device carries a specific route for every prefix it is ranked
+// for (absence is a trivially failed cardinality bound: |∅| < C).
+func (f *FormalChecker) CheckAll(source fib.Source) ([]FormalViolation, error) {
+	var out []FormalViolation
+	prefixes := f.topo.HostedPrefixes()
+	for i := range f.topo.Devices {
+		d := topology.DeviceID(i)
+		tbl, err := source.Table(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f.CheckDevice(tbl)...)
+		for _, hp := range prefixes {
+			if f.Rank(d, hp) <= 0 || f.Cardinality(d, hp) == 0 {
+				continue
+			}
+			if _, ok := tbl.Get(hp.Prefix); !ok {
+				out = append(out, FormalViolation{
+					Device: d, Prefix: hp.Prefix, Kind: "cardinality",
+					Detail: "no specific route (fan-out 0)",
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package rcdc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+func TestFormalHealthyDatacenter(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := NewFormalChecker(topo)
+	vs, err := f.CheckAll(bgp.NewSynth(topo, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("healthy datacenter fails §2.4.5 obligations: %v", vs)
+	}
+}
+
+func TestFormalRanks(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := NewFormalChecker(topo)
+	hps := topo.HostedPrefixes()
+	hpA := hps[0] // cluster 0
+	cases := []struct {
+		dev  topology.DeviceID
+		want int
+	}{
+		{hpA.ToR, 0},
+		{topo.ClusterToRs(0)[1], 2},
+		{topo.ClusterToRs(1)[0], 4},
+		{topo.ClusterLeaves(0)[0], 1},
+		{topo.ClusterLeaves(1)[0], 3},
+		{topo.Spines()[0], 2},
+		{topo.RegionalSpines()[0], 3},
+	}
+	for _, c := range cases {
+		if got := f.Rank(c.dev, hpA); got != c.want {
+			t.Errorf("Rank(%s) = %d, want %d", topo.Device(c.dev).Name, got, c.want)
+		}
+	}
+}
+
+// TestFormalRankDecreaseImpliesLoopFreedom: δ-validity of all FIBs implies
+// every forwarding walk terminates at the hosting ToR in exactly δ steps —
+// the §2.4.5 argument, checked against the global path tracer.
+func TestFormalRankDecreaseImpliesLoopFreedom(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 20; iter++ {
+		p := topology.Params{
+			Name:     fmt.Sprintf("f%d", iter),
+			Clusters: 1 + rng.Intn(3), ToRsPerCluster: 1 + rng.Intn(3),
+			LeavesPerCluster: 1 + rng.Intn(3), SpinesPerPlane: 1 + rng.Intn(2),
+			RegionalSpines: 2, RSLinksPerSpine: 2,
+		}
+		topo := topology.MustNew(p)
+		src := bgp.NewSynth(topo, nil)
+		f := NewFormalChecker(topo)
+		vs, err := f.CheckAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("iter %d: healthy DC has formal violations: %v", iter, vs)
+		}
+		// δ-valid ⇒ the global tracer sees exact shortest-path lengths.
+		g, err := NewGlobalChecker(topo, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hp := range topo.HostedPrefixes() {
+			for _, src := range topo.ToRs() {
+				if src == hp.ToR {
+					continue
+				}
+				r := g.CheckPair(src, hp)
+				want := f.Rank(src, hp)
+				if !r.Reaches || r.MinHops != want || r.MaxHops != want {
+					t.Fatalf("iter %d: pair %d->%v hops [%d,%d], δ=%d",
+						iter, src, hp.Prefix, r.MinHops, r.MaxHops, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFormalDetectsRankViolation(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	f := NewFormalChecker(topo)
+	hps := topo.HostedPrefixes()
+	tor1 := topo.ClusterToRs(0)[0]
+	// A "route" from ToR1 for PrefixC pointing at another ToR: ranks 4 -> 4,
+	// not a decrease.
+	tbl := fib.NewTable(tor1)
+	tbl.Add(fib.Entry{Prefix: hps[2].Prefix, NextHops: []topology.DeviceID{topo.ClusterToRs(0)[1]}})
+	vs := f.CheckDevice(tbl)
+	foundRank, foundCard := false, false
+	for _, v := range vs {
+		switch v.Kind {
+		case "rank":
+			foundRank = true
+		case "cardinality":
+			foundCard = true
+		}
+	}
+	if !foundRank {
+		t.Errorf("rank violation not detected: %v", vs)
+	}
+	// Fan-out 1 < LeavesPerCluster also fails the cardinality bound.
+	if !foundCard {
+		t.Errorf("cardinality violation not detected: %v", vs)
+	}
+}
+
+func TestFormalDetectsMissingRoute(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	tor1 := topo.ClusterToRs(0)[0]
+	topo.FailLink(tor1, topo.ClusterLeaves(0)[2])
+	topo.FailLink(tor1, topo.ClusterLeaves(0)[3])
+	topo.FailLink(topo.ClusterToRs(0)[1], topo.ClusterLeaves(0)[0])
+	topo.FailLink(topo.ClusterToRs(0)[1], topo.ClusterLeaves(0)[1])
+	f := NewFormalChecker(topo)
+	vs, err := f.CheckAll(bgp.NewSynth(topo, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("Figure 3 failures produce no formal violations")
+	}
+	// ToR1 has no specific route for PrefixB: fan-out 0.
+	hps := topo.HostedPrefixes()
+	found := false
+	for _, v := range vs {
+		if v.Device == tor1 && v.Prefix == hps[1].Prefix && v.Kind == "cardinality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing ToR1/PrefixB cardinality violation: %v", vs)
+	}
+}
+
+// TestFormalAgreesWithContracts: on random failure scenarios, the formal
+// checker and the contract checker agree on whether the datacenter is
+// fully healthy (both are complete local characterizations of the intact
+// intent).
+func TestFormalAgreesWithContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 30; iter++ {
+		topo := topology.MustNew(topology.Figure3Params())
+		nf := rng.Intn(3)
+		for i := 0; i < nf; i++ {
+			topo.Links[rng.Intn(len(topo.Links))].Up = false
+		}
+		src := bgp.NewSynth(topo, nil)
+		facts := metadata.FromTopology(topo)
+		v := Validator{Workers: 1}
+		rep, err := v.ValidateAll(facts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewFormalChecker(topo)
+		fvs, err := f.CheckAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Contracts also police the default route, which the formal model
+		// does not; so formal-clean may still have contract violations,
+		// but contract-clean must be formal-clean.
+		if rep.Failures == 0 && len(fvs) != 0 {
+			t.Fatalf("iter %d: contracts clean but formal violations: %v", iter, fvs)
+		}
+	}
+}
+
+func TestFormalViolationString(t *testing.T) {
+	v := FormalViolation{Device: 3, Kind: "rank", Detail: "x"}
+	if v.String() == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,181 @@
+package rcdc
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/bv"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// SMTChecker is the bit-vector-logic verification engine of §2.5.1. The
+// routing policy is encoded per Definition 2.1 as a nested if-then-else
+// over prefix-range predicates, with one Boolean variable per next-hop
+// interface; a contract check is a satisfiability query discharged to the
+// internal/bv + internal/sat pipeline (the Z3 substitute).
+//
+// It is the default, fully general engine ("flexible query language,
+// performance within a second per routing table"); TrieChecker is the
+// specialized fast path for the common workload.
+//
+// A specific contract discharges the paper's primary query
+//
+//	C.range(x) ∧ P ∧ ¬C.nexthops
+//
+// (satisfiable ⇒ some covered address forwards outside the expected set)
+// plus a coverage query asserting some specific rule matches every address
+// in the range (unsatisfied ⇒ MissingRoute: packets fall to the default
+// route, the §2.4.4 failure shape). With Exact set, the single query
+// variant C.range(x) ∧ ¬(P ⇔ C.nexthops) of §2.5.1 is used instead, which
+// additionally requires every expected redundant hop.
+type SMTChecker struct {
+	Exact bool
+}
+
+func hopVar(c *bv.Ctx, d topology.DeviceID) bv.Term {
+	return c.BoolVar(fmt.Sprintf("nh%d", d))
+}
+
+// encodePolicy builds the Definition 2.1 meaning of the non-default part of
+// the policy: rules sorted by descending prefix length folded into an ITE
+// chain, evaluating to the matched rule's next-hop disjunction, or drop
+// (false) when no specific rule matches. It also returns the coverage
+// predicate (some specific rule matches). The default route is excluded: it
+// is validated by the default contract's special case, and specific
+// contracts require a specific route (§2.4, §2.6.2 Migrations).
+func encodePolicy(c *bv.Ctx, dst bv.Term, tbl *fib.Table) (policy, covered bv.Term) {
+	// Collect non-default entries in descending prefix-length order.
+	byLen := make([][]int, 33)
+	for i := range tbl.Entries {
+		p := tbl.Entries[i].Prefix
+		if p.IsDefault() {
+			continue
+		}
+		byLen[p.Bits] = append(byLen[p.Bits], i)
+	}
+	formula := c.False() // P_n = drop
+	var conds []bv.Term
+	// Build the ITE chain inside-out: the longest prefix must be the
+	// outermost (first-checked) condition, so wrap from shortest upward.
+	for bits := 0; bits <= 32; bits++ {
+		for _, idx := range byLen[bits] {
+			e := &tbl.Entries[idx]
+			rng := ipnet.RangeOf(e.Prefix)
+			cond := c.InRange(dst, uint64(rng.Lo), uint64(rng.Hi))
+			conds = append(conds, cond)
+			var hops bv.Term
+			if e.Connected {
+				hops = c.BoolVar("local")
+			} else {
+				terms := make([]bv.Term, len(e.NextHops))
+				for i, nh := range e.NextHops {
+					terms[i] = hopVar(c, nh)
+				}
+				hops = c.Or(terms...)
+			}
+			formula = c.Ite(cond, hops, formula)
+		}
+	}
+	return formula, c.Or(conds...)
+}
+
+// CheckDevice implements Checker. The device's policy is bit-blasted once
+// and every contract is discharged as an assumption query against the
+// shared encoding.
+func (s SMTChecker) CheckDevice(tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role) ([]Violation, error) {
+	c := bv.NewCtx()
+	dst := c.BVVar("dstIp", 32)
+	policy, covered := encodePolicy(c, dst, tbl)
+	solver := bv.NewSolver(c)
+
+	var out []Violation
+	for _, ct := range dc.Contracts {
+		if ct.Kind == contracts.Default {
+			// §2.5.1: the default contract is the special case
+			// r_default.nexthops = C_default.nexthops.
+			out = appendDefaultViolations(out, tbl, ct, role)
+			continue
+		}
+		v, err := s.checkSpecific(c, solver, dst, policy, covered, tbl, ct, role)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func (s SMTChecker) checkSpecific(c *bv.Ctx, solver *bv.Solver, dst, policy, covered bv.Term,
+	tbl *fib.Table, ct contracts.Contract, role topology.Role) ([]Violation, error) {
+	expected := make([]bv.Term, len(ct.NextHops))
+	for i, nh := range ct.NextHops {
+		expected[i] = hopVar(c, nh)
+	}
+	want := c.Or(expected...)
+
+	rng := ipnet.RangeOf(ct.Prefix)
+	inRange := c.InRange(dst, uint64(rng.Lo), uint64(rng.Hi))
+
+	var query bv.Term
+	if s.Exact {
+		query = c.And(inRange, c.Not(c.Iff(policy, want)))
+	} else {
+		// Coverage first: an address in range matched by no specific rule
+		// is a MissingRoute violation regardless of next-hop assignments.
+		res, err := solver.SolveAssuming(c.And(inRange, c.Not(covered)))
+		if err != nil {
+			return nil, fmt.Errorf("rcdc: smt coverage %v: %w", ct.Prefix, err)
+		}
+		if res.Sat {
+			def, _ := tbl.Default()
+			remaining := 0
+			if def != nil {
+				remaining = len(def.NextHops)
+			}
+			v := Violation{Device: ct.Device, Contract: ct, Kind: MissingRoute, Remaining: remaining}
+			classify(&v, role)
+			return []Violation{v}, nil
+		}
+		query = c.And(inRange, policy, c.Not(want))
+	}
+	res, err := solver.SolveAssuming(query)
+	if err != nil {
+		return nil, fmt.Errorf("rcdc: smt check %v: %w", ct.Prefix, err)
+	}
+	if !res.Sat {
+		return nil, nil
+	}
+	// Counterexample: locate the rule the witness address selects and
+	// report the concrete ECMP-set difference.
+	addr := ipnet.Addr(res.Model.BVs["dstIp"])
+	e, ok := lookupSpecific(tbl, addr)
+	if !ok {
+		def, _ := tbl.Default()
+		remaining := 0
+		if def != nil {
+			remaining = len(def.NextHops)
+		}
+		v := Violation{Device: ct.Device, Contract: ct, Kind: MissingRoute, Remaining: remaining}
+		classify(&v, role)
+		return []Violation{v}, nil
+	}
+	missing, unexpected := diffHops(ct.NextHops, e.NextHops)
+	v := Violation{
+		Device: ct.Device, Contract: ct, Kind: WrongNextHops,
+		RulePrefix: e.Prefix, Missing: missing, Unexpected: unexpected,
+		Remaining: len(e.NextHops),
+	}
+	classify(&v, role)
+	return []Violation{v}, nil
+}
+
+// lookupSpecific is LPM restricted to non-default rules.
+func lookupSpecific(tbl *fib.Table, a ipnet.Addr) (*fib.Entry, bool) {
+	e, ok := tbl.Lookup(a)
+	if !ok || e.Prefix.IsDefault() {
+		return nil, false
+	}
+	return e, true
+}

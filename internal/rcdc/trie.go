@@ -1,0 +1,150 @@
+package rcdc
+
+import (
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// TrieChecker is the specialized algorithm of §2.5.2: it exploits the fact
+// that both contract ranges and routing rules are proper address prefixes,
+// representing the policy as a hash-trie and limiting each contract check
+// to the rules whose prefix contains or is contained in the contract range.
+// It is the engine RCDC uses for the common workload, scaling validation to
+// thousands of devices on modest CPU (§2.5).
+//
+// Specific contracts are checked with subset semantics, matching the
+// outcome table of §2.4.4 (R1 keeps Prefix_B through D3 alone and is clean;
+// ToR1's degraded-but-correct Prefix_C route is clean): a specific route
+// must cover the contract range and must not forward to any next hop
+// outside the expected set. Loss of redundancy is surfaced through the
+// default contracts, which require the exact expected ECMP set. Setting
+// Exact extends the exact-set requirement to specific contracts — the
+// "agrees with a contract with respect to all output ports" variant of
+// §2.5.1.
+type TrieChecker struct {
+	Exact bool
+}
+
+// CheckDevice implements Checker.
+func (t TrieChecker) CheckDevice(tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role) ([]Violation, error) {
+	var out []Violation
+	tr := tbl.Trie()
+	for _, c := range dc.Contracts {
+		if c.Kind == contracts.Default {
+			out = appendDefaultViolations(out, tbl, c, role)
+			continue
+		}
+		out = appendSpecificViolations(out, tbl, tr, c, role, t.Exact)
+	}
+	return out, nil
+}
+
+// appendDefaultViolations validates a default-route contract by direct
+// comparison of the default rule's next hops — the special case of §2.5.1.
+func appendDefaultViolations(out []Violation, tbl *fib.Table, c contracts.Contract, role topology.Role) []Violation {
+	def, ok := tbl.Default()
+	if !ok {
+		v := Violation{Device: c.Device, Contract: c, Kind: MissingDefault, Remaining: 0}
+		classify(&v, role)
+		return append(out, v)
+	}
+	if hopsOKSorted(c.NextHops, def.NextHops, true) || sameHops(c.NextHops, def.NextHops) {
+		return out
+	}
+	missing, unexpected := diffHops(c.NextHops, def.NextHops)
+	v := Violation{
+		Device: c.Device, Contract: c, Kind: DefaultMismatch,
+		RulePrefix: def.Prefix, Missing: missing, Unexpected: unexpected,
+		Remaining: len(def.NextHops),
+	}
+	classify(&v, role)
+	return append(out, v)
+}
+
+// appendSpecificViolations walks the candidate rules of §2.5.2 — every rule
+// whose prefix contains or is contained in the contract range, excluding
+// the default route — in descending prefix-length order, flagging rules
+// whose next hops differ from the contract, until the accumulated rule
+// prefixes cover the contract range. Any uncovered remainder would be
+// handled by the default route and is reported as a missing specific route.
+func appendSpecificViolations(out []Violation, tbl *fib.Table, tr *ipnet.Trie[int], c contracts.Contract, role topology.Role, exact bool) []Violation {
+	// Fast path for the dominant healthy case: a rule exactly at the
+	// contract prefix, no more-specific rules beneath it, next hops
+	// satisfying the contract. No allocation, O(prefix length).
+	if idx, ok := tr.Get(c.Prefix); ok && !tr.HasStrictDescendant(c.Prefix) {
+		r := &tbl.Entries[idx]
+		if len(r.NextHops) > 0 && hopsOKSorted(c.NextHops, r.NextHops, exact) {
+			return out
+		}
+	}
+	// Candidates: descendants first (they are longer), then ancestors from
+	// longest to shortest. The trie yields ancestors shortest-first, so
+	// collect and reverse; descendants are already at least as long as the
+	// contract range.
+	var candidates []int
+	tr.Descendants(c.Prefix, func(_ ipnet.Prefix, idx int) bool {
+		candidates = append(candidates, idx)
+		return true
+	})
+	// Descendants walk is lexicographic; sort by descending prefix length
+	// (stable order for equal lengths doesn't matter: equal-length
+	// prefixes under one range are disjoint).
+	sortByPrefixLenDesc(tbl, candidates)
+	var ancestors []int
+	tr.Ancestors(c.Prefix, func(p ipnet.Prefix, idx int) bool {
+		if p.IsDefault() || p == c.Prefix {
+			return true // default handled separately; exact match is in descendants
+		}
+		ancestors = append(ancestors, idx)
+		return true
+	})
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		candidates = append(candidates, ancestors[i])
+	}
+
+	var covered []ipnet.Prefix
+	rng := ipnet.RangeOf(c.Prefix)
+	for _, idx := range candidates {
+		r := &tbl.Entries[idx]
+		missing, unexpected := diffHops(c.NextHops, r.NextHops)
+		bad := len(unexpected) > 0 || len(r.NextHops) == 0
+		if exact {
+			bad = bad || len(missing) > 0
+		}
+		if bad {
+			v := Violation{
+				Device: c.Device, Contract: c, Kind: WrongNextHops,
+				RulePrefix: r.Prefix, Missing: missing, Unexpected: unexpected,
+				Remaining: len(r.NextHops),
+			}
+			classify(&v, role)
+			out = append(out, v)
+		}
+		covered = append(covered, r.Prefix)
+		if len(rng.SubtractPrefixes(covered)) == 0 {
+			return out // contract range fully covered by specific rules
+		}
+	}
+	// Remainder falls to the default route: missing specific route.
+	def, _ := tbl.Default()
+	remaining := 0
+	if def != nil {
+		remaining = len(def.NextHops)
+	}
+	v := Violation{
+		Device: c.Device, Contract: c, Kind: MissingRoute, Remaining: remaining,
+	}
+	classify(&v, role)
+	return append(out, v)
+}
+
+func sortByPrefixLenDesc(tbl *fib.Table, idxs []int) {
+	// Insertion sort: candidate lists are tiny (usually 1).
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && tbl.Entries[idxs[j]].Prefix.Bits > tbl.Entries[idxs[j-1]].Prefix.Bits; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+}

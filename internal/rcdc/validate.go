@@ -1,0 +1,154 @@
+package rcdc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+// DeviceReport is the validation outcome for one device.
+type DeviceReport struct {
+	Device     topology.DeviceID
+	Name       string
+	Role       topology.Role
+	Contracts  int
+	Violations []Violation
+	Elapsed    time.Duration
+}
+
+// Healthy reports whether the device passed all its contracts.
+func (r *DeviceReport) Healthy() bool { return len(r.Violations) == 0 }
+
+// Report aggregates a validation run over a set of devices.
+type Report struct {
+	Devices  []DeviceReport
+	Elapsed  time.Duration
+	Workers  int
+	Checked  int // total contracts checked
+	Failures int // total violations
+}
+
+// HighRisk returns the number of high-risk violations (§2.6.4).
+func (r *Report) HighRisk() int {
+	n := 0
+	for i := range r.Devices {
+		for _, v := range r.Devices[i].Violations {
+			if v.Severity == HighRisk {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Violations flattens all violations across devices.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for i := range r.Devices {
+		out = append(out, r.Devices[i].Violations...)
+	}
+	return out
+}
+
+// Validator runs local validation: each device is checked against its own
+// contracts in isolation, so devices can be validated in parallel and no
+// global snapshot is ever formed (§2.4).
+type Validator struct {
+	// Checker is the verification engine; defaults to TrieChecker.
+	Checker Checker
+	// Workers is the parallelism degree; 0 means GOMAXPROCS, 1 models the
+	// paper's single-CPU measurements.
+	Workers int
+}
+
+func (v *Validator) checker() Checker {
+	if v.Checker != nil {
+		return v.Checker
+	}
+	return TrieChecker{}
+}
+
+// ValidateDevice checks one device's table against its contracts.
+func (v *Validator) ValidateDevice(facts *metadata.Facts, tbl *fib.Table, dc contracts.DeviceContracts) (DeviceReport, error) {
+	df := facts.Device(dc.Device)
+	start := time.Now()
+	viols, err := v.checker().CheckDevice(tbl, dc, df.Role)
+	if err != nil {
+		return DeviceReport{}, err
+	}
+	return DeviceReport{
+		Device: dc.Device, Name: df.Name, Role: df.Role,
+		Contracts: len(dc.Contracts), Violations: viols,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// ValidateAll checks every device, pulling each FIB from the source and
+// generating its contracts on the fly. FIBs are not retained: memory stays
+// O(one device) per worker regardless of datacenter size.
+func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Report, error) {
+	gen := contracts.NewGenerator(facts)
+	workers := v.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	type result struct {
+		rep DeviceReport
+		err error
+	}
+	ids := make(chan topology.DeviceID)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				tbl, err := source.Table(id)
+				if err != nil {
+					results <- result{err: fmt.Errorf("rcdc: pulling table for device %d: %w", id, err)}
+					continue
+				}
+				rep, err := v.ValidateDevice(facts, tbl, gen.ForDevice(id))
+				results <- result{rep: rep, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range facts.Devices {
+			ids <- facts.Devices[i].ID
+		}
+		close(ids)
+		wg.Wait()
+		close(results)
+	}()
+
+	rep := &Report{Workers: workers}
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		rep.Devices = append(rep.Devices, r.rep)
+		rep.Checked += r.rep.Contracts
+		rep.Failures += len(r.rep.Violations)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(rep.Devices, func(i, j int) bool { return rep.Devices[i].Device < rep.Devices[j].Device })
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

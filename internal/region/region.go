@@ -1,0 +1,155 @@
+// Package region models multiple datacenters sharing a regional spine
+// network — the setting that motivates two details of the §2.1 design:
+// regional spine devices strip private ASNs from the AS_PATH when relaying
+// routes between datacenters (otherwise the deliberately reused spine,
+// leaf, and ToR ASNs would cause loop-prevention to drop every inter-DC
+// route), and datacenters receive each other's prefixes only through the
+// regional tier.
+//
+// The regional network itself is abstracted as a full exchange among the
+// datacenters' regional spines: after each datacenter converges
+// internally, every prefix reachable at an origin datacenter's RS tier is
+// delivered to the other datacenters' regional spines — stripped to the
+// origin RS ASN, or verbatim when stripping is disabled for the ablation —
+// and the datacenters re-converge with the regional routes injected.
+package region
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/topology"
+)
+
+// DC is one member datacenter.
+type DC struct {
+	Topo *topology.Topology
+	Cfg  map[topology.DeviceID]*bgp.DeviceConfig
+	Sim  *bgp.Sim
+}
+
+// Region is a set of datacenters on one regional network.
+type Region struct {
+	DCs []*DC
+	// DisableStripping is the ablation: relay inter-DC routes with their
+	// private AS paths intact, reproducing the ASN-collision failure the
+	// paper's design rule prevents.
+	DisableStripping bool
+
+	converged bool
+}
+
+// New builds a region from per-datacenter parameters. Each parameter set
+// must carry a distinct RegionIndex (which separates RS ASNs and prefix
+// blocks).
+func New(params []topology.Params) (*Region, error) {
+	if len(params) < 2 {
+		return nil, fmt.Errorf("region: need at least 2 datacenters")
+	}
+	seen := map[int]bool{}
+	r := &Region{}
+	for _, p := range params {
+		if seen[p.RegionIndex] {
+			return nil, fmt.Errorf("region: duplicate RegionIndex %d", p.RegionIndex)
+		}
+		seen[p.RegionIndex] = true
+		topo, err := topology.New(p)
+		if err != nil {
+			return nil, err
+		}
+		r.DCs = append(r.DCs, &DC{Topo: topo, Cfg: map[topology.DeviceID]*bgp.DeviceConfig{}})
+	}
+	return r, nil
+}
+
+// Converge runs every datacenter to convergence, exchanges routes across
+// the regional network, and re-converges with the injected regional
+// routes. Regional reachability of a prefix requires the origin
+// datacenter's RS tier to actually hold a route for it (so origin-side
+// failures withdraw the prefix regionally).
+func (r *Region) Converge() error {
+	// Phase 1: internal convergence.
+	for _, dc := range r.DCs {
+		dc.Sim = bgp.NewSim(dc.Topo, dc.Cfg)
+		dc.Sim.Run()
+	}
+
+	// Phase 2: regional exchange. For each origin DC, gather the prefixes
+	// present at its RS tier along with a representative (unstripped)
+	// path.
+	type export struct {
+		prefix ipnet.Prefix
+		path   []uint32 // as relayed into the regional network
+	}
+	exports := make([][]export, len(r.DCs))
+	for i, dc := range r.DCs {
+		seen := map[ipnet.Prefix]bool{}
+		for _, rs := range dc.Topo.RegionalSpines() {
+			rsASN := dc.Topo.Device(rs).ASN
+			tbl, err := dc.Sim.Table(rs)
+			if err != nil {
+				return err
+			}
+			for _, e := range tbl.Entries {
+				if e.Prefix.IsDefault() || e.Connected || seen[e.Prefix] {
+					continue
+				}
+				seen[e.Prefix] = true
+				var path []uint32
+				if r.DisableStripping {
+					full, _ := dc.Sim.PathOf(rs, e.Prefix)
+					path = append([]uint32{rsASN}, full...)
+				} else {
+					// §2.1: private ASNs stripped; only the origin RS ASN
+					// remains on the regional path.
+					path = []uint32{rsASN}
+				}
+				exports[i] = append(exports[i], export{e.Prefix, path})
+			}
+		}
+	}
+
+	// Phase 3: inject and re-converge. Every remote datacenter's RS
+	// receives every exported route of every other datacenter.
+	for j, dc := range r.DCs {
+		var routes []bgp.External
+		for i := range r.DCs {
+			if i == j {
+				continue
+			}
+			for _, e := range exports[i] {
+				routes = append(routes, bgp.External{Prefix: e.prefix, Path: e.path})
+			}
+		}
+		dc.Sim = bgp.NewSim(dc.Topo, dc.Cfg)
+		for _, rs := range dc.Topo.RegionalSpines() {
+			dc.Sim.SetExternal(rs, routes)
+		}
+		dc.Sim.Run()
+	}
+	r.converged = true
+	return nil
+}
+
+// Table returns the FIB of a device in one datacenter.
+func (r *Region) Table(dc int, d topology.DeviceID) (*fib.Table, error) {
+	if !r.converged {
+		return nil, fmt.Errorf("region: Converge first")
+	}
+	return r.DCs[dc].Sim.Table(d)
+}
+
+// Source returns a fib.Source scoped to one member datacenter, suitable
+// for running RCDC validation against it.
+func (r *Region) Source(dc int) fib.Source { return regionSource{r, dc} }
+
+type regionSource struct {
+	r  *Region
+	dc int
+}
+
+func (s regionSource) Table(d topology.DeviceID) (*fib.Table, error) {
+	return s.r.Table(s.dc, d)
+}

@@ -1,0 +1,174 @@
+package region
+
+import (
+	"testing"
+
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+func twoDCParams() []topology.Params {
+	a := topology.Figure3Params()
+	a.Name = "dc0"
+	a.RegionIndex = 0
+	b := topology.Figure3Params()
+	b.Name = "dc1"
+	b.RegionIndex = 1
+	return []topology.Params{a, b}
+}
+
+func converged(t *testing.T, strip bool) *Region {
+	t.Helper()
+	r, err := New(twoDCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.DisableStripping = !strip
+	if err := r.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegionDistinctIdentity(t *testing.T) {
+	r, err := New(twoDCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc0, dc1 := r.DCs[0].Topo, r.DCs[1].Topo
+	// RS ASNs differ; spine/leaf/ToR ASNs deliberately collide.
+	if dc0.Device(dc0.RegionalSpines()[0]).ASN == dc1.Device(dc1.RegionalSpines()[0]).ASN {
+		t.Error("RS ASNs collide across datacenters")
+	}
+	if dc0.Device(dc0.Spines()[0]).ASN != dc1.Device(dc1.Spines()[0]).ASN {
+		t.Error("spine ASNs should be reused across datacenters (the §2.1 collision)")
+	}
+	// Prefix blocks are disjoint.
+	p0 := map[string]bool{}
+	for _, hp := range dc0.HostedPrefixes() {
+		p0[hp.Prefix.String()] = true
+	}
+	for _, hp := range dc1.HostedPrefixes() {
+		if p0[hp.Prefix.String()] {
+			t.Fatalf("prefix %v hosted in both datacenters", hp.Prefix)
+		}
+	}
+}
+
+func TestRegionInterDCRoutesWithStripping(t *testing.T) {
+	r := converged(t, true)
+	dc0, dc1 := r.DCs[0].Topo, r.DCs[1].Topo
+	remote := dc0.HostedPrefixes()[0].Prefix
+
+	// DC1's spines, leaves, and ToRs all carry the DC0 prefix.
+	for _, dev := range []topology.DeviceID{
+		dc1.Spines()[0], dc1.ClusterLeaves(0)[0], dc1.ToRs()[0],
+	} {
+		tbl, err := r.Table(1, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok := tbl.Get(remote)
+		if !ok {
+			t.Fatalf("%s lacks remote prefix %v", dc1.Device(dev).Name, remote)
+		}
+		if len(e.NextHops) == 0 {
+			t.Fatalf("%s remote route has no next hops", dc1.Device(dev).Name)
+		}
+	}
+	// The ToR's remote route uses all its leaves (full ECMP down the line).
+	tbl, _ := r.Table(1, dc1.ToRs()[0])
+	e, _ := tbl.Get(remote)
+	if len(e.NextHops) != dc1.Params.LeavesPerCluster {
+		t.Errorf("remote route fan-out = %d, want %d", len(e.NextHops), dc1.Params.LeavesPerCluster)
+	}
+}
+
+// TestRegionStrippingNecessary is the design-rule ablation: without
+// private-ASN stripping, the reused spine/leaf/ToR ASNs make remote
+// datacenters' loop prevention reject every inter-DC route.
+func TestRegionStrippingNecessary(t *testing.T) {
+	r := converged(t, false)
+	dc0, dc1 := r.DCs[0].Topo, r.DCs[1].Topo
+	remote := dc0.HostedPrefixes()[0].Prefix
+
+	// The RS relays the unstripped path; the spine (whose ASN appears in
+	// it) must reject, so no device below carries the route.
+	for _, dev := range []topology.DeviceID{
+		dc1.Spines()[0], dc1.ClusterLeaves(0)[0], dc1.ToRs()[0],
+	} {
+		tbl, err := r.Table(1, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tbl.Get(remote); ok {
+			t.Fatalf("%s carries remote prefix despite unstripped private ASNs",
+				dc1.Device(dev).Name)
+		}
+	}
+}
+
+// TestRegionLocalValidationUnaffected: the injected regional routes must
+// not disturb intra-DC contract validation — remote prefixes fall outside
+// every local contract range.
+func TestRegionLocalValidationUnaffected(t *testing.T) {
+	r := converged(t, true)
+	for i, dc := range r.DCs {
+		facts := metadata.FromTopology(dc.Topo)
+		v := rcdc.Validator{Workers: 2}
+		rep, err := v.ValidateAll(facts, r.Source(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failures != 0 {
+			t.Errorf("dc%d: %d violations with regional routes injected: %v",
+				i, rep.Failures, rep.Violations())
+		}
+	}
+}
+
+// TestRegionOriginFailureWithdraws: if the origin datacenter loses a
+// prefix at its RS tier entirely, the prefix disappears regionally.
+func TestRegionOriginFailureWithdraws(t *testing.T) {
+	r, err := New(twoDCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc0 := r.DCs[0].Topo
+	hp := dc0.HostedPrefixes()[0]
+	// Cut the hosting ToR from all leaves: the prefix vanishes everywhere.
+	for _, leaf := range dc0.ClusterLeaves(hp.Cluster) {
+		dc0.FailLink(hp.ToR, leaf)
+	}
+	if err := r.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.Table(1, r.DCs[1].Topo.ToRs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get(hp.Prefix); ok {
+		t.Error("withdrawn prefix still visible in the remote datacenter")
+	}
+	// Other DC0 prefixes remain visible.
+	other := dc0.HostedPrefixes()[1]
+	if _, ok := tbl.Get(other.Prefix); !ok {
+		t.Error("unrelated prefix lost")
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	if _, err := New(twoDCParams()[:1]); err == nil {
+		t.Error("single-DC region accepted")
+	}
+	dup := twoDCParams()
+	dup[1].RegionIndex = 0
+	if _, err := New(dup); err == nil {
+		t.Error("duplicate RegionIndex accepted")
+	}
+	r, _ := New(twoDCParams())
+	if _, err := r.Table(0, 0); err == nil {
+		t.Error("Table before Converge accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func pigeonholeClauses(n int) (int, [][]int) {
+	nVars := (n + 1) * n
+	v := func(p, h int) int { return p*n + h + 1 }
+	var cls [][]int
+	for p := 0; p <= n; p++ {
+		c := make([]int, n)
+		for h := 0; h < n; h++ {
+			c[h] = v(p, h)
+		}
+		cls = append(cls, c)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				cls = append(cls, []int{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return nVars, cls
+}
+
+// BenchmarkAblation_Pigeonhole compares the full CDCL configuration
+// against the no-learning and no-VSIDS ablations on PHP(n+1, n) — the
+// DESIGN.md SAT-level ablation.
+func BenchmarkAblation_Pigeonhole(b *testing.B) {
+	n := 6
+	nVars, cls := pigeonholeClauses(n)
+	run := func(b *testing.B, configure func(*Solver)) {
+		for i := 0; i < b.N; i++ {
+			s := New(nVars)
+			configure(s)
+			addAll(s, cls)
+			ok, err := s.Solve()
+			if err != nil || ok {
+				b.Fatalf("PHP should be unsat: %v %v", ok, err)
+			}
+		}
+	}
+	b.Run("cdcl", func(b *testing.B) { run(b, func(*Solver) {}) })
+	b.Run("no-vsids", func(b *testing.B) { run(b, func(s *Solver) { s.DisableVSIDS = true }) })
+	b.Run("no-learning", func(b *testing.B) {
+		n := 5 // chronological backtracking needs a smaller instance
+		nVars, cls := pigeonholeClauses(n)
+		for i := 0; i < b.N; i++ {
+			s := New(nVars)
+			s.DisableLearning = true
+			addAll(s, cls)
+			ok, err := s.Solve()
+			if err != nil || ok {
+				b.Fatalf("PHP should be unsat: %v %v", ok, err)
+			}
+		}
+	})
+}
+
+// BenchmarkRandom3SAT measures solving near-threshold random 3-SAT.
+func BenchmarkRandom3SAT(b *testing.B) {
+	for _, nVars := range []int{50, 100} {
+		b.Run(fmt.Sprintf("vars=%d", nVars), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			nClauses := int(4.1 * float64(nVars))
+			for i := 0; i < b.N; i++ {
+				s := New(nVars)
+				for j := 0; j < nClauses; j++ {
+					var c []Lit
+					for k := 0; k < 3; k++ {
+						c = append(c, NewLit(1+rng.Intn(nVars), rng.Intn(2) == 0))
+					}
+					s.AddClause(c...)
+				}
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPropagation measures raw unit propagation on a long implication
+// chain.
+func BenchmarkPropagation(b *testing.B) {
+	const n = 10000
+	for i := 0; i < b.N; i++ {
+		s := New(n)
+		for v := 1; v < n; v++ {
+			s.AddClause(NewLit(v, true), NewLit(v+1, false))
+		}
+		s.AddClause(NewLit(1, false))
+		ok, err := s.Solve()
+		if err != nil || !ok {
+			b.Fatal("chain should be sat")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Comment lines (c ...) are ignored; the problem line (p cnf V C) sizes the
+// variable space. Clauses are terminated by 0 and may span lines.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var s *Solver
+	var clause []Lit
+	clauses := 0
+	wantClauses := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			nv, err1 := strconv.Atoi(f[2])
+			nc, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			s = New(nv)
+			wantClauses = nc
+			continue
+		}
+		if s == nil {
+			return nil, fmt.Errorf("sat: clause before problem line")
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				clauses++
+				continue
+			}
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			if v > s.NumVars() {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared variables", v)
+			}
+			clause = append(clause, NewLit(v, neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(clause) != 0 {
+		return nil, fmt.Errorf("sat: unterminated clause")
+	}
+	if wantClauses >= 0 && clauses != wantClauses {
+		return nil, fmt.Errorf("sat: declared %d clauses, found %d", wantClauses, clauses)
+	}
+	return s, nil
+}
+
+// WriteDIMACS serializes a clause list in DIMACS format. It is the inverse
+// of ParseDIMACS for formulas that have not yet been solved (learned
+// clauses and top-level assignments are not emitted).
+func WriteDIMACS(w io.Writer, nVars int, clauses [][]Lit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", nVars, len(clauses))
+	for _, c := range clauses {
+		for _, l := range c {
+			v := l.Var()
+			if l.Neg() {
+				v = -v
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintf(bw, "0\n")
+	}
+	return bw.Flush()
+}

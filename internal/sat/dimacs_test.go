@@ -1,0 +1,86 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a simple satisfiable formula
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v", ok, err)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 4 0\n"
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Clauses != 1 {
+		t.Errorf("clauses = %d", st.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"",                       // no problem line
+		"1 2 0\n",                // clause before problem line
+		"p cnf x 1\n1 0\n",       // bad var count
+		"p dnf 2 1\n1 0\n",       // not cnf
+		"p cnf 2 1\n1 x 0\n",     // bad literal
+		"p cnf 2 1\n3 0\n",       // literal out of range
+		"p cnf 2 1\n1\n",         // unterminated clause
+		"p cnf 2 2\n1 0\n",       // clause count mismatch
+		"p cnf 2 1\n1 0\n-2 0\n", // clause count mismatch (extra)
+	}
+	for i, in := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 3 + rng.Intn(8)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(20), 4)
+		var lits [][]Lit
+		for _, c := range cls {
+			var l []Lit
+			for _, x := range c {
+				l = append(l, lit(x))
+			}
+			lits = append(lits, l)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, nVars, lits); err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brute(nVars, cls)
+		if got != want {
+			t.Fatalf("iter %d: round-tripped solve = %v, brute = %v", iter, got, want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("c comment\np cnf 1 1\n-1 0\n")
+	f.Add("p cnf 0 0\n")
+	f.Add("1 0\n")
+	f.Add("p cnf 3 1\n1 2\n3 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 64 || s.Stats().Clauses > 256 {
+			return // keep fuzz iterations cheap
+		}
+		if _, err := s.Solve(); err != nil {
+			t.Fatalf("solve failed on accepted formula: %v", err)
+		}
+	})
+}

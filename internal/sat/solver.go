@@ -1,0 +1,700 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver over propositional CNF formulas.
+//
+// It is the decision procedure underneath internal/bv, which bit-blasts
+// quantifier-free bit-vector formulas — the fragment the paper discharges to
+// Z3 — into CNF. The solver implements the standard modern architecture:
+// two-watched-literal unit propagation, VSIDS-style activity-based decision
+// ordering, first-UIP conflict analysis with clause learning, phase saving,
+// Luby-sequence restarts, and learned-clause garbage collection.
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// Lit is a literal: variable index v (1-based) encoded as 2v for the
+// positive literal and 2v+1 for the negation.
+type Lit uint32
+
+// NewLit returns the literal for variable v (1-based), negated if neg.
+func NewLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the 1-based variable index of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) not() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // a literal of c; if true, the clause is satisfied
+}
+
+type varState struct {
+	assign   lbool
+	level    int32
+	reason   *clause // nil for decisions and top-level facts
+	act      float64
+	phase    bool // saved polarity: last assigned value was true
+	heapIdx  int32
+	trailPos int32
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	vars    []varState // 1-based; vars[0] unused
+	clauses []*clause
+	learned []*clause
+	watches [][]watcher // indexed by Lit
+
+	trail    []Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	heap      []int32 // max-heap of variables ordered by activity
+	varInc    float64
+	clauseInc float64
+
+	ok           bool // false once UNSAT is derived at level 0
+	conflicts    int64
+	decisions    int64
+	propagations int64
+	restarts     int64
+
+	// Options.
+	DisableLearning bool  // ablation: chronological backtracking, no learned clauses
+	DisableVSIDS    bool  // ablation: pick lowest-index unassigned var
+	MaxConflicts    int64 // 0 = unlimited
+
+	seen     []bool // scratch for conflict analysis
+	analyzeL []Lit
+}
+
+// New returns a solver with nVars variables (numbered 1..nVars). More
+// variables may be added later with AddVar.
+func New(nVars int) *Solver {
+	s := &Solver{
+		vars:      make([]varState, nVars+1),
+		watches:   make([][]watcher, 2*(nVars+1)),
+		varInc:    1,
+		clauseInc: 1,
+		ok:        true,
+		seen:      make([]bool, nVars+1),
+	}
+	for v := 1; v <= nVars; v++ {
+		s.vars[v].heapIdx = -1
+		s.heapInsert(int32(v))
+	}
+	return s
+}
+
+// AddVar adds a fresh variable and returns its index.
+func (s *Solver) AddVar() int {
+	s.vars = append(s.vars, varState{heapIdx: -1})
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	v := len(s.vars) - 1
+	s.heapInsert(int32(v))
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.vars) - 1 }
+
+// ErrLimit is returned by Solve when MaxConflicts is exceeded.
+var ErrLimit = errors.New("sat: conflict limit exceeded")
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.vars[l.Var()].assign
+	if l.Neg() {
+		return v.not()
+	}
+	return v
+}
+
+// AddClause adds a clause (a disjunction of literals). It returns false if
+// the formula is already unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause after search started")
+	}
+	// Normalize: drop duplicate and false literals, detect tautology.
+	norm := make([]Lit, 0, len(lits))
+outer:
+	for _, l := range lits {
+		if l.Var() <= 0 || l.Var() >= len(s.vars) {
+			panic("sat: literal out of range")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // clause already satisfied
+		case lFalse:
+			continue // drop
+		}
+		for _, m := range norm {
+			if m == l {
+				continue outer
+			}
+			if m == l.Not() {
+				return true // tautology
+			}
+		}
+		norm = append(norm, l)
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.enqueue(norm[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	// Watch the negations of the first two literals: when one becomes
+	// false we visit the clause.
+	w0 := c.lits[0].Not()
+	w1 := c.lits[1].Not()
+	s.watches[w0] = append(s.watches[w0], watcher{c, c.lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) enqueue(l Lit, reason *clause) {
+	vs := &s.vars[l.Var()]
+	if l.Neg() {
+		vs.assign = lFalse
+	} else {
+		vs.assign = lTrue
+	}
+	vs.phase = !l.Neg()
+	vs.level = int32(len(s.trailLim))
+	vs.reason = reason
+	vs.trailPos = int32(len(s.trail))
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; returns the conflicting clause, or
+// nil if no conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.propagations++
+		ws := s.watches[l]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, w)
+				continue
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (l.Not()) is at position 1.
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.value(first) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.enqueue(first, c)
+			}
+		}
+		s.watches[l] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.vars[v].assign = lUndef
+		s.vars[v].reason = nil
+		if s.vars[v].heapIdx < 0 {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	s.analyzeL = s.analyzeL[:0]
+	s.analyzeL = append(s.analyzeL, 0) // placeholder for asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p Lit
+	c := conflict
+
+	for {
+		for _, q := range c.lits {
+			if c != conflict && q == p {
+				continue // skip the literal this reason clause asserted
+			}
+			v := q.Var()
+			if s.seen[v] || s.vars[v].level == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.vars[v].level) == s.decisionLevel() {
+				counter++
+			} else {
+				s.analyzeL = append(s.analyzeL, q)
+			}
+		}
+		if c.learned {
+			s.bumpClause(c)
+		}
+		// Find next literal on the trail at the current level that is seen.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		if counter <= 0 {
+			break
+		}
+		s.seen[p.Var()] = false
+		c = s.vars[p.Var()].reason
+	}
+	s.analyzeL[0] = p.Not()
+	// Note: seen[p] stays set through minimization and is cleared below.
+
+	// Minimize: drop literals implied by the rest of the clause (simple
+	// self-subsumption via reason clauses). seen flags of dropped literals
+	// must still be cleared afterwards, so remember the full set first.
+	toClear := make([]Lit, len(s.analyzeL))
+	copy(toClear, s.analyzeL)
+	out := s.analyzeL[:1]
+	for _, q := range s.analyzeL[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	s.analyzeL = out
+
+	// Backtrack level = second-highest level in the clause.
+	btLevel := 0
+	if len(s.analyzeL) > 1 {
+		maxI := 1
+		for i := 2; i < len(s.analyzeL); i++ {
+			if s.vars[s.analyzeL[i].Var()].level > s.vars[s.analyzeL[maxI].Var()].level {
+				maxI = i
+			}
+		}
+		s.analyzeL[1], s.analyzeL[maxI] = s.analyzeL[maxI], s.analyzeL[1]
+		btLevel = int(s.vars[s.analyzeL[1].Var()].level)
+	}
+
+	for _, q := range toClear {
+		s.seen[q.Var()] = false
+	}
+	s.seen[p.Var()] = false
+	learned := make([]Lit, len(s.analyzeL))
+	copy(learned, s.analyzeL)
+	return learned, btLevel
+}
+
+// redundant reports whether literal q in a learned clause is implied by the
+// remaining literals: q's reason exists and all its literals are already
+// seen or at level 0.
+func (s *Solver) redundant(q Lit) bool {
+	r := s.vars[q.Var()].reason
+	if r == nil {
+		return false
+	}
+	for _, x := range r.lits {
+		if x.Var() == q.Var() {
+			continue
+		}
+		if !s.seen[x.Var()] && s.vars[x.Var()].level != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.vars[v].act += s.varInc
+	if s.vars[v].act > 1e100 {
+		for i := 1; i < len(s.vars); i++ {
+			s.vars[i].act *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.vars[v].heapIdx >= 0 {
+		s.heapUp(s.vars[v].heapIdx)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, lc := range s.learned {
+			lc.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// pickBranch selects the next decision variable, or 0 if all assigned.
+func (s *Solver) pickBranch() int {
+	if s.DisableVSIDS {
+		for v := 1; v < len(s.vars); v++ {
+			if s.vars[v].assign == lUndef {
+				return v
+			}
+		}
+		return 0
+	}
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.vars[v].assign == lUndef {
+			return int(v)
+		}
+	}
+	return 0
+}
+
+// Solve determines satisfiability of the clause set. On SAT it returns
+// true and the model is readable via Value.
+func (s *Solver) Solve() (bool, error) {
+	return s.SolveAssuming(nil)
+}
+
+// SolveAssuming solves under the given assumption literals. Assumptions are
+// treated as temporary unit decisions; the clause database is unchanged, so
+// the solver can be reused with different assumptions.
+func (s *Solver) SolveAssuming(assumptions []Lit) (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	defer s.backtrack(0)
+
+	restartBase := int64(100)
+	lubyIdx := int64(0)
+	maxLearned := len(s.clauses)/3 + 500
+	var conflictsAtStart = s.conflicts
+
+	for {
+		budget := restartBase * luby(lubyIdx)
+		res := s.search(budget, assumptions, &maxLearned)
+		switch res {
+		case lTrue:
+			return true, nil
+		case lFalse:
+			return false, nil
+		}
+		if s.MaxConflicts > 0 && s.conflicts-conflictsAtStart >= s.MaxConflicts {
+			return false, ErrLimit
+		}
+		lubyIdx++
+		s.restarts++
+		s.backtrack(0)
+	}
+}
+
+// search runs CDCL until a result, a conflict budget is exhausted (returns
+// lUndef to signal restart), or an assumption fails.
+func (s *Solver) search(budget int64, assumptions []Lit, maxLearned *int) lbool {
+	var conflictC int64
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return lFalse
+			}
+			if s.DisableLearning {
+				// Chronological backtracking: flip the most recent decision.
+				lvl := s.decisionLevel()
+				d := s.trail[s.trailLim[lvl-1]]
+				s.backtrack(lvl - 1)
+				s.enqueue(d.Not(), nil)
+				// The flipped literal has no reason; if it conflicts again at
+				// level 0 the loop above catches it.
+				continue
+			}
+			learned, btLevel := s.analyze(conf)
+			// Assumptions live below the backtrack level only if btLevel
+			// respects them; clamp handled by caller re-asserting.
+			s.backtrack(btLevel)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], nil)
+			} else {
+				c := &clause{lits: learned, learned: true, act: s.clauseInc}
+				s.learned = append(s.learned, c)
+				s.watchClause(c)
+				s.enqueue(learned[0], c)
+			}
+			s.varInc /= 0.95
+			s.clauseInc /= 0.999
+			if len(s.learned) > *maxLearned {
+				s.reduceDB()
+				*maxLearned += *maxLearned / 10
+			}
+			continue
+		}
+		if conflictC >= budget {
+			return lUndef
+		}
+		if s.MaxConflicts > 0 && conflictC >= s.MaxConflicts {
+			return lUndef
+		}
+		// Re-assert assumptions at successive levels.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level to keep indices aligned
+				continue
+			case lFalse:
+				return lFalse // conflicting assumptions
+			}
+			s.newDecisionLevel()
+			s.enqueue(a, nil)
+			continue
+		}
+		v := s.pickBranch()
+		if v == 0 {
+			return lTrue // all variables assigned, no conflict
+		}
+		s.decisions++
+		s.newDecisionLevel()
+		s.enqueue(NewLit(v, !s.vars[v].phase), nil)
+	}
+}
+
+// reduceDB removes the less active half of the learned clauses, keeping
+// clauses that are reasons for current assignments.
+func (s *Solver) reduceDB() {
+	if len(s.learned) == 0 {
+		return
+	}
+	lc := s.learned
+	sort.Slice(lc, func(i, j int) bool { return lc[i].act < lc[j].act })
+	locked := make(map[*clause]bool)
+	for _, l := range s.trail {
+		if r := s.vars[l.Var()].reason; r != nil {
+			locked[r] = true
+		}
+	}
+	keepFrom := len(lc) / 2
+	kept := make([]*clause, 0, len(lc)-keepFrom)
+	removed := make(map[*clause]bool)
+	for i, c := range lc {
+		if i >= keepFrom || locked[c] || len(c.lits) == 2 {
+			kept = append(kept, c)
+		} else {
+			removed[c] = true
+		}
+	}
+	if len(removed) == 0 {
+		s.learned = kept
+		return
+	}
+	for li := range s.watches {
+		ws := s.watches[li]
+		out := ws[:0]
+		for _, w := range ws {
+			if !removed[w.c] {
+				out = append(out, w)
+			}
+		}
+		s.watches[li] = out
+	}
+	s.learned = kept
+}
+
+// Value returns the assigned value of variable v in the current model.
+// Valid after Solve returns true. Unassigned variables report false.
+func (s *Solver) Value(v int) bool {
+	// During Solve's successful return path the trail still holds the model;
+	// Solve defers backtrack(0), so we snapshot into phase: phase holds the
+	// last assigned polarity, which for a full model is the model value.
+	return s.vars[v].phase
+}
+
+// Stats reports cumulative search statistics.
+type Stats struct {
+	Conflicts, Decisions, Propagations, Restarts int64
+	Clauses, Learned                             int
+}
+
+// Stats returns a snapshot of solver statistics.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts: s.conflicts, Decisions: s.decisions,
+		Propagations: s.propagations, Restarts: s.restarts,
+		Clauses: len(s.clauses), Learned: len(s.learned),
+	}
+}
+
+// luby returns the i'th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	size, seq := int64(1), 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) >> 1
+		seq--
+		i %= size
+	}
+	return 1 << seq
+}
+
+// Heap operations: max-heap over variable activity.
+
+func (s *Solver) heapLess(a, b int32) bool {
+	return s.vars[a].act > s.vars[b].act // max-heap
+}
+
+func (s *Solver) heapInsert(v int32) {
+	s.vars[v].heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(s.vars[v].heapIdx)
+}
+
+func (s *Solver) heapUp(i int32) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.vars[s.heap[i]].heapIdx = i
+		i = p
+	}
+	s.heap[i] = v
+	s.vars[v].heapIdx = i
+}
+
+func (s *Solver) heapPop() int32 {
+	top := s.heap[0]
+	s.vars[top].heapIdx = -1
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.vars[last].heapIdx = 0
+		s.heapDown(0)
+	}
+	return top
+}
+
+func (s *Solver) heapDown(i int32) {
+	v := s.heap[i]
+	n := int32(len(s.heap))
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.vars[s.heap[i]].heapIdx = i
+		i = c
+	}
+	s.heap[i] = v
+	s.vars[v].heapIdx = i
+}

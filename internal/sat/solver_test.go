@@ -1,0 +1,440 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(x int) Lit {
+	if x < 0 {
+		return NewLit(-x, true)
+	}
+	return NewLit(x, false)
+}
+
+func addAll(s *Solver, cls [][]int) bool {
+	for _, c := range cls {
+		ls := make([]Lit, len(c))
+		for i, x := range c {
+			ls[i] = lit(x)
+		}
+		if !s.AddClause(ls...) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := NewLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Errorf("positive literal wrong: %v %v", l.Var(), l.Neg())
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Errorf("negated literal wrong")
+	}
+	if n.Not() != l {
+		t.Errorf("double negation")
+	}
+}
+
+func TestTrivialSAT(t *testing.T) {
+	s := New(2)
+	addAll(s, [][]int{{1}, {2}})
+	ok, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatalf("Solve = %v, %v", ok, err)
+	}
+	if !s.Value(1) || !s.Value(2) {
+		t.Errorf("model: v1=%v v2=%v", s.Value(1), s.Value(2))
+	}
+}
+
+func TestTrivialUNSAT(t *testing.T) {
+	s := New(1)
+	if addAll(s, [][]int{{1}, {-1}}) {
+		t.Fatal("expected AddClause to detect unsat")
+	}
+	ok, _ := s.Solve()
+	if ok {
+		t.Error("unsat formula reported sat")
+	}
+}
+
+func TestEmptyClauseUNSAT(t *testing.T) {
+	s := New(1)
+	if s.AddClause() {
+		t.Error("empty clause should yield false")
+	}
+	ok, _ := s.Solve()
+	if ok {
+		t.Error("should be unsat")
+	}
+}
+
+func TestNoClausesSAT(t *testing.T) {
+	s := New(3)
+	ok, _ := s.Solve()
+	if !ok {
+		t.Error("empty formula should be sat")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New(1)
+	s.AddClause(lit(1), lit(-1))
+	ok, _ := s.Solve()
+	if !ok {
+		t.Error("tautology-only formula should be sat")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x1 ∧ (x1→x2) ∧ (x2→x3) ∧ ... forces all true.
+	const n = 50
+	s := New(n)
+	s.AddClause(lit(1))
+	for i := 1; i < n; i++ {
+		s.AddClause(lit(-i), lit(i+1))
+	}
+	ok, _ := s.Solve()
+	if !ok {
+		t.Fatal("chain should be sat")
+	}
+	for i := 1; i <= n; i++ {
+		if !s.Value(i) {
+			t.Fatalf("v%d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons, n holes — classic UNSAT requiring real search.
+	for _, n := range []int{3, 4, 5} {
+		s := New((n + 1) * n)
+		v := func(p, h int) int { return p*n + h + 1 }
+		for p := 0; p <= n; p++ {
+			cl := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				cl[h] = lit(v(p, h))
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(lit(-v(p1, h)), lit(-v(p2, h)))
+				}
+			}
+		}
+		ok, err := s.Solve()
+		if err != nil {
+			t.Fatalf("PHP(%d): %v", n, err)
+		}
+		if ok {
+			t.Errorf("PHP(%d) reported sat", n)
+		}
+	}
+}
+
+func TestPigeonholeSATVariant(t *testing.T) {
+	// n pigeons, n holes is satisfiable.
+	n := 5
+	s := New(n * n)
+	v := func(p, h int) int { return p*n + h + 1 }
+	for p := 0; p < n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(lit(-v(p1, h)), lit(-v(p2, h)))
+			}
+		}
+	}
+	ok, _ := s.Solve()
+	if !ok {
+		t.Fatal("PHP(n,n) should be sat")
+	}
+	// Verify the model is a valid assignment.
+	for p := 0; p < n; p++ {
+		cnt := 0
+		for h := 0; h < n; h++ {
+			if s.Value(v(p, h)) {
+				cnt++
+			}
+		}
+		if cnt < 1 {
+			t.Errorf("pigeon %d unplaced", p)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x3)
+	s := New(3)
+	addAll(s, [][]int{{1, 2}, {-1, 3}})
+
+	ok, _ := s.SolveAssuming([]Lit{lit(1), lit(-3)})
+	if ok {
+		t.Error("assuming x1 ∧ ¬x3 should be unsat")
+	}
+	// Solver must be reusable after a failed assumption set.
+	ok, _ = s.SolveAssuming([]Lit{lit(1)})
+	if !ok {
+		t.Error("assuming x1 should be sat")
+	}
+	if !s.Value(3) {
+		t.Error("x3 must be true when x1 assumed")
+	}
+	ok, _ = s.SolveAssuming([]Lit{lit(-1), lit(-2)})
+	if ok {
+		t.Error("assuming ¬x1 ∧ ¬x2 should be unsat")
+	}
+	ok, _ = s.Solve()
+	if !ok {
+		t.Error("formula itself is sat")
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	s := New(2)
+	s.AddClause(lit(1), lit(2))
+	ok, _ := s.SolveAssuming([]Lit{lit(1), lit(-1)})
+	if ok {
+		t.Error("contradictory assumptions should be unsat")
+	}
+}
+
+func TestAddVar(t *testing.T) {
+	s := New(1)
+	v := s.AddVar()
+	if v != 2 {
+		t.Fatalf("AddVar = %d", v)
+	}
+	s.AddClause(lit(1))
+	s.AddClause(NewLit(v, true))
+	ok, _ := s.Solve()
+	if !ok {
+		t.Fatal("should be sat")
+	}
+	if !s.Value(1) || s.Value(v) {
+		t.Error("wrong model after AddVar")
+	}
+}
+
+// brute enumerates all assignments to check satisfiability.
+func brute(nVars int, cls [][]int) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, c := range cls {
+			cok := false
+			for _, x := range c {
+				v := x
+				if v < 0 {
+					v = -v
+				}
+				val := m>>(v-1)&1 == 1
+				if (x > 0) == val {
+					cok = true
+					break
+				}
+			}
+			if !cok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(s *Solver, cls [][]int) bool {
+	for _, c := range cls {
+		ok := false
+		for _, x := range c {
+			v := x
+			if v < 0 {
+				v = -v
+			}
+			if (x > 0) == s.Value(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func randomCNF(rng *rand.Rand, nVars, nClauses, maxLen int) [][]int {
+	cls := make([][]int, nClauses)
+	for i := range cls {
+		n := 1 + rng.Intn(maxLen)
+		c := make([]int, n)
+		for j := range c {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		cls[i] = c
+	}
+	return cls
+}
+
+// TestRandomVsBrute cross-checks the solver against exhaustive enumeration
+// on thousands of small random formulas, and verifies returned models.
+func TestRandomVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(30)
+		cls := randomCNF(rng, nVars, nClauses, 4)
+		want := brute(nVars, cls)
+		s := New(nVars)
+		addAll(s, cls) // on top-level unsat, Solve also reports false
+		got, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cls=%v", iter, got, want, cls)
+		}
+		if got && !modelSatisfies(s, cls) {
+			t.Fatalf("iter %d: model does not satisfy formula: %v", iter, cls)
+		}
+	}
+}
+
+// TestRandomAblations runs the learning/VSIDS ablation modes on the same
+// random formulas to confirm they remain sound and complete.
+func TestRandomAblations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		nVars := 3 + rng.Intn(7)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(25), 4)
+		want := brute(nVars, cls)
+
+		for mode := 0; mode < 3; mode++ {
+			s := New(nVars)
+			switch mode {
+			case 1:
+				s.DisableVSIDS = true
+			case 2:
+				s.DisableLearning = true
+			}
+			if !addAll(s, cls) {
+				if want {
+					t.Fatalf("iter %d mode %d: AddClause unsat but brute sat", iter, mode)
+				}
+				continue
+			}
+			got, err := s.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("iter %d mode %d: solver=%v brute=%v cls=%v", iter, mode, got, want, cls)
+			}
+		}
+	}
+}
+
+// TestRandomAssumptionsVsBrute checks SolveAssuming against brute force with
+// the assumptions added as unit clauses.
+func TestRandomAssumptionsVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 800; iter++ {
+		nVars := 3 + rng.Intn(7)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(20), 4)
+		s := New(nVars)
+		if !addAll(s, cls) {
+			continue
+		}
+		var asm []Lit
+		var asmInts [][]int
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			v := 1 + rng.Intn(nVars)
+			neg := rng.Intn(2) == 0
+			asm = append(asm, NewLit(v, neg))
+			x := v
+			if neg {
+				x = -v
+			}
+			asmInts = append(asmInts, []int{x})
+		}
+		want := brute(nVars, append(append([][]int{}, cls...), asmInts...))
+		got, err := s.SolveAssuming(asm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cls=%v asm=%v", iter, got, want, cls, asmInts)
+		}
+		// Solver must remain reusable: base formula is sat (we skipped
+		// formulas that failed at AddClause, but Solve may still be unsat).
+		baseWant := brute(nVars, cls)
+		baseGot, _ := s.Solve()
+		if baseGot != baseWant {
+			t.Fatalf("iter %d: after assumptions solver=%v brute=%v", iter, baseGot, baseWant)
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if g := luby(int64(i)); g != w {
+			t.Errorf("luby(%d) = %d, want %d", i, g, w)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(5)
+	addAll(s, [][]int{{1, 2}, {-1, 3}, {-3, -2, 4}})
+	s.Solve()
+	st := s.Stats()
+	if st.Clauses != 3 {
+		t.Errorf("Clauses = %d", st.Clauses)
+	}
+}
+
+func TestConflictLimit(t *testing.T) {
+	// A hard pigeonhole with a tiny conflict budget must return ErrLimit.
+	n := 8
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h + 1 }
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(lit(-v(p1, h)), lit(-v(p2, h)))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	_, err := s.Solve()
+	if err != ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}

@@ -1,0 +1,85 @@
+package secguru
+
+import (
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+// Rule compaction: the complement to redundancy removal in the §3.3
+// toolbox. Adjacent rules that differ only in one address term, where the
+// two prefixes are siblings (the two halves of their parent), merge into a
+// single rule on the parent prefix. Merging runs to a fixpoint and the
+// result is verified semantically equivalent.
+
+// MergeSiblings repeatedly merges mergeable rule pairs and returns the
+// compacted policy (the input is untouched) plus the number of merges
+// performed. A pair is mergeable when the rules are adjacent in priority
+// order, identical except for the source (or destination) prefix, and the
+// two prefixes are siblings. Adjacency is required under first-applicable
+// semantics so that no rule between the pair can observe the difference;
+// under deny-overrides, same-action rules merge regardless of position,
+// but the implementation keeps the adjacency requirement for simplicity
+// and lets the equivalence check guarantee soundness.
+func MergeSiblings(p *acl.Policy) (*acl.Policy, int, error) {
+	cur := p.Clone()
+	merges := 0
+	for {
+		i := findMergeable(cur)
+		if i < 0 {
+			break
+		}
+		a, b := &cur.Rules[i], &cur.Rules[i+1]
+		if sibs, parent := siblings(a.Src, b.Src); sibs && a.Dst == b.Dst {
+			a.Src = parent
+		} else if sibs, parent := siblings(a.Dst, b.Dst); sibs && a.Src == b.Src {
+			a.Dst = parent
+		}
+		cur.Rules = append(cur.Rules[:i+1], cur.Rules[i+2:]...)
+		merges++
+	}
+	if merges > 0 {
+		eq, _, err := Equivalent(p, cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !eq {
+			// Unreachable if findMergeable is sound; fail loudly.
+			return nil, 0, &ChangeError{Failures: []Outcome{{
+				Contract: Contract{Name: "merge-soundness"},
+			}}}
+		}
+	}
+	return cur, merges, nil
+}
+
+// findMergeable returns the index of the first rule mergeable with its
+// successor, or -1.
+func findMergeable(p *acl.Policy) int {
+	for i := 0; i+1 < len(p.Rules); i++ {
+		a, b := &p.Rules[i], &p.Rules[i+1]
+		if a.Action != b.Action || a.Protocol != b.Protocol ||
+			a.SrcPorts != b.SrcPorts || a.DstPorts != b.DstPorts {
+			continue
+		}
+		if sibs, _ := siblings(a.Src, b.Src); sibs && a.Dst == b.Dst {
+			return i
+		}
+		if sibs, _ := siblings(a.Dst, b.Dst); sibs && a.Src == b.Src {
+			return i
+		}
+	}
+	return -1
+}
+
+// siblings reports whether two prefixes are the two halves of a common
+// parent, returning that parent.
+func siblings(a, b ipnet.Prefix) (bool, ipnet.Prefix) {
+	if a.Bits == 0 || a.Bits != b.Bits || a == b {
+		return false, ipnet.Prefix{}
+	}
+	parent := ipnet.PrefixFrom(a.Addr, a.Bits-1)
+	if ipnet.PrefixFrom(b.Addr, b.Bits-1) != parent {
+		return false, ipnet.Prefix{}
+	}
+	return true, parent
+}

@@ -1,0 +1,138 @@
+package secguru
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func TestMergeSiblingsBasic(t *testing.T) {
+	p := mkPolicy("t",
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.128.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	min, merges, err := MergeSiblings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges != 1 || len(min.Rules) != 2 {
+		t.Fatalf("merges=%d rules=%d", merges, len(min.Rules))
+	}
+	if min.Rules[0].Src != pfx("10.0.0.0/8") {
+		t.Errorf("merged prefix = %v", min.Rules[0].Src)
+	}
+	if len(p.Rules) != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMergeSiblingsCascades(t *testing.T) {
+	// Four /10 quarters collapse to one /8 through repeated merging.
+	p := mkPolicy("t",
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.0.0.0/10"), acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.64.0.0/10"), acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.128.0.0/10"), acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.192.0.0/10"), acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	min, merges, err := MergeSiblings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges != 3 || len(min.Rules) != 2 {
+		t.Fatalf("merges=%d rules=%d", merges, len(min.Rules))
+	}
+	if min.Rules[0].Dst != pfx("10.0.0.0/8") {
+		t.Errorf("merged dst = %v", min.Rules[0].Dst)
+	}
+}
+
+func TestMergeSiblingsRespectsDifferences(t *testing.T) {
+	// Different actions, ports, or non-sibling prefixes must not merge.
+	cases := []*acl.Policy{
+		mkPolicy("action",
+			acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+			acl.NewRule(acl.Permit, acl.AnyProto, pfx("10.128.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		),
+		mkPolicy("ports",
+			acl.NewRule(acl.Deny, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, pfx("10.0.0.0/9"), acl.AnyPort, acl.Port(80)),
+			acl.NewRule(acl.Deny, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, pfx("10.128.0.0/9"), acl.AnyPort, acl.Port(443)),
+		),
+		mkPolicy("not-siblings",
+			acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+			acl.NewRule(acl.Deny, acl.AnyProto, pfx("11.0.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		),
+		mkPolicy("both-dims-differ",
+			acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/9"), pfx("20.0.0.0/8"), acl.AnyPort, acl.AnyPort),
+			acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.128.0.0/9"), pfx("30.0.0.0/8"), acl.AnyPort, acl.AnyPort),
+		),
+	}
+	for _, p := range cases {
+		_, merges, err := MergeSiblings(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merges != 0 {
+			t.Errorf("%s: merged %d pairs", p.Name, merges)
+		}
+	}
+}
+
+func TestMergeThenRemoveRedundantPipeline(t *testing.T) {
+	// The two §3.3 refactoring primitives compose: merge siblings, then
+	// strip rules the merge made redundant.
+	p := mkPolicy("t",
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.128.0.0/9"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.20.0.0/16"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	merged, _, err := MergeSiblings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, removed, err := RemoveRedundant(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || len(min.Rules) != 2 {
+		t.Fatalf("removed=%d rules=%d", removed, len(min.Rules))
+	}
+	eq, _, _ := Equivalent(p, min)
+	if !eq {
+		t.Fatal("pipeline changed semantics")
+	}
+}
+
+// TestMergeSiblingsRandomPreservesSemantics fuzzes the merger against
+// packet sampling.
+func TestMergeSiblingsRandomPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 25; iter++ {
+		p := &acl.Policy{Name: "r", Semantics: acl.FirstApplicable}
+		base := ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), 8)
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			// Bias toward sibling-rich rule sets.
+			bits := uint8(9 + rng.Intn(3))
+			sub := ipnet.PrefixFrom(base.Addr|ipnet.Addr(rng.Uint32()>>8&0x00ffffff), bits)
+			r := acl.NewRule(acl.Action(rng.Intn(2)), acl.AnyProto,
+				ipnet.Prefix{}, sub, acl.AnyPort, acl.AnyPort)
+			p.Rules = append(p.Rules, r)
+		}
+		min, _, err := MergeSiblings(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 200; s++ {
+			pkt := acl.Packet{DstIP: base.Addr | ipnet.Addr(rng.Uint32()>>8&0x00ffffff)}
+			a, _ := p.Evaluate(pkt)
+			b, _ := min.Evaluate(pkt)
+			if a != b {
+				t.Fatalf("iter %d: merge changed decision for %+v", iter, pkt)
+			}
+		}
+	}
+}

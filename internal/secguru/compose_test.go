@@ -1,0 +1,167 @@
+package secguru
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func mkPolicy(name string, rules ...acl.Rule) *acl.Policy {
+	return &acl.Policy{Name: name, Semantics: acl.FirstApplicable, Rules: rules}
+}
+
+func permitAll() acl.Rule {
+	return acl.NewRule(acl.Permit, acl.AnyProto, ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+}
+
+func TestCheckPathConjunction(t *testing.T) {
+	// Edge permits everything except port 445; host firewall permits
+	// everything except 10.9.0.0/16 destinations.
+	edge := mkPolicy("edge",
+		acl.NewRule(acl.Deny, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.Port(445)),
+		permitAll(),
+	)
+	host := mkPolicy("host",
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.9.0.0/16"), acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+
+	cs := []Contract{
+		{Name: "web-both", Expected: acl.Permit, Filter: Filter{
+			Protocol: acl.Proto(acl.ProtoTCP), Dst: pfx("10.8.0.0/16"),
+			SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)}},
+		{Name: "smb-denied", Expected: acl.Deny, Filter: Filter{
+			Protocol: acl.Proto(acl.ProtoTCP), SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)}},
+		{Name: "protected-subnet-denied", Expected: acl.Deny, Filter: Filter{
+			Protocol: acl.AnyProto, Dst: pfx("10.9.1.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+	}
+	rep, err := CheckPath([]*acl.Policy{edge, host}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("path contracts failed: %+v", rep.Failed())
+	}
+	if len(rep.Policies) != 2 {
+		t.Error("policy names missing")
+	}
+}
+
+func TestCheckPathIdentifiesBlockingHop(t *testing.T) {
+	edge := mkPolicy("edge", permitAll())
+	mid := mkPolicy("hypervisor",
+		func() acl.Rule {
+			r := acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("40.90.0.0/16"), acl.AnyPort, acl.AnyPort)
+			r.Name = "block-infra"
+			return r
+		}(),
+		permitAll(),
+	)
+	last := mkPolicy("nsg", permitAll())
+
+	cs := []Contract{{Name: "infra-reachable", Expected: acl.Permit, Filter: Filter{
+		Protocol: acl.AnyProto, Dst: pfx("40.90.1.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}}
+	rep, err := CheckPath([]*acl.Policy{edge, mid, last}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 {
+		t.Fatalf("outcomes = %+v", rep.Outcomes)
+	}
+	if fails[0].BlockingPolicy != 1 {
+		t.Errorf("blocking policy = %d, want 1", fails[0].BlockingPolicy)
+	}
+	if fails[0].RuleName != "block-infra" {
+		t.Errorf("rule = %q", fails[0].RuleName)
+	}
+}
+
+func TestCheckPathDenyViolation(t *testing.T) {
+	// All hops permit: a Deny expectation fails and the witness is
+	// admitted end-to-end.
+	p1 := mkPolicy("a", permitAll())
+	p2 := mkPolicy("b", permitAll())
+	cs := []Contract{{Name: "must-block", Expected: acl.Deny, Filter: Filter{
+		Protocol: acl.AnyProto, Dst: pfx("1.2.3.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}}
+	rep, err := CheckPath([]*acl.Policy{p1, p2}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 || fails[0].BlockingPolicy != -1 {
+		t.Fatalf("fails = %+v", fails)
+	}
+	for _, p := range []*acl.Policy{p1, p2} {
+		if ok, _ := p.Evaluate(fails[0].Witness); !ok {
+			t.Error("witness not admitted by every hop")
+		}
+	}
+}
+
+func TestCheckPathEmpty(t *testing.T) {
+	if _, err := CheckPath(nil, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+// TestCheckPathVsSampling cross-checks the composite encoding against
+// direct conjunction evaluation on random paths.
+func TestCheckPathVsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		var path []*acl.Policy
+		for h := 0; h < 1+rng.Intn(3); h++ {
+			p := &acl.Policy{Name: "p", Semantics: acl.FirstApplicable}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				p.Rules = append(p.Rules, randomRule(rng))
+			}
+			path = append(path, p)
+		}
+		ct := Contract{
+			Name:     "c",
+			Expected: acl.Action(rng.Intn(2)),
+			Filter: Filter{
+				Protocol: acl.AnyProto,
+				Dst:      ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(8))),
+				SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort,
+			},
+		}
+		rep, err := CheckPath(path, []Contract{ct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := rep.Outcomes[0]
+		endToEnd := func(pkt acl.Packet) bool {
+			for _, p := range path {
+				if ok, _ := p.Evaluate(pkt); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if !o.Preserved {
+			if !ct.Filter.Matches(o.Witness) {
+				t.Fatalf("iter %d: witness outside filter", iter)
+			}
+			if (ct.Expected == acl.Permit) == endToEnd(o.Witness) {
+				t.Fatalf("iter %d: witness not a counterexample", iter)
+			}
+			continue
+		}
+		for s := 0; s < 200; s++ {
+			pkt := acl.Packet{
+				SrcIP:    ipnet.Addr(rng.Uint32()),
+				DstIP:    samplePrefix(rng, ct.Filter.Dst),
+				SrcPort:  uint16(rng.Intn(1 << 16)),
+				DstPort:  uint16(rng.Intn(1 << 16)),
+				Protocol: uint8(rng.Intn(256)),
+			}
+			if (ct.Expected == acl.Permit) != endToEnd(pkt) {
+				t.Fatalf("iter %d: engine said preserved, packet disagrees", iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package secguru
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+// contractJSON is the on-disk shape of a contract, using the same wildcard
+// conventions as NSG rules ("*"/"any", "N" or "N-M" ports).
+type contractJSON struct {
+	Name     string `json:"name"`
+	Expected string `json:"expected"` // "permit" or "deny"
+	Protocol string `json:"protocol,omitempty"`
+	Src      string `json:"src,omitempty"`
+	Dst      string `json:"dst,omitempty"`
+	SrcPorts string `json:"srcPorts,omitempty"`
+	DstPorts string `json:"dstPorts,omitempty"`
+}
+
+// ParseContracts reads a JSON array of contracts — the regression-test
+// suite format consumed by the secguru command-line tool.
+func ParseContracts(r io.Reader) ([]Contract, error) {
+	var docs []contractJSON
+	if err := json.NewDecoder(r).Decode(&docs); err != nil {
+		return nil, fmt.Errorf("secguru: decoding contracts: %w", err)
+	}
+	out := make([]Contract, 0, len(docs))
+	for i, d := range docs {
+		c, err := d.toContract()
+		if err != nil {
+			return nil, fmt.Errorf("secguru: contract %d (%s): %w", i, d.Name, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// WriteContracts writes the JSON array format read by ParseContracts.
+func WriteContracts(w io.Writer, cs []Contract) error {
+	docs := make([]contractJSON, len(cs))
+	for i, c := range cs {
+		docs[i] = contractJSON{
+			Name:     c.Name,
+			Expected: c.Expected.String(),
+			Protocol: protoStr(c.Filter.Protocol),
+			Src:      prefixStr(c.Filter.Src),
+			Dst:      prefixStr(c.Filter.Dst),
+			SrcPorts: portStr(c.Filter.SrcPorts),
+			DstPorts: portStr(c.Filter.DstPorts),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
+}
+
+func (d contractJSON) toContract() (Contract, error) {
+	c := Contract{Name: d.Name}
+	switch strings.ToLower(d.Expected) {
+	case "permit", "allow":
+		c.Expected = acl.Permit
+	case "deny":
+		c.Expected = acl.Deny
+	default:
+		return c, fmt.Errorf("bad expected %q", d.Expected)
+	}
+	var err error
+	if c.Filter.Protocol, err = parseProto(d.Protocol); err != nil {
+		return c, err
+	}
+	if c.Filter.Src, err = parsePrefixOrAny(d.Src); err != nil {
+		return c, err
+	}
+	if c.Filter.Dst, err = parsePrefixOrAny(d.Dst); err != nil {
+		return c, err
+	}
+	if c.Filter.SrcPorts, err = parseNSGPorts(d.SrcPorts); err != nil {
+		return c, err
+	}
+	if c.Filter.DstPorts, err = parseNSGPorts(d.DstPorts); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func parseProto(s string) (acl.ProtoMatch, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "*", "any", "ip":
+		return acl.AnyProto, nil
+	case "tcp":
+		return acl.Proto(acl.ProtoTCP), nil
+	case "udp":
+		return acl.Proto(acl.ProtoUDP), nil
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return acl.AnyProto, fmt.Errorf("bad protocol %q", s)
+	}
+	return acl.Proto(n), nil
+}
+
+func parsePrefixOrAny(s string) (ipnet.Prefix, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "*", "any":
+		return ipnet.Prefix{}, nil
+	}
+	return ipnet.ParsePrefix(strings.TrimSpace(s))
+}
+
+// parseNSGPorts lives in internal/acl's NSG parser; duplicate the tiny
+// logic here to keep the dependency direction (secguru -> acl only for
+// types).
+func parseNSGPorts(s string) (acl.PortRange, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "", "*", "any":
+		return acl.AnyPort, nil
+	}
+	var lo, hi uint16
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		if _, err := fmt.Sscanf(s, "%d-%d", &lo, &hi); err != nil || lo > hi {
+			return acl.PortRange{}, fmt.Errorf("bad port range %q", s)
+		}
+		return acl.PortRange{Lo: lo, Hi: hi}, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d", &lo); err != nil {
+		return acl.PortRange{}, fmt.Errorf("bad port %q", s)
+	}
+	return acl.Port(lo), nil
+}
+
+func protoStr(m acl.ProtoMatch) string {
+	if m.Any {
+		return "*"
+	}
+	return m.String()
+}
+
+func prefixStr(p ipnet.Prefix) string {
+	if p.IsDefault() {
+		return "*"
+	}
+	return p.String()
+}
+
+func portStr(r acl.PortRange) string {
+	if r.IsAny() {
+		return "*"
+	}
+	return r.String()
+}

@@ -1,0 +1,89 @@
+package secguru
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/acl"
+)
+
+func TestParseContracts(t *testing.T) {
+	in := `[
+	  {"name":"a","expected":"deny","src":"10.0.0.0/8"},
+	  {"name":"b","expected":"permit","protocol":"tcp","dst":"1.2.3.0/24","dstPorts":"80"},
+	  {"name":"c","expected":"allow","protocol":"53","srcPorts":"100-200"},
+	  {"name":"d","expected":"deny","protocol":"*","src":"any","dst":"*","srcPorts":"*","dstPorts":"any"}
+	]`
+	cs, err := ParseContracts(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("contracts = %d", len(cs))
+	}
+	if cs[0].Expected != acl.Deny || cs[0].Filter.Src != pfx("10.0.0.0/8") {
+		t.Errorf("c0 = %+v", cs[0])
+	}
+	if cs[1].Filter.Protocol.Num != acl.ProtoTCP || cs[1].Filter.DstPorts != acl.Port(80) {
+		t.Errorf("c1 = %+v", cs[1])
+	}
+	if cs[2].Expected != acl.Permit || cs[2].Filter.Protocol.Num != 53 ||
+		cs[2].Filter.SrcPorts != (acl.PortRange{Lo: 100, Hi: 200}) {
+		t.Errorf("c2 = %+v", cs[2])
+	}
+	if !cs[3].Filter.Protocol.Any || !cs[3].Filter.Src.IsDefault() || !cs[3].Filter.DstPorts.IsAny() {
+		t.Errorf("c3 = %+v", cs[3])
+	}
+}
+
+func TestParseContractsErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"name":"a","expected":"maybe"}]`,
+		`[{"name":"a","expected":"deny","protocol":"bogus"}]`,
+		`[{"name":"a","expected":"deny","src":"999.0.0.0/8"}]`,
+		`[{"name":"a","expected":"deny","srcPorts":"99999"}]`,
+		`[{"name":"a","expected":"deny","dstPorts":"9-2"}]`,
+		`[{"name":"a","expected":"deny","dstPorts":"x-y"}]`,
+	}
+	for i, in := range bad {
+		if _, err := ParseContracts(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+func TestContractsJSONRoundTrip(t *testing.T) {
+	cs := append(edgeContracts(), Contract{
+		Name: "narrow", Expected: acl.Permit,
+		Filter: Filter{Protocol: acl.Proto(47), Src: pfx("1.2.3.4/32"),
+			SrcPorts: acl.PortRange{Lo: 5, Hi: 9}, DstPorts: acl.Port(7)},
+	})
+	var buf bytes.Buffer
+	if err := WriteContracts(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseContracts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cs) {
+		t.Fatalf("round trip count %d != %d", len(back), len(cs))
+	}
+	for i := range cs {
+		if cs[i].Name != back[i].Name || cs[i].Expected != back[i].Expected ||
+			cs[i].Filter != back[i].Filter {
+			t.Errorf("contract %d changed: %+v -> %+v", i, cs[i], back[i])
+		}
+	}
+}
+
+func TestPlanAddContracts(t *testing.T) {
+	pl := &Plan{Contracts: edgeContracts()}
+	n := len(pl.Contracts)
+	pl.AddContracts(Contract{Name: "extra", Expected: acl.Deny, Filter: AnyFilter()})
+	if len(pl.Contracts) != n+1 {
+		t.Errorf("AddContracts did not extend the suite")
+	}
+}

@@ -1,0 +1,243 @@
+// Package secguru implements the SecGuru policy analysis library of §3:
+// validation of network connectivity policies (device ACLs, network
+// security groups, distributed firewall configurations) against
+// reachability contracts using bit-vector logic and satisfiability checking
+// (via internal/bv + internal/sat, the Z3 substitute).
+//
+// A contract, like a policy rule, describes a packet filter and the
+// expectation that matching packets are permitted or denied. Checking is
+// semantic — agnostic to the device syntax the policy came from (§3.2).
+// The package also implements the three §3 case-study workflows: legacy
+// Edge ACL refactoring with pre/postchecks (§3.3), the NSG change guard
+// that protects managed-database backups (§3.4), and template-derived
+// distributed firewall validation (§3.5).
+package secguru
+
+import (
+	"fmt"
+	"time"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bv"
+	"dcvalidate/internal/ipnet"
+)
+
+// Contract describes a set of traffic patterns and whether the policy must
+// permit or deny them, e.g. "private datacenter addresses must not be
+// reachable from the Internet" or "service X must be reachable on 443".
+type Contract struct {
+	Name     string
+	Filter   Filter
+	Expected acl.Action
+}
+
+// Filter is a packet-pattern description, the left side of a contract.
+type Filter struct {
+	Protocol acl.ProtoMatch
+	Src, Dst ipnet.Prefix
+	SrcPorts acl.PortRange
+	DstPorts acl.PortRange
+}
+
+// AnyFilter matches all packets.
+func AnyFilter() Filter {
+	return Filter{Protocol: acl.AnyProto, SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}
+}
+
+// Matches reports whether a concrete packet is described by the filter.
+func (f Filter) Matches(p acl.Packet) bool {
+	return f.Protocol.Contains(p.Protocol) &&
+		f.Src.Contains(p.SrcIP) && f.Dst.Contains(p.DstIP) &&
+		f.SrcPorts.Contains(p.SrcPort) && f.DstPorts.Contains(p.DstPort)
+}
+
+// Outcome is the result of checking one contract against one policy.
+type Outcome struct {
+	Contract  Contract
+	Preserved bool
+	// Witness is a counterexample packet when the contract is violated.
+	Witness acl.Packet
+	// RuleIndex is the policy rule that decided the witness (-1 for the
+	// implicit default deny). RuleName carries its name/remark.
+	RuleIndex int
+	RuleName  string
+}
+
+// Report aggregates the outcomes of a policy check (§3.4: "a list of
+// invariants that failed, and for each the specific rule that caused it").
+type Report struct {
+	Policy   string
+	Outcomes []Outcome
+	Elapsed  time.Duration
+}
+
+// Failed returns the violated contracts' outcomes.
+func (r *Report) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if !o.Preserved {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// OK reports whether every contract was preserved.
+func (r *Report) OK() bool { return len(r.Failed()) == 0 }
+
+// Check validates a policy against a set of contracts, one satisfiability
+// query per contract (§3.2):
+//
+//	expectation Permit: C ∧ ¬P satisfiable ⇒ some traffic in C is denied;
+//	expectation Deny:   C ∧ P satisfiable ⇒ some traffic in C is admitted.
+//
+// The policy is bit-blasted once and every contract is discharged as a
+// retractable assumption query against the shared encoding.
+func Check(p *acl.Policy, cs []Contract) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Policy: p.Name}
+
+	c := bv.NewCtx()
+	h := newHeader(c)
+	policy := encodePolicy(c, h, p)
+	solver := bv.NewSolver(c)
+
+	for _, ct := range cs {
+		filter := encodeFilter(c, h, ct.Filter)
+		var query bv.Term
+		if ct.Expected == acl.Permit {
+			query = c.And(filter, c.Not(policy))
+		} else {
+			query = c.And(filter, policy)
+		}
+		res, err := solver.SolveAssuming(query)
+		if err != nil {
+			return nil, fmt.Errorf("secguru: checking %q: %w", ct.Name, err)
+		}
+		rep.Outcomes = append(rep.Outcomes, outcome(p, ct, res))
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// header bundles the five bit-vector variables of a packet header, the
+// tuple x̄ of §3.2.
+type header struct {
+	srcIP, srcPort, dstIP, dstPort, proto bv.Term
+}
+
+func newHeader(c *bv.Ctx) header {
+	return header{
+		srcIP:   c.BVVar("srcIp", 32),
+		srcPort: c.BVVar("srcPort", 16),
+		dstIP:   c.BVVar("dstIp", 32),
+		dstPort: c.BVVar("dstPort", 16),
+		proto:   c.BVVar("protocol", 8),
+	}
+}
+
+func outcome(p *acl.Policy, ct Contract, res bv.Result) Outcome {
+	out := Outcome{Contract: ct, Preserved: !res.Sat, RuleIndex: -1}
+	if res.Sat {
+		out.Witness = packetFromModel(res.Model)
+		_, idx := p.Evaluate(out.Witness)
+		out.RuleIndex = idx
+		if idx >= 0 {
+			r := &p.Rules[idx]
+			out.RuleName = r.Name
+			if out.RuleName == "" {
+				out.RuleName = fmt.Sprintf("line %d (%s)", r.Line, r.Remark)
+			}
+		} else {
+			out.RuleName = "implicit default deny"
+		}
+	}
+	return out
+}
+
+func packetFromModel(m bv.Model) acl.Packet {
+	return acl.Packet{
+		SrcIP:    ipnet.Addr(m.BVs["srcIp"]),
+		SrcPort:  uint16(m.BVs["srcPort"]),
+		DstIP:    ipnet.Addr(m.BVs["dstIp"]),
+		DstPort:  uint16(m.BVs["dstPort"]),
+		Protocol: uint8(m.BVs["protocol"]),
+	}
+}
+
+// encodeRule builds the predicate r_i(x̄) of §3.2 — e.g. for line 3 of
+// Figure 8: (10.0.0.0 ≤ srcIp ≤ 10.255.255.255).
+func encodeRule(c *bv.Ctx, h header, r *acl.Rule) bv.Term {
+	return encodeFilter(c, h, Filter{
+		Protocol: r.Protocol, Src: r.Src, Dst: r.Dst,
+		SrcPorts: r.SrcPorts, DstPorts: r.DstPorts,
+	})
+}
+
+func encodeFilter(c *bv.Ctx, h header, f Filter) bv.Term {
+	var conj []bv.Term
+	if !f.Src.IsDefault() {
+		rng := ipnet.RangeOf(f.Src)
+		conj = append(conj, c.InRange(h.srcIP, uint64(rng.Lo), uint64(rng.Hi)))
+	}
+	if !f.Dst.IsDefault() {
+		rng := ipnet.RangeOf(f.Dst)
+		conj = append(conj, c.InRange(h.dstIP, uint64(rng.Lo), uint64(rng.Hi)))
+	}
+	if !f.SrcPorts.IsAny() {
+		conj = append(conj, c.InRange(h.srcPort, uint64(f.SrcPorts.Lo), uint64(f.SrcPorts.Hi)))
+	}
+	if !f.DstPorts.IsAny() {
+		conj = append(conj, c.InRange(h.dstPort, uint64(f.DstPorts.Lo), uint64(f.DstPorts.Hi)))
+	}
+	if !f.Protocol.Any {
+		conj = append(conj, c.Eq(h.proto, c.BVConst(uint64(f.Protocol.Num), 8)))
+	}
+	return c.And(conj...)
+}
+
+// encodePolicy builds P(x̄) per Definition 3.1 (first applicable) or 3.2
+// (deny overrides); both are linear in the policy size.
+func encodePolicy(c *bv.Ctx, h header, p *acl.Policy) bv.Term {
+	if p.Semantics == acl.DenyOverrides {
+		var allows, denies []bv.Term
+		for i := range p.Rules {
+			t := encodeRule(c, h, &p.Rules[i])
+			if p.Rules[i].Action == acl.Permit {
+				allows = append(allows, t)
+			} else {
+				denies = append(denies, c.Not(t))
+			}
+		}
+		return c.And(c.Or(allows...), c.And(denies...))
+	}
+	// First applicable, built by induction from P_n = false upward.
+	formula := c.False()
+	for i := len(p.Rules) - 1; i >= 0; i-- {
+		t := encodeRule(c, h, &p.Rules[i])
+		if p.Rules[i].Action == acl.Permit {
+			formula = c.Or(t, formula)
+		} else {
+			formula = c.And(c.Not(t), formula)
+		}
+	}
+	return formula
+}
+
+// Equivalent reports whether two policies admit exactly the same traffic,
+// returning a distinguishing packet otherwise. Used by refactoring
+// postchecks beyond the contract suite.
+func Equivalent(a, b *acl.Policy) (bool, acl.Packet, error) {
+	c := bv.NewCtx()
+	h := newHeader(c)
+	pa := encodePolicy(c, h, a)
+	pb := encodePolicy(c, h, b)
+	res, err := bv.Solve(c, c.Not(c.Iff(pa, pb)))
+	if err != nil {
+		return false, acl.Packet{}, err
+	}
+	if !res.Sat {
+		return true, acl.Packet{}, nil
+	}
+	return false, packetFromModel(res.Model), nil
+}

@@ -1,0 +1,272 @@
+package secguru
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+const edgeACL = `
+remark Isolating private addresses
+deny ip 0.0.0.0/32 any
+deny ip 10.0.0.0/8 any
+deny ip 172.16.0.0/12 any
+deny ip 192.168.0.0/16 any
+remark Anti spoofing
+deny ip 104.208.32.0/20 any
+deny ip 168.61.144.0/20 any
+remark permits without port blocks
+permit ip any 104.208.32.0/24
+remark standard port and protocol blocks
+deny tcp any any eq 445
+deny udp any any eq 445
+deny tcp any any eq 593
+deny udp any any eq 593
+deny 53 any any
+deny 55 any any
+remark permits with port blocks
+permit ip any 104.208.32.0/20
+permit ip any 168.61.144.0/20
+`
+
+func parseEdge(t *testing.T) *acl.Policy {
+	t.Helper()
+	p, err := acl.ParseIOS("edge", strings.NewReader(edgeACL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func pfx(s string) ipnet.Prefix { return ipnet.MustParsePrefix(s) }
+
+func TestCheckPreservedContracts(t *testing.T) {
+	p := parseEdge(t)
+	cs := []Contract{
+		{
+			Name: "private-not-reachable", Expected: acl.Deny,
+			Filter: Filter{Protocol: acl.AnyProto, Src: pfx("10.0.0.0/8"),
+				SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort},
+		},
+		{
+			Name: "web-reachable-443", Expected: acl.Permit,
+			Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+				Dst: pfx("104.208.33.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)},
+		},
+		{
+			Name: "smb-blocked", Expected: acl.Deny,
+			Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+				Dst: pfx("104.208.40.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)},
+		},
+	}
+	rep, err := Check(p, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("contracts failed: %+v", rep.Failed())
+	}
+	if len(rep.Outcomes) != 3 {
+		t.Errorf("outcomes = %d", len(rep.Outcomes))
+	}
+}
+
+func TestCheckViolationIdentifiesRule(t *testing.T) {
+	p := parseEdge(t)
+	// Port 445 into the no-port-blocks /24 is PERMITTED by the policy
+	// (permit at line 8 precedes the port blocks), so a Deny expectation
+	// fails and the permit rule is named.
+	c := Contract{
+		Name: "smb-blocked-everywhere", Expected: acl.Deny,
+		Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+			Dst: pfx("104.208.32.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)},
+	}
+	rep, err := Check(p, []Contract{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 {
+		t.Fatalf("failed = %+v", rep.Outcomes)
+	}
+	o := fails[0]
+	if !c.Filter.Matches(o.Witness) {
+		t.Errorf("witness %+v outside contract filter", o.Witness)
+	}
+	if ok, idx := p.Evaluate(o.Witness); !ok || idx != o.RuleIndex {
+		t.Errorf("witness evaluation mismatch: ok=%v idx=%d outcome=%d", ok, idx, o.RuleIndex)
+	}
+	if !strings.Contains(o.RuleName, "permits without port blocks") {
+		t.Errorf("RuleName = %q", o.RuleName)
+	}
+}
+
+func TestCheckPermitViolationWitnessDenied(t *testing.T) {
+	p := parseEdge(t)
+	// Expecting port 445 to be reachable in the protected /20 fails; the
+	// deny rule is identified.
+	c := Contract{
+		Name: "smb-reachable", Expected: acl.Permit,
+		Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+			Dst: pfx("104.208.40.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)},
+	}
+	rep, err := Check(p, []Contract{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 {
+		t.Fatalf("failed = %+v", rep.Outcomes)
+	}
+	if ok, _ := p.Evaluate(fails[0].Witness); ok {
+		t.Error("witness should be denied by the policy")
+	}
+	if fails[0].RuleIndex < 0 {
+		t.Error("deny rule not identified")
+	}
+}
+
+func TestImplicitDefaultDenyNamed(t *testing.T) {
+	p := &acl.Policy{Name: "empty", Semantics: acl.FirstApplicable}
+	c := Contract{Name: "anything-reachable", Expected: acl.Permit, Filter: AnyFilter()}
+	rep, err := Check(p, []Contract{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 || fails[0].RuleIndex != -1 || fails[0].RuleName != "implicit default deny" {
+		t.Errorf("fails = %+v", fails)
+	}
+}
+
+// TestCheckVsSampling cross-checks the symbolic engine against random
+// packet sampling: if the engine says a contract is preserved, no sampled
+// packet in the filter may disagree; if violated, the witness must be a
+// true counterexample.
+func TestCheckVsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 60; iter++ {
+		p := &acl.Policy{Name: "r", Semantics: acl.FirstApplicable}
+		if iter%2 == 1 {
+			p.Semantics = acl.DenyOverrides
+		}
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			p.Rules = append(p.Rules, randomRule(rng))
+		}
+		ct := Contract{
+			Name:     "c",
+			Expected: acl.Action(rng.Intn(2)),
+			Filter: Filter{
+				Protocol: acl.AnyProto,
+				Src:      ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(9))),
+				Dst:      ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(9))),
+				SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort,
+			},
+		}
+		rep, err := Check(p, []Contract{ct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := rep.Outcomes[0]
+		if !o.Preserved {
+			if !ct.Filter.Matches(o.Witness) {
+				t.Fatalf("iter %d: witness outside filter", iter)
+			}
+			ok, _ := p.Evaluate(o.Witness)
+			if (ct.Expected == acl.Permit) == ok {
+				t.Fatalf("iter %d: witness is not a counterexample", iter)
+			}
+			continue
+		}
+		// Sample packets inside the filter; all must satisfy expectation.
+		for s := 0; s < 300; s++ {
+			pkt := acl.Packet{
+				SrcIP:    samplePrefix(rng, ct.Filter.Src),
+				DstIP:    samplePrefix(rng, ct.Filter.Dst),
+				SrcPort:  uint16(rng.Intn(1 << 16)),
+				DstPort:  uint16(rng.Intn(1 << 16)),
+				Protocol: uint8(rng.Intn(256)),
+			}
+			ok, _ := p.Evaluate(pkt)
+			if (ct.Expected == acl.Permit) != ok {
+				t.Fatalf("iter %d: engine said preserved but packet %+v decides %v", iter, pkt, ok)
+			}
+		}
+	}
+}
+
+func samplePrefix(rng *rand.Rand, p ipnet.Prefix) ipnet.Addr {
+	if p.Bits == 0 {
+		return ipnet.Addr(rng.Uint32())
+	}
+	r := ipnet.RangeOf(p)
+	return r.Lo + ipnet.Addr(uint64(rng.Uint32())%r.Size())
+}
+
+func randomRule(rng *rand.Rand) acl.Rule {
+	r := acl.NewRule(acl.Action(rng.Intn(2)), acl.AnyProto,
+		ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(6))),
+		ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), uint8(rng.Intn(6))),
+		acl.AnyPort, acl.AnyPort)
+	if rng.Intn(3) == 0 {
+		r.Protocol = acl.Proto(uint8(rng.Intn(2) * 6))
+	}
+	if rng.Intn(3) == 0 {
+		lo := uint16(rng.Intn(60000))
+		r.DstPorts = acl.PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(1000))}
+	}
+	return r
+}
+
+func TestEquivalent(t *testing.T) {
+	p := parseEdge(t)
+	q := p.Clone()
+	eq, _, err := Equivalent(p, q)
+	if err != nil || !eq {
+		t.Fatalf("policy not equivalent to its clone: %v", err)
+	}
+	// Drop a deny rule: no longer equivalent, witness distinguishes.
+	q2 := p.Clone()
+	q2.Rules = append(q2.Rules[:1], q2.Rules[2:]...) // remove deny 10/8
+	eq, w, err := Equivalent(p, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("dropped rule not detected")
+	}
+	ok1, _ := p.Evaluate(w)
+	ok2, _ := q2.Evaluate(w)
+	if ok1 == ok2 {
+		t.Error("witness does not distinguish the policies")
+	}
+	// Reordering two non-overlapping denies preserves equivalence.
+	q3 := p.Clone()
+	q3.Rules[1], q3.Rules[2] = q3.Rules[2], q3.Rules[1]
+	eq, _, err = Equivalent(p, q3)
+	if err != nil || !eq {
+		t.Error("swap of disjoint denies broke equivalence")
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	f := Filter{
+		Protocol: acl.Proto(acl.ProtoTCP),
+		Src:      pfx("10.0.0.0/8"), Dst: pfx("20.0.0.0/8"),
+		SrcPorts: acl.AnyPort, DstPorts: acl.Port(443),
+	}
+	good := acl.Packet{SrcIP: ipnet.MustParseAddr("10.1.1.1"),
+		DstIP: ipnet.MustParseAddr("20.1.1.1"), DstPort: 443, Protocol: acl.ProtoTCP}
+	if !f.Matches(good) {
+		t.Error("good packet rejected")
+	}
+	bad := good
+	bad.DstPort = 80
+	if f.Matches(bad) {
+		t.Error("bad port accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package secguru
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+// This file implements the §3.5 case study: Azure derives a common set of
+// firewall restrictions for every virtual machine from a template; bugs in
+// the automation occasionally omitted restrictions, so SecGuru validation
+// gates deployments of generated configurations.
+
+// FirewallTemplate is the intent behind the generated per-VM firewall
+// configuration: guest VMs must not reach infrastructure services and must
+// be isolated from other tenants, while tenant-internal and general
+// outbound traffic stays allowed.
+type FirewallTemplate struct {
+	// Infrastructure ranges guests must never reach.
+	Infrastructure []ipnet.Prefix
+	// TenantRanges is the address space of this tenant (allowed).
+	TenantRanges []ipnet.Prefix
+	// OtherTenants are ranges of co-located tenants (isolated).
+	OtherTenants []ipnet.Prefix
+}
+
+// Generate produces the deny-overrides firewall policy for the template:
+// permit tenant-internal plus general traffic, deny infrastructure and
+// cross-tenant ranges. Deny rules dominate regardless of order
+// (Definition 3.2).
+func (t FirewallTemplate) Generate() *acl.Policy {
+	p := &acl.Policy{Name: "vm-firewall", Semantics: acl.DenyOverrides}
+	add := func(a acl.Action, dst ipnet.Prefix, name string) {
+		r := acl.NewRule(a, acl.AnyProto, ipnet.Prefix{}, dst, acl.AnyPort, acl.AnyPort)
+		r.Name = name
+		p.Rules = append(p.Rules, r)
+	}
+	add(acl.Permit, ipnet.Prefix{}, "allow-outbound")
+	for i, pr := range t.TenantRanges {
+		add(acl.Permit, pr, fmt.Sprintf("allow-tenant-%d", i))
+	}
+	for i, pr := range t.Infrastructure {
+		add(acl.Deny, pr, fmt.Sprintf("deny-infra-%d", i))
+	}
+	for i, pr := range t.OtherTenants {
+		add(acl.Deny, pr, fmt.Sprintf("deny-tenant-%d", i))
+	}
+	return p
+}
+
+// Contracts derives the security contract suite for the template: every
+// infrastructure and foreign-tenant range must be denied, and tenant
+// ranges not shadowed by a deny must be permitted.
+func (t FirewallTemplate) Contracts() []Contract {
+	var cs []Contract
+	for i, pr := range t.Infrastructure {
+		cs = append(cs, Contract{
+			Name:     fmt.Sprintf("no-infra-access-%d", i),
+			Expected: acl.Deny,
+			Filter:   Filter{Protocol: acl.AnyProto, Dst: pr, SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort},
+		})
+	}
+	for i, pr := range t.OtherTenants {
+		cs = append(cs, Contract{
+			Name:     fmt.Sprintf("tenant-isolation-%d", i),
+			Expected: acl.Deny,
+			Filter:   Filter{Protocol: acl.AnyProto, Dst: pr, SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort},
+		})
+	}
+	return cs
+}
+
+// GateDeployment validates a generated configuration against the
+// template's contracts, returning an error naming the omitted restriction
+// when validation fails — the §3.5 deployment gate.
+func GateDeployment(cfg *acl.Policy, t FirewallTemplate) error {
+	rep, err := Check(cfg, t.Contracts())
+	if err != nil {
+		return err
+	}
+	if rep.OK() {
+		return nil
+	}
+	fails := rep.Failed()
+	return fmt.Errorf("secguru: firewall deployment blocked: %d restriction(s) not enforced, first: %s (witness %v admitted by %s)",
+		len(fails), fails[0].Contract.Name, fails[0].Witness, fails[0].RuleName)
+}

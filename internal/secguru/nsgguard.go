@@ -1,0 +1,109 @@
+package secguru
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+// This file implements the §3.4 case study: guarding network security
+// group changes so customers cannot inadvertently block the managed
+// database's backup traffic to its infrastructure service.
+
+// ManagedInstance describes a managed database deployment inside a
+// customer virtual network — the metadata Azure infrastructure has access
+// to (§3.4: service addresses, and whether the vnet includes an instance).
+type ManagedInstance struct {
+	// InstanceSubnet is where the database instance lives in the vnet.
+	InstanceSubnet ipnet.Prefix
+	// InfraService is the address range of the backup orchestration
+	// service outside the virtual network.
+	InfraService ipnet.Prefix
+	// InfraPorts is the port range the instance must reach.
+	InfraPorts acl.PortRange
+}
+
+// BackupContracts derives the automatically-added reachability contracts
+// for a managed instance: backup traffic between the database instance and
+// the infrastructure service must be permitted in both directions.
+func BackupContracts(mi ManagedInstance) []Contract {
+	return []Contract{
+		{
+			Name:     "managed-db-to-infra",
+			Expected: acl.Permit,
+			Filter: Filter{
+				Protocol: acl.Proto(acl.ProtoTCP),
+				Src:      mi.InstanceSubnet, Dst: mi.InfraService,
+				SrcPorts: acl.AnyPort, DstPorts: mi.InfraPorts,
+			},
+		},
+		{
+			Name:     "infra-to-managed-db",
+			Expected: acl.Permit,
+			Filter: Filter{
+				Protocol: acl.Proto(acl.ProtoTCP),
+				Src:      mi.InfraService, Dst: mi.InstanceSubnet,
+				SrcPorts: mi.InfraPorts, DstPorts: acl.AnyPort,
+			},
+		},
+	}
+}
+
+// ChangeError is returned by the NSG change API when the candidate policy
+// would break an invariant; it lists the failures with the offending rules
+// so the customer can fix the change.
+type ChangeError struct {
+	Failures []Outcome
+}
+
+func (e *ChangeError) Error() string {
+	if len(e.Failures) == 0 {
+		return "secguru: NSG change rejected"
+	}
+	msg := fmt.Sprintf("secguru: NSG change rejected: %d invariant(s) fail", len(e.Failures))
+	for _, f := range e.Failures {
+		msg += fmt.Sprintf("; %s blocked by rule %q", f.Contract.Name, f.RuleName)
+	}
+	return msg
+}
+
+// NSGGuard is the validation hook integrated into the NSG change API. When
+// the virtual network hosts a managed database instance, the backup
+// contracts are validated against every candidate policy and the change is
+// rejected with a detailed error if they fail.
+type NSGGuard struct {
+	// Instance is non-nil when the vnet contains a managed database.
+	Instance *ManagedInstance
+	// Extra contracts (customer- or service-specific) validated on every
+	// change.
+	Extra []Contract
+	// Enabled mirrors the §3.4 rollout: before the guard was integrated,
+	// changes went through unchecked (used by the Figure 12 experiment).
+	Enabled bool
+}
+
+// ValidateChange checks a candidate NSG policy. It returns nil when the
+// change is acceptable and a *ChangeError naming each failed invariant and
+// blocking rule otherwise.
+func (g *NSGGuard) ValidateChange(candidate *acl.Policy) error {
+	if !g.Enabled {
+		return nil
+	}
+	var cs []Contract
+	if g.Instance != nil {
+		cs = append(cs, BackupContracts(*g.Instance)...)
+	}
+	cs = append(cs, g.Extra...)
+	if len(cs) == 0 {
+		return nil
+	}
+	rep, err := Check(candidate, cs)
+	if err != nil {
+		return err
+	}
+	if rep.OK() {
+		return nil
+	}
+	return &ChangeError{Failures: rep.Failed()}
+}

@@ -1,0 +1,90 @@
+package secguru
+
+import (
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bv"
+)
+
+// Redundancy analysis: §3.3's refactoring "incrementally deleted several
+// rules that were either unnecessary or redundant". This file automates
+// finding them: a rule is redundant iff deleting it leaves the policy's
+// admitted traffic set unchanged. Each candidate is decided with one
+// equivalence query against the bit-vector engine, so the result is
+// semantic — it catches duplicates, rules shadowed by earlier rules, and
+// rules subsumed by later ones alike.
+
+// FindRedundant returns the indices of rules whose individual removal does
+// not change the policy's semantics, in ascending order.
+//
+// Note that redundancy is reported per rule against the full policy: two
+// identical rules are both individually redundant, but removing both can
+// change semantics. RemoveRedundant performs the iterated, safe removal.
+func FindRedundant(p *acl.Policy) ([]int, error) {
+	var out []int
+	for i := range p.Rules {
+		red, err := ruleRedundant(p, i)
+		if err != nil {
+			return nil, err
+		}
+		if red {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// RemoveRedundant iteratively removes redundant rules until none remain,
+// returning the minimized policy (the original is untouched) and how many
+// rules were dropped. The result is verified equivalent to the input.
+func RemoveRedundant(p *acl.Policy) (*acl.Policy, int, error) {
+	cur := p.Clone()
+	removed := 0
+	for {
+		changed := false
+		// Scan from the end so index invalidation never skips a rule.
+		for i := len(cur.Rules) - 1; i >= 0; i-- {
+			red, err := ruleRedundant(cur, i)
+			if err != nil {
+				return nil, 0, err
+			}
+			if red {
+				cur.Rules = append(cur.Rules[:i], cur.Rules[i+1:]...)
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if removed > 0 {
+		eq, w, err := Equivalent(p, cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !eq {
+			// Cannot happen if ruleRedundant is sound; fail loudly.
+			return nil, 0, &ChangeError{Failures: []Outcome{{
+				Contract: Contract{Name: "minimization-soundness"},
+				Witness:  w,
+			}}}
+		}
+	}
+	return cur, removed, nil
+}
+
+// ruleRedundant decides whether removing rule i changes the semantics.
+func ruleRedundant(p *acl.Policy, i int) (bool, error) {
+	without := p.Clone()
+	without.Rules = append(without.Rules[:i], without.Rules[i+1:]...)
+
+	c := bv.NewCtx()
+	h := newHeader(c)
+	pa := encodePolicy(c, h, p)
+	pb := encodePolicy(c, h, without)
+	res, err := bv.Solve(c, c.Not(c.Iff(pa, pb)))
+	if err != nil {
+		return false, err
+	}
+	return !res.Sat, nil
+}

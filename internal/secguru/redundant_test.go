@@ -1,0 +1,131 @@
+package secguru
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func TestFindRedundantShadowedAndDuplicate(t *testing.T) {
+	deny10 := acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/8"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+	shadowed := acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.20.0.0/16"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+	p := mkPolicy("t",
+		deny10,
+		shadowed, // subset of deny10, same action: redundant
+		deny10,   // exact duplicate: redundant
+		permitAll(),
+	)
+	idx, err := FindRedundant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rules 1 and 2 are each individually removable. Rule 0 is also
+	// individually removable (its duplicate at 2 covers it).
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(idx) != 3 {
+		t.Fatalf("FindRedundant = %v", idx)
+	}
+	for _, i := range idx {
+		if !want[i] {
+			t.Errorf("unexpected redundant rule %d", i)
+		}
+	}
+}
+
+func TestFindRedundantNoneInTightPolicy(t *testing.T) {
+	p := mkPolicy("t",
+		acl.NewRule(acl.Deny, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.Port(445)),
+		acl.NewRule(acl.Permit, acl.AnyProto, ipnet.Prefix{}, pfx("104.208.32.0/20"), acl.AnyPort, acl.AnyPort),
+	)
+	idx, err := FindRedundant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 0 {
+		t.Errorf("tight policy has redundancies: %v", idx)
+	}
+}
+
+func TestRemoveRedundantMinimizes(t *testing.T) {
+	deny10 := acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/8"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+	p := mkPolicy("t",
+		deny10, deny10, deny10, // duplicates: iterated removal keeps one
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.1.0.0/16"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	min, removed, err := RemoveRedundant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 || len(min.Rules) != 2 {
+		t.Fatalf("removed=%d rules=%d", removed, len(min.Rules))
+	}
+	eq, _, err := Equivalent(p, min)
+	if err != nil || !eq {
+		t.Fatal("minimized policy not equivalent")
+	}
+	if len(p.Rules) != 5 {
+		t.Error("original mutated")
+	}
+}
+
+// TestRemoveRedundantOnSyntheticLegacyACL: the zero-day and duplicate
+// sections of the synthetic Edge ACL are exactly the removable ones (the
+// service whitelists are redundant too — shadowed by the broad permits
+// behind the same port blocks... except where a port block intervenes, so
+// we assert only equivalence and a meaningful reduction).
+func TestRemoveRedundantSmallLegacy(t *testing.T) {
+	// Hand-built miniature: skeleton + redundancies, cheap enough for the
+	// O(n²) analysis.
+	p := mkPolicy("mini",
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/8"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		// zero-day /32 inside 10/8
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.9.9.9/32"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.Port(445)),
+		// service whitelist inside the broad permit, same action, no
+		// intervening blocks for this traffic
+		acl.NewRule(acl.Permit, acl.Proto(acl.ProtoTCP), ipnet.Prefix{}, pfx("104.208.40.7/32"), acl.AnyPort, acl.Port(443)),
+		acl.NewRule(acl.Permit, acl.AnyProto, ipnet.Prefix{}, pfx("104.208.32.0/20"), acl.AnyPort, acl.AnyPort),
+	)
+	min, removed, err := RemoveRedundant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2 (zero-day + whitelist)", removed)
+	}
+	eq, _, _ := Equivalent(p, min)
+	if !eq {
+		t.Fatal("not equivalent after minimization")
+	}
+}
+
+// TestRemoveRedundantRandomSemanticsPreserved: iterated removal never
+// changes packet decisions (verified by sampling on top of the built-in
+// equivalence proof).
+func TestRemoveRedundantRandomSemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 15; iter++ {
+		p := &acl.Policy{Name: "r", Semantics: acl.FirstApplicable}
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			p.Rules = append(p.Rules, randomRule(rng))
+		}
+		min, _, err := RemoveRedundant(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 100; s++ {
+			pkt := acl.Packet{
+				SrcIP: ipnet.Addr(rng.Uint32()), DstIP: ipnet.Addr(rng.Uint32()),
+				DstPort: uint16(rng.Intn(1 << 16)), Protocol: uint8(rng.Intn(256)),
+			}
+			a, _ := p.Evaluate(pkt)
+			b, _ := min.Evaluate(pkt)
+			if a != b {
+				t.Fatalf("iter %d: minimization changed decision for %+v", iter, pkt)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package secguru
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/acl"
+)
+
+// This file implements the §3.3 methodology for safely evolving a legacy
+// Edge ACL: a phased plan where every change carries prechecks (run against
+// a test device configured with the candidate ACL), staged deployment
+// across device groups, postchecks on each production device, and rollback
+// when postchecks fail.
+
+// Device models a network device holding an ACL. Capacity models the
+// resource limitation called out in §3.3: if the ACL exceeds the device's
+// rule capacity, the excess rules are silently ignored, so the *effective*
+// ACL differs from the configured one — exactly the failure mode prechecks
+// on a real test device catch.
+type Device struct {
+	Name     string
+	Group    int
+	Capacity int // 0 = unlimited
+	policy   *acl.Policy
+}
+
+// NewDevice returns a device pre-configured with the given ACL.
+func NewDevice(name string, group, capacity int, p *acl.Policy) *Device {
+	return &Device{Name: name, Group: group, Capacity: capacity, policy: p.Clone()}
+}
+
+// Configure installs an ACL on the device.
+func (d *Device) Configure(p *acl.Policy) { d.policy = p.Clone() }
+
+// Effective returns the ACL the device actually enforces, truncated to its
+// rule capacity.
+func (d *Device) Effective() *acl.Policy {
+	if d.Capacity == 0 || len(d.policy.Rules) <= d.Capacity {
+		return d.policy.Clone()
+	}
+	eff := d.policy.Clone()
+	eff.Rules = eff.Rules[:d.Capacity]
+	return eff
+}
+
+// Change is one step of a phased refactoring plan.
+type Change struct {
+	Name string
+	// NewACL is the candidate ACL after this change.
+	NewACL *acl.Policy
+}
+
+// StepResult records the outcome of applying one change.
+type StepResult struct {
+	Change        string
+	RuleCount     int // rules in the candidate ACL (the Figure 11 series)
+	PrecheckOK    bool
+	PrecheckFails []Outcome
+	// DeployedGroups is how many device groups received the change before
+	// a postcheck failure stopped the rollout (all groups on success).
+	DeployedGroups int
+	PostcheckOK    bool
+	RolledBack     bool
+}
+
+// Plan executes a phased refactoring: for each change, prechecks on the
+// test device, then group-by-group deployment with postchecks, rolling
+// back the failing group and aborting on error.
+type Plan struct {
+	// TestDevice mirrors production resource limits (§3.3: the precheck
+	// runs against a test network device, not the raw candidate text).
+	TestDevice *Device
+	Devices    []*Device
+	// Contracts is the regression suite for the ACL; it grows as the
+	// refactoring proceeds ("with each refactoring step, we added
+	// additional contracts to cover the most recent updates").
+	Contracts []Contract
+}
+
+// AddContracts extends the regression suite.
+func (pl *Plan) AddContracts(cs ...Contract) { pl.Contracts = append(pl.Contracts, cs...) }
+
+// groups returns the distinct group numbers in ascending order.
+func (pl *Plan) groups() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range pl.Devices {
+		if !seen[d.Group] {
+			seen[d.Group] = true
+			out = append(out, d.Group)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Apply runs one change through the §3.3 workflow. A precheck failure
+// stops before touching production; a postcheck failure rolls back the
+// group and aborts the rollout.
+func (pl *Plan) Apply(ch Change) (StepResult, error) {
+	res := StepResult{Change: ch.Name, RuleCount: len(ch.NewACL.Rules)}
+
+	// Precheck: configure the test device, validate its *effective* ACL.
+	pl.TestDevice.Configure(ch.NewACL)
+	rep, err := Check(pl.TestDevice.Effective(), pl.Contracts)
+	if err != nil {
+		return res, fmt.Errorf("secguru: precheck %q: %w", ch.Name, err)
+	}
+	res.PrecheckFails = rep.Failed()
+	res.PrecheckOK = rep.OK()
+	if !res.PrecheckOK {
+		return res, nil
+	}
+
+	// Staged deployment: one group at a time; successful postchecks gate
+	// the next group.
+	res.PostcheckOK = true
+	for _, g := range pl.groups() {
+		var groupDevs []*Device
+		for _, d := range pl.Devices {
+			if d.Group == g {
+				groupDevs = append(groupDevs, d)
+			}
+		}
+		prev := make([]*acl.Policy, len(groupDevs))
+		for i, d := range groupDevs {
+			prev[i] = d.policy.Clone()
+			d.Configure(ch.NewACL)
+		}
+		ok := true
+		for _, d := range groupDevs {
+			rep, err := Check(d.Effective(), pl.Contracts)
+			if err != nil {
+				return res, fmt.Errorf("secguru: postcheck %q on %s: %w", ch.Name, d.Name, err)
+			}
+			if !rep.OK() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			for i, d := range groupDevs {
+				d.Configure(prev[i])
+			}
+			res.PostcheckOK = false
+			res.RolledBack = true
+			return res, nil
+		}
+		res.DeployedGroups++
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package secguru
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/acl"
+)
+
+// Repair suggestion: §3.3 requires that "failing prechecks must provide
+// information to help fix the error", and the paper's related work points
+// at SAT/SMT-based firewall repair ([19], [40], [51]). This file implements
+// a pragmatic variant: given a violated contract and the policy, propose a
+// minimal rule-level edit that makes the contract pass, and verify the
+// candidate with the engine before suggesting it.
+
+// RepairKind describes the shape of a suggested edit.
+type RepairKind uint8
+
+const (
+	// InsertPermit adds a permit for the contract's traffic ahead of the
+	// rule that denies it (fixes failed Permit expectations).
+	InsertPermit RepairKind = iota
+	// InsertDeny adds a deny for the contract's traffic ahead of the rule
+	// that admits it (fixes failed Deny expectations).
+	InsertDeny
+)
+
+func (k RepairKind) String() string {
+	if k == InsertDeny {
+		return "insert-deny"
+	}
+	return "insert-permit"
+}
+
+// Repair is one verified suggestion.
+type Repair struct {
+	Kind RepairKind
+	// Index is where the new rule goes in the policy's rule slice.
+	Index int
+	// Rule is the rule to insert.
+	Rule acl.Rule
+	// Fixed is the repaired policy (a clone; the original is untouched).
+	Fixed *acl.Policy
+}
+
+func (r Repair) String() string {
+	return fmt.Sprintf("%s at %d: %s", r.Kind, r.Index, r.Rule.String())
+}
+
+// SuggestRepair proposes an edit fixing the given violated contract. The
+// suggestion is conservative — it covers exactly the contract's traffic
+// pattern, so it cannot widen or narrow the policy beyond the stated
+// intent — and it is verified: the repaired policy passes the contract and
+// every contract in regression (so a fix for one invariant cannot silently
+// break another). It returns an error when the outcome is not a violation
+// or no safe repair exists.
+func SuggestRepair(p *acl.Policy, o Outcome, regression []Contract) (Repair, error) {
+	if o.Preserved {
+		return Repair{}, fmt.Errorf("secguru: contract %q is not violated", o.Contract.Name)
+	}
+	rule := acl.Rule{
+		Protocol: o.Contract.Filter.Protocol,
+		Src:      o.Contract.Filter.Src,
+		Dst:      o.Contract.Filter.Dst,
+		SrcPorts: o.Contract.Filter.SrcPorts,
+		DstPorts: o.Contract.Filter.DstPorts,
+		Name:     "repair-" + o.Contract.Name,
+	}
+	var kind RepairKind
+	if o.Contract.Expected == acl.Permit {
+		kind = InsertPermit
+		rule.Action = acl.Permit
+	} else {
+		kind = InsertDeny
+		rule.Action = acl.Deny
+	}
+
+	// Insert ahead of the deciding rule (or at the head for the implicit
+	// default deny / deny-overrides semantics).
+	idx := o.RuleIndex
+	if idx < 0 || p.Semantics == acl.DenyOverrides {
+		idx = 0
+	}
+	// For deny-overrides, an InsertPermit cannot fix a deny rule that
+	// matches the traffic — denies dominate. Only a rule-removal would,
+	// which is not a conservative edit; report that no safe repair exists.
+	if p.Semantics == acl.DenyOverrides && kind == InsertPermit && o.RuleIndex >= 0 {
+		return Repair{}, fmt.Errorf(
+			"secguru: no conservative repair: deny rule %q dominates under deny-overrides; remove or narrow it",
+			o.RuleName)
+	}
+
+	fixed := p.Clone()
+	fixed.Rules = append(fixed.Rules[:idx],
+		append([]acl.Rule{rule}, fixed.Rules[idx:]...)...)
+	renumber(fixed)
+
+	// Verify: the failed contract now passes, and the regression suite
+	// still holds.
+	suite := append([]Contract{o.Contract}, regression...)
+	rep, err := Check(fixed, suite)
+	if err != nil {
+		return Repair{}, err
+	}
+	if !rep.OK() {
+		fails := rep.Failed()
+		return Repair{}, fmt.Errorf(
+			"secguru: candidate repair for %q breaks %q — manual fix required",
+			o.Contract.Name, fails[0].Contract.Name)
+	}
+	return Repair{Kind: kind, Index: idx, Rule: rule, Fixed: fixed}, nil
+}
+
+// renumber restores ascending priorities/lines after an insertion.
+func renumber(p *acl.Policy) {
+	for i := range p.Rules {
+		p.Rules[i].Priority = (i + 1) * 10
+		p.Rules[i].Line = i + 1
+	}
+}

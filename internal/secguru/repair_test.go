@@ -1,0 +1,152 @@
+package secguru
+
+import (
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func failOutcome(t *testing.T, p *acl.Policy, ct Contract) Outcome {
+	t.Helper()
+	rep, err := Check(p, []Contract{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failed()
+	if len(fails) != 1 {
+		t.Fatalf("expected one failure, got %+v", rep.Outcomes)
+	}
+	return fails[0]
+}
+
+func TestRepairInsertPermit(t *testing.T) {
+	// The §3.3 typo scenario: a broad deny blocks a service.
+	p := mkPolicy("edge",
+		acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.0.0.0/8"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("104.208.32.0/20"), acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	ct := Contract{Name: "services-443", Expected: acl.Permit, Filter: Filter{
+		Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+		Dst: pfx("104.208.40.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)}}
+	o := failOutcome(t, p, ct)
+
+	regression := []Contract{{Name: "private-isolated", Expected: acl.Deny, Filter: Filter{
+		Protocol: acl.AnyProto, Src: pfx("10.0.0.0/8"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}}
+	// The original passes regression but not the contract.
+	r, err := SuggestRepair(p, o, regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != InsertPermit || r.Index != 1 {
+		t.Errorf("repair = %+v", r)
+	}
+	// The fixed policy passes everything; the original is untouched.
+	rep, err := Check(r.Fixed, append([]Contract{ct}, regression...))
+	if err != nil || !rep.OK() {
+		t.Fatalf("fixed policy still failing: %+v", rep.Failed())
+	}
+	if len(p.Rules) != 3 {
+		t.Error("original policy mutated")
+	}
+	if r.String() == "" {
+		t.Error("empty repair description")
+	}
+}
+
+func TestRepairInsertDeny(t *testing.T) {
+	// Everything is admitted; a Deny contract fails; the repair inserts a
+	// deny ahead of the permit.
+	p := mkPolicy("open", permitAll())
+	ct := Contract{Name: "smb-blocked", Expected: acl.Deny, Filter: Filter{
+		Protocol: acl.Proto(acl.ProtoTCP), SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)}}
+	o := failOutcome(t, p, ct)
+	r, err := SuggestRepair(p, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != InsertDeny {
+		t.Errorf("kind = %v", r.Kind)
+	}
+	rep, err := Check(r.Fixed, []Contract{ct})
+	if err != nil || !rep.OK() {
+		t.Fatal("repair did not fix the contract")
+	}
+	// Unrelated traffic still flows.
+	if ok, _ := r.Fixed.Evaluate(acl.Packet{Protocol: acl.ProtoTCP, DstPort: 443}); !ok {
+		t.Error("repair over-blocked")
+	}
+}
+
+func TestRepairDefaultDeny(t *testing.T) {
+	// Empty policy, Permit contract fails on the implicit default deny:
+	// the permit is inserted at the head.
+	p := mkPolicy("empty")
+	ct := Contract{Name: "web", Expected: acl.Permit, Filter: Filter{
+		Protocol: acl.Proto(acl.ProtoTCP), Dst: pfx("10.0.0.0/8"),
+		SrcPorts: acl.AnyPort, DstPorts: acl.Port(80)}}
+	o := failOutcome(t, p, ct)
+	r, err := SuggestRepair(p, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Index != 0 || len(r.Fixed.Rules) != 1 {
+		t.Errorf("repair = %+v", r)
+	}
+}
+
+func TestRepairRejectsRegressionBreakage(t *testing.T) {
+	// Contract asks to permit traffic that a regression contract requires
+	// denied: no conservative repair exists.
+	p := mkPolicy("edge",
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("10.0.0.0/8"), acl.AnyPort, acl.AnyPort),
+		permitAll(),
+	)
+	ct := Contract{Name: "want-private", Expected: acl.Permit, Filter: Filter{
+		Protocol: acl.AnyProto, Dst: pfx("10.1.0.0/16"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}
+	o := failOutcome(t, p, ct)
+	regression := []Contract{{Name: "private-denied", Expected: acl.Deny, Filter: Filter{
+		Protocol: acl.AnyProto, Dst: pfx("10.0.0.0/8"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}}
+	if _, err := SuggestRepair(p, o, regression); err == nil {
+		t.Fatal("conflicting repair accepted")
+	}
+}
+
+func TestRepairDenyOverridesLimits(t *testing.T) {
+	// Deny-overrides: a dominating deny cannot be fixed by inserting a
+	// permit; the suggester must refuse with guidance.
+	p := &acl.Policy{Name: "fw", Semantics: acl.DenyOverrides, Rules: []acl.Rule{
+		permitAll(),
+		func() acl.Rule {
+			r := acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("40.90.0.0/16"), acl.AnyPort, acl.AnyPort)
+			r.Name = "deny-infra"
+			return r
+		}(),
+	}}
+	ct := Contract{Name: "infra-reachable", Expected: acl.Permit, Filter: Filter{
+		Protocol: acl.AnyProto, Dst: pfx("40.90.1.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}}
+	o := failOutcome(t, p, ct)
+	if _, err := SuggestRepair(p, o, nil); err == nil {
+		t.Fatal("deny-overrides permit repair accepted")
+	}
+	// An InsertDeny under deny-overrides works fine.
+	ct2 := Contract{Name: "block-80", Expected: acl.Deny, Filter: Filter{
+		Protocol: acl.Proto(acl.ProtoTCP), SrcPorts: acl.AnyPort, DstPorts: acl.Port(80)}}
+	o2 := failOutcome(t, p, ct2)
+	r, err := SuggestRepair(p, o2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(r.Fixed, []Contract{ct2})
+	if err != nil || !rep.OK() {
+		t.Fatal("deny repair ineffective")
+	}
+}
+
+func TestRepairOnPreservedContractErrors(t *testing.T) {
+	p := mkPolicy("x", permitAll())
+	if _, err := SuggestRepair(p, Outcome{Preserved: true}, nil); err == nil {
+		t.Error("repair of preserved contract accepted")
+	}
+}

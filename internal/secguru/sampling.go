@@ -1,0 +1,81 @@
+package secguru
+
+import (
+	"math/rand"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+// SamplingChecker is the pre-SMT baseline the related work (§4) describes:
+// early tools (Fang, the Lumeta firewall analyzer) let administrators test
+// policies by simulating traffic. It validates a contract by evaluating
+// random packets drawn from the contract's filter; unlike the symbolic
+// engine it can only *refute* a contract, never prove it — a contract that
+// fails only on a narrow corner (a single /32, one port) is routinely
+// missed. The E8 ablation and TestSamplingMissesCorners quantify exactly
+// that gap, which is the reason the paper's tooling is symbolic.
+type SamplingChecker struct {
+	// Samples per contract (default 1000).
+	Samples int
+	// Seed for the deterministic packet stream.
+	Seed int64
+}
+
+func (s SamplingChecker) samples() int {
+	if s.Samples > 0 {
+		return s.Samples
+	}
+	return 1000
+}
+
+// Check evaluates each contract on random packets from its filter. An
+// outcome with Preserved == true means only that no sampled packet
+// violated the contract.
+func (s SamplingChecker) Check(p *acl.Policy, cs []Contract) *Report {
+	rng := rand.New(rand.NewSource(s.Seed))
+	rep := &Report{Policy: p.Name}
+	for _, ct := range cs {
+		o := Outcome{Contract: ct, Preserved: true, RuleIndex: -1}
+		for i := 0; i < s.samples(); i++ {
+			pkt := samplePacket(rng, ct.Filter)
+			ok, idx := p.Evaluate(pkt)
+			if ok != (ct.Expected == acl.Permit) {
+				o.Preserved = false
+				o.Witness = pkt
+				o.RuleIndex = idx
+				o.RuleName = ruleName(p, idx)
+				break
+			}
+		}
+		rep.Outcomes = append(rep.Outcomes, o)
+	}
+	return rep
+}
+
+func samplePacket(rng *rand.Rand, f Filter) acl.Packet {
+	pkt := acl.Packet{
+		SrcIP:    sampleAddr(rng, f.Src),
+		DstIP:    sampleAddr(rng, f.Dst),
+		SrcPort:  samplePort(rng, f.SrcPorts),
+		DstPort:  samplePort(rng, f.DstPorts),
+		Protocol: uint8(rng.Intn(256)),
+	}
+	if !f.Protocol.Any {
+		pkt.Protocol = f.Protocol.Num
+	}
+	return pkt
+}
+
+func sampleAddr(rng *rand.Rand, p ipnet.Prefix) ipnet.Addr {
+	if p.Bits == 0 {
+		return ipnet.Addr(rng.Uint32())
+	}
+	r := ipnet.RangeOf(p)
+	return r.Lo + ipnet.Addr(uint64(rng.Uint32())%r.Size())
+}
+
+func samplePort(rng *rand.Rand, pr acl.PortRange) uint16 {
+	span := uint32(pr.Hi-pr.Lo) + 1
+	return pr.Lo + uint16(uint32(rng.Intn(int(span))))
+}

@@ -1,0 +1,269 @@
+package secguru
+
+import (
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func edgeContracts() []Contract {
+	return []Contract{
+		{Name: "private-isolated", Expected: acl.Deny,
+			Filter: Filter{Protocol: acl.AnyProto, Src: pfx("10.0.0.0/8"),
+				SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+		{Name: "web-80", Expected: acl.Permit,
+			Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+				Dst: pfx("104.208.40.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(80)}},
+		{Name: "web-443", Expected: acl.Permit,
+			Filter: Filter{Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"),
+				Dst: pfx("104.208.40.0/24"), SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)}},
+	}
+}
+
+func TestRefactorHappyPath(t *testing.T) {
+	legacy := parseEdge(t)
+	pl := &Plan{
+		TestDevice: NewDevice("testdev", 0, 0, legacy),
+		Devices: []*Device{
+			NewDevice("edge-1", 0, 0, legacy),
+			NewDevice("edge-2", 0, 0, legacy),
+			NewDevice("edge-3", 1, 0, legacy),
+		},
+		Contracts: edgeContracts(),
+	}
+	// The change keeps all deny protections and widens nothing.
+	slim := legacy.Clone()
+	res, err := pl.Apply(Change{Name: "noop", NewACL: slim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PrecheckOK || !res.PostcheckOK || res.DeployedGroups != 2 || res.RolledBack {
+		t.Errorf("result = %+v", res)
+	}
+	for _, d := range pl.Devices {
+		if len(d.Effective().Rules) != len(slim.Rules) {
+			t.Errorf("device %s not updated", d.Name)
+		}
+	}
+}
+
+func TestRefactorPrecheckCatchesTypo(t *testing.T) {
+	legacy := parseEdge(t)
+	pl := &Plan{
+		TestDevice: NewDevice("testdev", 0, 0, legacy),
+		Devices:    []*Device{NewDevice("edge-1", 0, 0, legacy)},
+		Contracts:  edgeContracts(),
+	}
+	// §3.3: "pre-checks detected typos, such as incorrect prefixes, that
+	// caused several services to be unreachable". Fat-finger the final
+	// permit: 168.61.144.0/20 -> 168.61.0.0/20 — and also drop the /20
+	// permit for 104.208.32.0/20, killing web-80/web-443.
+	bad := legacy.Clone()
+	for i := range bad.Rules {
+		if bad.Rules[i].Action == acl.Permit && bad.Rules[i].Dst == pfx("104.208.32.0/20") {
+			bad.Rules[i].Dst = pfx("105.208.32.0/20") // typo
+		}
+	}
+	res, err := pl.Apply(Change{Name: "typo", NewACL: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrecheckOK {
+		t.Fatal("precheck missed the typo")
+	}
+	if res.DeployedGroups != 0 {
+		t.Error("typo change reached production")
+	}
+	names := map[string]bool{}
+	for _, f := range res.PrecheckFails {
+		names[f.Contract.Name] = true
+	}
+	if !names["web-80"] || !names["web-443"] {
+		t.Errorf("precheck failures = %v", names)
+	}
+	// Production devices untouched.
+	if got := len(pl.Devices[0].Effective().Rules); got != len(legacy.Rules) {
+		t.Errorf("production device modified: %d rules", got)
+	}
+}
+
+func TestRefactorCapacityTruncation(t *testing.T) {
+	legacy := parseEdge(t)
+	// Device capacity below the ACL size: the effective ACL loses its
+	// tail permits, so permit contracts fail at precheck — the §3.3
+	// resource-limitation scenario.
+	pl := &Plan{
+		TestDevice: NewDevice("testdev", 0, 10, legacy),
+		Devices:    []*Device{NewDevice("edge-1", 0, 10, legacy)},
+		Contracts:  edgeContracts(),
+	}
+	res, err := pl.Apply(Change{Name: "same-acl", NewACL: legacy.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrecheckOK {
+		t.Fatal("capacity truncation not caught by precheck")
+	}
+}
+
+func TestRefactorPostcheckRollback(t *testing.T) {
+	legacy := parseEdge(t)
+	// The test device has ample capacity, the production group-1 device is
+	// constrained: precheck passes, group 0 deploys, group 1 postcheck
+	// fails and rolls back.
+	small := NewDevice("edge-small", 1, 10, legacy)
+	pl := &Plan{
+		TestDevice: NewDevice("testdev", 0, 0, legacy),
+		Devices: []*Device{
+			NewDevice("edge-1", 0, 0, legacy),
+			small,
+		},
+		Contracts: edgeContracts(),
+	}
+	// Grow the ACL beyond the small device's capacity while preserving
+	// semantics (pad with specific denies inside 10/8, already denied).
+	padded := legacy.Clone()
+	pad := acl.NewRule(acl.Deny, acl.AnyProto, pfx("10.99.0.0/16"), ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+	padded.Rules = append([]acl.Rule{pad}, padded.Rules...)
+	res, err := pl.Apply(Change{Name: "pad", NewACL: padded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PrecheckOK {
+		t.Fatalf("precheck failed: %+v", res.PrecheckFails)
+	}
+	if res.PostcheckOK || !res.RolledBack || res.DeployedGroups != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	// The small device must be back on the previous ACL.
+	if got := len(small.Effective().Rules); got != 10 {
+		t.Errorf("small device effective rules = %d (want truncated legacy)", got)
+	}
+	if eq, _, _ := Equivalent(small.Effective(), func() *acl.Policy {
+		e := legacy.Clone()
+		e.Rules = e.Rules[:10]
+		return e
+	}()); !eq {
+		t.Error("rollback did not restore the previous ACL")
+	}
+}
+
+func TestNSGGuardBlocksBackupBreakage(t *testing.T) {
+	mi := ManagedInstance{
+		InstanceSubnet: pfx("10.1.2.0/24"),
+		InfraService:   pfx("40.90.0.0/16"),
+		InfraPorts:     acl.PortRange{Lo: 1433, Hi: 1434},
+	}
+	guard := &NSGGuard{Instance: &mi, Enabled: true}
+
+	okPolicy := &acl.Policy{Name: "nsg", Semantics: acl.FirstApplicable, Rules: []acl.Rule{
+		func() acl.Rule {
+			r := acl.NewRule(acl.Permit, acl.AnyProto, ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+			r.Name = "allow-all"
+			r.Priority = 100
+			return r
+		}(),
+	}}
+	if err := guard.ValidateChange(okPolicy); err != nil {
+		t.Fatalf("benign change rejected: %v", err)
+	}
+
+	// A customer-style deny-outbound rule that blocks the infra service.
+	badPolicy := okPolicy.Clone()
+	deny := acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, pfx("40.0.0.0/8"), acl.AnyPort, acl.AnyPort)
+	deny.Name = "deny-external"
+	deny.Priority = 50
+	badPolicy.Rules = append([]acl.Rule{deny}, badPolicy.Rules...)
+	err := guard.ValidateChange(badPolicy)
+	if err == nil {
+		t.Fatal("backup-breaking change accepted")
+	}
+	ce, ok := err.(*ChangeError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(ce.Failures) == 0 || ce.Failures[0].RuleName != "deny-external" {
+		t.Errorf("failures = %+v", ce.Failures)
+	}
+	if !strings.Contains(ce.Error(), "deny-external") {
+		t.Errorf("error message %q", ce.Error())
+	}
+
+	// Disabled guard (pre-rollout): everything passes.
+	guard.Enabled = false
+	if err := guard.ValidateChange(badPolicy); err != nil {
+		t.Error("disabled guard rejected a change")
+	}
+}
+
+func TestNSGGuardNoInstanceNoContracts(t *testing.T) {
+	guard := &NSGGuard{Enabled: true}
+	deny := &acl.Policy{Semantics: acl.FirstApplicable, Rules: []acl.Rule{
+		acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, ipnet.Prefix{}, acl.AnyPort, acl.AnyPort),
+	}}
+	if err := guard.ValidateChange(deny); err != nil {
+		t.Errorf("vnet without managed DB should accept any change: %v", err)
+	}
+}
+
+func TestFirewallTemplateGate(t *testing.T) {
+	tmpl := FirewallTemplate{
+		Infrastructure: []ipnet.Prefix{pfx("168.63.129.0/24"), pfx("169.254.169.0/24")},
+		TenantRanges:   []ipnet.Prefix{pfx("10.4.0.0/16")},
+		OtherTenants:   []ipnet.Prefix{pfx("10.5.0.0/16")},
+	}
+	good := tmpl.Generate()
+	if good.Semantics != acl.DenyOverrides {
+		t.Fatal("firewall must use deny-overrides semantics")
+	}
+	if err := GateDeployment(good, tmpl); err != nil {
+		t.Fatalf("correct config blocked: %v", err)
+	}
+	// Guest cannot reach infrastructure; tenant traffic flows.
+	if ok, _ := good.Evaluate(acl.Packet{DstIP: ipnet.MustParseAddr("168.63.129.16")}); ok {
+		t.Error("infra reachable")
+	}
+	if ok, _ := good.Evaluate(acl.Packet{DstIP: ipnet.MustParseAddr("10.4.9.9")}); !ok {
+		t.Error("tenant traffic blocked")
+	}
+
+	// §3.5 bug: automation omits a restriction — the gate must catch it.
+	for drop := 0; drop < len(tmpl.Infrastructure)+len(tmpl.OtherTenants); drop++ {
+		bad := good.Clone()
+		denySeen := -1
+		for i := range bad.Rules {
+			if bad.Rules[i].Action == acl.Deny {
+				denySeen++
+				if denySeen == drop {
+					bad.Rules = append(bad.Rules[:i], bad.Rules[i+1:]...)
+					break
+				}
+			}
+		}
+		if err := GateDeployment(bad, tmpl); err == nil {
+			t.Errorf("omitted restriction %d not caught", drop)
+		}
+	}
+}
+
+func TestFirewallDenyOverridesOrderIrrelevant(t *testing.T) {
+	tmpl := FirewallTemplate{
+		Infrastructure: []ipnet.Prefix{pfx("168.63.129.0/24")},
+		TenantRanges:   []ipnet.Prefix{pfx("10.4.0.0/16")},
+	}
+	p := tmpl.Generate()
+	// Reverse the rule order: deny-overrides semantics is insensitive.
+	rev := p.Clone()
+	for i, j := 0, len(rev.Rules)-1; i < j; i, j = i+1, j-1 {
+		rev.Rules[i], rev.Rules[j] = rev.Rules[j], rev.Rules[i]
+	}
+	eq, w, err := Equivalent(p, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("reversed deny-overrides policy differs, witness %+v", w)
+	}
+}

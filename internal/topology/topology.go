@@ -1,0 +1,478 @@
+// Package topology models the hierarchical Clos datacenter network of §2.1
+// and generates synthetic instances of it, in the spirit of the cloud
+// topology generator the paper references ([29], Lopes).
+//
+// A datacenter has four tiers. Top-of-rack (T0/ToR) switches host server
+// VLAN prefixes. ToRs in a cluster connect to the cluster's leaf (T1)
+// switches. Leaves connect upward to spine (T2) switches arranged in planes:
+// leaf i of every cluster connects to all spines of plane i. Spines connect
+// to the regional spine (RS) tier, which is the boundary to the Azure
+// regional network.
+//
+// ASN allocation follows §2.1: one ASN for all spines of the datacenter,
+// one ASN per cluster shared by its leaves, and per-ToR ASNs that are unique
+// within a cluster but reused across clusters.
+//
+// Links carry both a physical state (cabling, optics) and a BGP session
+// admin state; the distinction matters for the §2.6.2 error taxonomy
+// (hardware failure vs. operation drift).
+package topology
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/ipnet"
+)
+
+// Role is the tier of a device in the Clos hierarchy.
+type Role uint8
+
+const (
+	RoleToR Role = iota
+	RoleLeaf
+	RoleSpine
+	RoleRegionalSpine
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleToR:
+		return "tor"
+	case RoleLeaf:
+		return "leaf"
+	case RoleSpine:
+		return "spine"
+	case RoleRegionalSpine:
+		return "rspine"
+	}
+	return "unknown"
+}
+
+// DeviceID indexes a device within a Topology.
+type DeviceID int32
+
+// None is the invalid device ID.
+const None DeviceID = -1
+
+// Device is a network switch/router.
+type Device struct {
+	ID      DeviceID
+	Name    string
+	Role    Role
+	Cluster int // cluster index for ToR/leaf; -1 for spine/RS
+	Index   int // index within its tier scope (per cluster, plane, etc.)
+	Plane   int // spine plane for leaves and spines; -1 otherwise
+	ASN     uint32
+
+	// HostedPrefixes are the VLAN prefixes announced by a ToR (§2.1).
+	HostedPrefixes []ipnet.Prefix
+}
+
+// LinkID indexes a link within a Topology.
+type LinkID int32
+
+// Link is a point-to-point connection carrying one EBGP session.
+type Link struct {
+	ID   LinkID
+	A, B DeviceID
+	// Up is the physical/operational state (false models optical faults).
+	Up bool
+	// SessionUp is the BGP session admin state (false models sessions
+	// administratively shut, e.g. to mitigate lossy links).
+	SessionUp bool
+	// AddrA and AddrB are the /31 interface addresses of the two ends.
+	AddrA, AddrB ipnet.Addr
+}
+
+// Live reports whether the link can carry routes: physically up with the
+// BGP session not administratively shut.
+func (l *Link) Live() bool { return l.Up && l.SessionUp }
+
+// Peer returns the device on the other end of the link from d, and the
+// interface address of that far end.
+func (l *Link) Peer(d DeviceID) (DeviceID, ipnet.Addr) {
+	if l.A == d {
+		return l.B, l.AddrB
+	}
+	return l.A, l.AddrA
+}
+
+// Params configures a generated datacenter.
+type Params struct {
+	Name             string
+	Clusters         int
+	ToRsPerCluster   int
+	LeavesPerCluster int // also the number of spine planes
+	SpinesPerPlane   int
+	RegionalSpines   int
+	// RSLinksPerSpine is how many regional spine devices each spine
+	// connects to. Regional spines are partitioned into
+	// RegionalSpines/RSLinksPerSpine groups and spine i connects to group
+	// i mod groups (matching Figure 3, where D1 connects to R1 and R3).
+	RSLinksPerSpine int
+	// PrefixesPerToR is the number of VLAN /24 prefixes hosted per ToR.
+	PrefixesPerToR int
+	// RegionIndex distinguishes datacenters sharing a regional network
+	// (multi-datacenter simulations): it offsets the regional spine ASN
+	// (each datacenter's RS tier needs a distinct ASN for regional
+	// propagation) and the VLAN prefix block (4096 /24s per datacenter),
+	// while spine/leaf/ToR ASNs deliberately stay identical across
+	// datacenters — the collision the §2.1 private-ASN stripping exists
+	// to neutralize.
+	RegionIndex int
+}
+
+// Figure3Params returns the scaled-down topology of Figure 3: two clusters
+// (A, B) with 2 ToRs and 4 leaves each, 4 spine devices (D1–D4), and 4
+// regional spines (R1–R4) with each spine connected to 2 of them.
+func Figure3Params() Params {
+	return Params{
+		Name:             "fig3",
+		Clusters:         2,
+		ToRsPerCluster:   2,
+		LeavesPerCluster: 4,
+		SpinesPerPlane:   1,
+		RegionalSpines:   4,
+		RSLinksPerSpine:  2,
+		PrefixesPerToR:   1,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Clusters < 1 || p.ToRsPerCluster < 1 || p.LeavesPerCluster < 1 ||
+		p.SpinesPerPlane < 1 || p.RegionalSpines < 1:
+		return fmt.Errorf("topology: all tier counts must be >= 1: %+v", p)
+	case p.RSLinksPerSpine < 1 || p.RSLinksPerSpine > p.RegionalSpines:
+		return fmt.Errorf("topology: RSLinksPerSpine %d out of range", p.RSLinksPerSpine)
+	case p.RegionalSpines%p.RSLinksPerSpine != 0:
+		return fmt.Errorf("topology: RegionalSpines %d not divisible by RSLinksPerSpine %d",
+			p.RegionalSpines, p.RSLinksPerSpine)
+	case p.RegionIndex < 0 || p.RegionIndex > 15:
+		return fmt.Errorf("topology: RegionIndex %d out of range [0,15]", p.RegionIndex)
+	case p.RegionIndex == 0 && p.Clusters*p.ToRsPerCluster*max(1, p.PrefixesPerToR) > 1<<16:
+		return fmt.Errorf("topology: prefix space exhausted (%d ToR prefixes)",
+			p.Clusters*p.ToRsPerCluster*p.PrefixesPerToR)
+	case p.RegionIndex > 0 && p.Clusters*p.ToRsPerCluster*max(1, p.PrefixesPerToR) > 1<<12:
+		return fmt.Errorf("topology: prefix block exhausted (%d ToR prefixes, 4096 per datacenter in a region)",
+			p.Clusters*p.ToRsPerCluster*p.PrefixesPerToR)
+	}
+	return nil
+}
+
+// NumDevices returns the total device count the parameters produce.
+func (p Params) NumDevices() int {
+	return p.Clusters*(p.ToRsPerCluster+p.LeavesPerCluster) +
+		p.LeavesPerCluster*p.SpinesPerPlane + p.RegionalSpines
+}
+
+// ASN allocation bases. Values are 4-byte private ASNs (RFC 6996) so
+// arbitrarily large datacenters never collide.
+const (
+	asnRegionalSpine = 4200000000
+	asnSpine         = 4200000100
+	asnLeafBase      = 4200001000 // + cluster index
+	asnToRBase       = 4210000000 // + ToR index within cluster (reused across clusters)
+)
+
+// Topology is a generated datacenter network.
+type Topology struct {
+	Params  Params
+	Devices []Device
+	Links   []Link
+
+	linksOf [][]LinkID // device -> incident links
+	byName  map[string]DeviceID
+	linkIdx map[uint64]LinkID // (min,max) device pair -> link
+
+	// tier indices
+	tors    []DeviceID // cluster-major order
+	leaves  []DeviceID
+	spines  []DeviceID
+	rspines []DeviceID
+}
+
+// New generates a datacenter network from the parameters.
+func New(p Params) (*Topology, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.PrefixesPerToR == 0 {
+		p.PrefixesPerToR = 1
+	}
+	if p.Name == "" {
+		p.Name = "dc"
+	}
+	t := &Topology{Params: p, byName: make(map[string]DeviceID)}
+
+	addDevice := func(name string, role Role, cluster, index, plane int, asn uint32) DeviceID {
+		id := DeviceID(len(t.Devices))
+		t.Devices = append(t.Devices, Device{
+			ID: id, Name: name, Role: role, Cluster: cluster, Index: index,
+			Plane: plane, ASN: asn,
+		})
+		t.byName[name] = id
+		return id
+	}
+
+	// ToRs and leaves, cluster by cluster.
+	prefixSeq := p.RegionIndex << 12
+	for c := 0; c < p.Clusters; c++ {
+		for i := 0; i < p.ToRsPerCluster; i++ {
+			id := addDevice(fmt.Sprintf("%s-c%d-t0-%d", p.Name, c, i),
+				RoleToR, c, i, -1, asnToRBase+uint32(i))
+			d := &t.Devices[id]
+			for k := 0; k < p.PrefixesPerToR; k++ {
+				d.HostedPrefixes = append(d.HostedPrefixes,
+					ipnet.PrefixFrom(ipnet.Addr(0x0a000000|uint32(prefixSeq)<<8), 24))
+				prefixSeq++
+			}
+			t.tors = append(t.tors, id)
+		}
+		for i := 0; i < p.LeavesPerCluster; i++ {
+			id := addDevice(fmt.Sprintf("%s-c%d-t1-%d", p.Name, c, i),
+				RoleLeaf, c, i, i, asnLeafBase+uint32(c))
+			t.leaves = append(t.leaves, id)
+		}
+	}
+	for pl := 0; pl < p.LeavesPerCluster; pl++ {
+		for i := 0; i < p.SpinesPerPlane; i++ {
+			id := addDevice(fmt.Sprintf("%s-t2-p%d-%d", p.Name, pl, i),
+				RoleSpine, -1, i, pl, asnSpine)
+			t.spines = append(t.spines, id)
+		}
+	}
+	for i := 0; i < p.RegionalSpines; i++ {
+		id := addDevice(fmt.Sprintf("%s-rs-%d", p.Name, i),
+			RoleRegionalSpine, -1, i, -1, asnRegionalSpine+uint32(p.RegionIndex))
+		t.rspines = append(t.rspines, id)
+	}
+
+	t.linksOf = make([][]LinkID, len(t.Devices))
+	t.linkIdx = make(map[uint64]LinkID)
+	addLink := func(a, b DeviceID) {
+		id := LinkID(len(t.Links))
+		base := ipnet.Addr(0x64400000 + 2*uint32(id)) // 100.64.0.0/10 pool
+		t.Links = append(t.Links, Link{
+			ID: id, A: a, B: b, Up: true, SessionUp: true,
+			AddrA: base, AddrB: base + 1,
+		})
+		t.linksOf[a] = append(t.linksOf[a], id)
+		t.linksOf[b] = append(t.linksOf[b], id)
+		t.linkIdx[pairKey(a, b)] = id
+	}
+
+	// ToR–leaf: full bipartite within each cluster.
+	for c := 0; c < p.Clusters; c++ {
+		for i := 0; i < p.ToRsPerCluster; i++ {
+			tor := t.tors[c*p.ToRsPerCluster+i]
+			for j := 0; j < p.LeavesPerCluster; j++ {
+				addLink(tor, t.leaves[c*p.LeavesPerCluster+j])
+			}
+		}
+	}
+	// Leaf–spine: leaf of plane j connects to all spines of plane j.
+	for c := 0; c < p.Clusters; c++ {
+		for j := 0; j < p.LeavesPerCluster; j++ {
+			leaf := t.leaves[c*p.LeavesPerCluster+j]
+			for i := 0; i < p.SpinesPerPlane; i++ {
+				addLink(leaf, t.spines[j*p.SpinesPerPlane+i])
+			}
+		}
+	}
+	// Spine–regional spine: RS devices form RSLinksPerSpine groups; spine k
+	// (global index) connects to RS {g, g+groups, g+2*groups, ...} where
+	// g = k mod groups.
+	groups := p.RegionalSpines / p.RSLinksPerSpine
+	for k, sp := range t.spines {
+		g := k % groups
+		for r := g; r < p.RegionalSpines; r += groups {
+			addLink(sp, t.rspines[r])
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(p Params) *Topology {
+	t, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Device returns the device with the given ID.
+func (t *Topology) Device(id DeviceID) *Device { return &t.Devices[id] }
+
+// ByName returns the device with the given name.
+func (t *Topology) ByName(name string) (*Device, bool) {
+	id, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &t.Devices[id], true
+}
+
+// ToRs returns all top-of-rack devices in cluster-major order.
+func (t *Topology) ToRs() []DeviceID { return t.tors }
+
+// Leaves returns all leaf devices in cluster-major order.
+func (t *Topology) Leaves() []DeviceID { return t.leaves }
+
+// Spines returns all spine devices in plane-major order.
+func (t *Topology) Spines() []DeviceID { return t.spines }
+
+// RegionalSpines returns the regional spine devices.
+func (t *Topology) RegionalSpines() []DeviceID { return t.rspines }
+
+// ClusterToRs returns the ToRs of one cluster.
+func (t *Topology) ClusterToRs(c int) []DeviceID {
+	n := t.Params.ToRsPerCluster
+	return t.tors[c*n : (c+1)*n]
+}
+
+// ClusterLeaves returns the leaves of one cluster.
+func (t *Topology) ClusterLeaves(c int) []DeviceID {
+	n := t.Params.LeavesPerCluster
+	return t.leaves[c*n : (c+1)*n]
+}
+
+// LinksOf returns the IDs of all links incident to the device.
+func (t *Topology) LinksOf(d DeviceID) []LinkID { return t.linksOf[d] }
+
+// Link returns the link with the given ID.
+func (t *Topology) Link(id LinkID) *Link { return &t.Links[id] }
+
+// LinkBetween returns the link connecting a and b, if any, in O(1).
+func (t *Topology) LinkBetween(a, b DeviceID) (*Link, bool) {
+	id, ok := t.linkIdx[pairKey(a, b)]
+	if !ok {
+		return nil, false
+	}
+	return &t.Links[id], true
+}
+
+func pairKey(a, b DeviceID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Neighbors returns the devices adjacent to d (regardless of link state).
+func (t *Topology) Neighbors(d DeviceID) []DeviceID {
+	out := make([]DeviceID, 0, len(t.linksOf[d]))
+	for _, lid := range t.linksOf[d] {
+		p, _ := t.Links[lid].Peer(d)
+		out = append(out, p)
+	}
+	return out
+}
+
+// LiveNeighbors returns the devices adjacent to d over live links.
+func (t *Topology) LiveNeighbors(d DeviceID) []DeviceID {
+	out := make([]DeviceID, 0, len(t.linksOf[d]))
+	for _, lid := range t.linksOf[d] {
+		l := &t.Links[lid]
+		if !l.Live() {
+			continue
+		}
+		p, _ := l.Peer(d)
+		out = append(out, p)
+	}
+	return out
+}
+
+// FailLink marks the link between a and b physically down (optical fault).
+// It reports whether such a link exists.
+func (t *Topology) FailLink(a, b DeviceID) bool {
+	l, ok := t.LinkBetween(a, b)
+	if ok {
+		l.Up = false
+	}
+	return ok
+}
+
+// ShutSession administratively shuts the BGP session between a and b
+// (operation drift). It reports whether such a link exists.
+func (t *Topology) ShutSession(a, b DeviceID) bool {
+	l, ok := t.LinkBetween(a, b)
+	if ok {
+		l.SessionUp = false
+	}
+	return ok
+}
+
+// Clone returns an independent copy of the topology, including current
+// link state. The network emulator uses clones to try out changes without
+// touching production (§2.7).
+func (t *Topology) Clone() *Topology {
+	cp := MustNew(t.Params)
+	for i := range t.Links {
+		cp.Links[i].Up = t.Links[i].Up
+		cp.Links[i].SessionUp = t.Links[i].SessionUp
+	}
+	return cp
+}
+
+// RestoreAll returns every link to the healthy state.
+func (t *Topology) RestoreAll() {
+	for i := range t.Links {
+		t.Links[i].Up = true
+		t.Links[i].SessionUp = true
+	}
+}
+
+// HostedPrefixes returns every (prefix, hosting ToR) pair in the
+// datacenter, in prefix order — the address-locality facts of §2.3.
+func (t *Topology) HostedPrefixes() []HostedPrefix {
+	var out []HostedPrefix
+	for _, id := range t.tors {
+		for _, p := range t.Devices[id].HostedPrefixes {
+			out = append(out, HostedPrefix{Prefix: p, ToR: id, Cluster: t.Devices[id].Cluster})
+		}
+	}
+	return out
+}
+
+// HostedPrefix records where a VLAN prefix lives.
+type HostedPrefix struct {
+	Prefix  ipnet.Prefix
+	ToR     DeviceID
+	Cluster int
+}
+
+// AddrOf returns the interface address of device d on link l.
+func (t *Topology) AddrOf(d DeviceID, l *Link) ipnet.Addr {
+	if l.A == d {
+		return l.AddrA
+	}
+	return l.AddrB
+}
+
+// DeviceByAddr finds the device owning an interface address.
+func (t *Topology) DeviceByAddr(a ipnet.Addr) (DeviceID, bool) {
+	// Interface addresses are allocated densely: link = (a - base) / 2.
+	off := uint32(a) - 0x64400000
+	li := LinkID(off / 2)
+	if int(li) >= len(t.Links) {
+		return None, false
+	}
+	l := &t.Links[li]
+	if l.AddrA == a {
+		return l.A, true
+	}
+	if l.AddrB == a {
+		return l.B, true
+	}
+	return None, false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

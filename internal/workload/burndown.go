@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file models the Figure 6 burndown of routing intent-drift errors.
+// The paper's narrative: RCDC deploys near day 5 into a network carrying a
+// latent-error backlog; validation reports drive remediation queues where
+// high-risk errors are fixed with priority (§2.6.4); the proportion of
+// errors relative to the initial total trends down, high-risk fastest.
+
+// BurndownConfig parameterizes the remediation-queue simulation.
+type BurndownConfig struct {
+	Days int
+	// DeployDay is when RCDC starts detecting (day 5 in Figure 6).
+	DeployDay int
+	// InitialHigh/InitialLow is the latent backlog present at deployment
+	// ("initial reports identified a few hundred latent bugs").
+	InitialHigh, InitialLow int
+	// FixCapacityPerDay is how many errors remediation can retire daily;
+	// high-risk errors are always retired first.
+	FixCapacityPerDay int
+	// ArrivalHigh/ArrivalLow are mean new errors per day (Poisson-ish).
+	ArrivalHigh, ArrivalLow float64
+	Seed                    int64
+}
+
+// DefaultBurndownConfig reproduces the Figure 6 shape.
+func DefaultBurndownConfig() BurndownConfig {
+	return BurndownConfig{
+		Days: 60, DeployDay: 5,
+		InitialHigh: 90, InitialLow: 210,
+		FixCapacityPerDay: 12,
+		ArrivalHigh:       0.4, ArrivalLow: 1.2,
+		Seed: 42,
+	}
+}
+
+// BurndownPoint is one day of the Figure 6 series: proportions are
+// relative to the total backlog at its peak.
+type BurndownPoint struct {
+	Day                 int
+	High, Low           int
+	HighFrac, LowFrac   float64
+	TotalFrac           float64
+	RemediatedSoFar     int
+	HighRemediatedSoFar int
+}
+
+// SimulateBurndown runs the remediation-queue model and returns the daily
+// series.
+func SimulateBurndown(cfg BurndownConfig) []BurndownPoint {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	high, low := cfg.InitialHigh, cfg.InitialLow
+	peak := high + low
+	if peak == 0 {
+		peak = 1
+	}
+	var out []BurndownPoint
+	remediated, highRemediated := 0, 0
+	for day := 0; day < cfg.Days; day++ {
+		// New latent errors keep arriving regardless of monitoring.
+		high += poisson(rng, cfg.ArrivalHigh)
+		low += poisson(rng, cfg.ArrivalLow)
+		if high+low > peak {
+			peak = high + low
+		}
+		// Before deployment nothing is detected, so nothing burns down.
+		if day >= cfg.DeployDay {
+			budget := cfg.FixCapacityPerDay
+			fixH := min(budget, high)
+			high -= fixH
+			budget -= fixH
+			fixL := min(budget, low)
+			low -= fixL
+			remediated += fixH + fixL
+			highRemediated += fixH
+		}
+		out = append(out, BurndownPoint{
+			Day: day, High: high, Low: low,
+			HighFrac:            float64(high) / float64(peak),
+			LowFrac:             float64(low) / float64(peak),
+			TotalFrac:           float64(high+low) / float64(peak),
+			RemediatedSoFar:     remediated,
+			HighRemediatedSoFar: highRemediated,
+		})
+	}
+	return out
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's method; means here are tiny.
+	l := 1.0
+	threshold := math.Exp(-mean)
+	k := 0
+	for {
+		l *= rng.Float64()
+		if l <= threshold {
+			return k
+		}
+		k++
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

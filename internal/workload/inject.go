@@ -1,0 +1,248 @@
+// Package workload synthesizes the scenarios behind the paper's
+// experience sections: the six §2.6.2 error classes injected into healthy
+// datacenters (E6), the Figure 6 error burndown, the Figure 11 legacy ACL
+// refactoring series, and the Figure 12 NSG customer-issue series. All
+// generators are deterministic under a caller-provided seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/topology"
+)
+
+// Scenario is a datacenter with injected faults: topology state, device
+// configurations, FIB-level corruptions, and the ground-truth list of what
+// was injected (for asserting detection).
+type Scenario struct {
+	Topo  *topology.Topology
+	Cfg   map[topology.DeviceID]*bgp.DeviceConfig
+	Lossy map[topology.LinkID]bool
+	// ribFibKeep[d] = n truncates device d's FIB default route to n next
+	// hops after synthesis (Software Bug 1: the RIB is right, the FIB is
+	// not).
+	ribFibKeep map[topology.DeviceID]int
+
+	Injected []Injection
+}
+
+// Injection records one injected fault and the device(s) it targets.
+type Injection struct {
+	Class   monitor.ErrorClass
+	Devices []topology.DeviceID
+	Link    topology.LinkID
+}
+
+func (i Injection) String() string {
+	return fmt.Sprintf("%s devices=%v link=%d", i.Class, i.Devices, i.Link)
+}
+
+// NewScenario wraps a healthy topology.
+func NewScenario(topo *topology.Topology) *Scenario {
+	return &Scenario{
+		Topo:       topo,
+		Cfg:        map[topology.DeviceID]*bgp.DeviceConfig{},
+		Lossy:      map[topology.LinkID]bool{},
+		ribFibKeep: map[topology.DeviceID]int{},
+	}
+}
+
+func (s *Scenario) cfg(d topology.DeviceID) *bgp.DeviceConfig {
+	c := s.Cfg[d]
+	if c == nil {
+		c = &bgp.DeviceConfig{}
+		s.Cfg[d] = c
+	}
+	return c
+}
+
+// InjectRIBFIBBug makes device d's FIB default route carry only keep next
+// hops while the routing protocol state is healthy (Software Bug 1).
+func (s *Scenario) InjectRIBFIBBug(d topology.DeviceID, keep int) {
+	s.ribFibKeep[d] = keep
+	s.record(monitor.ClassRIBFIBBug, d, -1)
+}
+
+// InjectL2PortBug disables every BGP session of device d (Software Bug 2).
+func (s *Scenario) InjectL2PortBug(d topology.DeviceID) {
+	s.cfg(d).SessionsDisabled = true
+	s.record(monitor.ClassL2PortBug, d, -1)
+}
+
+// InjectOpticalFailure takes a link operationally down (Hardware Failure).
+func (s *Scenario) InjectOpticalFailure(l topology.LinkID) {
+	lk := s.Topo.Link(l)
+	lk.Up = false
+	s.Injected = append(s.Injected, Injection{
+		Class: monitor.ClassHardwareFailure, Devices: []topology.DeviceID{lk.A, lk.B}, Link: l,
+	})
+}
+
+// InjectOperationDrift administratively shuts a session (lossy-link
+// mitigation never remediated). If lossy, auto-remediation will re-shut it.
+func (s *Scenario) InjectOperationDrift(l topology.LinkID, lossy bool) {
+	lk := s.Topo.Link(l)
+	lk.SessionUp = false
+	if lossy {
+		s.Lossy[l] = true
+	}
+	s.Injected = append(s.Injected, Injection{
+		Class: monitor.ClassOperationDrift, Devices: []topology.DeviceID{lk.A, lk.B}, Link: l,
+	})
+}
+
+// InjectMigrationClash configures cluster b's leaves with cluster a's leaf
+// ASN (the §2.6.2 migration misconfiguration).
+func (s *Scenario) InjectMigrationClash(a, b int) {
+	asn := s.Topo.Device(s.Topo.ClusterLeaves(a)[0]).ASN
+	var devs []topology.DeviceID
+	for _, leaf := range s.Topo.ClusterLeaves(b) {
+		s.cfg(leaf).ASNOverride = asn
+		devs = append(devs, leaf)
+	}
+	s.Injected = append(s.Injected, Injection{Class: monitor.ClassMigration, Devices: devs, Link: -1})
+}
+
+// InjectPolicyRejectDefault applies the route-map error rejecting default
+// routes on device d (Policy Error 1).
+func (s *Scenario) InjectPolicyRejectDefault(d topology.DeviceID) {
+	s.cfg(d).RejectDefaultIn = true
+	s.record(monitor.ClassPolicyError, d, -1)
+}
+
+// InjectPolicyECMPSingle applies the ECMP misconfiguration using a single
+// next hop on device d (Policy Error 2).
+func (s *Scenario) InjectPolicyECMPSingle(d topology.DeviceID) {
+	s.cfg(d).MaxECMPPaths = 1
+	s.record(monitor.ClassPolicyError, d, -1)
+}
+
+func (s *Scenario) record(c monitor.ErrorClass, d topology.DeviceID, l topology.LinkID) {
+	s.Injected = append(s.Injected, Injection{Class: c, Devices: []topology.DeviceID{d}, Link: l})
+}
+
+// InjectRandom injects n faults of random classes on random targets.
+func (s *Scenario) InjectRandom(rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			tor := s.Topo.ToRs()[rng.Intn(len(s.Topo.ToRs()))]
+			s.InjectRIBFIBBug(tor, 1)
+		case 1:
+			leaf := s.Topo.Leaves()[rng.Intn(len(s.Topo.Leaves()))]
+			s.InjectL2PortBug(leaf)
+		case 2:
+			s.InjectOpticalFailure(topology.LinkID(rng.Intn(len(s.Topo.Links))))
+		case 3:
+			s.InjectOperationDrift(topology.LinkID(rng.Intn(len(s.Topo.Links))), rng.Intn(4) == 0)
+		case 4:
+			s.InjectPolicyRejectDefault(s.Topo.Leaves()[rng.Intn(len(s.Topo.Leaves()))])
+		default:
+			s.InjectPolicyECMPSingle(s.Topo.ToRs()[rng.Intn(len(s.Topo.ToRs()))])
+		}
+	}
+}
+
+// Remediate applies the ground-truth fix for a triaged error class on a
+// device: replace the cable, clear the misconfiguration, reload the FIB,
+// re-enable the ports. It reports whether anything was fixed. This is the
+// remediation side of the §2.6.4 loop that drives the burndown.
+func (s *Scenario) Remediate(class monitor.ErrorClass, dev topology.DeviceID) bool {
+	fixed := false
+	switch class {
+	case monitor.ClassRIBFIBBug:
+		if _, ok := s.ribFibKeep[dev]; ok {
+			delete(s.ribFibKeep, dev) // FIB reprogrammed from the healthy RIB
+			fixed = true
+		}
+	case monitor.ClassL2PortBug:
+		if c := s.Cfg[dev]; c != nil && c.SessionsDisabled {
+			c.SessionsDisabled = false
+			fixed = true
+		}
+	case monitor.ClassHardwareFailure:
+		for _, lid := range s.Topo.LinksOf(dev) {
+			l := s.Topo.Link(lid)
+			if !l.Up {
+				l.Up = true // cable replaced
+				delete(s.Lossy, lid)
+				fixed = true
+			}
+		}
+	case monitor.ClassOperationDrift:
+		for _, lid := range s.Topo.LinksOf(dev) {
+			l := s.Topo.Link(lid)
+			if l.Up && !l.SessionUp {
+				if s.Lossy[lid] {
+					// A lossy link needs its optics replaced before the
+					// session can stay up.
+					delete(s.Lossy, lid)
+				}
+				l.SessionUp = true
+				fixed = true
+			}
+		}
+	case monitor.ClassMigration, monitor.ClassPolicyError:
+		if c := s.Cfg[dev]; c != nil {
+			if c.ASNOverride != 0 || c.RejectDefaultIn || c.MaxECMPPaths != 0 {
+				c.ASNOverride = 0
+				c.RejectDefaultIn = false
+				c.MaxECMPPaths = 0
+				fixed = true
+			}
+		}
+	}
+	return fixed
+}
+
+// Source returns the FIB source for the scenario: synthesized converged
+// state under the injected topology/config faults, with the RIB-FIB
+// corruption applied at FIB extraction.
+func (s *Scenario) Source() fib.Source {
+	return &corruptedSource{
+		inner: bgp.NewSynth(s.Topo, s.Cfg),
+		keep:  s.ribFibKeep,
+	}
+}
+
+// Datacenter packages the scenario for the monitoring service.
+func (s *Scenario) Datacenter(name string) *monitor.Datacenter {
+	dc := monitor.NewDatacenter(name, s.Topo, s.Cfg)
+	dc.Source = s.Source()
+	return dc
+}
+
+// corruptedSource applies Software Bug 1 on top of an honest source.
+type corruptedSource struct {
+	inner fib.Source
+	keep  map[topology.DeviceID]int
+}
+
+// Refresh forwards live-state refresh to the wrapped source (bgp.Synth).
+func (c *corruptedSource) Refresh() {
+	if r, ok := c.inner.(interface{ Refresh() }); ok {
+		r.Refresh()
+	}
+}
+
+func (c *corruptedSource) Table(d topology.DeviceID) (*fib.Table, error) {
+	t, err := c.inner.Table(d)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := c.keep[d]
+	if !ok {
+		return t, nil
+	}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Prefix.IsDefault() && len(e.NextHops) > n {
+			e.NextHops = e.NextHops[:n]
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/secguru"
+)
+
+// This file synthesizes the §3.3 legacy Edge ACL scenario: an ACL grown
+// inorganically to thousands of rules (service-specific whitelists,
+// zero-day blocks, duplicated protections) and the phased refactoring plan
+// that shrinks it below 1000 rules — the Figure 11 series — with SecGuru
+// prechecks guarding every step.
+
+// EdgeACLParams sizes the synthetic legacy ACL.
+type EdgeACLParams struct {
+	// ServiceRules is the number of service-specific whitelist rules;
+	// each is redundant with the broad §5-style permits, which is what
+	// makes the refactoring semantics-preserving.
+	ServiceRules int
+	// DuplicateDenies is the number of redundant deny rules duplicating
+	// the private-address and anti-spoofing sections.
+	DuplicateDenies int
+	// ZeroDayDenies is the number of /32 deny rules interspersed over the
+	// years to mitigate attacks (all inside ranges already denied or
+	// outside any permit, hence removable).
+	ZeroDayDenies int
+	Seed          int64
+}
+
+// DefaultEdgeACLParams produces a ~3000-rule legacy ACL.
+func DefaultEdgeACLParams() EdgeACLParams {
+	return EdgeACLParams{ServiceRules: 2400, DuplicateDenies: 300, ZeroDayDenies: 260, Seed: 7}
+}
+
+// edgeSkeleton is the intended goal-state ACL: private-address isolation,
+// anti-spoofing, and protections common to all services (§3.3).
+func edgeSkeleton() []acl.Rule {
+	mk := func(action acl.Action, proto acl.ProtoMatch, src, dst string, dport acl.PortRange, remark string) acl.Rule {
+		r := acl.NewRule(action, proto, pfxOrAny(src), pfxOrAny(dst), acl.AnyPort, dport)
+		r.Remark = remark
+		return r
+	}
+	return []acl.Rule{
+		mk(acl.Deny, acl.AnyProto, "0.0.0.0/32", "", acl.AnyPort, "Isolating private addresses"),
+		mk(acl.Deny, acl.AnyProto, "10.0.0.0/8", "", acl.AnyPort, ""),
+		mk(acl.Deny, acl.AnyProto, "172.16.0.0/12", "", acl.AnyPort, ""),
+		mk(acl.Deny, acl.AnyProto, "192.168.0.0/16", "", acl.AnyPort, ""),
+		mk(acl.Deny, acl.AnyProto, "104.208.32.0/20", "", acl.AnyPort, "Anti spoofing"),
+		mk(acl.Deny, acl.AnyProto, "168.61.144.0/20", "", acl.AnyPort, ""),
+		mk(acl.Permit, acl.AnyProto, "", "104.208.32.0/24", acl.AnyPort, "permits without port blocks"),
+		mk(acl.Deny, acl.Proto(acl.ProtoTCP), "", "", acl.Port(445), "standard port and protocol blocks"),
+		mk(acl.Deny, acl.Proto(acl.ProtoUDP), "", "", acl.Port(445), ""),
+		mk(acl.Deny, acl.Proto(acl.ProtoTCP), "", "", acl.Port(593), ""),
+		mk(acl.Deny, acl.Proto(acl.ProtoUDP), "", "", acl.Port(593), ""),
+		mk(acl.Deny, acl.Proto(53), "", "", acl.AnyPort, ""),
+		mk(acl.Deny, acl.Proto(55), "", "", acl.AnyPort, ""),
+		mk(acl.Permit, acl.AnyProto, "", "104.208.32.0/20", acl.AnyPort, "permits with port blocks"),
+		mk(acl.Permit, acl.AnyProto, "", "168.61.144.0/20", acl.AnyPort, ""),
+	}
+}
+
+func pfxOrAny(s string) ipnet.Prefix {
+	if s == "" {
+		return ipnet.Prefix{}
+	}
+	return ipnet.MustParsePrefix(s)
+}
+
+// GenerateLegacyEdgeACL builds the inorganically grown ACL: the skeleton
+// interleaved with service whitelists (redundant permits inside the broad
+// /20s), duplicated denies, and zero-day /32 blocks inside already-denied
+// ranges.
+func GenerateLegacyEdgeACL(p EdgeACLParams) *acl.Policy {
+	rng := rand.New(rand.NewSource(p.Seed))
+	skel := edgeSkeleton()
+	pol := &acl.Policy{Name: "edge-legacy", Semantics: acl.FirstApplicable}
+
+	// Head of the skeleton: isolation + anti-spoofing (first 6 rules).
+	pol.Rules = append(pol.Rules, skel[:6]...)
+
+	// Zero-day /32 denies inside private ranges (already denied — they
+	// were added in emergencies and never cleaned up).
+	for i := 0; i < p.ZeroDayDenies; i++ {
+		a := ipnet.Addr(0x0a000000 | rng.Uint32()&0x00ffffff)
+		r := acl.NewRule(acl.Deny, acl.AnyProto,
+			ipnet.Prefix{Addr: a, Bits: 32}, ipnet.Prefix{}, acl.AnyPort, acl.AnyPort)
+		r.Remark = fmt.Sprintf("zero-day mitigation %d", i)
+		pol.Rules = append(pol.Rules, r)
+	}
+
+	// Duplicate protections (exact copies of skeleton denies).
+	for i := 0; i < p.DuplicateDenies; i++ {
+		pol.Rules = append(pol.Rules, skel[rng.Intn(6)])
+	}
+
+	// Middle of the skeleton: the no-port-block permit and port blocks.
+	pol.Rules = append(pol.Rules, skel[6:13]...)
+
+	// Service-specific whitelist rules: hosts inside the broad /20
+	// permits, so each is shadowed by the tail permits.
+	base := ipnet.MustParsePrefix("104.208.32.0/20")
+	for i := 0; i < p.ServiceRules; i++ {
+		host := base.Addr + ipnet.Addr(rng.Uint32()%(1<<12))
+		port := []uint16{80, 443, 1433, 8080}[rng.Intn(4)]
+		r := acl.NewRule(acl.Permit, acl.Proto(acl.ProtoTCP),
+			ipnet.Prefix{}, ipnet.Prefix{Addr: host, Bits: 32}, acl.AnyPort, acl.Port(port))
+		r.Remark = fmt.Sprintf("service whitelist %d", i)
+		pol.Rules = append(pol.Rules, r)
+	}
+
+	// Tail of the skeleton: the broad permits.
+	pol.Rules = append(pol.Rules, skel[13:]...)
+
+	for i := range pol.Rules {
+		pol.Rules[i].Line = i + 1
+		pol.Rules[i].Priority = i + 1
+	}
+	return pol
+}
+
+// EdgeContracts is the regression-test suite for the Edge ACL (§3.3: each
+// contract is a reachability invariant such as "private datacenter
+// addresses must not be reachable from the Internet" or "services must be
+// reachable on 80/443").
+func EdgeContracts() []secguru.Contract {
+	pfx := ipnet.MustParsePrefix
+	return []secguru.Contract{
+		{Name: "private-10-isolated", Expected: acl.Deny, Filter: secguru.Filter{
+			Protocol: acl.AnyProto, Src: pfx("10.0.0.0/8"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+		{Name: "private-172-isolated", Expected: acl.Deny, Filter: secguru.Filter{
+			Protocol: acl.AnyProto, Src: pfx("172.16.0.0/12"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+		{Name: "anti-spoof", Expected: acl.Deny, Filter: secguru.Filter{
+			Protocol: acl.AnyProto, Src: pfx("104.208.32.0/20"), SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+		{Name: "services-80", Expected: acl.Permit, Filter: secguru.Filter{
+			Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"), Dst: pfx("104.208.40.0/24"),
+			SrcPorts: acl.AnyPort, DstPorts: acl.Port(80)}},
+		{Name: "services-443", Expected: acl.Permit, Filter: secguru.Filter{
+			Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"), Dst: pfx("168.61.144.0/24"),
+			SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)}},
+		{Name: "smb-blocked", Expected: acl.Deny, Filter: secguru.Filter{
+			Protocol: acl.Proto(acl.ProtoTCP), Src: pfx("8.0.0.0/8"), Dst: pfx("104.208.40.0/24"),
+			SrcPorts: acl.AnyPort, DstPorts: acl.Port(445)}},
+		{Name: "proto-53-blocked", Expected: acl.Deny, Filter: secguru.Filter{
+			Protocol: acl.Proto(53), Src: pfx("8.0.0.0/8"), Dst: pfx("168.61.144.0/24"),
+			SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+	}
+}
+
+// RefactorStep describes one planned change of the Figure 11 series.
+type RefactorStep struct {
+	Name   string
+	Change secguru.Change
+}
+
+// BuildRefactorPlan produces the phased plan: each step deletes a class of
+// unnecessary rules, ending at the goal-state skeleton (<1000 rules).
+func BuildRefactorPlan(legacy *acl.Policy) []RefactorStep {
+	drop := func(p *acl.Policy, pred func(*acl.Rule) bool) *acl.Policy {
+		out := p.Clone()
+		kept := out.Rules[:0]
+		for i := range out.Rules {
+			if !pred(&out.Rules[i]) {
+				kept = append(kept, out.Rules[i])
+			}
+		}
+		out.Rules = kept
+		return out
+	}
+	hasRemark := func(sub string) func(*acl.Rule) bool {
+		return func(r *acl.Rule) bool {
+			return len(r.Remark) >= len(sub) && r.Remark[:min(len(r.Remark), len(sub))] == sub
+		}
+	}
+
+	var steps []RefactorStep
+	cur := legacy
+
+	// Step 1: retire zero-day mitigations shadowed by the private denies.
+	cur = drop(cur, hasRemark("zero-day"))
+	steps = append(steps, RefactorStep{"remove zero-day mitigations", secguru.Change{Name: "rm-zero-day", NewACL: cur}})
+
+	// Step 2: deduplicate protections (exact duplicates of earlier rules).
+	cur = dedupe(cur)
+	steps = append(steps, RefactorStep{"deduplicate protections", secguru.Change{Name: "dedupe", NewACL: cur}})
+
+	// Steps 3-5: move service whitelists to host firewalls, in thirds
+	// (§3.3: deploy in groups, limiting blast radius).
+	for part := 1; part <= 3; part++ {
+		part := part
+		cur = drop(cur, func(r *acl.Rule) bool {
+			if !hasRemark("service whitelist")(r) {
+				return false
+			}
+			var n int
+			fmt.Sscanf(r.Remark, "service whitelist %d", &n)
+			return n%3 == part-1
+		})
+		steps = append(steps, RefactorStep{
+			fmt.Sprintf("move service whitelists to host firewalls (%d/3)", part),
+			secguru.Change{Name: fmt.Sprintf("rm-services-%d", part), NewACL: cur},
+		})
+	}
+	return steps
+}
+
+func dedupe(p *acl.Policy) *acl.Policy {
+	out := p.Clone()
+	seen := map[string]bool{}
+	kept := out.Rules[:0]
+	for i := range out.Rules {
+		r := out.Rules[i]
+		key := fmt.Sprintf("%v|%v|%v|%v|%v|%v", r.Action, r.Protocol, r.Src, r.Dst, r.SrcPorts, r.DstPorts)
+		if seen[key] && r.Action == acl.Deny {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, r)
+	}
+	out.Rules = kept
+	return out
+}
+
+// CorruptChange injects the §3.3 typo scenario: an incorrect prefix on a
+// broad permit, which prechecks must catch.
+func CorruptChange(ch secguru.Change) secguru.Change {
+	bad := ch.NewACL.Clone()
+	for i := range bad.Rules {
+		r := &bad.Rules[i]
+		if r.Action == acl.Permit && r.Dst == ipnet.MustParsePrefix("104.208.32.0/20") {
+			r.Dst = ipnet.MustParsePrefix("105.208.32.0/20") // fat-fingered octet
+			break
+		}
+	}
+	return secguru.Change{Name: ch.Name + "-typo", NewACL: bad}
+}

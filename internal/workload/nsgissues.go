@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/secguru"
+)
+
+// This file models the Figure 12 series: customer-reported issues caused
+// by NSG changes that block managed-database backups. The simulation runs
+// customer NSG changes through the real SecGuru NSG guard: before the
+// guard rollout every breaking change ships and becomes an incident; after
+// the rollout (ramping adoption), guarded changes are rejected at the API
+// instead.
+
+// NSGIssuesConfig parameterizes the customer-population model.
+type NSGIssuesConfig struct {
+	Days int
+	// LaunchDay is when the managed database service launches; adoption
+	// grows linearly afterwards up to MaxCustomers.
+	LaunchDay    int
+	MaxCustomers int
+	AdoptPerDay  int
+	// ChangeProb is the daily probability a customer edits their NSG;
+	// BreakProb is the probability an edit blocks the backup path.
+	ChangeProb, BreakProb float64
+	// GuardDay is when SecGuru validation is integrated into the change
+	// API (day ~100 in Figure 12); GuardRampDays is how long until all
+	// regions/customers are covered.
+	GuardDay, GuardRampDays int
+	// MTTRDays is how long a deployed breaking change keeps generating a
+	// reported incident before the customer fixes it.
+	MTTRDays int
+	Seed     int64
+}
+
+// DefaultNSGIssuesConfig reproduces the Figure 12 shape over 200 days.
+func DefaultNSGIssuesConfig() NSGIssuesConfig {
+	return NSGIssuesConfig{
+		Days: 200, LaunchDay: 10, MaxCustomers: 4000, AdoptPerDay: 40,
+		ChangeProb: 0.03, BreakProb: 0.25,
+		GuardDay: 100, GuardRampDays: 25, MTTRDays: 6,
+		Seed: 99,
+	}
+}
+
+// NSGIssuePoint is one day of the series.
+type NSGIssuePoint struct {
+	Day             int
+	Customers       int
+	ChangesAttempts int
+	Rejected        int // breaking changes blocked by the guard
+	NewIncidents    int
+	OpenIncidents   int // customer-reported issues outstanding
+}
+
+// standardVnetNSG is the healthy customer policy: allow vnet-internal and
+// managed-backup traffic, deny other inbound.
+func standardVnetNSG() *acl.Policy {
+	mk := func(name string, prio int, a acl.Action, src, dst ipnet.Prefix) acl.Rule {
+		r := acl.NewRule(a, acl.AnyProto, src, dst, acl.AnyPort, acl.AnyPort)
+		r.Name = name
+		r.Priority = prio
+		return r
+	}
+	anyP := ipnet.Prefix{}
+	vnet := ipnet.MustParsePrefix("10.1.0.0/16")
+	return &acl.Policy{Name: "vnet-nsg", Semantics: acl.FirstApplicable, Rules: []acl.Rule{
+		mk("allow-vnet", 100, acl.Permit, vnet, vnet),
+		mk("allow-outbound", 200, acl.Permit, vnet, anyP),
+		mk("allow-infra-inbound", 300, acl.Permit, ipnet.MustParsePrefix("40.90.0.0/16"), vnet),
+		mk("deny-inbound", 4000, acl.Deny, anyP, anyP),
+	}}
+}
+
+// breakingChange inserts a high-priority deny that blocks the backup
+// path — the inadvertent customer misconfiguration of §3.4.
+func breakingChange(p *acl.Policy, rng *rand.Rand) *acl.Policy {
+	out := p.Clone()
+	blocked := []string{"40.0.0.0/8", "40.90.0.0/16", "0.0.0.0/0"}[rng.Intn(3)]
+	r := acl.NewRule(acl.Deny, acl.AnyProto, ipnet.Prefix{}, ipnet.MustParsePrefix(blocked), acl.AnyPort, acl.AnyPort)
+	r.Name = "lockdown"
+	r.Priority = 50
+	out.Rules = append([]acl.Rule{r}, out.Rules...)
+	return out
+}
+
+// benignChange adds a narrow permit that does not affect backups.
+func benignChange(p *acl.Policy, rng *rand.Rand) *acl.Policy {
+	out := p.Clone()
+	r := acl.NewRule(acl.Permit, acl.Proto(acl.ProtoTCP),
+		ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), 24), ipnet.MustParsePrefix("10.1.0.0/16"),
+		acl.AnyPort, acl.Port(443))
+	r.Name = "app-allow"
+	r.Priority = 150 + rng.Intn(40)
+	out.Rules = append(out.Rules, r)
+	return out
+}
+
+// SimulateNSGIssues runs the customer-population model, discharging every
+// candidate change through the real SecGuru guard when it is enabled for
+// that customer. It returns the daily series.
+func SimulateNSGIssues(cfg NSGIssuesConfig) ([]NSGIssuePoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mi := secguru.ManagedInstance{
+		InstanceSubnet: ipnet.MustParsePrefix("10.1.2.0/24"),
+		InfraService:   ipnet.MustParsePrefix("40.90.0.0/16"),
+		InfraPorts:     acl.PortRange{Lo: 1433, Hi: 1434},
+	}
+	base := standardVnetNSG()
+
+	customers := 0
+	// openUntil[day] incidents resolve; track open incident expiry days.
+	var openExpiry []int
+	var out []NSGIssuePoint
+
+	for day := 0; day < cfg.Days; day++ {
+		if day >= cfg.LaunchDay && customers < cfg.MaxCustomers {
+			customers += cfg.AdoptPerDay
+			if customers > cfg.MaxCustomers {
+				customers = cfg.MaxCustomers
+			}
+		}
+		// Guard coverage ramps linearly after GuardDay.
+		coverage := 0.0
+		if day >= cfg.GuardDay {
+			coverage = float64(day-cfg.GuardDay) / float64(cfg.GuardRampDays)
+			if coverage > 1 {
+				coverage = 1
+			}
+		}
+
+		pt := NSGIssuePoint{Day: day, Customers: customers}
+		nChanges := binomial(rng, customers, cfg.ChangeProb)
+		pt.ChangesAttempts = nChanges
+		for i := 0; i < nChanges; i++ {
+			breaking := rng.Float64() < cfg.BreakProb
+			var candidate *acl.Policy
+			if breaking {
+				candidate = breakingChange(base, rng)
+			} else {
+				candidate = benignChange(base, rng)
+			}
+			guard := &secguru.NSGGuard{Instance: &mi, Enabled: rng.Float64() < coverage}
+			err := guard.ValidateChange(candidate)
+			if err != nil {
+				pt.Rejected++
+				continue // change blocked at the API; no incident
+			}
+			// Change deployed. An incident occurs iff backups really
+			// break — determined by the actual contracts, not the intent
+			// of the simulation.
+			rep, cerr := secguru.Check(candidate, secguru.BackupContracts(mi))
+			if cerr != nil {
+				return nil, cerr
+			}
+			if !rep.OK() {
+				pt.NewIncidents++
+				openExpiry = append(openExpiry, day+cfg.MTTRDays)
+			}
+		}
+		open := 0
+		for _, e := range openExpiry {
+			if e > day {
+				open++
+			}
+		}
+		pt.OpenIncidents = open
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func binomial(rng *rand.Rand, n int, p float64) int {
+	// Normal-free approximation: for small n·p just sample; cap the loop
+	// for large n by sampling a Poisson with mean n·p.
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if n > 200 {
+		return poisson(rng, float64(n)*p)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/topology"
+)
+
+// Real-pipeline burndown: unlike SimulateBurndown (a seeded queue model of
+// the Figure 6 telemetry), this runs the actual loop — inject a latent
+// error backlog, monitor with RCDC, triage, auto-remediate drift, spend a
+// bounded remediation budget on the highest-priority alerts each cycle —
+// and reports the alert tracker's open counts. The downward, high-first
+// curve emerges from the pipeline itself.
+
+// PipelineBurndownConfig sizes the closed-loop run.
+type PipelineBurndownConfig struct {
+	Params topology.Params
+	// Faults is the latent error backlog injected before monitoring
+	// starts.
+	Faults int
+	// Cycles to run; FixPerCycle is the manual-remediation budget (the
+	// §2.6.4 queues drain highest risk first).
+	Cycles, FixPerCycle int
+	Seed                int64
+}
+
+// DefaultPipelineBurndownConfig exercises a mid-sized datacenter.
+func DefaultPipelineBurndownConfig() PipelineBurndownConfig {
+	return PipelineBurndownConfig{
+		Params: topology.Params{
+			Name: "pb", Clusters: 6, ToRsPerCluster: 12, LeavesPerCluster: 4,
+			SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		},
+		Faults: 24, Cycles: 14, FixPerCycle: 4, Seed: 77,
+	}
+}
+
+// SimulatePipelineBurndown runs the closed loop and returns the per-cycle
+// alert series.
+func SimulatePipelineBurndown(cfg PipelineBurndownConfig) ([]monitor.AlertPoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo := topology.MustNew(cfg.Params)
+	s := NewScenario(topo)
+	s.InjectRandom(rng, cfg.Faults)
+
+	in := monitor.NewInstance("pb-0", s.Datacenter(cfg.Params.Name))
+	tracker := monitor.NewAlertTracker()
+
+	var series []monitor.AlertPoint
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		stats, err := in.RunCycle()
+		if err != nil {
+			return nil, err
+		}
+		pt := tracker.ObserveCycle(stats.Cycle, in.Analytics)
+		series = append(series, pt)
+
+		// Automated remediation first (§2.6.1): unshut healthy sessions.
+		errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+		monitor.AutoRemediate(errs, in.Datacenters, s.Lossy)
+
+		// Manual queues: spend the budget on open alerts, highest risk and
+		// oldest first; the triage class tells the fixer what to do.
+		classByDev := map[topology.DeviceID]monitor.ErrorClass{}
+		for _, te := range errs {
+			if _, ok := classByDev[te.Record.Device]; !ok {
+				classByDev[te.Record.Device] = te.Class
+			}
+		}
+		budget := cfg.FixPerCycle
+		for _, al := range tracker.Open() {
+			if budget == 0 {
+				break
+			}
+			class, ok := classByDev[al.Device]
+			if !ok {
+				continue
+			}
+			if s.Remediate(class, al.Device) {
+				budget--
+			}
+		}
+	}
+	return series, nil
+}

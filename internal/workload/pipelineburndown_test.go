@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"testing"
+
+	"dcvalidate/internal/topology"
+)
+
+// TestPipelineBurndown runs the closed detection→triage→remediation loop
+// and asserts the Figure 6 shape emerges from the real pipeline: alerts
+// open early, burn down under the per-cycle budget, and high-risk alerts
+// clear no later than the backlog as a whole.
+func TestPipelineBurndown(t *testing.T) {
+	cfg := PipelineBurndownConfig{
+		Params: topology.Params{
+			Name: "pbt", Clusters: 3, ToRsPerCluster: 6, LeavesPerCluster: 4,
+			SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		},
+		Faults: 10, Cycles: 12, FixPerCycle: 3, Seed: 77,
+	}
+	series, err := SimulatePipelineBurndown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != cfg.Cycles {
+		t.Fatalf("series = %d points", len(series))
+	}
+	first, last := series[0], series[len(series)-1]
+	if first.OpenHigh+first.OpenLow == 0 {
+		t.Fatal("no alerts opened from the injected backlog")
+	}
+	if got, was := last.OpenHigh+last.OpenLow, first.OpenHigh+first.OpenLow; got >= was {
+		t.Errorf("no burndown: %d -> %d open alerts", was, got)
+	}
+	if last.OpenHigh != 0 {
+		t.Errorf("high-risk alerts still open at the end: %d", last.OpenHigh)
+	}
+	// High-risk clears no later than the total: find first zero-high cycle
+	// and first zero-total cycle.
+	firstHighZero, firstTotalZero := -1, -1
+	for _, p := range series {
+		if firstHighZero < 0 && p.OpenHigh == 0 {
+			firstHighZero = p.Cycle
+		}
+		if firstTotalZero < 0 && p.OpenHigh+p.OpenLow == 0 {
+			firstTotalZero = p.Cycle
+		}
+	}
+	if firstTotalZero >= 0 && firstHighZero > firstTotalZero {
+		t.Errorf("high-risk outlived the backlog: high zero at %d, total at %d",
+			firstHighZero, firstTotalZero)
+	}
+	// Determinism.
+	series2, err := SimulatePipelineBurndown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		if series[i] != series2[i] {
+			t.Fatal("pipeline burndown not deterministic")
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/secguru"
+	"dcvalidate/internal/topology"
+)
+
+func fig3Scenario() *Scenario {
+	return NewScenario(topology.MustNew(topology.Figure3Params()))
+}
+
+func runMonitor(t *testing.T, s *Scenario) (*monitor.Instance, monitor.CycleStats) {
+	t.Helper()
+	in := monitor.NewInstance("t", s.Datacenter("dc"))
+	in.Workers = 4
+	stats, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, stats
+}
+
+// TestErrorTaxonomyDetection is experiment E6: each §2.6.2 error class is
+// injected, detected by RCDC, and triaged to its class and queue.
+func TestErrorTaxonomyDetection(t *testing.T) {
+	cases := []struct {
+		name      string
+		inject    func(s *Scenario) topology.DeviceID
+		wantClass monitor.ErrorClass
+		wantQueue monitor.RemediationQueueName
+	}{
+		{"rib-fib", func(s *Scenario) topology.DeviceID {
+			d := s.Topo.ToRs()[0]
+			s.InjectRIBFIBBug(d, 1)
+			return d
+		}, monitor.ClassRIBFIBBug, monitor.QueueInvestigation},
+		{"l2-port", func(s *Scenario) topology.DeviceID {
+			d := s.Topo.ClusterLeaves(0)[0]
+			s.InjectL2PortBug(d)
+			return d
+		}, monitor.ClassL2PortBug, monitor.QueueInvestigation},
+		{"optical", func(s *Scenario) topology.DeviceID {
+			l, _ := s.Topo.LinkBetween(s.Topo.ToRs()[0], s.Topo.ClusterLeaves(0)[0])
+			s.InjectOpticalFailure(l.ID)
+			return s.Topo.ToRs()[0]
+		}, monitor.ClassHardwareFailure, monitor.QueueReplaceCable},
+		{"drift", func(s *Scenario) topology.DeviceID {
+			l, _ := s.Topo.LinkBetween(s.Topo.ToRs()[1], s.Topo.ClusterLeaves(0)[1])
+			s.InjectOperationDrift(l.ID, false)
+			return s.Topo.ToRs()[1]
+		}, monitor.ClassOperationDrift, monitor.QueueAutoUnshut},
+		{"migration", func(s *Scenario) topology.DeviceID {
+			s.InjectMigrationClash(0, 1)
+			return s.Topo.ClusterLeaves(1)[0]
+		}, monitor.ClassMigration, monitor.QueueConfigReview},
+		{"policy-default", func(s *Scenario) topology.DeviceID {
+			d := s.Topo.ClusterLeaves(1)[2]
+			s.InjectPolicyRejectDefault(d)
+			return d
+		}, monitor.ClassPolicyError, monitor.QueueConfigReview},
+		{"policy-ecmp", func(s *Scenario) topology.DeviceID {
+			d := s.Topo.ToRs()[3]
+			s.InjectPolicyECMPSingle(d)
+			return d
+		}, monitor.ClassPolicyError, monitor.QueueConfigReview},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := fig3Scenario()
+			dev := c.inject(s)
+			in, stats := runMonitor(t, s)
+			if stats.Violations == 0 {
+				t.Fatal("injection produced no violations")
+			}
+			errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
+			var got *monitor.TriagedError
+			for i := range errs {
+				if errs[i].Record.Device == dev {
+					got = &errs[i]
+					break
+				}
+			}
+			if got == nil {
+				t.Fatalf("device %d not triaged; errors: %+v", dev, errs)
+			}
+			if got.Class != c.wantClass {
+				t.Errorf("class = %v, want %v", got.Class, c.wantClass)
+			}
+			if got.Queue != c.wantQueue {
+				t.Errorf("queue = %v, want %v", got.Queue, c.wantQueue)
+			}
+		})
+	}
+}
+
+// TestMigrationLatentRisk asserts the paper's account of the migration
+// error (§2.6.2): there are no reachability issues — traffic follows
+// default routes to the correct destination, and in a healthy fabric the
+// default path coincides with the shortest paths, so even the full global
+// intent holds — yet RCDC flags the missing specific routes, because one
+// additional link failure turns them into longer paths.
+func TestMigrationLatentRisk(t *testing.T) {
+	s := fig3Scenario()
+	s.InjectMigrationClash(0, 1)
+	g, err := rcdc.NewGlobalChecker(s.Topo, s.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The global checker is blind to the latent problem.
+	if fails := g.Check(rcdc.FullRedundancy); len(fails) != 0 {
+		t.Errorf("global intent should still hold under ASN clash: %v", fails)
+	}
+	// RCDC is not: the specific contracts are violated.
+	_, stats := runMonitor(t, s)
+	if stats.Violations == 0 {
+		t.Fatal("RCDC missed the latent migration risk")
+	}
+
+	// Materialize the risk: one more failure (a spine losing its cluster-1
+	// leaf link) forces cluster-0 traffic through the regional spine — a
+	// 6-hop path where the intended network would still be at 4 hops.
+	spine0 := s.Topo.Spines()[0]
+	leafB0 := s.Topo.ClusterLeaves(1)[0]
+	s.Topo.FailLink(spine0, leafB0)
+	g2, err := rcdc.NewGlobalChecker(s.Topo, s.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := g2.Check(rcdc.ShortestPaths); len(fails) == 0 {
+		t.Error("longer path did not materialize under the extra failure")
+	}
+	// Without the clash, the same extra failure keeps shortest paths.
+	clean := NewScenario(topology.MustNew(topology.Figure3Params()))
+	clean.Topo.FailLink(clean.Topo.Spines()[0], clean.Topo.ClusterLeaves(1)[0])
+	g3, err := rcdc.NewGlobalChecker(clean.Topo, clean.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := g3.Check(rcdc.ShortestPaths); len(fails) != 0 {
+		t.Errorf("intended network degraded to longer paths: %v", fails)
+	}
+}
+
+func TestInjectRandomProducesDetectableErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := fig3Scenario()
+	s.InjectRandom(rng, 4)
+	if len(s.Injected) != 4 {
+		t.Fatalf("injected = %d", len(s.Injected))
+	}
+	_, stats := runMonitor(t, s)
+	if stats.Violations == 0 {
+		t.Error("random injections produced no violations")
+	}
+}
+
+func TestBurndownShape(t *testing.T) {
+	cfg := DefaultBurndownConfig()
+	pts := SimulateBurndown(cfg)
+	if len(pts) != cfg.Days {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Backlog holds (or grows) before deployment.
+	if pts[cfg.DeployDay-1].TotalFrac < 0.9 {
+		t.Errorf("backlog burned down before deployment: %v", pts[cfg.DeployDay-1].TotalFrac)
+	}
+	// Clear downward trend after deployment.
+	if pts[len(pts)-1].TotalFrac > 0.2 {
+		t.Errorf("no burndown: final frac %v", pts[len(pts)-1].TotalFrac)
+	}
+	// High-risk burns to zero before low-risk does.
+	highZero, lowZero := -1, -1
+	for _, p := range pts {
+		if highZero < 0 && p.High == 0 {
+			highZero = p.Day
+		}
+		if lowZero < 0 && p.Low == 0 {
+			lowZero = p.Day
+		}
+	}
+	if highZero < 0 {
+		t.Fatal("high-risk errors never reach zero")
+	}
+	if lowZero >= 0 && lowZero < highZero {
+		t.Error("low-risk errors cleared before high-risk")
+	}
+	// Fractions are consistent.
+	for _, p := range pts {
+		if p.TotalFrac < p.HighFrac || p.TotalFrac < p.LowFrac {
+			t.Fatalf("inconsistent fractions at day %d", p.Day)
+		}
+	}
+	// Determinism.
+	pts2 := SimulateBurndown(cfg)
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatal("burndown not deterministic")
+		}
+	}
+}
+
+func TestLegacyACLGeneration(t *testing.T) {
+	p := DefaultEdgeACLParams()
+	pol := GenerateLegacyEdgeACL(p)
+	want := 15 + p.ServiceRules + p.DuplicateDenies + p.ZeroDayDenies
+	if len(pol.Rules) != want {
+		t.Fatalf("rules = %d, want %d", len(pol.Rules), want)
+	}
+	// The legacy ACL satisfies the contract suite as-is.
+	rep, err := secguru.Check(pol, EdgeContracts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("legacy ACL violates its contract suite: %+v", rep.Failed())
+	}
+	// Determinism.
+	pol2 := GenerateLegacyEdgeACL(p)
+	if len(pol2.Rules) != len(pol.Rules) {
+		t.Error("generation not deterministic")
+	}
+}
+
+// TestRefactorSeries is the Figure 11 experiment core: the phased plan
+// shrinks the ACL below 1000 rules with every precheck passing, and an
+// injected typo is caught.
+func TestRefactorSeries(t *testing.T) {
+	params := EdgeACLParams{ServiceRules: 600, DuplicateDenies: 90, ZeroDayDenies: 80, Seed: 7}
+	legacy := GenerateLegacyEdgeACL(params)
+	steps := BuildRefactorPlan(legacy)
+	if len(steps) != 5 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+
+	pl := &secguru.Plan{
+		TestDevice: secguru.NewDevice("testdev", 0, 0, legacy),
+		Devices: []*secguru.Device{
+			secguru.NewDevice("edge-1", 0, 0, legacy),
+			secguru.NewDevice("edge-2", 1, 0, legacy),
+		},
+		Contracts: EdgeContracts(),
+	}
+	prev := len(legacy.Rules)
+	for _, st := range steps {
+		res, err := pl.Apply(st.Change)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PrecheckOK {
+			t.Fatalf("step %q precheck failed: %+v", st.Name, res.PrecheckFails)
+		}
+		if !res.PostcheckOK {
+			t.Fatalf("step %q postcheck failed", st.Name)
+		}
+		if res.RuleCount >= prev {
+			t.Errorf("step %q did not shrink the ACL: %d -> %d", st.Name, prev, res.RuleCount)
+		}
+		prev = res.RuleCount
+	}
+	if prev >= 1000 {
+		t.Errorf("final ACL has %d rules, want < 1000", prev)
+	}
+
+	// Every retired rule set is semantically redundant: the final ACL is
+	// equivalent to the legacy one.
+	eq, w, err := secguru.Equivalent(legacy, steps[len(steps)-1].Change.NewACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("refactoring changed semantics, witness %+v", w)
+	}
+
+	// A typo'd change must fail prechecks and never deploy.
+	bad := CorruptChange(steps[len(steps)-1].Change)
+	res, err := pl.Apply(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrecheckOK {
+		t.Error("typo change passed prechecks")
+	}
+	if res.DeployedGroups != 0 {
+		t.Error("typo change reached production")
+	}
+}
+
+// TestNSGIssuesShape is the Figure 12 experiment core: incidents rise
+// after launch and fall after the SecGuru guard rollout.
+func TestNSGIssuesShape(t *testing.T) {
+	cfg := NSGIssuesConfig{
+		Days: 80, LaunchDay: 5, MaxCustomers: 300, AdoptPerDay: 15,
+		ChangeProb: 0.05, BreakProb: 0.3,
+		GuardDay: 40, GuardRampDays: 10, MTTRDays: 5,
+		Seed: 99,
+	}
+	pts, err := SimulateNSGIssues(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != cfg.Days {
+		t.Fatalf("points = %d", len(pts))
+	}
+	avg := func(lo, hi int) float64 {
+		sum := 0
+		for _, p := range pts[lo:hi] {
+			sum += p.OpenIncidents
+		}
+		return float64(sum) / float64(hi-lo)
+	}
+	preLaunch := avg(0, cfg.LaunchDay)
+	peak := avg(cfg.GuardDay-10, cfg.GuardDay)
+	tail := avg(cfg.Days-10, cfg.Days)
+	if preLaunch != 0 {
+		t.Errorf("incidents before launch: %v", preLaunch)
+	}
+	if peak <= 1 {
+		t.Errorf("no incident buildup before guard: %v", peak)
+	}
+	if tail >= peak/2 {
+		t.Errorf("guard did not reduce incidents: peak %v tail %v", peak, tail)
+	}
+	// After full coverage, breaking changes are rejected, not deployed.
+	rejectedTail := 0
+	for _, p := range pts[cfg.Days-10:] {
+		rejectedTail += p.Rejected
+	}
+	if rejectedTail == 0 {
+		t.Error("guard never rejected a change at full coverage")
+	}
+}

@@ -1,0 +1,29 @@
+package dcvalidate
+
+import "testing"
+
+func TestFacadeRegion(t *testing.T) {
+	a := Figure3Params()
+	a.Name = "west"
+	b := Figure3Params()
+	b.Name = "east"
+	b.RegionIndex = 1
+	r, err := NewRegion([]TopologyParams{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// A ToR in east carries every west prefix.
+	east := r.DCs[1].Topo
+	tbl, err := r.Table(1, east.ToRs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hp := range r.DCs[0].Topo.HostedPrefixes() {
+		if _, ok := tbl.Get(hp.Prefix); !ok {
+			t.Errorf("east ToR missing west prefix %v", hp.Prefix)
+		}
+	}
+}
