@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz experiments experiments-full clean
+.PHONY: all build vet test test-short test-race bench fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent paths (pull/validate workers,
+# store, queue, analytics); -short skips the slow CLI end-to-end runs.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -323,6 +323,29 @@ func BenchmarkE13_MonitorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE13c_DegradedCycle measures one monitoring cycle under fault
+// injection: 10% transient pull failures plus a dead device, exercising
+// the retry/backoff and stale carry-forward paths.
+func BenchmarkE13c_DegradedCycle(b *testing.B) {
+	topo := topology.MustNew(experiments.SizedParams("e13c", 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := workload.NewScenario(topo)
+		sc.TransientPullRate = 0.10
+		sc.FaultSeed = 17
+		sc.InjectTelemetryLoss(topo.ToRs()[0])
+		in := monitor.NewInstance("inst", sc.Datacenter("dc"))
+		in.Workers = 16
+		stats, err := in.RunCycle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.PullFailures == 0 {
+			b.Fatal("fault injection inactive")
+		}
+	}
+}
+
 // BenchmarkE14_Claim1Trial measures one local-vs-global consistency trial.
 func BenchmarkE14_Claim1Trial(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e15, e7b, e13b)
+//	dcbench -e e2,e4     # run a subset (ids e1..e15, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 package main
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("e", "", "comma-separated experiment ids (e1..e15, e7b, e13b); empty = all")
+		only  = flag.String("e", "", "comma-separated experiment ids (e1..e15, e7b, e13b, e13c); empty = all")
 		quick = flag.Bool("quick", false, "reduced sweeps")
 		full  = flag.Bool("full", false, "include the 10^4-device sweep point")
 	)
@@ -78,6 +78,7 @@ func main() {
 		{"e12", experiments.E12Precheck},
 		{"e13", func() experiments.Result { return experiments.E13Monitor(e13Sizes) }},
 		{"e13b", func() experiments.Result { return experiments.E13bIncremental(e13Sizes[0]) }},
+		{"e13c", func() experiments.Result { return experiments.E13cDegraded(e13Sizes[0], 4) }},
 		{"e14", func() experiments.Result { return experiments.E14Claim1(claim1Trials) }},
 		{"e15", experiments.E15Region},
 	}

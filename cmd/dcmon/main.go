@@ -4,9 +4,14 @@
 // remediation, and a bounded manual-remediation budget draining the
 // highest-risk queue first — printing the alert burndown as it happens.
 //
+// Telemetry faults degrade the pipeline itself: -pullfail injects
+// transient pull failures (retried with backoff), -dead kills device
+// management planes until remediated, -corrupt mangles store documents.
+//
 // Usage:
 //
 //	dcmon -clusters 6 -tors 12 -faults 24 -cycles 14 -fix 4
+//	dcmon -faults 10 -pullfail 0.1 -dead 2 -cycles 16
 package main
 
 import (
@@ -33,6 +38,9 @@ func main() {
 		fix      = flag.Int("fix", 4, "manual remediations per cycle")
 		seed     = flag.Int64("seed", 77, "fault-injection seed")
 		incr     = flag.Bool("incremental", true, "skip unchanged devices")
+		pullfail = flag.Float64("pullfail", 0, "transient pull-failure rate per attempt (0-1)")
+		dead     = flag.Int("dead", 0, "devices with a dead management plane (telemetry loss)")
+		corrupt  = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
 	)
 	flag.Parse()
 
@@ -47,6 +55,12 @@ func main() {
 	}
 	s := workload.NewScenario(topo)
 	s.InjectRandom(rand.New(rand.NewSource(*seed)), *faults)
+	s.TransientPullRate = *pullfail
+	s.CorruptDocRate = *corrupt
+	s.FaultSeed = *seed
+	for i := 0; i < *dead && i < len(topo.ToRs()); i++ {
+		s.InjectTelemetryLoss(topo.ToRs()[i])
+	}
 	fmt.Printf("dcmon: monitoring %d devices; %d latent faults injected:\n",
 		len(topo.Devices), len(s.Injected))
 	for _, inj := range s.Injected {
@@ -58,8 +72,9 @@ func main() {
 	in.SkipUnchanged = *incr
 	tracker := monitor.NewAlertTracker()
 
-	fmt.Printf("%5s %8s %10s %8s %9s %8s %9s %9s\n",
-		"cycle", "devices", "violations", "skipped", "openHigh", "openLow", "autoFix", "manualFix")
+	fmt.Printf("%5s %8s %10s %8s %8s %7s %6s %9s %8s %9s %9s\n",
+		"cycle", "devices", "violations", "skipped", "pullFail", "stale", "unmon",
+		"openHigh", "openLow", "autoFix", "manualFix")
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		stats, err := in.RunCycle()
 		if err != nil {
@@ -88,10 +103,16 @@ func main() {
 				manual++
 			}
 		}
-		fmt.Printf("%5d %8d %10d %8d %9d %8d %9d %9d\n",
+		fmt.Printf("%5d %8d %10d %8d %8d %7d %6d %9d %8d %9d %9d\n",
 			cycle, stats.Devices, stats.Violations, stats.Skipped,
+			stats.PullFailures, stats.StaleDevices, stats.Unmonitored,
 			pt.OpenHigh, pt.OpenLow, restored, manual)
-		if pt.OpenHigh+pt.OpenLow == 0 && cycle > 1 {
+		// Declaring the network clean requires actually observing it: no
+		// open alerts AND every device seen this cycle (no pull failures
+		// left unaccounted, nobody unmonitored).
+		if pt.OpenHigh+pt.OpenLow == 0 && cycle > 1 &&
+			stats.PullFailures == 0 && stats.Unmonitored == 0 &&
+			stats.Devices == len(topo.Devices) {
 			fmt.Println("\ndcmon: backlog clear — network matches intent")
 			return
 		}

@@ -35,6 +35,7 @@ import (
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/emulator"
+	"dcvalidate/internal/faulty"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/metadata"
@@ -80,6 +81,10 @@ type (
 	Pipeline = emulator.Pipeline
 	// MonitorInstance is one horizontally-scaled RCDC service instance.
 	MonitorInstance = monitor.Instance
+	// FaultySource wraps a FIBSource with deterministic seeded fault
+	// injection: transient pull errors, dead devices, slow pulls, and
+	// corrupt store documents.
+	FaultySource = faulty.Source
 
 	// RefactorPlan is the §3.3 phased change workflow for legacy ACLs:
 	// prechecks on a test device, staged group rollout, postchecks,

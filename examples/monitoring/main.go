@@ -30,8 +30,15 @@ func main() {
 	s.InjectOperationDrift(l3.ID, true) // genuinely lossy link
 	s.InjectRIBFIBBug(topo.ToRs()[20], 1)
 	s.InjectPolicyECMPSingle(topo.ToRs()[30])
+	// The pipeline itself runs degraded: a few percent of pulls fail
+	// transiently (absorbed by retries) and one device's management plane
+	// is dead — it ages from stale carry-forward into telemetry loss.
+	s.TransientPullRate = 0.05
+	s.FaultSeed = 9
+	s.InjectTelemetryLoss(topo.ToRs()[40])
 
 	in := monitor.NewInstance("inst-0", s.Datacenter("mon"))
+	in.MaxConsecutiveFailures = 2
 	fmt.Printf("monitoring %d devices; %d latent faults injected\n\n",
 		len(topo.Devices), len(s.Injected))
 
@@ -45,6 +52,10 @@ func main() {
 			cycle, stats.Devices, stats.Violations, high, low)
 		fmt.Printf("  modeled fleet pull time %s, validation %s\n",
 			stats.ModeledPullTime.Round(1000000), stats.ValidateTime.Round(1000000))
+		if stats.PullFailures+stats.Retries > 0 {
+			fmt.Printf("  degraded: %d pull failure(s), %d retries, %d stale carry-forward, %d unmonitored\n",
+				stats.PullFailures, stats.Retries, stats.StaleDevices, stats.Unmonitored)
+		}
 
 		errs := in.Analytics.Triage(stats.Cycle, in.Datacenters)
 		queues := map[monitor.RemediationQueueName]int{}
@@ -67,6 +78,10 @@ func main() {
 			fmt.Println("  datacenter ops replaced the faulty cable")
 		}
 		fmt.Println()
+	}
+	for _, de := range in.UnmonitoredDevices() {
+		fmt.Printf("device %s/%d is unmonitored (telemetry loss) — escalated to the %s queue\n",
+			de.Datacenter, de.Device, monitor.QueueDeviceRecovery)
 	}
 	fmt.Println("remaining violations trace to the faults needing engineering " +
 		"investigation (RIB-FIB bug, lossy link, ECMP policy) — the long tail " +

@@ -25,19 +25,20 @@ func checkResult(t *testing.T, r Result, wantID string) {
 	}
 }
 
-func TestE1Smoke(t *testing.T)  { checkResult(t, E1PerDevice([]int{200}, 3), "E1") }
-func TestE2Smoke(t *testing.T)  { checkResult(t, E2Sweep([]int{200}, true), "E2") }
-func TestE3Smoke(t *testing.T)  { checkResult(t, E3LocalVsGlobal([]int{200}), "E3") }
-func TestE4Smoke(t *testing.T)  { checkResult(t, E4SMTVsTrie([]int{100}), "E4") }
-func TestE5Smoke(t *testing.T)  { checkResult(t, E5Figure3(), "E5") }
-func TestE6Smoke(t *testing.T)  { checkResult(t, E6Taxonomy(), "E6") }
-func TestE7Smoke(t *testing.T)  { checkResult(t, E7Burndown(), "E7") }
-func TestE8Smoke(t *testing.T)  { checkResult(t, E8ACLLatency([]int{100}), "E8") }
-func TestE9Smoke(t *testing.T)  { checkResult(t, E9Refactor(), "E9") }
-func TestE11Smoke(t *testing.T) { checkResult(t, E11Firewall(), "E11") }
-func TestE12Smoke(t *testing.T) { checkResult(t, E12Precheck(), "E12") }
-func TestE13Smoke(t *testing.T) { checkResult(t, E13Monitor([]int{150}), "E13") }
-func TestE14Smoke(t *testing.T) { checkResult(t, E14Claim1(6), "E14") }
+func TestE1Smoke(t *testing.T)   { checkResult(t, E1PerDevice([]int{200}, 3), "E1") }
+func TestE2Smoke(t *testing.T)   { checkResult(t, E2Sweep([]int{200}, true), "E2") }
+func TestE3Smoke(t *testing.T)   { checkResult(t, E3LocalVsGlobal([]int{200}), "E3") }
+func TestE4Smoke(t *testing.T)   { checkResult(t, E4SMTVsTrie([]int{100}), "E4") }
+func TestE5Smoke(t *testing.T)   { checkResult(t, E5Figure3(), "E5") }
+func TestE6Smoke(t *testing.T)   { checkResult(t, E6Taxonomy(), "E6") }
+func TestE7Smoke(t *testing.T)   { checkResult(t, E7Burndown(), "E7") }
+func TestE8Smoke(t *testing.T)   { checkResult(t, E8ACLLatency([]int{100}), "E8") }
+func TestE9Smoke(t *testing.T)   { checkResult(t, E9Refactor(), "E9") }
+func TestE11Smoke(t *testing.T)  { checkResult(t, E11Firewall(), "E11") }
+func TestE12Smoke(t *testing.T)  { checkResult(t, E12Precheck(), "E12") }
+func TestE13Smoke(t *testing.T)  { checkResult(t, E13Monitor([]int{150}), "E13") }
+func TestE13cSmoke(t *testing.T) { checkResult(t, E13cDegraded(150, 4), "E13c") }
+func TestE14Smoke(t *testing.T)  { checkResult(t, E14Claim1(6), "E14") }
 
 func TestE5DetectsPaperViolationSet(t *testing.T) {
 	r := E5Figure3()

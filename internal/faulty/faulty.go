@@ -1,0 +1,172 @@
+// Package faulty wraps a fib.Source with deterministic, seeded failure
+// injection for exercising the monitoring pipeline's degraded modes
+// (§2.6.1 runs against O(10K) flaky production devices; the reproduction
+// must survive the same weather). Four failure modes are modeled:
+//
+//   - transient pull errors: an individual Table call fails, the next
+//     attempt may succeed (flaky management plane, dropped RPC);
+//   - persistent device death: every pull fails until the device is
+//     revived (crashed supervisor, unreachable management address);
+//   - slow pulls: the call succeeds but carries extra modeled latency,
+//     tripping the puller's per-attempt timeout budget (virtual clock —
+//     nothing actually sleeps);
+//   - corrupt documents: the serialized table document is truncated
+//     before it reaches the store (partial write, storage bit-rot).
+//
+// All decisions derive from a seed, the device ID, and a per-device
+// attempt counter, so a run is reproducible regardless of how the
+// puller's worker pool schedules the calls.
+package faulty
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/topology"
+)
+
+// Error is one injected pull failure.
+type Error struct {
+	Dev        topology.DeviceID
+	Persistent bool
+}
+
+func (e *Error) Error() string {
+	if e.Persistent {
+		return fmt.Sprintf("faulty: device %d unreachable", e.Dev)
+	}
+	return fmt.Sprintf("faulty: transient pull failure on device %d", e.Dev)
+}
+
+// Source wraps Inner with seeded failure injection. The zero rates and an
+// empty dead set make it a transparent pass-through, so scenarios can
+// always interpose it and turn faults on later.
+type Source struct {
+	Inner fib.Source
+	// Seed drives every injection decision.
+	Seed int64
+	// TransientRate is the per-attempt probability of a transient error.
+	TransientRate float64
+	// SlowRate is the per-attempt probability of a slow pull; a slow
+	// attempt reports SlowDelay of extra modeled latency.
+	SlowRate  float64
+	SlowDelay time.Duration
+	// CorruptRate is the per-document probability that a stored table
+	// document is truncated.
+	CorruptRate float64
+	// Dead devices fail every pull until revived. The map may be shared
+	// with the owning scenario so remediation can revive devices.
+	Dead map[topology.DeviceID]bool
+
+	mu        sync.Mutex
+	attempts  map[topology.DeviceID]int
+	docs      map[topology.DeviceID]int
+	lastDelay map[topology.DeviceID]time.Duration
+}
+
+// salts separate the decision streams so e.g. raising TransientRate does
+// not reshuffle which attempts are slow.
+const (
+	saltTransient = 0x7472616e7369656e // "transien"
+	saltSlow      = 0x736c6f77         // "slow"
+	saltCorrupt   = 0x636f7272757074   // "corrupt"
+)
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns a uniform [0,1) value determined by (seed, dev, n, salt).
+func (s *Source) roll(dev topology.DeviceID, n int, salt uint64) float64 {
+	h := splitmix64(uint64(s.Seed)*0x100000001b3 ^ uint64(uint32(dev))<<24 ^ uint64(n))
+	h = splitmix64(h ^ salt)
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// Refresh forwards live-state refresh to the wrapped source.
+func (s *Source) Refresh() {
+	if r, ok := s.Inner.(interface{ Refresh() }); ok {
+		r.Refresh()
+	}
+}
+
+// Table serves the device's FIB, injecting the configured failures. Each
+// call advances the device's attempt counter, so retries see fresh rolls.
+func (s *Source) Table(dev topology.DeviceID) (*fib.Table, error) {
+	s.mu.Lock()
+	if s.attempts == nil {
+		s.attempts = make(map[topology.DeviceID]int)
+		s.lastDelay = make(map[topology.DeviceID]time.Duration)
+	}
+	n := s.attempts[dev]
+	s.attempts[dev] = n + 1
+	var delay time.Duration
+	if s.SlowRate > 0 && s.roll(dev, n, saltSlow) < s.SlowRate {
+		delay = s.SlowDelay
+	}
+	s.lastDelay[dev] = delay
+	dead := s.Dead[dev]
+	transient := s.TransientRate > 0 && s.roll(dev, n, saltTransient) < s.TransientRate
+	s.mu.Unlock()
+	if dead {
+		return nil, &Error{Dev: dev, Persistent: true}
+	}
+	if transient {
+		return nil, &Error{Dev: dev}
+	}
+	return s.Inner.Table(dev)
+}
+
+// LastPullDelay reports the extra modeled latency injected into the most
+// recent Table call for the device (the monitor's virtual clock adds it to
+// the sampled fetch latency).
+func (s *Source) LastPullDelay(dev topology.DeviceID) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastDelay[dev]
+}
+
+// CorruptDoc truncates a serialized table document with probability
+// CorruptRate, reporting whether it did. The puller applies it between
+// marshaling and the store write.
+func (s *Source) CorruptDoc(dev topology.DeviceID, raw []byte) ([]byte, bool) {
+	if s.CorruptRate <= 0 {
+		return raw, false
+	}
+	s.mu.Lock()
+	if s.docs == nil {
+		s.docs = make(map[topology.DeviceID]int)
+	}
+	n := s.docs[dev]
+	s.docs[dev] = n + 1
+	s.mu.Unlock()
+	if s.roll(dev, n, saltCorrupt) >= s.CorruptRate {
+		return raw, false
+	}
+	cut := len(raw) / 2
+	bad := make([]byte, cut, cut+1)
+	copy(bad, raw[:cut])
+	return append(bad, 0x00), true
+}
+
+// KillDevice makes every subsequent pull of dev fail persistently.
+func (s *Source) KillDevice(dev topology.DeviceID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Dead == nil {
+		s.Dead = make(map[topology.DeviceID]bool)
+	}
+	s.Dead[dev] = true
+}
+
+// ReviveDevice undoes KillDevice.
+func (s *Source) ReviveDevice(dev topology.DeviceID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.Dead, dev)
+}

@@ -1,0 +1,117 @@
+package faulty
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/topology"
+)
+
+func newSource(t *testing.T, mutate func(*Source)) (*Source, *topology.Topology) {
+	t.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	s := &Source{Inner: bgp.NewSynth(topo, nil), Seed: 42}
+	if mutate != nil {
+		mutate(s)
+	}
+	return s, topo
+}
+
+func TestPassThroughWhenHealthy(t *testing.T) {
+	s, topo := newSource(t, nil)
+	for _, d := range topo.ToRs() {
+		tbl, err := s.Table(d)
+		if err != nil {
+			t.Fatalf("healthy pull failed: %v", err)
+		}
+		if len(tbl.Entries) == 0 {
+			t.Fatalf("device %d: empty table", d)
+		}
+		if s.LastPullDelay(d) != 0 {
+			t.Errorf("device %d: unexpected delay", d)
+		}
+	}
+}
+
+func TestTransientErrorsAreDeterministic(t *testing.T) {
+	run := func() []bool {
+		s, topo := newSource(t, func(s *Source) { s.TransientRate = 0.3 })
+		dev := topo.ToRs()[0]
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := s.Table(dev)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d diverged between identically-seeded runs", i)
+		}
+		if !a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Errorf("transient rate 0.3 produced %d/%d failures", failures, len(a))
+	}
+}
+
+func TestDeadDevicePersistsAndRevives(t *testing.T) {
+	s, topo := newSource(t, nil)
+	dev := topo.ToRs()[1]
+	s.KillDevice(dev)
+	for i := 0; i < 5; i++ {
+		_, err := s.Table(dev)
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Persistent {
+			t.Fatalf("attempt %d: want persistent error, got %v", i, err)
+		}
+	}
+	// Other devices are unaffected.
+	if _, err := s.Table(topo.ToRs()[2]); err != nil {
+		t.Fatalf("healthy neighbor failed: %v", err)
+	}
+	s.ReviveDevice(dev)
+	if _, err := s.Table(dev); err != nil {
+		t.Fatalf("revived device still failing: %v", err)
+	}
+}
+
+func TestSlowPullReportsDelay(t *testing.T) {
+	s, topo := newSource(t, func(s *Source) {
+		s.SlowRate = 1.0
+		s.SlowDelay = 5 * time.Second
+	})
+	dev := topo.ToRs()[0]
+	if _, err := s.Table(dev); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastPullDelay(dev); got != 5*time.Second {
+		t.Errorf("delay = %v, want 5s", got)
+	}
+}
+
+func TestCorruptDocBreaksJSON(t *testing.T) {
+	s, _ := newSource(t, func(s *Source) { s.CorruptRate = 1.0 })
+	raw, _ := json.Marshal(map[string][]int{"entries": {1, 2, 3}})
+	bad, did := s.CorruptDoc(1, raw)
+	if !did {
+		t.Fatal("rate 1.0 did not corrupt")
+	}
+	var v interface{}
+	if err := json.Unmarshal(bad, &v); err == nil {
+		t.Error("corrupted document still parses")
+	}
+	// Rate 0 passes documents through untouched.
+	s.CorruptRate = 0
+	same, did := s.CorruptDoc(1, raw)
+	if did || string(same) != string(raw) {
+		t.Error("zero rate altered the document")
+	}
+}

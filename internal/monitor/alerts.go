@@ -30,7 +30,8 @@ func (s AlertState) String() string {
 	return "open"
 }
 
-// Alert is one deduplicated, tracked violation.
+// Alert is one deduplicated, tracked violation — or, for Unmonitored
+// alerts, a device the pipeline has lost sight of (telemetry loss).
 type Alert struct {
 	Key        string
 	Datacenter string
@@ -42,6 +43,9 @@ type Alert struct {
 	LastCycle  int // last cycle the violation was observed
 	// ResolvedCycle is set when the alert resolves.
 	ResolvedCycle int
+	// Unmonitored marks a telemetry-loss alert: the Violation field is
+	// zero because no fresh observation of the device exists.
+	Unmonitored bool
 }
 
 // AlertTracker folds per-cycle validation records into alert lifecycles.
@@ -67,6 +71,10 @@ func alertKey(dc string, v rcdc.Violation) string {
 	return fmt.Sprintf("%s|%d|%s|%v|%v", dc, v.Device, v.Contract.Kind, v.Contract.Prefix, v.Kind)
 }
 
+func alertKeyUnmonitored(dc string, dev topology.DeviceID) string {
+	return fmt.Sprintf("%s|%d|telemetry-loss", dc, dev)
+}
+
 // ObserveCycle ingests one cycle's analytics records: present violations
 // open or refresh alerts; open alerts without a matching violation
 // resolve. Returns that cycle's burndown point.
@@ -74,6 +82,25 @@ func (t *AlertTracker) ObserveCycle(cycle int, a *Analytics) AlertPoint {
 	seen := map[string]bool{}
 	pt := AlertPoint{Cycle: cycle}
 	for _, r := range a.UnhealthyInCycle(cycle) {
+		if r.Unmonitored {
+			// Telemetry loss: the device is unobservable, which is an
+			// alert in its own right (a dead device cannot report its
+			// violations). High risk until monitoring recovers.
+			k := alertKeyUnmonitored(r.Datacenter, r.Device)
+			seen[k] = true
+			al, ok := t.alerts[k]
+			if !ok || al.State == AlertResolved {
+				t.alerts[k] = &Alert{
+					Key: k, Datacenter: r.Datacenter, Device: r.Device,
+					Severity: rcdc.HighRisk, Unmonitored: true,
+					State: AlertOpen, FirstCycle: cycle, LastCycle: cycle,
+				}
+				pt.Opened++
+				continue
+			}
+			al.LastCycle = cycle
+			continue
+		}
 		for _, v := range r.Violations {
 			k := alertKey(r.Datacenter, v)
 			seen[k] = true

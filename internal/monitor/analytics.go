@@ -16,6 +16,12 @@ type Record struct {
 	Name       string
 	Role       topology.Role
 	Violations []rcdc.Violation
+	// Stale marks a result carried forward from the device's last good
+	// validation because this cycle's observation failed.
+	Stale bool
+	// Unmonitored marks a device past the consecutive-failure threshold:
+	// no fresh result exists and the carry-forward bound is exhausted.
+	Unmonitored bool
 }
 
 // Analytics is the stream-analytics substitute (§2.6.1): it ingests
@@ -49,9 +55,12 @@ func (a *Analytics) Query(pred func(*Record) bool) []Record {
 	return out
 }
 
-// UnhealthyInCycle returns the records with violations in a given cycle.
+// UnhealthyInCycle returns the records needing attention in a given
+// cycle: contract violations and unmonitored (telemetry-dead) devices.
 func (a *Analytics) UnhealthyInCycle(cycle int) []Record {
-	return a.Query(func(r *Record) bool { return r.Cycle == cycle && len(r.Violations) > 0 })
+	return a.Query(func(r *Record) bool {
+		return r.Cycle == cycle && (len(r.Violations) > 0 || r.Unmonitored)
+	})
 }
 
 // SeverityCounts tallies violations by severity for one cycle.
@@ -89,6 +98,11 @@ const (
 	ClassMigration
 	// ClassPolicyError: route-map or ECMP configuration errors.
 	ClassPolicyError
+	// ClassTelemetryLoss: the device itself may be fine but the
+	// monitoring pipeline cannot observe it — every table pull fails.
+	// The paper's pipeline treats monitoring blindness as an error
+	// condition in its own right.
+	ClassTelemetryLoss
 )
 
 func (c ErrorClass) String() string {
@@ -105,6 +119,8 @@ func (c ErrorClass) String() string {
 		return "migration-misconfig"
 	case ClassPolicyError:
 		return "policy-error"
+	case ClassTelemetryLoss:
+		return "telemetry-loss"
 	}
 	return "unknown"
 }
@@ -115,10 +131,11 @@ func (c ErrorClass) String() string {
 type RemediationQueueName string
 
 const (
-	QueueReplaceCable  RemediationQueueName = "replace-cable"
-	QueueAutoUnshut    RemediationQueueName = "auto-unshut"
-	QueueConfigReview  RemediationQueueName = "config-review"
-	QueueInvestigation RemediationQueueName = "device-investigation"
+	QueueReplaceCable   RemediationQueueName = "replace-cable"
+	QueueAutoUnshut     RemediationQueueName = "auto-unshut"
+	QueueConfigReview   RemediationQueueName = "config-review"
+	QueueInvestigation  RemediationQueueName = "device-investigation"
+	QueueDeviceRecovery RemediationQueueName = "device-recovery"
 )
 
 // TriagedError is one classified violation with its remediation routing.
@@ -161,6 +178,13 @@ func (a *Analytics) Triage(cycle int, dcs []*Datacenter) []TriagedError {
 }
 
 func classify(r Record, dc *Datacenter) TriagedError {
+	if r.Unmonitored {
+		return TriagedError{
+			Record: r, Class: ClassTelemetryLoss, Queue: QueueDeviceRecovery,
+			Severity: rcdc.HighRisk,
+			Detail:   "device unreachable: consecutive pull failures exhausted the staleness bound",
+		}
+	}
 	te := TriagedError{Record: r, Class: ClassUnknown, Queue: QueueInvestigation}
 	for _, v := range r.Violations {
 		if v.Severity == rcdc.HighRisk {

@@ -1,0 +1,451 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcvalidate/internal/faulty"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/topology"
+)
+
+// faultyInstance builds a fig3 instance whose source is wrapped in the
+// fault injector, returning both.
+func faultyInstance(t *testing.T, topo *topology.Topology, mutate func(*faulty.Source)) (*Instance, *faulty.Source) {
+	t.Helper()
+	dc := NewDatacenter("fig3", topo, nil)
+	fs := &faulty.Source{Inner: dc.Source, Seed: 5}
+	if mutate != nil {
+		mutate(fs)
+	}
+	dc.Source = fs
+	in := NewInstance("ft", dc)
+	in.Workers = 4
+	return in, fs
+}
+
+// TestDegradedModeAcceptance is the issue's acceptance scenario: ≥10%
+// transient pull failures plus one persistently dead device over several
+// cycles. Healthy-device violations must still be detected, the dead
+// device must surface as Unmonitored in CycleStats and the alert queue,
+// no cycle may fail fatally, and the aggregated errors must enumerate
+// every individual failure.
+func TestDegradedModeAcceptance(t *testing.T) {
+	const cycles = 4
+
+	// Control: same injected contract violation, no pull faults.
+	ctrlTopo := topology.MustNew(topology.Figure3Params())
+	ctrlTopo.FailLink(ctrlTopo.ToRs()[0], ctrlTopo.ClusterLeaves(0)[0])
+	ctrl := NewInstance("ctrl", NewDatacenter("fig3", ctrlTopo, nil))
+	ctrl.Workers = 4
+	var ctrlLast CycleStats
+	for i := 0; i < cycles; i++ {
+		st, err := ctrl.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrlLast = st
+	}
+
+	topo := topology.MustNew(topology.Figure3Params())
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	dead := topo.ToRs()[3] // healthy forwarding, dead management plane
+	in, fs := faultyInstance(t, topo, func(fs *faulty.Source) {
+		fs.TransientRate = 0.15
+	})
+	fs.KillDevice(dead)
+	in.MaxConsecutiveFailures = 2
+
+	tracker := NewAlertTracker()
+	var last CycleStats
+	totalRetries := 0
+	for i := 0; i < cycles; i++ {
+		st, err := in.RunCycle()
+		if err != nil {
+			t.Fatalf("cycle %d returned fatal error: %v", i+1, err) // (c)
+		}
+		tracker.ObserveCycle(st.Cycle, in.Analytics)
+		totalRetries += st.Retries
+
+		// (d) every individual failure is enumerated: the dead device
+		// appears each cycle, and the error count matches the failure
+		// stats (pull failures produce exactly one error each; bad docs
+		// and messages would add more).
+		if st.PullFailures < 1 {
+			t.Fatalf("cycle %d: dead device not counted in PullFailures", i+1)
+		}
+		if len(st.Errs) != st.PullFailures {
+			t.Errorf("cycle %d: %d errors for %d pull failures", i+1, len(st.Errs), st.PullFailures)
+		}
+		joined := st.Err()
+		if joined == nil || !strings.Contains(joined.Error(), "unreachable") {
+			t.Errorf("cycle %d: aggregated error missing dead device: %v", i+1, joined)
+		}
+		last = st
+	}
+	if totalRetries == 0 {
+		t.Error("15% transient rate produced no retries")
+	}
+
+	// (a) detection parity: the healthy devices' contract violations are
+	// all still present in the final cycle.
+	want := map[topology.DeviceID]int{}
+	for _, r := range ctrl.Analytics.UnhealthyInCycle(ctrlLast.Cycle) {
+		want[r.Device] = len(r.Violations)
+	}
+	got := map[topology.DeviceID]int{}
+	for _, r := range in.Analytics.UnhealthyInCycle(last.Cycle) {
+		if !r.Unmonitored {
+			got[r.Device] = len(r.Violations)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("control run detected nothing")
+	}
+	for dev, n := range want {
+		if got[dev] != n {
+			t.Errorf("device %d: %d violations under faults, want %d", dev, got[dev], n)
+		}
+	}
+
+	// (b) the dead device is Unmonitored in CycleStats and in the alert
+	// queue.
+	if last.Unmonitored < 1 {
+		t.Fatalf("Unmonitored = %d in final cycle", last.Unmonitored)
+	}
+	foundAlert := false
+	for _, al := range tracker.Open() {
+		if al.Unmonitored && al.Device == dead {
+			foundAlert = true
+		}
+	}
+	if !foundAlert {
+		t.Error("dead device has no open telemetry-loss alert")
+	}
+	um := in.UnmonitoredDevices()
+	if len(um) != 1 || um[0].Device != dead {
+		t.Errorf("UnmonitoredDevices = %+v, want the dead device", um)
+	}
+	// Triage routes it to the recovery queue at high risk.
+	foundTriage := false
+	for _, te := range in.Analytics.Triage(last.Cycle, in.Datacenters) {
+		if te.Record.Device == dead && te.Class == ClassTelemetryLoss && te.Queue == QueueDeviceRecovery {
+			foundTriage = true
+		}
+	}
+	if !foundTriage {
+		t.Error("dead device not triaged to the device-recovery queue")
+	}
+}
+
+func TestBadQueueMessagesDrainFully(t *testing.T) {
+	in, _ := healthyInstance(t)
+	if _, err := in.GenerateContracts(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PullTables(); err != nil {
+		t.Fatal(err)
+	}
+	in.Queue.Push("garbage-no-slash")
+	in.Queue.Push("fig3/notanumber")
+	in.Queue.Push("nosuchdc/3")
+
+	vs, err := in.ValidateQueued()
+	if err == nil {
+		t.Fatal("malformed messages produced no error")
+	}
+	for _, frag := range []string{"garbage-no-slash", "notanumber", "nosuchdc"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("aggregated error missing %q: %v", frag, err)
+		}
+	}
+	if vs.Devices != 20 {
+		t.Errorf("devices = %d, want 20 despite bad messages", vs.Devices)
+	}
+	if in.Queue.Len() != 0 {
+		t.Errorf("queue not fully drained: %d left", in.Queue.Len())
+	}
+	// Nothing leaks into the next pass.
+	vs2, err := in.ValidateQueued()
+	if err != nil || vs2.Devices != 0 {
+		t.Errorf("leftover messages leaked: devices=%d err=%v", vs2.Devices, err)
+	}
+}
+
+func TestPullFailureStaleCarryForwardThenUnmonitored(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	// A real violation on the device that will go dark: its last-known
+	// result must survive while stale.
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	victim := topo.ToRs()[0]
+	in, fs := faultyInstance(t, topo, nil)
+
+	s1, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Violations == 0 {
+		t.Fatal("violation not detected while healthy")
+	}
+
+	fs.KillDevice(victim)
+	s2, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.PullFailures != 1 {
+		t.Errorf("pull failures = %d, want 1", s2.PullFailures)
+	}
+	if s2.Devices != 20 {
+		t.Errorf("devices = %d: the failed device silently dropped", s2.Devices)
+	}
+	if s2.StaleDevices != 1 {
+		t.Errorf("stale devices = %d, want 1", s2.StaleDevices)
+	}
+	if s2.Violations != s1.Violations {
+		t.Errorf("carried-forward violations drifted: %d -> %d", s1.Violations, s2.Violations)
+	}
+	stale := false
+	for _, r := range in.Analytics.UnhealthyInCycle(s2.Cycle) {
+		if r.Device == victim && r.Stale {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Error("carried-forward record not flagged stale")
+	}
+	h, ok := in.Health("fig3", victim)
+	if !ok || h.ConsecutiveFailures != 1 || h.Unmonitored {
+		t.Errorf("health = %+v after first failure", h)
+	}
+
+	// Failures 2 and 3: the default threshold (3) marks it Unmonitored.
+	in.RunCycle()
+	s4, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Unmonitored != 1 {
+		t.Errorf("unmonitored = %d, want 1", s4.Unmonitored)
+	}
+	if s4.StaleDevices != 0 {
+		t.Errorf("stale = %d: unmonitored device still carried forward", s4.StaleDevices)
+	}
+
+	// Recovery clears the state and fresh validation resumes.
+	fs.ReviveDevice(victim)
+	s5, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5.Unmonitored != 0 || s5.PullFailures != 0 {
+		t.Errorf("recovery failed: %+v", s5)
+	}
+	h, _ = in.Health("fig3", victim)
+	if h.Unmonitored || h.ConsecutiveFailures != 0 {
+		t.Errorf("health not reset after recovery: %+v", h)
+	}
+	if len(in.UnmonitoredDevices()) != 0 {
+		t.Error("device still listed unmonitored after recovery")
+	}
+}
+
+func TestMissingStoreDocuments(t *testing.T) {
+	in, _ := healthyInstance(t)
+	if _, err := in.GenerateContracts(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PullTables(); err != nil {
+		t.Fatal(err)
+	}
+	in.Queue.Push("fig3/9999") // no documents for this device
+	vs, err := in.ValidateQueued()
+	if err == nil || !strings.Contains(err.Error(), "missing documents") {
+		t.Fatalf("missing documents not reported: %v", err)
+	}
+	if vs.Devices != 20 {
+		t.Errorf("devices = %d: missing-doc message stopped the pass", vs.Devices)
+	}
+}
+
+// corruptOnce corrupts the stored document of one device while armed.
+type corruptOnce struct {
+	fib.Source
+	dev   topology.DeviceID
+	armed bool
+}
+
+func (c *corruptOnce) CorruptDoc(dev topology.DeviceID, raw []byte) ([]byte, bool) {
+	if !c.armed || dev != c.dev {
+		return raw, false
+	}
+	return raw[:len(raw)/2], true
+}
+
+func TestCorruptDocumentFailsThenRecovers(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	dc := NewDatacenter("fig3", topo, nil)
+	victim := topo.ToRs()[2]
+	cs := &corruptOnce{Source: dc.Source, dev: victim}
+	dc.Source = cs
+	in := NewInstance("corrupt", dc)
+	in.Workers = 4
+	in.SkipUnchanged = true
+
+	if _, err := in.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	cs.armed = true
+	s2, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.StaleDevices != 1 {
+		t.Errorf("stale = %d after corrupt document", s2.StaleDevices)
+	}
+	if s2.Err() == nil || !strings.Contains(s2.Err().Error(), "validate fig3/") {
+		t.Errorf("corrupt document error not aggregated: %v", s2.Err())
+	}
+	h, _ := in.Health("fig3", victim)
+	if h.ConsecutiveFailures != 1 {
+		t.Errorf("consecutive failures = %d", h.ConsecutiveFailures)
+	}
+
+	// The device recovers: its good document hashes equal to the memo, so
+	// the SkipUnchanged path must still reset its health.
+	cs.armed = false
+	s3, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.StaleDevices != 0 || s3.Err() != nil {
+		t.Errorf("recovery cycle degraded: stale=%d err=%v", s3.StaleDevices, s3.Err())
+	}
+	if s3.Skipped != s3.Devices {
+		t.Errorf("skipped %d of %d on unchanged cycle", s3.Skipped, s3.Devices)
+	}
+	h, _ = in.Health("fig3", victim)
+	if h.ConsecutiveFailures != 0 || h.LastGoodCycle != s3.Cycle {
+		t.Errorf("health not reset by skip path: %+v", h)
+	}
+}
+
+func TestModeledPullTimeDeterministic(t *testing.T) {
+	run := func() (time.Duration, int) {
+		topo := topology.MustNew(topology.Figure3Params())
+		in, _ := faultyInstance(t, topo, func(fs *faulty.Source) {
+			fs.TransientRate = 0.2
+		})
+		in.Workers = 8
+		ps, _ := in.PullTables()
+		return ps.Modeled, ps.Retries
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if m1 != m2 {
+		t.Errorf("modeled pull time nondeterministic: %v vs %v", m1, m2)
+	}
+	if r1 != r2 {
+		t.Errorf("retries nondeterministic: %d vs %d", r1, r2)
+	}
+}
+
+func TestFailedPullsConsumeModeledLatency(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	in, fs := faultyInstance(t, topo, nil)
+	for i := range topo.Devices {
+		fs.KillDevice(topology.DeviceID(i))
+	}
+	in.Workers = 1
+	in.MaxPullRetries = 0
+	ps, err := in.PullTables()
+	if err == nil {
+		t.Fatal("all-dead fleet reported no error")
+	}
+	if len(ps.Failed) != 20 {
+		t.Fatalf("failed = %d, want 20", len(ps.Failed))
+	}
+	// 20 failed attempts at >= 200ms each must still be accounted.
+	if ps.Modeled < 4*time.Second {
+		t.Errorf("failed pulls consumed no modeled latency: %v", ps.Modeled)
+	}
+}
+
+func TestSlowPullsTimeOut(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	in, _ := faultyInstance(t, topo, func(fs *faulty.Source) {
+		fs.SlowRate = 1.0
+		fs.SlowDelay = 10 * time.Second
+	})
+	in.MaxPullRetries = 0
+	in.PullTimeout = 2 * time.Second
+	ps, err := in.PullTables()
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("slow pulls did not time out: %v", err)
+	}
+	if len(ps.Failed) != 20 {
+		t.Errorf("failed = %d, want all 20", len(ps.Failed))
+	}
+	// Each attempt spends exactly the timeout budget on the virtual clock.
+	if ps.Modeled < 20*2*time.Second/time.Duration(in.workers()) {
+		t.Errorf("timeout budget not accounted: %v", ps.Modeled)
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	dc := NewDatacenter("fig3", topo, nil)
+	dc.Source = &failFirstSource{Source: dc.Source, failed: map[topology.DeviceID]bool{}}
+	in := NewInstance("retry", dc)
+	in.Workers = 4
+	ps, err := in.PullTables()
+	if err != nil {
+		t.Fatalf("retries did not absorb transient failures: %v", err)
+	}
+	if ps.Retries != 20 {
+		t.Errorf("retries = %d, want one per device", ps.Retries)
+	}
+	if len(ps.Failed) != 0 {
+		t.Errorf("failed = %d", len(ps.Failed))
+	}
+}
+
+// failFirstSource fails each device's first pull, then succeeds.
+type failFirstSource struct {
+	fib.Source
+	mu     sync.Mutex
+	failed map[topology.DeviceID]bool
+}
+
+func (s *failFirstSource) Table(dev topology.DeviceID) (*fib.Table, error) {
+	s.mu.Lock()
+	first := !s.failed[dev]
+	s.failed[dev] = true
+	s.mu.Unlock()
+	if first {
+		return nil, fmt.Errorf("flaky rpc to device %d", dev)
+	}
+	return s.Source.Table(dev)
+}
+
+// Ensure the bgp synth still refreshes through the fault wrapper: a link
+// failure after instance construction must be observed.
+func TestRefreshForwardsThroughFaultInjector(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	in, _ := faultyInstance(t, topo, nil)
+	s1, err := in.RunCycle()
+	if err != nil || s1.Violations != 0 {
+		t.Fatalf("healthy baseline: %v %d", err, s1.Violations)
+	}
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	s2, err := in.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Violations == 0 {
+		t.Error("link failure invisible through fault injector (Refresh not forwarded)")
+	}
+}

@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"dcvalidate/internal/topology"
+)
+
+// Per-device health tracking: the monitoring service runs against O(10K)
+// flaky production devices (§2.6.1), so a failed observation must degrade
+// rather than discard. A device that fails a cycle keeps its last-known-
+// good validation result alive (flagged stale) for a bounded number of
+// cycles; a device that fails persistently is marked Unmonitored and
+// escalated into the alert queue as telemetry loss — monitoring blindness
+// is itself an error condition worth triaging.
+
+// DeviceHealth tracks one device's monitoring liveness across cycles.
+type DeviceHealth struct {
+	// ConsecutiveFailures counts failed cycles since the last successful
+	// fresh validation.
+	ConsecutiveFailures int
+	// LastGoodCycle is the last cycle with a successful validation (0 if
+	// the device never succeeded).
+	LastGoodCycle int
+	// Unmonitored is set once ConsecutiveFailures reaches the instance
+	// threshold; it clears on the next successful observation.
+	Unmonitored bool
+	// LastErr is the most recent failure (nil while healthy).
+	LastErr error
+}
+
+// DeviceError is one per-device failure attributed to its datacenter.
+type DeviceError struct {
+	Datacenter string
+	Device     topology.DeviceID
+	Err        error
+}
+
+func (e DeviceError) Error() string {
+	return fmt.Sprintf("monitor: device %s/%d: %v", e.Datacenter, e.Device, e.Err)
+}
+
+func (e DeviceError) Unwrap() error { return e.Err }
+
+// noteFailure records one failed device observation: it advances the
+// consecutive-failure count, carries the last-known-good result forward
+// (flagged stale) while within the staleness bound, and past the failure
+// threshold marks the device Unmonitored and emits the telemetry-loss
+// record the alert tracker and triage escalate. Callers hold the
+// validator's stats lock.
+func (in *Instance) noteFailure(vs *ValidateStats, dcName string, dev topology.DeviceID, err error) {
+	vs.Errs = append(vs.Errs, err)
+	key := memoKey(dcName, int32(dev))
+	h := in.health[key]
+	if h == nil {
+		h = &DeviceHealth{}
+		in.health[key] = h
+	}
+	h.ConsecutiveFailures++
+	h.LastErr = err
+	if h.ConsecutiveFailures >= in.maxConsecutive() {
+		h.Unmonitored = true
+	}
+	if h.Unmonitored {
+		vs.Unmonitored++
+		in.Analytics.Ingest(Record{
+			Cycle: in.cycle, Datacenter: dcName, Device: dev, Unmonitored: true,
+		})
+		return
+	}
+	if prev, ok := in.memo[key]; ok && h.LastGoodCycle > 0 && in.cycle-h.LastGoodCycle <= in.staleBound() {
+		rec := prev.record
+		rec.Cycle = in.cycle
+		rec.Stale = true
+		vs.Devices++
+		vs.Stale++
+		vs.Violations += len(rec.Violations)
+		in.Analytics.Ingest(rec)
+	}
+}
+
+// noteSuccess resets a device's health after a successful observation
+// (fresh validation or an unchanged-document skip). Callers hold the
+// validator's stats lock.
+func (in *Instance) noteSuccess(key string) {
+	h := in.health[key]
+	if h == nil {
+		h = &DeviceHealth{}
+		in.health[key] = h
+	}
+	h.ConsecutiveFailures = 0
+	h.LastGoodCycle = in.cycle
+	h.Unmonitored = false
+	h.LastErr = nil
+}
+
+// Health returns a snapshot of a device's health record. The zero value
+// (and ok=false) means the device has never been observed failing or
+// succeeding. Call between cycles; not synchronized with a running one.
+func (in *Instance) Health(dc string, dev topology.DeviceID) (DeviceHealth, bool) {
+	h, ok := in.health[memoKey(dc, int32(dev))]
+	if !ok {
+		return DeviceHealth{}, false
+	}
+	return *h, true
+}
+
+// UnmonitoredDevices lists the devices currently past the failure
+// threshold, ordered for stable output. Call between cycles.
+func (in *Instance) UnmonitoredDevices() []DeviceError {
+	var out []DeviceError
+	for _, dc := range in.Datacenters {
+		for i := range dc.Facts.Devices {
+			dev := dc.Facts.Devices[i].ID
+			if h, ok := in.health[memoKey(dc.Name, int32(dev))]; ok && h.Unmonitored {
+				out = append(out, DeviceError{Datacenter: dc.Name, Device: dev, Err: h.LastErr})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Datacenter != out[j].Datacenter {
+			return out[i].Datacenter < out[j].Datacenter
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}

@@ -69,16 +69,17 @@ func TestModeledPullTimeScalesWithWorkers(t *testing.T) {
 	topo := topology.MustNew(topology.Figure3Params())
 	in1 := NewInstance("one", NewDatacenter("fig3", topo, nil))
 	in1.Workers = 1
-	m1, err := in1.PullTables()
+	p1, err := in1.PullTables()
 	if err != nil {
 		t.Fatal(err)
 	}
 	in8 := NewInstance("eight", NewDatacenter("fig3", topo, nil))
 	in8.Workers = 8
-	m8, err := in8.PullTables()
+	p8, err := in8.PullTables()
 	if err != nil {
 		t.Fatal(err)
 	}
+	m1, m8 := p1.Modeled, p8.Modeled
 	// 20 devices at 200-800ms each: a single worker needs >= 20*200ms.
 	if m1 < 4*time.Second {
 		t.Errorf("single-worker modeled time = %v", m1)

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -41,7 +42,9 @@ func NewDatacenter(name string, topo *topology.Topology, cfg map[topology.Device
 // Instance is one horizontally-scaled service instance (§2.6.1): it
 // monitors the devices of a set of datacenters, chosen so that the store
 // and queue are close to the devices. Production instances watch O(10K)
-// devices each.
+// devices, any of which may be flaky: pulls are retried with backoff,
+// failing devices degrade to carried-forward state instead of vanishing,
+// and persistently dead devices are escalated as Unmonitored.
 type Instance struct {
 	Name        string
 	Datacenters []*Datacenter
@@ -60,20 +63,47 @@ type Instance struct {
 	// reported in CycleStats.ModeledPullTime.
 	PullLatencyMin, PullLatencyMax time.Duration
 
-	rng   *rand.Rand
-	cycle int
-	memo  map[string]deviceMemo // incremental-validation cache
+	// MaxPullRetries bounds the retry attempts after a failed pull (a
+	// device gets 1+MaxPullRetries attempts per cycle).
+	MaxPullRetries int
+	// PullRetryBase is the backoff before the first retry; it doubles per
+	// retry with deterministic jitter, accounted on the virtual clock.
+	PullRetryBase time.Duration
+	// PullTimeout is the per-attempt latency budget: an attempt whose
+	// modeled latency exceeds it is abandoned (the budget is still spent)
+	// and counts as a failure. 0 disables the budget. Raise it alongside
+	// PullLatencyMax when using a slower latency model.
+	PullTimeout time.Duration
+	// MaxConsecutiveFailures marks a device Unmonitored after that many
+	// consecutive failed cycles, escalating it to the alert queue
+	// (0 = default 3).
+	MaxConsecutiveFailures int
+	// StaleCycles bounds last-known-good carry-forward: a failing device's
+	// previous validation result is re-ingested (flagged stale) for up to
+	// this many cycles past its last success (0 = default 3).
+	StaleCycles int
+
+	rng        *rand.Rand
+	cycle      int
+	memo       map[string]deviceMemo    // incremental-validation cache
+	health     map[string]*DeviceHealth // per-device liveness tracking
+	pullFailed []DeviceError            // latest pull pass's casualties
 }
 
 // NewInstance creates a service instance with the §2.6.1 default latency
-// model.
+// model and the default fault-tolerance policy.
 func NewInstance(name string, dcs ...*Datacenter) *Instance {
 	return &Instance{
 		Name: name, Datacenters: dcs,
 		Store: NewStore(), Queue: NewQueue(), Analytics: NewAnalytics(),
-		PullLatencyMin: 200 * time.Millisecond,
-		PullLatencyMax: 800 * time.Millisecond,
-		rng:            rand.New(rand.NewSource(1)),
+		PullLatencyMin:         200 * time.Millisecond,
+		PullLatencyMax:         800 * time.Millisecond,
+		MaxPullRetries:         2,
+		PullRetryBase:          50 * time.Millisecond,
+		PullTimeout:            2 * time.Second,
+		MaxConsecutiveFailures: 3,
+		StaleCycles:            3,
+		rng:                    rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -82,6 +112,20 @@ func (in *Instance) workers() int {
 		return in.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (in *Instance) maxConsecutive() int {
+	if in.MaxConsecutiveFailures > 0 {
+		return in.MaxConsecutiveFailures
+	}
+	return 3
+}
+
+func (in *Instance) staleBound() int {
+	if in.StaleCycles > 0 {
+		return in.StaleCycles
+	}
+	return 3
 }
 
 // CycleStats reports one monitoring cycle.
@@ -93,12 +137,31 @@ type CycleStats struct {
 	// Skipped counts devices whose validation was skipped because their
 	// table and contracts were unchanged (SkipUnchanged).
 	Skipped int
+	// PullFailures counts devices whose table pull failed after
+	// exhausting retries this cycle.
+	PullFailures int
+	// Retries counts pull retry attempts across the fleet.
+	Retries int
+	// StaleDevices counts devices whose result was carried forward from
+	// their last good validation because this cycle's observation failed.
+	StaleDevices int
+	// Unmonitored counts devices past the consecutive-failure threshold;
+	// each is escalated into the alert queue as telemetry loss.
+	Unmonitored int
 	// ModeledPullTime is the wall time the table pulls would take given
-	// the per-device fetch latency model and the worker parallelism.
+	// the per-device fetch latency model (including failed attempts and
+	// retry backoff) and the worker parallelism.
 	ModeledPullTime time.Duration
 	// ValidateTime is the actual CPU-side validation wall time.
 	ValidateTime time.Duration
+	// Errs enumerates every per-device and per-message failure of the
+	// cycle. The cycle degrades gracefully instead of aborting: RunCycle
+	// only returns an error for faults that stop the whole pipeline.
+	Errs []error
 }
+
+// Err joins the cycle's accumulated per-device errors (nil when clean).
+func (s *CycleStats) Err() error { return errors.Join(s.Errs...) }
 
 // document types persisted in the store.
 
@@ -147,102 +210,204 @@ func (in *Instance) GenerateContracts() (int, error) {
 // recomputed from live topology before a pull cycle (e.g. bgp.Synth).
 type refresher interface{ Refresh() }
 
+// pullDelayer is implemented by fault-injecting sources that add modeled
+// latency to a pull attempt (slow-pull injection); the puller adds it to
+// the sampled fetch latency on the virtual clock.
+type pullDelayer interface {
+	LastPullDelay(topology.DeviceID) time.Duration
+}
+
+// docCorrupter is implemented by fault-injecting sources that corrupt a
+// marshaled table document between serialization and the store write.
+type docCorrupter interface {
+	CorruptDoc(topology.DeviceID, []byte) ([]byte, bool)
+}
+
+// PullStats reports one pass of the routing table puller.
+type PullStats struct {
+	// Modeled is the virtual wall time of the pass: the makespan of the
+	// per-device attempt latencies — failed attempts and retry backoff
+	// included — over the worker pool.
+	Modeled time.Duration
+	// Retries counts retry attempts across all devices.
+	Retries int
+	// Failed lists devices whose pull failed after exhausting retries;
+	// their previous store documents are left in place and flagged stale
+	// by the validator rather than silently reused.
+	Failed []DeviceError
+}
+
 // PullTables is the routing table puller micro-service: it fetches every
-// device's routing table, stores it, and posts a notification to the
-// queue. Fetch latency is sampled per device and accounted virtually.
-func (in *Instance) PullTables() (time.Duration, error) {
+// device's routing table with retry/backoff, stores it, and posts a
+// notification to the queue. Fetch latency is sampled per device and
+// accounted virtually. The returned error aggregates every device that
+// failed after retries (also listed in PullStats.Failed); the pass itself
+// always completes.
+func (in *Instance) PullTables() (PullStats, error) {
 	for _, dc := range in.Datacenters {
 		if r, ok := dc.Source.(refresher); ok {
 			r.Refresh()
 		}
 	}
-	var mu sync.Mutex
-	var modeled time.Duration
-	var firstErr error
-
 	type job struct {
 		dc  *Datacenter
 		dev topology.DeviceID
+		rng *rand.Rand
 	}
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var latencies []time.Duration
-	for w := 0; w < in.workers(); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for j := range jobs {
-				tbl, err := j.dc.Source.Table(j.dev)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				doc := tableDoc{}
-				for _, e := range tbl.Entries {
-					doc.Entries = append(doc.Entries, entryDoc{
-						Prefix: e.Prefix.String(), NextHops: e.NextHops, Connected: e.Connected,
-					})
-				}
-				raw, err := json.Marshal(doc)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				in.Store.Put("tables", tableKey(j.dc.Name, int32(j.dev)), raw)
-				in.Queue.Push(fmt.Sprintf("%s/%d", j.dc.Name, j.dev))
-				lat := in.PullLatencyMin
-				mu.Lock()
-				if span := in.PullLatencyMax - in.PullLatencyMin; span > 0 {
-					lat += time.Duration(in.rng.Int63n(int64(span)))
-				}
-				latencies = append(latencies, lat)
-				mu.Unlock()
-			}
-		}(w)
-	}
+	var list []job
 	for _, dc := range in.Datacenters {
 		for i := range dc.Facts.Devices {
-			jobs <- job{dc, dc.Facts.Devices[i].ID}
+			list = append(list, job{dc: dc, dev: dc.Facts.Devices[i].ID})
 		}
+	}
+	// Pre-seed a per-job RNG in dispatch order: every latency and jitter
+	// draw is then independent of worker scheduling, so ModeledPullTime is
+	// deterministic across runs for identical seeds.
+	for i := range list {
+		list[i].rng = rand.New(rand.NewSource(in.rng.Int63()))
+	}
+	times := make([]time.Duration, len(list))
+	retries := make([]int, len(list))
+	fails := make([]error, len(list))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				j := list[idx]
+				times[idx], retries[idx], fails[idx] = in.pullOne(j.dc, j.dev, j.rng)
+			}
+		}()
+	}
+	for i := range list {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	// The modeled wall time is the makespan of the sampled fetch latencies
-	// over the worker pool (greedy least-loaded assignment), independent of
-	// actual goroutine scheduling.
+
+	var ps PullStats
+	var errs []error
+	for i, j := range list {
+		ps.Retries += retries[i]
+		if fails[i] != nil {
+			de := DeviceError{Datacenter: j.dc.Name, Device: j.dev, Err: fails[i]}
+			ps.Failed = append(ps.Failed, de)
+			errs = append(errs, de)
+		}
+	}
+	// The modeled wall time is the makespan of the per-device pull times
+	// over the worker pool (greedy least-loaded assignment in dispatch
+	// order), independent of actual goroutine scheduling.
 	busy := make([]time.Duration, in.workers())
-	for _, lat := range latencies {
+	for _, t := range times {
 		least := 0
 		for w := 1; w < len(busy); w++ {
 			if busy[w] < busy[least] {
 				least = w
 			}
 		}
-		busy[least] += lat
+		busy[least] += t
 	}
 	for _, b := range busy {
-		if b > modeled {
-			modeled = b
+		if b > ps.Modeled {
+			ps.Modeled = b
 		}
 	}
-	return modeled, firstErr
+	in.pullFailed = ps.Failed
+	return ps, errors.Join(errs...)
+}
+
+// pullOne fetches one device's table under the virtual latency model,
+// retrying with exponential backoff + jitter, and stores the document on
+// success. It returns the modeled time spent (every attempt and backoff
+// counts, succeeded or not) and the retry count.
+func (in *Instance) pullOne(dc *Datacenter, dev topology.DeviceID, rng *rand.Rand) (spent time.Duration, retried int, err error) {
+	for attempt := 0; ; attempt++ {
+		lat := in.PullLatencyMin
+		if span := in.PullLatencyMax - in.PullLatencyMin; span > 0 {
+			lat += time.Duration(rng.Int63n(int64(span)))
+		}
+		var tbl *fib.Table
+		tbl, err = dc.Source.Table(dev)
+		if d, ok := dc.Source.(pullDelayer); ok {
+			lat += d.LastPullDelay(dev)
+		}
+		if in.PullTimeout > 0 && lat > in.PullTimeout {
+			// The attempt is abandoned at the budget; the budget is spent.
+			lat = in.PullTimeout
+			if err == nil {
+				err = fmt.Errorf("monitor: pull of %s/%d timed out after %v", dc.Name, dev, in.PullTimeout)
+			}
+		}
+		spent += lat
+		if err == nil {
+			err = in.storeTable(dc, dev, tbl)
+		}
+		if err == nil {
+			return spent, retried, nil
+		}
+		if attempt >= in.MaxPullRetries {
+			return spent, retried, err
+		}
+		back := in.PullRetryBase << attempt
+		if back > 0 {
+			back += time.Duration(rng.Int63n(int64(back)/2 + 1))
+		}
+		spent += back
+		retried++
+	}
+}
+
+// storeTable serializes a pulled table into the store and notifies the
+// validator queue.
+func (in *Instance) storeTable(dc *Datacenter, dev topology.DeviceID, tbl *fib.Table) error {
+	doc := tableDoc{}
+	for _, e := range tbl.Entries {
+		doc.Entries = append(doc.Entries, entryDoc{
+			Prefix: e.Prefix.String(), NextHops: e.NextHops, Connected: e.Connected,
+		})
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	if c, ok := dc.Source.(docCorrupter); ok {
+		if bad, did := c.CorruptDoc(dev, raw); did {
+			raw = bad
+		}
+	}
+	in.Store.Put("tables", tableKey(dc.Name, int32(dev)), raw)
+	in.Queue.Push(fmt.Sprintf("%s/%d", dc.Name, dev))
+	return nil
+}
+
+// ValidateStats reports one pass of the routing table validator.
+type ValidateStats struct {
+	Devices, Violations, Skipped int
+	// Stale counts devices validated by carrying the last-known-good
+	// result forward after a failed observation.
+	Stale int
+	// Unmonitored counts devices past the consecutive-failure threshold.
+	Unmonitored int
+	// Errs enumerates every per-message and per-device failure.
+	Errs []error
 }
 
 // ValidateQueued is the routing table validator micro-service: it drains
-// the notification queue, loads each device's table and contracts from the
-// store, validates them, and pushes the results to the analytics stream.
-// With SkipUnchanged set, devices whose documents hash identically to
-// their last validated state are skipped and the previous result carried
-// forward (re-ingested under the current cycle).
-func (in *Instance) ValidateQueued() (devices, violations, skipped int, err error) {
+// the notification queue completely, loads each device's table and
+// contracts from the store, validates them, and pushes the results to the
+// analytics stream. Malformed messages and per-device failures (missing or
+// corrupt documents) are recorded and the rest keeps validating; failed
+// devices fall back to their last-known-good result (flagged stale) and
+// are escalated as Unmonitored once persistently failing. With
+// SkipUnchanged set, devices whose documents hash identically to their
+// last validated state are skipped and the previous result carried
+// forward (re-ingested under the current cycle). Devices reported failed
+// by the preceding PullTables pass are accounted here too, so they never
+// silently vanish from the cycle.
+func (in *Instance) ValidateQueued() (ValidateStats, error) {
 	dcByName := make(map[string]*Datacenter, len(in.Datacenters))
 	for _, dc := range in.Datacenters {
 		dcByName[dc.Name] = dc
@@ -251,7 +416,10 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 		dc  *Datacenter
 		dev topology.DeviceID
 	}
+	var vs ValidateStats
 	var msgs []msgT
+	// Drain the queue fully even past malformed messages: a partial drain
+	// would leak messages into the next cycle and double-count devices.
 	for {
 		m, ok := in.Queue.Pop()
 		if !ok {
@@ -259,16 +427,18 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 		}
 		i := lastSlash(m)
 		if i < 0 {
-			return devices, violations, skipped, fmt.Errorf("monitor: bad message %q", m)
+			vs.Errs = append(vs.Errs, fmt.Errorf("monitor: bad message %q", m))
+			continue
 		}
-		dcName := m[:i]
 		dev, err := strconv.Atoi(m[i+1:])
 		if err != nil {
-			return devices, violations, skipped, fmt.Errorf("monitor: bad message %q", m)
+			vs.Errs = append(vs.Errs, fmt.Errorf("monitor: bad message %q", m))
+			continue
 		}
-		dc, ok := dcByName[dcName]
+		dc, ok := dcByName[m[:i]]
 		if !ok {
-			return devices, violations, skipped, fmt.Errorf("monitor: unknown datacenter %q", dcName)
+			vs.Errs = append(vs.Errs, fmt.Errorf("monitor: unknown datacenter %q", m[:i]))
+			continue
 		}
 		msgs = append(msgs, msgT{dc, topology.DeviceID(dev)})
 	}
@@ -276,8 +446,10 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 	if in.memo == nil {
 		in.memo = make(map[string]deviceMemo)
 	}
+	if in.health == nil {
+		in.health = make(map[string]*DeviceHealth)
+	}
 	var mu sync.Mutex
-	var firstErr error
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, in.workers())
 	for _, m := range msgs {
@@ -290,9 +462,8 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 			rawC, okC := in.Store.Get("contracts", contractsKey(m.dc.Name, int32(m.dev)))
 			if !okT || !okC {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("monitor: missing documents for %s/%d", m.dc.Name, m.dev)
-				}
+				in.noteFailure(&vs, m.dc.Name, m.dev,
+					fmt.Errorf("monitor: missing documents for %s/%d", m.dc.Name, m.dev))
 				mu.Unlock()
 				return
 			}
@@ -306,10 +477,11 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 					rec := prev.record
 					rec.Cycle = in.cycle
 					mu.Lock()
-					devices++
-					skipped++
-					violations += len(rec.Violations)
+					vs.Devices++
+					vs.Skipped++
+					vs.Violations += len(rec.Violations)
 					in.Analytics.Ingest(rec)
+					in.noteSuccess(key)
 					mu.Unlock()
 					return
 				}
@@ -318,23 +490,31 @@ func (in *Instance) ValidateQueued() (devices, violations, skipped int, err erro
 			mu.Lock()
 			defer mu.Unlock()
 			if verr != nil {
-				if firstErr == nil {
-					firstErr = verr
-				}
+				in.noteFailure(&vs, m.dc.Name, m.dev,
+					fmt.Errorf("monitor: validate %s/%d: %w", m.dc.Name, m.dev, verr))
 				return
 			}
 			rec := Record{
 				Cycle: in.cycle, Datacenter: m.dc.Name, Device: m.dev,
 				Name: rep.Name, Role: rep.Role, Violations: rep.Violations,
 			}
-			devices++
-			violations += len(rep.Violations)
+			vs.Devices++
+			vs.Violations += len(rep.Violations)
 			in.Analytics.Ingest(rec)
 			in.memo[key] = deviceMemo{hash: h, record: rec}
+			in.noteSuccess(key)
 		}(m)
 	}
 	wg.Wait()
-	return devices, violations, skipped, firstErr
+	// Devices whose pull failed were never queued: account them here so
+	// they don't silently drop out of the cycle.
+	mu.Lock()
+	for _, f := range in.pullFailed {
+		in.noteFailure(&vs, f.Datacenter, f.Device, f)
+	}
+	in.pullFailed = nil
+	mu.Unlock()
+	return vs, errors.Join(vs.Errs...)
 }
 
 func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, rawC []byte) (rcdc.DeviceReport, error) {
@@ -369,7 +549,10 @@ func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, ra
 }
 
 // RunCycle performs one full monitoring cycle: regenerate contracts, pull
-// all tables, validate everything that was notified.
+// all tables, validate everything that was notified. Per-device failures
+// degrade the cycle (stale carry-forward, Unmonitored escalation) and are
+// enumerated in CycleStats.Errs; the returned error is reserved for
+// faults that stop the pipeline itself.
 func (in *Instance) RunCycle() (CycleStats, error) {
 	in.cycle++
 	stats := CycleStats{Cycle: in.cycle}
@@ -378,19 +561,18 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 		return stats, err
 	}
 	stats.Contracts = n
-	modeled, err := in.PullTables()
-	if err != nil {
-		return stats, err
-	}
-	stats.ModeledPullTime = modeled
+	ps, _ := in.PullTables()
+	stats.ModeledPullTime = ps.Modeled
+	stats.Retries = ps.Retries
+	stats.PullFailures = len(ps.Failed)
 	start := time.Now()
-	devs, viols, skipped, err := in.ValidateQueued()
-	if err != nil {
-		return stats, err
-	}
-	stats.Devices = devs
-	stats.Violations = viols
-	stats.Skipped = skipped
+	vs, _ := in.ValidateQueued()
+	stats.Devices = vs.Devices
+	stats.Violations = vs.Violations
+	stats.Skipped = vs.Skipped
+	stats.StaleDevices = vs.Stale
+	stats.Unmonitored = vs.Unmonitored
+	stats.Errs = vs.Errs
 	stats.ValidateTime = time.Since(start)
 	return stats, nil
 }

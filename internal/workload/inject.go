@@ -8,8 +8,10 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/faulty"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/monitor"
 	"dcvalidate/internal/topology"
@@ -26,6 +28,16 @@ type Scenario struct {
 	// hops after synthesis (Software Bug 1: the RIB is right, the FIB is
 	// not).
 	ribFibKeep map[topology.DeviceID]int
+
+	// Telemetry fault knobs (the seventh injectable error class): set
+	// before calling Source/Datacenter. Rates are per pull attempt /
+	// per stored document; dead devices come from InjectTelemetryLoss.
+	TransientPullRate float64
+	SlowPullRate      float64
+	SlowPullDelay     time.Duration
+	CorruptDocRate    float64
+	FaultSeed         int64
+	dead              map[topology.DeviceID]bool
 
 	Injected []Injection
 }
@@ -48,6 +60,7 @@ func NewScenario(topo *topology.Topology) *Scenario {
 		Cfg:        map[topology.DeviceID]*bgp.DeviceConfig{},
 		Lossy:      map[topology.LinkID]bool{},
 		ribFibKeep: map[topology.DeviceID]int{},
+		dead:       map[topology.DeviceID]bool{},
 	}
 }
 
@@ -119,6 +132,14 @@ func (s *Scenario) InjectPolicyRejectDefault(d topology.DeviceID) {
 func (s *Scenario) InjectPolicyECMPSingle(d topology.DeviceID) {
 	s.cfg(d).MaxECMPPaths = 1
 	s.record(monitor.ClassPolicyError, d, -1)
+}
+
+// InjectTelemetryLoss kills device d's management plane: every table pull
+// fails until remediation revives it (the seventh error class — the
+// device may forward fine, but the pipeline is blind to it).
+func (s *Scenario) InjectTelemetryLoss(d topology.DeviceID) {
+	s.dead[d] = true
+	s.record(monitor.ClassTelemetryLoss, d, -1)
 }
 
 func (s *Scenario) record(c monitor.ErrorClass, d topology.DeviceID, l topology.LinkID) {
@@ -195,17 +216,33 @@ func (s *Scenario) Remediate(class monitor.ErrorClass, dev topology.DeviceID) bo
 				fixed = true
 			}
 		}
+	case monitor.ClassTelemetryLoss:
+		if s.dead[dev] {
+			delete(s.dead, dev) // management plane restored
+			fixed = true
+		}
 	}
 	return fixed
 }
 
 // Source returns the FIB source for the scenario: synthesized converged
 // state under the injected topology/config faults, with the RIB-FIB
-// corruption applied at FIB extraction.
+// corruption applied at FIB extraction, wrapped in the telemetry fault
+// injector. The dead-device set is shared with the scenario, so
+// Remediate(ClassTelemetryLoss) revives devices on an already-built
+// source.
 func (s *Scenario) Source() fib.Source {
-	return &corruptedSource{
-		inner: bgp.NewSynth(s.Topo, s.Cfg),
-		keep:  s.ribFibKeep,
+	return &faulty.Source{
+		Inner: &corruptedSource{
+			inner: bgp.NewSynth(s.Topo, s.Cfg),
+			keep:  s.ribFibKeep,
+		},
+		Seed:          s.FaultSeed,
+		TransientRate: s.TransientPullRate,
+		SlowRate:      s.SlowPullRate,
+		SlowDelay:     s.SlowPullDelay,
+		CorruptRate:   s.CorruptDocRate,
+		Dead:          s.dead,
 	}
 }
 
