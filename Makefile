@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz experiments experiments-full clean
+.PHONY: all build vet lint test test-short test-race bench fuzz experiments experiments-full clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the in-tree dclint suite (wallclock,
+# mapiter, rngseed, panicsite — see DESIGN.md "Determinism invariants").
+lint: vet
+	$(GO) run ./cmd/dclint ./...
 
 test:
 	$(GO) test ./...
@@ -25,12 +30,13 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Brief fuzz sessions over every parser (extend -fuzztime for real runs).
+FUZZTIME ?= 15s
 fuzz:
-	$(GO) test -fuzz FuzzParseIOS -fuzztime 15s ./internal/acl/
-	$(GO) test -fuzz FuzzParseNSG -fuzztime 15s ./internal/acl/
-	$(GO) test -fuzz FuzzParseSMTLIB2 -fuzztime 15s ./internal/bv/
-	$(GO) test -fuzz FuzzParseDIMACS -fuzztime 15s ./internal/sat/
-	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/devconf/
+	$(GO) test -fuzz FuzzParseIOS -fuzztime $(FUZZTIME) ./internal/acl/
+	$(GO) test -fuzz FuzzParseNSG -fuzztime $(FUZZTIME) ./internal/acl/
+	$(GO) test -fuzz FuzzParseSMTLIB2 -fuzztime $(FUZZTIME) ./internal/bv/
+	$(GO) test -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME) ./internal/sat/
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/devconf/
 
 # Regenerate every paper experiment (see DESIGN.md / EXPERIMENTS.md).
 experiments:

@@ -1,0 +1,91 @@
+// Command dclint is the repository's determinism linter: a multichecker
+// that runs the internal/analysis suite (wallclock, mapiter, rngseed,
+// panicsite) over the module. CI and `make lint` gate on a clean run.
+//
+// Usage:
+//
+//	dclint [packages]
+//
+// where packages are module-relative patterns such as ./... (default),
+// ./internal/... or ./cmd/rcdc. Exits 1 if any diagnostic is reported.
+//
+// Suppressions: a finding is waived by a comment on the same line or
+// the line above — `// invariant: <why>` (asserts unreachability on
+// untrusted input) or `// dclint:allow <analyzer> <why>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcvalidate/internal/analysis"
+)
+
+// wallclockAllow lists the sanctioned measurement boundaries: the
+// injectable clock package itself, and nothing else. Everything that
+// measures elapsed time takes a clock.Clock.
+var wallclockAllow = []string{
+	"dcvalidate/internal/clock",
+}
+
+// parserPackages ingest untrusted input (device configs, vendor ACLs,
+// DIMACS CNF, SMT-LIB scripts): panics there must be justified as
+// invariants or converted to positioned errors.
+var parserPackages = []string{
+	"dcvalidate/internal/acl",
+	"dcvalidate/internal/sat",
+	"dcvalidate/internal/bv",
+	"dcvalidate/internal/devconf",
+}
+
+func main() {
+	quiet := flag.Bool("q", false, "print only the diagnostic count")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dclint [-q] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dclint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dclint:", err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "dclint: %d issue(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analysis.NewWallclock(wallclockAllow),
+		analysis.NewMapiter(),
+		analysis.NewRngseed(),
+		analysis.NewPanicsite(parserPackages),
+	}
+}

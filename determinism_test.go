@@ -1,0 +1,148 @@
+package dcvalidate
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/clock"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/secguru"
+)
+
+// TestReportDeterminism locks the invariant DESIGN.md's "Determinism
+// invariants" section promises: validation output is a pure function of
+// the inputs. It performs two complete, independent runs of the
+// report-producing paths — BGP simulation into FIBs, parallel RCDC
+// validation, and a SecGuru policy check — over the same degraded
+// datacenter and asserts the rendered reports are byte-identical. Map
+// iteration order leaking into any of these (the class of bug the
+// mapiter analyzer flags, e.g. the RIB-In delivery order in the BGP
+// simulator) shows up here as a flaky diff.
+func TestReportDeterminism(t *testing.T) {
+	first := renderFullRun(t)
+	second := renderFullRun(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("reports differ between identical runs:\n--- first ---\n%s\n--- second ---\n%s",
+			firstDiffWindow(first, second), firstDiffWindow(second, first))
+	}
+}
+
+// renderFullRun builds a Figure 3 datacenter with a failed link and a
+// forgotten-shut session, simulates BGP, validates every device in
+// parallel, checks a policy, and renders everything into one buffer.
+// Timing is read from a virtual clock so Elapsed fields are fixed.
+func renderFullRun(t *testing.T) []byte {
+	t.Helper()
+	dc, err := NewDatacenter(Figure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.FailLink("fig3-c0-t0-0", "fig3-c0-t1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.ShutSession("fig3-c0-t0-0", "fig3-c0-t1-3"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+
+	// FIBs out of the path-vector simulation (RIB-In order sensitive).
+	for _, name := range []string{"fig3-c0-t0-0", "fig3-c0-t1-0", "fig3-c1-t0-0"} {
+		dev, ok := dc.Topo.ByName(name)
+		if !ok {
+			t.Fatalf("unknown device %q", name)
+		}
+		tbl, err := dc.SimulateBGP().Table(dev.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "== fib %s ==\n", name)
+		if err := tbl.WriteText(&buf, dc.Topo); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Parallel local validation with a virtual clock.
+	vclk := clock.NewVirtual(time.Date(2019, 8, 19, 0, 0, 0, 0, time.UTC))
+	v := rcdc.Validator{Workers: 4, Clock: vclk}
+	rep, err := v.ValidateAll(dc.Facts(), dc.SimulateBGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "== validation: %d checked, %d failures, %d high-risk ==\n",
+		rep.Checked, rep.Failures, rep.HighRisk())
+	for i := range rep.Devices {
+		d := &rep.Devices[i]
+		fmt.Fprintf(&buf, "device %d: %d contracts\n", d.Device, d.Contracts)
+		for _, viol := range d.Violations {
+			fmt.Fprintf(&buf, "  %s\n", viol.String())
+		}
+	}
+
+	// SecGuru policy check with a virtual clock.
+	policy, err := ParseIOSACL("edge", strings.NewReader(detACL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []secguru.Contract{
+		{Name: "private-unreachable", Expected: acl.Deny,
+			Filter: secguru.Filter{Protocol: acl.AnyProto,
+				Src:      ipnet.MustParsePrefix("10.0.0.0/8"),
+				SrcPorts: acl.AnyPort, DstPorts: acl.AnyPort}},
+		{Name: "web-open", Expected: acl.Permit,
+			Filter: secguru.Filter{Protocol: acl.Proto(acl.ProtoTCP),
+				Src:      ipnet.MustParsePrefix("8.0.0.0/8"),
+				Dst:      ipnet.MustParsePrefix("104.208.33.0/24"),
+				SrcPorts: acl.AnyPort, DstPorts: acl.Port(443)}},
+		{Name: "ssh-closed", Expected: acl.Deny,
+			Filter: secguru.Filter{Protocol: acl.Proto(acl.ProtoTCP),
+				SrcPorts: acl.AnyPort, DstPorts: acl.Port(22)}},
+	}
+	srep, err := secguru.CheckOn(vclk, policy, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "== policy %s: elapsed %s ==\n", srep.Policy, srep.Elapsed)
+	for _, o := range srep.Outcomes {
+		fmt.Fprintf(&buf, "contract %s preserved=%v rule=%d %s\n",
+			o.Contract.Name, o.Preserved, o.RuleIndex, o.RuleName)
+		if !o.Preserved {
+			fmt.Fprintf(&buf, "  witness %v\n", o.Witness)
+		}
+	}
+	return buf.Bytes()
+}
+
+const detACL = `
+remark isolate private space
+deny ip 10.0.0.0/8 any
+deny ip 192.168.0.0/16 any
+remark web front ends
+permit tcp any 104.208.33.0/24 eq 443
+permit tcp any 104.208.33.0/24 eq 80
+deny ip any any
+`
+
+// firstDiffWindow returns a short window of a around its first
+// divergence from b, so failures show the unstable region rather than
+// two full reports.
+func firstDiffWindow(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

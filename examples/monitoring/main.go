@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"dcvalidate/internal/monitor"
 	"dcvalidate/internal/topology"
@@ -62,8 +63,13 @@ func main() {
 		for _, te := range errs {
 			queues[te.Queue]++
 		}
-		for q, n := range queues {
-			fmt.Printf("  queue %-22s %d error(s)\n", q, n)
+		names := make([]monitor.RemediationQueueName, 0, len(queues))
+		for q := range queues {
+			names = append(names, q)
+		}
+		sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+		for _, q := range names {
+			fmt.Printf("  queue %-22s %d error(s)\n", q, queues[q])
 		}
 
 		restored, escalated := monitor.AutoRemediate(errs, in.Datacenters, s.Lossy)

@@ -1,0 +1,41 @@
+package acl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseIOSMalformed feeds ParseIOS invalid configuration lines. Every
+// case must return an error naming the offending line — never panic.
+func TestParseIOSMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"unknown verb", "allow ip any any\n", `line 1: expected permit/deny/remark, got "allow"`},
+		{"missing protocol", "permit\n", "line 1: missing protocol"},
+		{"bad protocol", "permit icmpx any any\n", `line 1: bad protocol "icmpx"`},
+		{"protocol out of range", "permit 300 any any\n", `line 1: bad protocol "300"`},
+		{"missing addresses", "deny ip\n", "line 1: missing address"},
+		{"missing destination", "deny ip any\n", "line 1: missing address"},
+		{"host without address", "permit tcp host\n", "line 1: host needs an address"},
+		{"bad host address", "permit tcp host 10.0.0.300 any\n", "line 1:"},
+		{"bad prefix", "deny ip 10.0.0.0/40 any\n", "line 1:"},
+		{"bad port", "permit tcp any eq http any\n", `line 1: bad port "http"`},
+		{"inverted port range", "permit tcp any range 90 80 any\n", "line 1: bad port range"},
+		{"trailing tokens", "permit ip any any log\n", "line 1: trailing tokens"},
+		{"error line number", "remark ok\npermit ip any any\nbogus ip any any\n", "line 3:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParseIOS("malformed", strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseIOS accepted malformed input, policy=%v", p)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

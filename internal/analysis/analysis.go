@@ -1,0 +1,226 @@
+// Package analysis is a self-contained static-analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built only on the standard
+// library so the repository carries no external dependencies.
+//
+// It exists to machine-check the determinism invariants the validation
+// stack depends on (see DESIGN.md "Determinism invariants"):
+//
+//   - wallclock: simulation and measurement paths use internal/clock,
+//     never time.Now/time.Sleep/time.Since directly;
+//   - mapiter:   map iteration order never leaks into reports or hashes;
+//   - rngseed:   randomness comes from explicitly seeded *rand.Rand;
+//   - panicsite: parsers of untrusted input return errors, never panic.
+//
+// cmd/dclint runs all four over the module; `make lint` and CI gate on
+// a clean run. Violations that are genuinely unreachable invariants can
+// be suppressed with a trailing or preceding comment:
+//
+//	// invariant: <why this cannot fire on untrusted input>
+//	// dclint:allow <analyzer> <why>
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "dclint:allow <name>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	suppressed int
+}
+
+// PkgPath returns the import path of the package under analysis.
+func (p *Pass) PkgPath() string { return p.Pkg.Path() }
+
+// Reportf records a diagnostic at pos unless a suppression comment
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressedAt(position) {
+		p.suppressed++
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressedAt reports whether a suppression comment covers the line of
+// pos: either on the same line (trailing), or anywhere in a comment
+// group whose last line is immediately above it (leading, possibly
+// multi-line).
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if name != pos.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			groupEnd := p.Fset.Position(cg.End()).Line
+			for _, c := range cg.List {
+				if !suppresses(c.Text, p.Analyzer.Name) {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				if line == pos.Line || groupEnd == pos.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// suppresses reports whether comment text waives findings of the named
+// analyzer. "// invariant:" waives every analyzer (it asserts the code
+// is unreachable on untrusted input); "// dclint:allow <name>" waives
+// one.
+func suppresses(comment, analyzer string) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if strings.HasPrefix(text, "invariant:") {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(text, "dclint:allow "); ok {
+		fields := strings.Fields(rest)
+		return len(fields) > 0 && fields[0] == analyzer
+	}
+	return false
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to each loaded package and returns all
+// diagnostics sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// pkgNameOf resolves an identifier to the package it names, if it is a
+// package qualifier (e.g. the `time` in time.Now).
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the package-level function
+// or method it invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// enclosingFuncs returns, for each AST node visited by walk, the
+// fully-qualified name of the function declaration enclosing it:
+// "Func" or "Type.Method" (pointer receivers included as "Type.Method").
+type funcStack struct {
+	names []string
+}
+
+func (s *funcStack) push(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+	}
+	s.names = append(s.names, name)
+}
+
+func (s *funcStack) pop() { s.names = s.names[:len(s.names)-1] }
+func (s *funcStack) current() string {
+	if len(s.names) == 0 {
+		return ""
+	}
+	return s.names[len(s.names)-1]
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)

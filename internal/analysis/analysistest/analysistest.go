@@ -1,0 +1,116 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and checks its diagnostics against `// want "regexp"` annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest but with no
+// external dependencies.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run type-checks the Go package in dir (testdata files importing only
+// the standard library), applies the analyzer, and fails the test on
+// any mismatch between reported diagnostics and the `// want "re"`
+// annotations: a diagnostic must occur on every annotated line and
+// match the regexp, and no unannotated line may produce one.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []*ast.File
+	wants := map[string]*regexp.Regexp{} // "file:line" -> pattern
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			mm := wantRe.FindStringSubmatch(line)
+			if mm == nil {
+				continue
+			}
+			pat, err := regexp.Compile(strings.ReplaceAll(mm[1], `\"`, `"`))
+			if err != nil {
+				t.Fatalf("analysistest: %s:%d: bad want pattern: %v", path, i+1, err)
+			}
+			wants[fmt.Sprintf("%s:%d", path, i+1)] = pat
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	pkgPath := "dclint.test/" + filepath.Base(dir)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", dir, err)
+	}
+
+	pkg := &analysis.Package{
+		Path: pkgPath, Dir: dir, Fset: fset, Files: files,
+		Types: tpkg, TypesInfo: info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	matched := map[string]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		pat, ok := wants[key]
+		switch {
+		case !ok:
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		case !pat.MatchString(d.Message):
+			t.Errorf("diagnostic at %s does not match %q: %s", key, pat, d.Message)
+		default:
+			matched[key] = true
+		}
+	}
+	var missing []string
+	for key := range wants {
+		if !matched[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		t.Errorf("missing diagnostic at %s (want %q)", key, wants[key])
+	}
+}

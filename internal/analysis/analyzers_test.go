@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dcvalidate/internal/analysis"
+	"dcvalidate/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	a := analysis.NewWallclock([]string{
+		"dclint.test/wallclock.MeasureBoundary",
+		"dclint.test/wallclock.sampler.Sample",
+	})
+	analysistest.Run(t, filepath.Join("testdata", "wallclock"), a)
+}
+
+func TestWallclockAllowsWholePackage(t *testing.T) {
+	// The same files produce no findings when the package itself is the
+	// allowlisted measurement boundary (as internal/clock is in dclint).
+	a := analysis.NewWallclock([]string{"dclint.test/wallclockall"})
+	analysistest.Run(t, filepath.Join("testdata", "wallclockall"), a)
+}
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "mapiter"), analysis.NewMapiter())
+}
+
+func TestRngseed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "rngseed"), analysis.NewRngseed())
+}
+
+func TestPanicsite(t *testing.T) {
+	a := analysis.NewPanicsite([]string{"dclint.test/panicsite"})
+	analysistest.Run(t, filepath.Join("testdata", "panicsite"), a)
+}
+
+func TestPanicsiteIgnoresNonParserPackages(t *testing.T) {
+	a := analysis.NewPanicsite([]string{"dclint.test/panicsite"})
+	analysistest.Run(t, filepath.Join("testdata", "nonparser"), a)
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewMapiter returns the `mapiter` analyzer: Go randomizes map
+// iteration order per range statement, so any loop over a map whose
+// body appends to an outer slice, concatenates into an outer string, or
+// writes to an io.Writer/hash is a run-to-run nondeterminism bug unless
+// the collected slice is sorted afterwards (in the same function) or
+// the site is annotated. This is the classic source of unstable FIB and
+// contract aggregation reports.
+func NewMapiter() *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc: "flags map iteration whose order leaks into slices, output, or " +
+			"hashes without a subsequent sort",
+	}
+	a.Run = func(pass *Pass) error {
+		m := &mapiter{pass: pass}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+					m.scanBlock(fd.Body.List, nil)
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+type mapiter struct {
+	pass *Pass
+}
+
+// scanBlock walks a statement list. after is the stack of statement
+// suffixes that execute following the current statement, innermost
+// last: it is the search space for "is this slice sorted later".
+func (m *mapiter) scanBlock(stmts []ast.Stmt, after [][]ast.Stmt) {
+	for i, s := range stmts {
+		following := append(after[:len(after):len(after)], stmts[i+1:])
+		m.scanStmt(s, following)
+	}
+}
+
+func (m *mapiter) scanStmt(s ast.Stmt, after [][]ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		if m.isMapRange(s) {
+			m.checkMapRange(s, after)
+		}
+		m.scanBlock(s.Body.List, after)
+	case *ast.BlockStmt:
+		m.scanBlock(s.List, after)
+	case *ast.IfStmt:
+		m.scanBlock(s.Body.List, after)
+		if s.Else != nil {
+			m.scanStmt(s.Else, after)
+		}
+	case *ast.ForStmt:
+		m.scanBlock(s.Body.List, after)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				m.scanBlock(cc.Body, after)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				m.scanBlock(cc.Body, after)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				m.scanBlock(cc.Body, after)
+			}
+		}
+	case *ast.LabeledStmt:
+		m.scanStmt(s.Stmt, after)
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt:
+		// Function literals inside any statement get their own scan.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				m.scanBlock(fl.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (m *mapiter) isMapRange(s *ast.RangeStmt) bool {
+	tv, ok := m.pass.TypesInfo.Types[s.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func (m *mapiter) checkMapRange(rng *ast.RangeStmt, after [][]ast.Stmt) {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := m.pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			m.checkAssign(rng, n, loopVars, after)
+		case *ast.CallExpr:
+			m.checkSinkCall(rng, n, loopVars)
+		}
+		return true
+	})
+}
+
+// checkAssign flags `outer = append(outer, ...loop vars...)` with no
+// later sort, and `outerString += ...loop vars...`.
+func (m *mapiter) checkAssign(rng *ast.RangeStmt, as *ast.AssignStmt, loopVars map[types.Object]bool, after [][]ast.Stmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		obj := m.objOf(as.Lhs[0])
+		if obj != nil && !m.declaredWithin(obj, rng) && isString(obj.Type()) && m.mentionsAny(as.Rhs[0], loopVars) {
+			m.pass.Reportf(as.Pos(),
+				"string built up across map iteration: order is nondeterministic; collect and sort keys first")
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, ok := m.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			continue
+		}
+		target := m.objOf(as.Lhs[i])
+		if target == nil || m.declaredWithin(target, rng) {
+			continue
+		}
+		// Appending something derived from the loop variables?
+		ordered := false
+		for _, arg := range call.Args[1:] {
+			if m.mentionsAny(arg, loopVars) {
+				ordered = true
+			}
+		}
+		if !ordered {
+			continue
+		}
+		if m.sortedLater(target, after) {
+			continue
+		}
+		m.pass.Reportf(as.Pos(),
+			"%s accumulates map-iteration results in nondeterministic order; sort it before use (or annotate with // dclint:allow mapiter)",
+			target.Name())
+	}
+}
+
+// sinkCalls that serialize data in call order: any content derived from
+// the loop variables reaching one of these inside a map range is
+// emitted in nondeterministic order, and no later sort can repair it.
+func (m *mapiter) checkSinkCall(rng *ast.RangeStmt, call *ast.CallExpr, loopVars map[types.Object]bool) {
+	kind := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn := pkgNameOf(m.pass.TypesInfo, id); pn != nil {
+				switch pn.Imported().Path() {
+				case "fmt":
+					if name == "Fprintf" || name == "Fprintln" || name == "Fprint" ||
+						name == "Printf" || name == "Println" || name == "Print" {
+						kind = "writes output"
+					}
+				case "encoding/binary":
+					if name == "Write" {
+						kind = "feeds a writer"
+					}
+				case "io":
+					if name == "WriteString" {
+						kind = "feeds a writer"
+					}
+				}
+			}
+		}
+		if kind == "" && m.pass.TypesInfo.Selections[fun] != nil {
+			switch name {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+				kind = "feeds a writer/hash"
+			}
+		}
+	}
+	if kind == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		if m.mentionsAny(arg, loopVars) {
+			m.pass.Reportf(call.Pos(),
+				"map iteration %s in nondeterministic order; iterate over sorted keys instead", kind)
+			return
+		}
+	}
+}
+
+// sortedLater reports whether any statement executing after the loop
+// passes obj to a sort (sort.* or slices.Sort*) call.
+func (m *mapiter) sortedLater(obj types.Object, after [][]ast.Stmt) bool {
+	for _, suffix := range after {
+		for _, s := range suffix {
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(m.pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if m.objOf(arg) == obj || m.mentionsObj(arg, obj) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *mapiter) objOf(e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := m.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return m.pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+func (m *mapiter) declaredWithin(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+func (m *mapiter) mentionsAny(e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := m.pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (m *mapiter) mentionsObj(e ast.Expr, obj types.Object) bool {
+	return m.mentionsAny(e, map[types.Object]bool{obj: true})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

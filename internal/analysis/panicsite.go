@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewPanicsite returns the `panicsite` analyzer: inside packages that
+// parse or decode untrusted input (device configs, DIMACS, SMT-LIB,
+// ACLs), panic is not an acceptable response to bad data — parsers must
+// return errors with position information. Panics that guard genuine
+// programmer-error invariants are kept, but each must carry an explicit
+// `// invariant:` comment stating why untrusted input cannot reach it.
+//
+// pkgs lists the parser/decoder packages, matched as full import paths
+// or path suffixes (e.g. "internal/acl").
+func NewPanicsite(pkgs []string) *Analyzer {
+	a := &Analyzer{
+		Name: "panicsite",
+		Doc: "flags panic calls in parser/decoder packages that ingest untrusted " +
+			"input; return positioned errors, or annotate with // invariant:",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchesPkg(pass.PkgPath(), pkgs) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					return true // shadowed panic
+				}
+				pass.Reportf(call.Pos(),
+					"panic in a parser/decoder package: return an error with position info, or justify with an // invariant: comment")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func matchesPkg(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasSuffix(path, "/"+strings.TrimPrefix(p, "/")) {
+			return true
+		}
+	}
+	return false
+}

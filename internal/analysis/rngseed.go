@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rngConstructors are the math/rand functions that build an explicit,
+// locally-owned generator; everything else at package level draws from
+// the shared global source, whose seed (and, under concurrency, whose
+// sequence) is not reproducible.
+var rngConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NewRngseed returns the `rngseed` analyzer. It flags (1) calls to the
+// global math/rand top-level functions (rand.Intn, rand.Shuffle, ...)
+// in non-test code — results then depend on process-global state — and
+// (2) rand.NewSource / rand.New seed expressions that read the clock,
+// which defeats run-to-run reproducibility.
+func NewRngseed() *Analyzer {
+	a := &Analyzer{
+		Name: "rngseed",
+		Doc: "flags global math/rand usage and clock-derived RNG seeds; " +
+			"use rand.New(rand.NewSource(seed)) with an explicit seed",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods on an explicit *rand.Rand are fine
+				}
+				if !rngConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global math/rand source; use an explicitly seeded *rand.Rand for reproducible runs",
+						fn.Name())
+					return true
+				}
+				if fn.Name() == "NewSource" && len(call.Args) == 1 && readsClock(pass.TypesInfo, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"RNG seeded from the wall clock is not reproducible; derive the seed from configuration")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// readsClock reports whether the expression contains a call into
+// package time (e.g. time.Now().UnixNano()).
+func readsClock(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn := pkgNameOf(info, id); pn != nil && pn.Imported().Path() == "time" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

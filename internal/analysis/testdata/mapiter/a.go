@@ -1,0 +1,93 @@
+// Package mapiter is golden-file input for the mapiter analyzer.
+package mapiter
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// badCollect appends map-derived values with no subsequent sort.
+func badCollect(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want "names accumulates map-iteration results in nondeterministic order"
+	}
+	return names
+}
+
+// badPrint writes inside the loop: no later sort can fix emission order.
+func badPrint(w io.Writer, m map[string]int) {
+	for name, n := range m {
+		fmt.Fprintf(w, "%s=%d\n", name, n) // want "map iteration writes output in nondeterministic order"
+	}
+}
+
+// badHash feeds a hash in iteration order.
+func badHash(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want "feeds a writer/hash"
+	}
+	return h.Sum64()
+}
+
+// badConcat builds a string across iterations.
+func badConcat(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up across map iteration"
+	}
+	return s
+}
+
+// goodSorted collects then sorts: deterministic.
+func goodSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// goodSortSlice sorts with sort.Slice after collecting structs.
+func goodSortSlice(m map[string]int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+// goodAggregate folds into order-independent accumulators.
+func goodAggregate(m map[string]int) (int, map[int]int) {
+	total := 0
+	hist := map[int]int{}
+	for _, v := range m {
+		total += v
+		hist[v]++
+	}
+	return total, hist
+}
+
+// goodSliceRange ranges over a slice, not a map: ordered already.
+func goodSliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// suppressed documents an intentional unordered dump.
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // dclint:allow mapiter debug dump, order irrelevant
+	}
+}

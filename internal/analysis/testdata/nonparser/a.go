@@ -1,0 +1,12 @@
+// Package nonparser is golden-file input for the panicsite analyzer:
+// it is NOT configured as a parser package, so panics here are allowed
+// (no findings expected in this file).
+package nonparser
+
+// Invariant panics outside parser/decoder packages are out of scope.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("nonparser: n must be positive")
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+// Package panicsite is golden-file input for the panicsite analyzer:
+// the test configures it as a parser package.
+package panicsite
+
+import "fmt"
+
+// Parse decodes untrusted input and must not panic on bad data.
+func Parse(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("empty input") // want "panic in a parser/decoder package"
+	}
+	if b[0] == '!' {
+		return 0, fmt.Errorf("parse: unexpected %q at offset 0", b[0])
+	}
+	return int(b[0]), nil
+}
+
+func internalInvariant(state int) {
+	if state < 0 {
+		// invariant: state is a package-internal counter, never derived from input
+		panic("negative state")
+	}
+}
+
+func inlineInvariant(state int) {
+	if state > 1<<20 {
+		panic("state overflow") // invariant: bounded by construction in New
+	}
+}
+
+func suppressedAllow(state int) {
+	if state == 42 {
+		panic("unlucky") // dclint:allow panicsite demo of targeted suppression
+	}
+}

@@ -1,0 +1,30 @@
+// Package rngseed is golden-file input for the rngseed analyzer.
+package rngseed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand"
+	return rand.Intn(10)               // want "rand.Intn draws from the global math/rand source"
+}
+
+func badSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "RNG seeded from the wall clock"
+}
+
+func good(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 4)
+	for i := range out {
+		out[i] = rng.Intn(100) // methods on an explicit *rand.Rand are fine
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func suppressed() int {
+	return rand.Int() // dclint:allow rngseed prototype only
+}

@@ -1,0 +1,45 @@
+// Package wallclock is golden-file input for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// bad reads the wall clock from ordinary code.
+func bad() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)     // want "time.Since reads the wall clock"
+}
+
+func badLine10() {
+	time.Sleep(time.Second)   // want "time.Sleep reads the wall clock"
+	<-time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+// MeasureBoundary is allowlisted by the test configuration: a sanctioned
+// measurement boundary may read real time.
+func MeasureBoundary() time.Time {
+	return time.Now()
+}
+
+type sampler struct{}
+
+// Sample is allowlisted as wallclock.sampler.Sample.
+func (s *sampler) Sample() time.Time {
+	return time.Now()
+}
+
+func suppressed() time.Time {
+	// invariant: startup banner only, never inside the simulation
+	return time.Now()
+}
+
+func suppressedInline() time.Time {
+	return time.Now() // dclint:allow wallclock CLI timing display only
+}
+
+// deterministic uses only pure time constructors: no findings.
+func deterministic() time.Time {
+	d := 3 * time.Second
+	_ = d
+	return time.Date(2019, 8, 1, 0, 0, 0, 0, time.UTC)
+}

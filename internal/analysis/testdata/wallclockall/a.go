@@ -1,0 +1,11 @@
+// Package wallclockall is golden-file input for the wallclock analyzer
+// with the whole package allowlisted: no findings expected.
+package wallclockall
+
+import "time"
+
+// Now is a measurement boundary; the test allowlists the package.
+func Now() time.Time { return time.Now() }
+
+// Elapsed may use time.Since freely here.
+func Elapsed(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the package time functions that read or block on
+// the wall clock. Pure conversions and constructors (time.Duration,
+// time.Date, time.Unix, time.Parse) are deterministic and allowed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// NewWallclock returns the `wallclock` analyzer: it flags direct reads
+// of the wall clock (time.Now, time.Sleep, time.Since, ...) outside the
+// allowlist, enforcing that simulation, monitoring, and measurement
+// paths go through an injectable internal/clock.Clock.
+//
+// allow entries are either whole package paths ("dcvalidate/internal/clock")
+// or fully-qualified functions ("dcvalidate/internal/metadata.Stamp" or
+// "dcvalidate/internal/monitor.Instance.RunCycle") naming sanctioned
+// measurement boundaries.
+func NewWallclock(allow []string) *Analyzer {
+	allowPkg := map[string]bool{}
+	allowFunc := map[string]bool{}
+	for _, a := range allow {
+		i := strings.LastIndexByte(a, '/')
+		if strings.ContainsRune(a[i+1:], '.') {
+			allowFunc[a] = true
+		} else {
+			allowPkg[a] = true
+		}
+	}
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc: "flags direct wall-clock reads (time.Now/Sleep/Since/...) outside " +
+			"the measurement-boundary allowlist; use internal/clock instead",
+	}
+	a.Run = func(pass *Pass) error {
+		if allowPkg[pass.PkgPath()] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			var fns funcStack
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					fns.push(n)
+					if n.Body != nil {
+						ast.Inspect(n.Body, walk)
+					}
+					fns.pop()
+					return false
+				case *ast.SelectorExpr:
+					id, ok := n.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn := pkgNameOf(pass.TypesInfo, id)
+					if pn == nil || pn.Imported().Path() != "time" {
+						return true
+					}
+					if !wallclockFuncs[n.Sel.Name] {
+						return true
+					}
+					qual := pass.PkgPath() + "." + fns.current()
+					if allowFunc[qual] {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock; inject a clock.Clock (internal/clock) or allowlist %s as a measurement boundary",
+						n.Sel.Name, qual)
+				}
+				return true
+			}
+			ast.Inspect(file, walk)
+		}
+		return nil
+	}
+	return a
+}

@@ -146,6 +146,19 @@ func (s *Sim) Run() int {
 				}
 			}
 		}
+		// adv is a map, so msgs arrives in nondeterministic order; fix a
+		// total order so RIB-In construction (and thus tie-breaking on
+		// equal-preference paths) is identical run to run.
+		sort.Slice(msgs, func(i, j int) bool {
+			a, b := msgs[i], msgs[j]
+			if a.to != b.to {
+				return a.to < b.to
+			}
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			return a.prefix.Compare(b.prefix) < 0
+		})
 		// Rebuild RIB-Ins from this round's messages. (Withdrawals are
 		// implicit: a route not re-advertised disappears.)
 		newRibIn := make([]map[ipnet.Prefix]map[topology.DeviceID][]uint32, n)

@@ -44,7 +44,7 @@ func (c *Ctx) constFold2(a, b Term, f func(x, y uint64) uint64) (Term, bool) {
 func (c *Ctx) BVNot(a Term) Term {
 	n := c.n(a)
 	if n.width == 0 {
-		panic("bv: BVNot of boolean term")
+		panic("bv: BVNot of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if n.kind == kBVConst {
 		return c.BVConst(^n.val, int(n.width))
@@ -144,7 +144,7 @@ func (c *Ctx) Mul(a, b Term) Term {
 func (c *Ctx) Neg(a Term) Term {
 	n := c.n(a)
 	if n.width == 0 {
-		panic("bv: Neg of boolean term")
+		panic("bv: Neg of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if n.kind == kBVConst {
 		return c.BVConst(-n.val, int(n.width))
@@ -156,10 +156,10 @@ func (c *Ctx) Neg(a Term) Term {
 func (c *Ctx) Shl(a Term, k int) Term {
 	n := c.n(a)
 	if n.width == 0 {
-		panic("bv: Shl of boolean term")
+		panic("bv: Shl of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if k < 0 || k > int(n.width) {
-		panic("bv: shift amount out of range")
+		panic("bv: shift amount out of range") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if k == 0 {
 		return a
@@ -177,10 +177,10 @@ func (c *Ctx) Shl(a Term, k int) Term {
 func (c *Ctx) Lshr(a Term, k int) Term {
 	n := c.n(a)
 	if n.width == 0 {
-		panic("bv: Lshr of boolean term")
+		panic("bv: Lshr of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if k < 0 || k > int(n.width) {
-		panic("bv: shift amount out of range")
+		panic("bv: shift amount out of range") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if k == 0 {
 		return a
@@ -199,10 +199,10 @@ func (c *Ctx) Lshr(a Term, k int) Term {
 func (c *Ctx) Extract(a Term, hi, lo int) Term {
 	n := c.n(a)
 	if n.width == 0 {
-		panic("bv: Extract of boolean term")
+		panic("bv: Extract of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if lo < 0 || hi < lo || hi >= int(n.width) {
-		panic(fmt.Sprintf("bv: Extract [%d:%d] out of range for width %d", hi, lo, n.width))
+		panic(fmt.Sprintf("bv: Extract [%d:%d] out of range for width %d", hi, lo, n.width)) // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	w := hi - lo + 1
 	if n.kind == kBVConst {
@@ -220,11 +220,11 @@ func (c *Ctx) Extract(a Term, hi, lo int) Term {
 func (c *Ctx) Concat(hi, lo Term) Term {
 	nh, nl := c.n(hi), c.n(lo)
 	if nh.width == 0 || nl.width == 0 {
-		panic("bv: Concat of boolean term")
+		panic("bv: Concat of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	w := int(nh.width) + int(nl.width)
 	if w > 64 {
-		panic("bv: Concat result exceeds 64 bits")
+		panic("bv: Concat result exceeds 64 bits") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if nh.kind == kBVConst && nl.kind == kBVConst {
 		return c.BVConst(nh.val<<nl.width|nl.val, w)

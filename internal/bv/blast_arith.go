@@ -108,7 +108,7 @@ func (s *Solver) blastBV(t Term) []sat.Lit {
 		}
 		return out
 	}
-	panic("bv: blastBV of unsupported kind")
+	panic("bv: blastBV of unsupported kind") // invariant: exhaustive kind switch — new kinds must extend the blaster
 }
 
 // defineXor returns a literal e with e ↔ a ⊕ b.

@@ -103,7 +103,7 @@ func (c *Ctx) BoolVar(name string) Term {
 // creating it on first use. Width must be 1..64.
 func (c *Ctx) BVVar(name string, width int) Term {
 	if width < 1 || width > 64 {
-		panic("bv: width out of range")
+		panic("bv: width out of range") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	return c.intern(node{kind: kBVVar, width: uint8(width), name: name})
 }
@@ -111,7 +111,7 @@ func (c *Ctx) BVVar(name string, width int) Term {
 // BVConst returns the width-bit constant val (truncated to width bits).
 func (c *Ctx) BVConst(val uint64, width int) Term {
 	if width < 1 || width > 64 {
-		panic("bv: width out of range")
+		panic("bv: width out of range") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	if width < 64 {
 		val &= (1 << width) - 1
@@ -239,7 +239,7 @@ func (c *Ctx) Ite(cond, a, b Term) Term {
 func (c *Ctx) checkBVPair(a, b Term, op string) {
 	na, nb := c.n(a), c.n(b)
 	if na.width == 0 || nb.width == 0 || na.width != nb.width {
-		panic(fmt.Sprintf("bv: %s of mismatched sorts (widths %d, %d)", op, na.width, nb.width))
+		panic(fmt.Sprintf("bv: %s of mismatched sorts (widths %d, %d)", op, na.width, nb.width)) // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 }
 
@@ -306,7 +306,7 @@ func (c *Ctx) Ugt(a, b Term) Term { return c.Not(c.Ule(a, b)) }
 func (c *Ctx) InRange(t Term, lo, hi uint64) Term {
 	w := c.Width(t)
 	if w == 0 {
-		panic("bv: InRange of boolean term")
+		panic("bv: InRange of boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	return c.And(c.Ule(c.BVConst(lo, w), t), c.Ule(t, c.BVConst(hi, w)))
 }
@@ -446,7 +446,7 @@ func (s *Solver) litFor(t Term) sat.Lit {
 		bb[len(bb)-1] = bb[len(bb)-1].Not()
 		l = s.uleBits(ab, bb)
 	default:
-		panic("bv: litFor of non-boolean term")
+		panic("bv: litFor of non-boolean term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 	}
 	s.blasted[t] = l
 	return l
@@ -496,7 +496,7 @@ func (s *Solver) bits(t Term) []sat.Lit {
 		}
 	default:
 		if n.width == 0 {
-			panic("bv: bits of non-bit-vector term")
+			panic("bv: bits of non-bit-vector term") // invariant: constructor precondition — ParseSMTLIB2 and all in-tree encoders validate sorts and ranges first
 		}
 		out = s.blastBV(t)
 	}

@@ -89,7 +89,7 @@ func (c *Ctx) smt2(t Term) string {
 		kBVMul: "bvmul", kBVNeg: "bvneg", kBVConcat: "concat", kBVIte: "ite",
 	}[n.kind]
 	if !ok {
-		panic(fmt.Sprintf("bv: smt2 of kind %d", n.kind))
+		panic(fmt.Sprintf("bv: smt2 of kind %d", n.kind)) // invariant: exhaustive kind switch — new kinds must extend the renderer
 	}
 	parts := make([]string, 0, len(n.args)+1)
 	parts = append(parts, op)
@@ -99,13 +99,27 @@ func (c *Ctx) smt2(t Term) string {
 	return "(" + strings.Join(parts, " ") + ")"
 }
 
-// sexpr is a parsed S-expression: either an atom or a list.
+// sexpr is a parsed S-expression: either an atom or a list. line/col
+// locate the atom (or the opening parenthesis) in the input, so parse
+// errors on untrusted scripts carry position info.
 type sexpr struct {
-	atom string
-	list []sexpr
+	atom      string
+	list      []sexpr
+	line, col int
 }
 
 func (s sexpr) isAtom() bool { return s.list == nil }
+
+// errf builds a parse error anchored at the expression's position.
+func (s sexpr) errf(format string, args ...any) error {
+	return fmt.Errorf("bv: %d:%d: %s", s.line, s.col, fmt.Sprintf(format, args...))
+}
+
+// tok is one SMT-LIB token with its source position.
+type tok struct {
+	text      string
+	line, col int
+}
 
 // Script is a parsed SMT-LIB 2 script restricted to our fragment.
 type Script struct {
@@ -121,7 +135,15 @@ func (s *Script) Formula() Term { return s.Ctx.And(s.Asserts...) }
 // ParseSMTLIB2 reads a QF_BV script containing set-logic/set-info,
 // declare-const/declare-fun (zero arity), assert, check-sat, and exit
 // commands over the operator fragment this package supports.
-func ParseSMTLIB2(r io.Reader) (*Script, error) {
+func ParseSMTLIB2(r io.Reader) (retSc *Script, retErr error) {
+	// buildTerm validates sorts and ranges before calling the term
+	// constructors, so a constructor panic here means a validation gap;
+	// degrade it to an error rather than crashing on untrusted input.
+	defer func() {
+		if p := recover(); p != nil {
+			retSc, retErr = nil, fmt.Errorf("bv: invalid script: %v", p)
+		}
+	}()
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
@@ -144,7 +166,7 @@ func ParseSMTLIB2(r io.Reader) (*Script, error) {
 	vars := map[string]Term{}
 	for _, e := range exprs {
 		if e.isAtom() || len(e.list) == 0 || !e.list[0].isAtom() {
-			return nil, fmt.Errorf("bv: unexpected toplevel %v", e)
+			return nil, e.errf("unexpected toplevel form")
 		}
 		switch e.list[0].atom {
 		case "set-logic", "set-info", "set-option", "check-sat", "exit", "get-model":
@@ -157,74 +179,88 @@ func ParseSMTLIB2(r io.Reader) (*Script, error) {
 			vars[name] = t
 		case "assert":
 			if len(e.list) != 2 {
-				return nil, fmt.Errorf("bv: malformed assert")
+				return nil, e.errf("malformed assert")
 			}
 			t, err := buildTerm(sc.Ctx, vars, e.list[1])
 			if err != nil {
 				return nil, err
 			}
 			if sc.Ctx.n(t).width != 0 {
-				return nil, fmt.Errorf("bv: assert of non-boolean term")
+				return nil, e.errf("assert of non-boolean term")
 			}
 			sc.Asserts = append(sc.Asserts, t)
 		default:
-			return nil, fmt.Errorf("bv: unsupported command %q", e.list[0].atom)
+			return nil, e.errf("unsupported command %q", e.list[0].atom)
 		}
 	}
 	return sc, nil
 }
 
-func tokenizeSMT(s string) ([]string, error) {
-	var toks []string
-	i := 0
+func tokenizeSMT(s string) ([]tok, error) {
+	var toks []tok
+	i, line, col := 0, 1, 1
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if s[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
 	for i < len(s) {
 		ch := s[i]
 		switch {
 		case ch == ';': // comment to end of line
 			for i < len(s) && s[i] != '\n' {
-				i++
+				advance(1)
 			}
 		case ch == '(' || ch == ')':
-			toks = append(toks, string(ch))
-			i++
+			toks = append(toks, tok{string(ch), line, col})
+			advance(1)
 		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
-			i++
+			advance(1)
 		case ch == '"': // string literal (set-info); skip
+			startLine, startCol := line, col
 			j := i + 1
 			for j < len(s) && s[j] != '"' {
 				j++
 			}
 			if j >= len(s) {
-				return nil, fmt.Errorf("bv: unterminated string")
+				return nil, fmt.Errorf("bv: %d:%d: unterminated string", startLine, startCol)
 			}
-			toks = append(toks, s[i:j+1])
-			i = j + 1
+			toks = append(toks, tok{s[i : j+1], startLine, startCol})
+			advance(j + 1 - i)
 		default:
+			startLine, startCol := line, col
 			j := i
 			for j < len(s) && !strings.ContainsRune("() \t\n\r;", rune(s[j])) {
 				j++
 			}
-			toks = append(toks, s[i:j])
-			i = j
+			toks = append(toks, tok{s[i:j], startLine, startCol})
+			advance(j - i)
 		}
 	}
 	return toks, nil
 }
 
-func parseSexpr(toks []string) (sexpr, []string, error) {
+func parseSexpr(toks []tok) (sexpr, []tok, error) {
 	if len(toks) == 0 {
 		return sexpr{}, nil, fmt.Errorf("bv: unexpected end of input")
 	}
-	switch toks[0] {
+	switch toks[0].text {
 	case "(":
+		open := toks[0]
 		rest := toks[1:]
-		var list []sexpr
+		list := []sexpr{}
 		for {
 			if len(rest) == 0 {
-				return sexpr{}, nil, fmt.Errorf("bv: unbalanced parentheses")
+				return sexpr{}, nil, fmt.Errorf("bv: %d:%d: unbalanced parentheses", open.line, open.col)
 			}
-			if rest[0] == ")" {
-				return sexpr{list: append([]sexpr{}, list...)}, rest[1:], nil
+			if rest[0].text == ")" {
+				return sexpr{list: list, line: open.line, col: open.col}, rest[1:], nil
 			}
 			var e sexpr
 			var err error
@@ -235,9 +271,9 @@ func parseSexpr(toks []string) (sexpr, []string, error) {
 			list = append(list, e)
 		}
 	case ")":
-		return sexpr{}, nil, fmt.Errorf("bv: unexpected )")
+		return sexpr{}, nil, fmt.Errorf("bv: %d:%d: unexpected )", toks[0].line, toks[0].col)
 	default:
-		return sexpr{atom: toks[0]}, toks[1:], nil
+		return sexpr{atom: toks[0].text, line: toks[0].line, col: toks[0].col}, toks[1:], nil
 	}
 }
 
@@ -245,13 +281,13 @@ func parseDecl(c *Ctx, e sexpr) (Term, string, error) {
 	// (declare-const name sort) or (declare-fun name () sort)
 	args := e.list[1:]
 	if e.list[0].atom == "declare-fun" {
-		if len(args) != 3 || !args[1].isAtom() && len(args[1].list) != 0 {
-			return 0, "", fmt.Errorf("bv: only zero-arity declare-fun supported")
+		if len(args) != 3 || args[1].isAtom() || len(args[1].list) != 0 {
+			return 0, "", e.errf("only zero-arity declare-fun supported")
 		}
 		args = []sexpr{args[0], args[2]}
 	}
 	if len(args) != 2 || !args[0].isAtom() {
-		return 0, "", fmt.Errorf("bv: malformed declaration")
+		return 0, "", e.errf("malformed declaration")
 	}
 	name := args[0].atom
 	sortE := args[1]
@@ -260,14 +296,49 @@ func parseDecl(c *Ctx, e sexpr) (Term, string, error) {
 	}
 	// (_ BitVec w)
 	if !sortE.isAtom() && len(sortE.list) == 3 &&
-		sortE.list[0].atom == "_" && sortE.list[1].atom == "BitVec" {
+		sortE.list[0].isAtom() && sortE.list[0].atom == "_" &&
+		sortE.list[1].isAtom() && sortE.list[1].atom == "BitVec" &&
+		sortE.list[2].isAtom() {
 		w, err := strconv.Atoi(sortE.list[2].atom)
 		if err != nil || w < 1 || w > 64 {
-			return 0, "", fmt.Errorf("bv: unsupported width in declaration of %s", name)
+			return 0, "", sortE.errf("unsupported width in declaration of %s (want 1..64)", name)
 		}
 		return c.BVVar(name, w), name, nil
 	}
-	return 0, "", fmt.Errorf("bv: unsupported sort for %s", name)
+	return 0, "", sortE.errf("unsupported sort for %s", name)
+}
+
+// widthOf returns the sort of a built term: 0 for Bool, 1..64 for a
+// bit-vector. It lets buildTerm validate operand sorts before invoking
+// the term constructors, whose panics are programmer-error invariants
+// that untrusted scripts must never reach.
+func widthOf(c *Ctx, t Term) int { return int(c.n(t).width) }
+
+// needBV checks that every operand is a bit-vector of one common width.
+func needBV(c *Ctx, e sexpr, op string, args []Term) (int, error) {
+	if len(args) == 0 {
+		return 0, e.errf("%s wants bit-vector arguments", op)
+	}
+	w := widthOf(c, args[0])
+	if w == 0 {
+		return 0, e.errf("%s applied to a boolean operand", op)
+	}
+	for _, a := range args[1:] {
+		if widthOf(c, a) != w {
+			return 0, e.errf("%s applied to mismatched widths (%d vs %d)", op, w, widthOf(c, a))
+		}
+	}
+	return w, nil
+}
+
+// needBool checks that every operand is boolean.
+func needBool(c *Ctx, e sexpr, op string, args []Term) error {
+	for _, a := range args {
+		if widthOf(c, a) != 0 {
+			return e.errf("%s applied to a non-boolean operand", op)
+		}
+	}
+	return nil
 }
 
 func buildTerm(c *Ctx, vars map[string]Term, e sexpr) (Term, error) {
@@ -282,52 +353,74 @@ func buildTerm(c *Ctx, vars map[string]Term, e sexpr) (Term, error) {
 			return t, nil
 		}
 		if strings.HasPrefix(e.atom, "#b") {
+			digits := len(e.atom) - 2
+			if digits < 1 || digits > 64 {
+				return 0, e.errf("binary literal %q must have 1..64 digits", e.atom)
+			}
 			v, err := strconv.ParseUint(e.atom[2:], 2, 64)
 			if err != nil {
-				return 0, fmt.Errorf("bv: bad binary literal %q", e.atom)
+				return 0, e.errf("bad binary literal %q", e.atom)
 			}
-			return c.BVConst(v, len(e.atom)-2), nil
+			return c.BVConst(v, digits), nil
 		}
 		if strings.HasPrefix(e.atom, "#x") {
+			digits := len(e.atom) - 2
+			if digits < 1 || digits > 16 {
+				return 0, e.errf("hex literal %q must have 1..16 digits", e.atom)
+			}
 			v, err := strconv.ParseUint(e.atom[2:], 16, 64)
 			if err != nil {
-				return 0, fmt.Errorf("bv: bad hex literal %q", e.atom)
+				return 0, e.errf("bad hex literal %q", e.atom)
 			}
-			return c.BVConst(v, 4*(len(e.atom)-2)), nil
+			return c.BVConst(v, 4*digits), nil
 		}
-		return 0, fmt.Errorf("bv: unknown symbol %q", e.atom)
+		return 0, e.errf("unknown symbol %q", e.atom)
 	}
 	if len(e.list) == 0 {
-		return 0, fmt.Errorf("bv: empty application")
+		return 0, e.errf("empty application")
 	}
 	// (_ bvN w)
 	if e.list[0].isAtom() && e.list[0].atom == "_" {
-		if len(e.list) == 3 && strings.HasPrefix(e.list[1].atom, "bv") {
+		if len(e.list) == 3 && e.list[1].isAtom() && e.list[2].isAtom() &&
+			strings.HasPrefix(e.list[1].atom, "bv") {
 			v, err1 := strconv.ParseUint(e.list[1].atom[2:], 10, 64)
 			w, err2 := strconv.Atoi(e.list[2].atom)
 			if err1 != nil || err2 != nil {
-				return 0, fmt.Errorf("bv: bad indexed literal")
+				return 0, e.errf("bad indexed literal")
+			}
+			if w < 1 || w > 64 {
+				return 0, e.errf("indexed literal width %d out of range (want 1..64)", w)
 			}
 			return c.BVConst(v, w), nil
 		}
-		return 0, fmt.Errorf("bv: unsupported indexed identifier")
+		return 0, e.errf("unsupported indexed identifier")
 	}
 	// ((_ extract hi lo) x)
 	if !e.list[0].isAtom() {
 		h := e.list[0]
-		if len(h.list) == 4 && h.list[0].atom == "_" && h.list[1].atom == "extract" {
+		if len(h.list) == 4 &&
+			h.list[0].isAtom() && h.list[0].atom == "_" &&
+			h.list[1].isAtom() && h.list[1].atom == "extract" &&
+			h.list[2].isAtom() && h.list[3].isAtom() {
 			hi, err1 := strconv.Atoi(h.list[2].atom)
 			lo, err2 := strconv.Atoi(h.list[3].atom)
 			if err1 != nil || err2 != nil || len(e.list) != 2 {
-				return 0, fmt.Errorf("bv: malformed extract")
+				return 0, e.errf("malformed extract")
 			}
 			arg, err := buildTerm(c, vars, e.list[1])
 			if err != nil {
 				return 0, err
 			}
+			w := widthOf(c, arg)
+			if w == 0 {
+				return 0, e.errf("extract applied to a boolean operand")
+			}
+			if lo < 0 || hi < lo || hi >= w {
+				return 0, e.errf("extract [%d:%d] out of range for width %d", hi, lo, w)
+			}
 			return c.Extract(arg, hi, lo), nil
 		}
-		return 0, fmt.Errorf("bv: unsupported head %v", h)
+		return 0, e.errf("unsupported head %v", h)
 	}
 
 	op := e.list[0].atom
@@ -339,85 +432,138 @@ func buildTerm(c *Ctx, vars map[string]Term, e sexpr) (Term, error) {
 		}
 		args = append(args, t)
 	}
-	bin := func(f func(a, b Term) Term) (Term, error) {
+	// binBV discharges a binary bit-vector operator after checking both
+	// operands are bit-vectors of the same width.
+	binBV := func(f func(a, b Term) Term) (Term, error) {
 		if len(args) != 2 {
-			return 0, fmt.Errorf("bv: %s wants 2 arguments", op)
+			return 0, e.errf("%s wants 2 arguments", op)
+		}
+		if _, err := needBV(c, e, op, args); err != nil {
+			return 0, err
+		}
+		return f(args[0], args[1]), nil
+	}
+	binBool := func(f func(a, b Term) Term) (Term, error) {
+		if len(args) != 2 {
+			return 0, e.errf("%s wants 2 arguments", op)
+		}
+		if err := needBool(c, e, op, args); err != nil {
+			return 0, err
 		}
 		return f(args[0], args[1]), nil
 	}
 	switch op {
 	case "not":
 		if len(args) != 1 {
-			return 0, fmt.Errorf("bv: not wants 1 argument")
+			return 0, e.errf("not wants 1 argument")
+		}
+		if err := needBool(c, e, op, args); err != nil {
+			return 0, err
 		}
 		return c.Not(args[0]), nil
 	case "and":
+		if err := needBool(c, e, op, args); err != nil {
+			return 0, err
+		}
 		return c.And(args...), nil
 	case "or":
+		if err := needBool(c, e, op, args); err != nil {
+			return 0, err
+		}
 		return c.Or(args...), nil
 	case "=>":
-		return bin(c.Implies)
+		return binBool(c.Implies)
 	case "xor":
-		return bin(func(a, b Term) Term { return c.Not(c.Iff(a, b)) })
+		return binBool(func(a, b Term) Term { return c.Not(c.Iff(a, b)) })
 	case "=":
 		if len(args) != 2 {
-			return 0, fmt.Errorf("bv: = wants 2 arguments")
+			return 0, e.errf("= wants 2 arguments")
 		}
-		if c.n(args[0]).width == 0 {
+		wa, wb := widthOf(c, args[0]), widthOf(c, args[1])
+		if wa != wb {
+			return 0, e.errf("= applied to mismatched sorts (widths %d, %d)", wa, wb)
+		}
+		if wa == 0 {
 			return c.Iff(args[0], args[1]), nil
 		}
 		return c.Eq(args[0], args[1]), nil
 	case "ite":
 		if len(args) != 3 {
-			return 0, fmt.Errorf("bv: ite wants 3 arguments")
+			return 0, e.errf("ite wants 3 arguments")
 		}
-		if c.n(args[1]).width == 0 {
+		if widthOf(c, args[0]) != 0 {
+			return 0, e.errf("ite condition must be boolean")
+		}
+		wa, wb := widthOf(c, args[1]), widthOf(c, args[2])
+		if wa != wb {
+			return 0, e.errf("ite branches have mismatched sorts (widths %d, %d)", wa, wb)
+		}
+		if wa == 0 {
 			return c.Ite(args[0], args[1], args[2]), nil
 		}
 		return c.BVIte(args[0], args[1], args[2]), nil
 	case "bvule":
-		return bin(c.Ule)
+		return binBV(c.Ule)
 	case "bvult":
-		return bin(c.Ult)
+		return binBV(c.Ult)
 	case "bvuge":
-		return bin(c.Uge)
+		return binBV(c.Uge)
 	case "bvugt":
-		return bin(c.Ugt)
+		return binBV(c.Ugt)
 	case "bvsle":
-		return bin(c.Sle)
+		return binBV(c.Sle)
 	case "bvslt":
-		return bin(c.Slt)
+		return binBV(c.Slt)
 	case "bvand":
-		return bin(c.BVAnd)
+		return binBV(c.BVAnd)
 	case "bvor":
-		return bin(c.BVOr)
+		return binBV(c.BVOr)
 	case "bvxor":
-		return bin(c.BVXor)
+		return binBV(c.BVXor)
 	case "bvadd":
-		return bin(c.Add)
+		return binBV(c.Add)
 	case "bvsub":
-		return bin(c.Sub)
+		return binBV(c.Sub)
 	case "bvmul":
-		return bin(c.Mul)
+		return binBV(c.Mul)
 	case "bvnot":
 		if len(args) != 1 {
-			return 0, fmt.Errorf("bv: bvnot wants 1 argument")
+			return 0, e.errf("bvnot wants 1 argument")
+		}
+		if _, err := needBV(c, e, op, args); err != nil {
+			return 0, err
 		}
 		return c.BVNot(args[0]), nil
 	case "bvneg":
 		if len(args) != 1 {
-			return 0, fmt.Errorf("bv: bvneg wants 1 argument")
+			return 0, e.errf("bvneg wants 1 argument")
+		}
+		if _, err := needBV(c, e, op, args); err != nil {
+			return 0, err
 		}
 		return c.Neg(args[0]), nil
 	case "concat":
-		return bin(c.Concat)
+		if len(args) != 2 {
+			return 0, e.errf("concat wants 2 arguments")
+		}
+		wa, wb := widthOf(c, args[0]), widthOf(c, args[1])
+		if wa == 0 || wb == 0 {
+			return 0, e.errf("concat applied to a boolean operand")
+		}
+		if wa+wb > 64 {
+			return 0, e.errf("concat result width %d exceeds 64 bits", wa+wb)
+		}
+		return c.Concat(args[0], args[1]), nil
 	case "bvshl", "bvlshr":
 		if len(args) != 2 {
-			return 0, fmt.Errorf("bv: %s wants 2 arguments", op)
+			return 0, e.errf("%s wants 2 arguments", op)
+		}
+		if widthOf(c, args[0]) == 0 {
+			return 0, e.errf("%s applied to a boolean operand", op)
 		}
 		k, ok := c.isConstTerm(args[1])
 		if !ok {
-			return 0, fmt.Errorf("bv: only constant shift amounts supported")
+			return 0, e.errf("only constant shift amounts supported")
 		}
 		w := c.Width(args[0])
 		if k > uint64(w) {
@@ -428,5 +574,5 @@ func buildTerm(c *Ctx, vars map[string]Term, e sexpr) (Term, error) {
 		}
 		return c.Lshr(args[0], int(k)), nil
 	}
-	return 0, fmt.Errorf("bv: unsupported operator %q", op)
+	return 0, e.errf("unsupported operator %q", op)
 }

@@ -1,0 +1,89 @@
+package bv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSMTLIB2Malformed feeds ParseSMTLIB2 scripts that are
+// syntactically or sort-wise invalid. Every case must come back as a
+// returned error carrying position info — never a panic. Several of the
+// cases (mismatched = sorts, out-of-range extract, oversized literal
+// widths, bvule on booleans) used to escape into the term constructors,
+// which panic on invariant violations.
+func TestParseSMTLIB2Malformed(t *testing.T) {
+	const prelude = "(set-logic QF_BV)\n" +
+		"(declare-const x (_ BitVec 8))\n" +
+		"(declare-const y (_ BitVec 4))\n" +
+		"(declare-const p Bool)\n" +
+		"(declare-const q Bool)\n"
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"unbalanced open", "(assert", "unbalanced parentheses"},
+		{"stray close", "(set-logic QF_BV))", "unexpected )"},
+		{"unterminated string", `(set-info :source "oops`, "unterminated string"},
+		{"toplevel atom", "hello", "unexpected toplevel"},
+		{"unknown command", "(frobnicate x)", `unsupported command "frobnicate"`},
+		{"bad decl width", "(declare-const z (_ BitVec 0))", "unsupported width"},
+		{"huge decl width", "(declare-const z (_ BitVec 65))", "unsupported width"},
+		{"bad sort", "(declare-const z Int)", "unsupported sort"},
+		{"arity declare-fun", "(declare-fun f ((_ BitVec 8)) Bool)", "zero-arity"},
+		{"unknown symbol", prelude + "(assert unknownvar)", `unknown symbol "unknownvar"`},
+		{"assert non-boolean", prelude + "(assert x)", "non-boolean"},
+		{"malformed assert", prelude + "(assert x x)", "malformed assert"},
+		{"eq mismatched widths", prelude + "(assert (= x y))", "mismatched sorts"},
+		{"eq bool vs bv", prelude + "(assert (= x p))", "mismatched sorts"},
+		{"extract out of range", prelude + "(assert (= ((_ extract 99 0) x) x))", "out of range"},
+		{"extract reversed", prelude + "(assert (= ((_ extract 0 3) x) x))", "out of range"},
+		{"extract of bool", prelude + "(assert (= ((_ extract 1 0) p) y))", "boolean operand"},
+		{"indexed literal width", prelude + "(assert (= x (_ bv5 99)))", "out of range"},
+		{"indexed literal zero width", prelude + "(assert (= x (_ bv5 0)))", "out of range"},
+		{"binary literal too wide", prelude +
+			"(assert (= x #b" + strings.Repeat("0", 65) + "))", "1..64 digits"},
+		{"hex literal too wide", prelude +
+			"(assert (= x #x" + strings.Repeat("0", 17) + "))", "1..16 digits"},
+		{"empty binary literal", prelude + "(assert (= x #b))", "1..64 digits"},
+		{"bvule on booleans", prelude + "(assert (bvule p q))", "boolean operand"},
+		{"bvadd mismatched widths", prelude + "(assert (= x (bvadd x y)))", "mismatched widths"},
+		{"and on bitvectors", prelude + "(assert (and x y))", "non-boolean operand"},
+		{"not of bitvector", prelude + "(assert (not x))", "non-boolean operand"},
+		{"bvnot of boolean", prelude + "(assert (= p (bvnot p)))", "boolean operand"},
+		{"ite non-bool cond", prelude + "(assert (= x (ite x x x)))", "condition must be boolean"},
+		{"ite mismatched branches", prelude + "(assert (= x (ite p x y)))", "mismatched sorts"},
+		{"concat too wide", prelude +
+			"(declare-const a (_ BitVec 33))\n(declare-const b (_ BitVec 33))\n" +
+			"(assert (bvule (concat a b) (concat a b)))", "exceeds 64"},
+		{"variable shift", prelude + "(assert (= x (bvshl x y)))", "constant shift"},
+		{"unsupported op", prelude + "(assert (bvudiv x x))", `unsupported operator "bvudiv"`},
+		{"empty application", prelude + "(assert ())", "empty application"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ParseSMTLIB2(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseSMTLIB2 accepted malformed input, script=%v", sc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSMTLIB2ErrorPositions spot-checks that parse errors point at
+// the offending line and column.
+func TestParseSMTLIB2ErrorPositions(t *testing.T) {
+	in := "(set-logic QF_BV)\n" +
+		"(declare-const x (_ BitVec 8))\n" +
+		"(assert (bvule x #b101))\n"
+	_, err := ParseSMTLIB2(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Fatalf("error %q does not carry line 3 position", err)
+	}
+}

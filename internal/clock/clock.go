@@ -1,0 +1,85 @@
+// Package clock provides the injectable time source used by every
+// measurement and simulation path in the validation stack.
+//
+// Determinism invariant (see DESIGN.md): production and simulation code
+// must not read the wall clock directly. Instead it takes a Clock, so
+// that tests and the monitoring simulator can substitute a Virtual
+// clock and obtain bit-identical runs. The `wallclock` analyzer in
+// internal/analysis enforces this mechanically: this package is the
+// single allowlisted call site of time.Now.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current reading of a monotonic-enough time source.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	Now() time.Time
+}
+
+// System is the real wall clock. It is the measurement boundary: the
+// only sanctioned place the codebase calls time.Now.
+type System struct{}
+
+// Now returns the current wall-clock time.
+func (System) Now() time.Time { return time.Now() }
+
+// Func adapts a plain function to the Clock interface.
+type Func func() time.Time
+
+// Now invokes the wrapped function.
+func (f Func) Now() time.Time { return f() }
+
+// Since returns the time elapsed on c since t. It is the Clock-aware
+// replacement for time.Since.
+func Since(c Clock, t time.Time) time.Duration {
+	return Or(c).Now().Sub(t)
+}
+
+// Or returns c if non-nil and the System clock otherwise, so struct
+// fields of type Clock can default to real time when left unset.
+func Or(c Clock) Clock {
+	if c != nil {
+		return c
+	}
+	return System{}
+}
+
+// Virtual is a manually advanced clock for deterministic tests and
+// simulation. The zero value starts at the zero time; use New or Set to
+// pick an epoch.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a Virtual clock reading t.
+func NewVirtual(t time.Time) *Virtual {
+	return &Virtual{now: t}
+}
+
+// Now returns the clock's current reading.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d (d may be negative in tests that
+// model skew) and returns the new reading.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+	return v.now
+}
+
+// Set jumps the clock to t.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = t
+}

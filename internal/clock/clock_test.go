@@ -1,0 +1,72 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemNow(t *testing.T) {
+	before := time.Now()
+	got := System{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	epoch := time.Date(2019, 8, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now(); !got.Equal(epoch.Add(90 * time.Second)) {
+		t.Fatalf("after Advance: Now() = %v", got)
+	}
+	if d := Since(v, epoch); d != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", d)
+	}
+	v.Set(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("after Set: Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(time.Unix(8, 0)) {
+		t.Fatalf("after 8000 1ms advances: Now() = %v, want %v", got, time.Unix(8, 0))
+	}
+}
+
+func TestOrDefaultsToSystem(t *testing.T) {
+	if _, ok := Or(nil).(System); !ok {
+		t.Fatalf("Or(nil) = %T, want clock.System", Or(nil))
+	}
+	v := NewVirtual(time.Unix(42, 0))
+	if Or(v) != Clock(v) {
+		t.Fatalf("Or(v) did not pass through the given clock")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	fixed := time.Unix(1234, 0)
+	c := Func(func() time.Time { return fixed })
+	if got := c.Now(); !got.Equal(fixed) {
+		t.Fatalf("Func.Now() = %v, want %v", got, fixed)
+	}
+}

@@ -36,16 +36,16 @@ func E4SMTVsTrie(prefixCounts []int) Result {
 		}
 		dc := gen.ForDevice(tor)
 
-		start := time.Now()
+		start := now()
 		if _, err := (rcdc.SMTChecker{}).CheckDevice(tbl, dc, topology.RoleToR); err != nil {
 			panic(err)
 		}
-		smt := time.Since(start)
-		start = time.Now()
+		smt := since(start)
+		start = now()
 		if _, err := (rcdc.TrieChecker{}).CheckDevice(tbl, dc, topology.RoleToR); err != nil {
 			panic(err)
 		}
-		trie := time.Since(start)
+		trie := since(start)
 		fmt.Fprintf(&b, "%10d %10d %12s %14s %12s %8.0fx %12s\n",
 			tbl.Len(), len(dc.Contracts),
 			smt.Round(time.Millisecond),

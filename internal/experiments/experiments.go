@@ -92,11 +92,11 @@ func E1PerDevice(prefixCounts []int, sample int) Result {
 				panic(err)
 			}
 			dc := gen.ForDevice(tors[i])
-			start := time.Now()
+			start := now()
 			if _, err := v.ValidateDevice(facts, tbl, dc); err != nil {
 				panic(err)
 			}
-			total += time.Since(start)
+			total += since(start)
 			contractsPerDev = len(dc.Contracts)
 			rules = tbl.Len()
 			count++
@@ -129,12 +129,12 @@ func E2Sweep(deviceCounts []int, singleCPU bool) Result {
 		facts := metadata.FromTopology(topo)
 		src := bgp.NewSynth(topo, nil)
 		v := rcdc.Validator{Workers: workers}
-		start := time.Now()
+		start := now()
 		rep, err := v.ValidateAll(facts, src)
 		if err != nil {
 			panic(err)
 		}
-		wall := time.Since(start)
+		wall := since(start)
 		note := ""
 		if n >= 10000 {
 			note = "<3min"
@@ -167,19 +167,19 @@ func E3LocalVsGlobal(deviceCounts []int) Result {
 		src := bgp.NewSynth(topo, nil)
 
 		v := rcdc.Validator{Workers: 1}
-		start := time.Now()
+		start := now()
 		if _, err := v.ValidateAll(facts, src); err != nil {
 			panic(err)
 		}
-		local := time.Since(start)
+		local := since(start)
 
-		start = time.Now()
+		start = now()
 		g, err := rcdc.NewGlobalChecker(topo, src)
 		if err != nil {
 			panic(err)
 		}
 		fails := g.Check(rcdc.FullRedundancy)
-		global := time.Since(start)
+		global := since(start)
 		if len(fails) != 0 {
 			fmt.Fprintf(&b, "  UNEXPECTED global failures: %d\n", len(fails))
 		}

@@ -33,12 +33,12 @@ func E8ACLLatency(ruleCounts []int) Result {
 			params.ZeroDayDenies = 0
 		}
 		pol := workload.GenerateLegacyEdgeACL(params)
-		start := time.Now()
+		start := now()
 		rep, err := secguru.Check(pol, cs)
 		if err != nil {
 			panic(err)
 		}
-		suite := time.Since(start)
+		suite := since(start)
 		if !rep.OK() {
 			fmt.Fprintf(&b, "  UNEXPECTED contract failures\n")
 		}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"time"
+
+	"dcvalidate/internal/clock"
+)
+
+// Clock is the time source every experiment measures with. It defaults
+// to the system clock (the tables report real engine performance);
+// tests substitute a clock.Virtual so experiment output is reproducible
+// and the wallclock analyzer can verify no experiment reads real time
+// directly.
+var Clock clock.Clock = clock.System{}
+
+func now() time.Time { return clock.Or(Clock).Now() }
+
+func since(t time.Time) time.Duration { return clock.Since(Clock, t) }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/clock"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
@@ -54,6 +55,10 @@ type Instance struct {
 
 	// Workers bounds pull/validate parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Clock times the real (not modeled) phases of a cycle, e.g.
+	// CycleStats.ValidateTime; nil means the system clock. Tests inject
+	// a clock.Virtual for reproducible stats.
+	Clock clock.Clock
 	// SkipUnchanged enables incremental validation: devices whose stored
 	// table and contract documents are unchanged since their last
 	// validation are skipped and their previous result carried forward.
@@ -565,7 +570,7 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 	stats.ModeledPullTime = ps.Modeled
 	stats.Retries = ps.Retries
 	stats.PullFailures = len(ps.Failed)
-	start := time.Now()
+	start := clock.Or(in.Clock).Now()
 	vs, _ := in.ValidateQueued()
 	stats.Devices = vs.Devices
 	stats.Violations = vs.Violations
@@ -573,7 +578,7 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 	stats.StaleDevices = vs.Stale
 	stats.Unmonitored = vs.Unmonitored
 	stats.Errs = vs.Errs
-	stats.ValidateTime = time.Since(start)
+	stats.ValidateTime = clock.Since(in.Clock, start)
 	return stats, nil
 }
 

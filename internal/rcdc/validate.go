@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dcvalidate/internal/clock"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/metadata"
@@ -66,6 +67,10 @@ type Validator struct {
 	// Workers is the parallelism degree; 0 means GOMAXPROCS, 1 models the
 	// paper's single-CPU measurements.
 	Workers int
+	// Clock times the per-device and whole-run measurements; nil means
+	// the system clock. Tests inject a clock.Virtual for reproducible
+	// Elapsed fields.
+	Clock clock.Clock
 }
 
 func (v *Validator) checker() Checker {
@@ -78,7 +83,7 @@ func (v *Validator) checker() Checker {
 // ValidateDevice checks one device's table against its contracts.
 func (v *Validator) ValidateDevice(facts *metadata.Facts, tbl *fib.Table, dc contracts.DeviceContracts) (DeviceReport, error) {
 	df := facts.Device(dc.Device)
-	start := time.Now()
+	start := clock.Or(v.Clock).Now()
 	viols, err := v.checker().CheckDevice(tbl, dc, df.Role)
 	if err != nil {
 		return DeviceReport{}, err
@@ -86,7 +91,7 @@ func (v *Validator) ValidateDevice(facts *metadata.Facts, tbl *fib.Table, dc con
 	return DeviceReport{
 		Device: dc.Device, Name: df.Name, Role: df.Role,
 		Contracts: len(dc.Contracts), Violations: viols,
-		Elapsed: time.Since(start),
+		Elapsed: clock.Since(v.Clock, start),
 	}, nil
 }
 
@@ -99,7 +104,7 @@ func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Repo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
+	start := clock.Or(v.Clock).Now()
 
 	type result struct {
 		rep DeviceReport
@@ -149,6 +154,6 @@ func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Repo
 		return nil, firstErr
 	}
 	sort.Slice(rep.Devices, func(i, j int) bool { return rep.Devices[i].Device < rep.Devices[j].Device })
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = clock.Since(v.Clock, start)
 	return rep, nil
 }

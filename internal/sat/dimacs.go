@@ -18,7 +18,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 	var clause []Lit
 	clauses := 0
 	wantClauses := -1
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "c") {
 			continue
@@ -26,24 +28,24 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 		if strings.HasPrefix(line, "p") {
 			f := strings.Fields(line)
 			if len(f) != 4 || f[1] != "cnf" {
-				return nil, fmt.Errorf("sat: bad problem line %q", line)
+				return nil, fmt.Errorf("sat: line %d: bad problem line %q", lineNo, line)
 			}
 			nv, err1 := strconv.Atoi(f[2])
 			nc, err2 := strconv.Atoi(f[3])
 			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
-				return nil, fmt.Errorf("sat: bad problem line %q", line)
+				return nil, fmt.Errorf("sat: line %d: bad problem line %q", lineNo, line)
 			}
 			s = New(nv)
 			wantClauses = nc
 			continue
 		}
 		if s == nil {
-			return nil, fmt.Errorf("sat: clause before problem line")
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", lineNo)
 		}
 		for _, tok := range strings.Fields(line) {
 			v, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("sat: bad literal %q", tok)
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
 			}
 			if v == 0 {
 				s.AddClause(clause...)
@@ -56,7 +58,7 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 				v = -v
 			}
 			if v > s.NumVars() {
-				return nil, fmt.Errorf("sat: literal %d exceeds declared variables", v)
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared variables", lineNo, v)
 			}
 			clause = append(clause, NewLit(v, neg))
 		}

@@ -1,0 +1,38 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDIMACSMalformed feeds ParseDIMACS invalid CNF inputs. Every
+// case must return an error that names the offending line — never panic.
+func TestParseDIMACSMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty input", "", "missing problem line"},
+		{"comments only", "c nothing here\nc still nothing\n", "missing problem line"},
+		{"clause before header", "1 2 0\n", "line 1: clause before problem line"},
+		{"short problem line", "p cnf 3\n", "line 1: bad problem line"},
+		{"wrong format tag", "p sat 3 1\n1 0\n", "line 1: bad problem line"},
+		{"negative var count", "p cnf -3 1\n1 0\n", "line 1: bad problem line"},
+		{"non-numeric literal", "p cnf 2 1\n1 x 0\n", `line 2: bad literal "x"`},
+		{"literal out of range", "p cnf 2 1\n1 3 0\n", "line 2: literal 3 exceeds"},
+		{"unterminated clause", "p cnf 2 1\n1 2\n", "unterminated clause"},
+		{"clause count mismatch", "p cnf 2 3\n1 0\n", "declared 3 clauses, found 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseDIMACS(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseDIMACS accepted malformed input, solver=%v", s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -154,6 +154,8 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	if len(s.trailLim) != 0 {
+		// invariant: API misuse by the caller, not reachable from input —
+		// ParseDIMACS only adds clauses to a fresh, unsearched solver.
 		panic("sat: AddClause after search started")
 	}
 	// Normalize: drop duplicate and false literals, detect tautology.
@@ -161,6 +163,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 outer:
 	for _, l := range lits {
 		if l.Var() <= 0 || l.Var() >= len(s.vars) {
+			// invariant: encoder bug, not reachable from input —
+			// ParseDIMACS bounds-checks every literal against the declared
+			// variable count before constructing a Lit.
 			panic("sat: literal out of range")
 		}
 		switch s.value(l) {

@@ -6,6 +6,7 @@ import (
 
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bv"
+	"dcvalidate/internal/clock"
 )
 
 // This file implements the extension §3.6 points at: "checking
@@ -51,10 +52,16 @@ func (r *PathReport) OK() bool { return len(r.Failed()) == 0 }
 // policies along a forwarding path: a packet is admitted end-to-end iff
 // every policy on the path admits it.
 func CheckPath(path []*acl.Policy, cs []Contract) (*PathReport, error) {
+	return CheckPathOn(nil, path, cs)
+}
+
+// CheckPathOn is CheckPath with an injectable time source for the
+// report's Elapsed measurement; clk == nil means the system clock.
+func CheckPathOn(clk clock.Clock, path []*acl.Policy, cs []Contract) (*PathReport, error) {
 	if len(path) == 0 {
 		return nil, fmt.Errorf("secguru: empty policy path")
 	}
-	start := time.Now()
+	start := clock.Or(clk).Now()
 	rep := &PathReport{}
 	for _, p := range path {
 		rep.Policies = append(rep.Policies, p.Name)
@@ -107,7 +114,7 @@ func CheckPath(path []*acl.Policy, cs []Contract) (*PathReport, error) {
 		}
 		rep.Outcomes = append(rep.Outcomes, po)
 	}
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = clock.Since(clk, start)
 	return rep, nil
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bv"
+	"dcvalidate/internal/clock"
 	"dcvalidate/internal/ipnet"
 )
 
@@ -94,7 +95,13 @@ func (r *Report) OK() bool { return len(r.Failed()) == 0 }
 // The policy is bit-blasted once and every contract is discharged as a
 // retractable assumption query against the shared encoding.
 func Check(p *acl.Policy, cs []Contract) (*Report, error) {
-	start := time.Now()
+	return CheckOn(nil, p, cs)
+}
+
+// CheckOn is Check with an injectable time source for the report's
+// Elapsed measurement; clk == nil means the system clock.
+func CheckOn(clk clock.Clock, p *acl.Policy, cs []Contract) (*Report, error) {
+	start := clock.Or(clk).Now()
 	rep := &Report{Policy: p.Name}
 
 	c := bv.NewCtx()
@@ -116,7 +123,7 @@ func Check(p *acl.Policy, cs []Contract) (*Report, error) {
 		}
 		rep.Outcomes = append(rep.Outcomes, outcome(p, ct, res))
 	}
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = clock.Since(clk, start)
 	return rep, nil
 }
 
