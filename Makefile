@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench fuzz experiments experiments-full clean
+.PHONY: all build vet lint test test-short test-race bench bench-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -28,6 +28,13 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI gate for incremental validation: runs the E16 experiment at its
+# smallest sweep point (520 devices) with the soundness gate on — any
+# device whose table changes outside the computed blast radius, or any
+# delta report diverging from a full sweep, panics and fails the target.
+bench-smoke:
+	$(GO) run ./cmd/dcbench -e e16 -quick
 
 # Brief fuzz sessions over every parser (extend -fuzztime for real runs).
 FUZZTIME ?= 15s

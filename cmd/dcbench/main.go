@@ -4,12 +4,16 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e15, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e16, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
+//
+// E16 additionally writes its machine-readable rows to
+// BENCH_incremental.json in the current directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +24,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("e", "", "comma-separated experiment ids (e1..e15, e7b, e13b, e13c); empty = all")
+		only  = flag.String("e", "", "comma-separated experiment ids (e1..e16, e7b, e13b, e13c); empty = all")
 		quick = flag.Bool("quick", false, "reduced sweeps")
 		full  = flag.Bool("full", false, "include the 10^4-device sweep point")
 	)
@@ -44,6 +48,10 @@ func main() {
 	// host. The paper's O(10K)-device instances use an external NoSQL
 	// store; scale by adding instances (monitor.Service).
 	e13Sizes := []int{1000, 2500, 5000}
+	e16Sizes := []int{520, 1000, 2008}
+	// E16's soundness gate snapshots every table twice; bound it to the
+	// small sweep points.
+	e16VerifyMax := 600
 	claim1Trials := 40
 	if *quick {
 		e1Sizes = []int{500, 1000}
@@ -52,6 +60,7 @@ func main() {
 		e4Sizes = []int{250, 500}
 		e8Sizes = []int{100, 300, 1000}
 		e13Sizes = []int{500, 1000}
+		e16Sizes = []int{520}
 		claim1Trials = 10
 	}
 	if *full {
@@ -81,6 +90,18 @@ func main() {
 		{"e13c", func() experiments.Result { return experiments.E13cDegraded(e13Sizes[0], 4) }},
 		{"e14", func() experiments.Result { return experiments.E14Claim1(claim1Trials) }},
 		{"e15", experiments.E15Region},
+		{"e16", func() experiments.Result {
+			res, rows := experiments.E16Incremental(e16Sizes, e16VerifyMax)
+			raw, err := json.MarshalIndent(rows, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_incremental.json", raw, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcbench: writing BENCH_incremental.json: %v\n", err)
+				os.Exit(1)
+			}
+			return res
+		}},
 	}
 	ran := 0
 	for _, e := range all {

@@ -37,7 +37,8 @@ func main() {
 		cycles   = flag.Int("cycles", 14, "monitoring cycles to run")
 		fix      = flag.Int("fix", 4, "manual remediations per cycle")
 		seed     = flag.Int64("seed", 77, "fault-injection seed")
-		incr     = flag.Bool("incremental", true, "skip unchanged devices")
+		incr     = flag.Bool("incremental", true, "change-driven cycles: validate only the blast radius of journaled changes")
+		sweep    = flag.Int("fullsweep-every", 0, "force a full sweep every N incremental cycles (0 = default)")
 		pullfail = flag.Float64("pullfail", 0, "transient pull-failure rate per attempt (0-1)")
 		dead     = flag.Int("dead", 0, "devices with a dead management plane (telemetry loss)")
 		corrupt  = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
@@ -70,10 +71,12 @@ func main() {
 
 	in := monitor.NewInstance("dcmon-0", s.Datacenter("dcmon"))
 	in.SkipUnchanged = *incr
+	in.Incremental = *incr
+	in.FullSweepEvery = *sweep
 	tracker := monitor.NewAlertTracker()
 
-	fmt.Printf("%5s %8s %10s %8s %8s %7s %6s %9s %8s %9s %9s\n",
-		"cycle", "devices", "violations", "skipped", "pullFail", "stale", "unmon",
+	fmt.Printf("%5s %5s %8s %6s %8s %10s %8s %8s %7s %6s %9s %8s %9s %9s\n",
+		"cycle", "sweep", "devices", "dirty", "carried", "violations", "skipped", "pullFail", "stale", "unmon",
 		"openHigh", "openLow", "autoFix", "manualFix")
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		stats, err := in.RunCycle()
@@ -103,8 +106,13 @@ func main() {
 				manual++
 			}
 		}
-		fmt.Printf("%5d %8d %10d %8d %8d %7d %6d %9d %8d %9d %9d\n",
-			cycle, stats.Devices, stats.Violations, stats.Skipped,
+		sweepMark := "-"
+		if stats.FullSweep {
+			sweepMark = "full"
+		}
+		fmt.Printf("%5d %5s %8d %6d %8d %10d %8d %8d %7d %6d %9d %8d %9d %9d\n",
+			cycle, sweepMark, stats.Devices, stats.DirtyDevices, stats.CarriedForward,
+			stats.Violations, stats.Skipped,
 			stats.PullFailures, stats.StaleDevices, stats.Unmonitored,
 			pt.OpenHigh, pt.OpenLow, restored, manual)
 		// Declaring the network clean requires actually observing it: no

@@ -34,6 +34,7 @@ import (
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/delta"
 	"dcvalidate/internal/emulator"
 	"dcvalidate/internal/faulty"
 	"dcvalidate/internal/fib"
@@ -151,6 +152,12 @@ type Datacenter struct {
 	Config map[DeviceID]*DeviceConfig
 
 	facts *Facts // regenerated lazily if nil
+
+	// Incremental-validation state (built lazily by ValidateDelta): a
+	// persistent FIB source with generation-keyed table caching and a
+	// memoized contract generator.
+	synth *bgp.Synth
+	cgen  *contracts.Generator
 }
 
 // NewDatacenter generates a synthetic datacenter from the parameters.
@@ -162,7 +169,17 @@ func NewDatacenter(p TopologyParams) (*Datacenter, error) {
 	return &Datacenter{Topo: topo, Config: map[DeviceID]*DeviceConfig{}}, nil
 }
 
-// Facts returns the metadata snapshot for the datacenter (cached).
+// Facts returns the metadata snapshot for the datacenter.
+//
+// The snapshot is cached forever by design, not merely as an
+// optimization: facts model intent — the expected architecture — so link
+// failures, session shutdowns, and restores MUST NOT alter them.
+// Contracts derived from the facts are required to hold across live-state
+// fluctuations (§2.4); regenerating facts from degraded link state would
+// silently weaken the contracts to match the failure being validated.
+// Only an intent edit (devices added or retired, prefixes moved) would
+// invalidate the cache, and the facade does not support those on a built
+// topology.
 func (d *Datacenter) Facts() *Facts {
 	if d.facts == nil {
 		d.facts = metadata.FromTopology(d.Topo)
@@ -208,6 +225,26 @@ func (d *Datacenter) ShutSession(a, b string) error {
 	if !d.Topo.ShutSession(da, db) {
 		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
 	}
+	return nil
+}
+
+// SetDeviceConfig installs (or, with nil, clears) a device's
+// configuration and journals the change, so incremental revalidation
+// knows the device's converged state may differ. Incremental consumers
+// (ValidateDelta, the monitoring service's Incremental mode) require
+// config edits to go through this method — writing to the Config map
+// directly leaves no journal trace and can yield stale delta reports.
+func (d *Datacenter) SetDeviceConfig(device string, cfg *DeviceConfig) error {
+	dev, ok := d.Topo.ByName(device)
+	if !ok {
+		return fmt.Errorf("dcvalidate: unknown device %q", device)
+	}
+	if cfg == nil {
+		delete(d.Config, dev.ID)
+	} else {
+		d.Config[dev.ID] = cfg
+	}
+	d.Topo.NoteDeviceChanged(dev.ID)
 	return nil
 }
 
@@ -264,13 +301,77 @@ func (o ValidateOptions) checker() rcdc.Checker {
 }
 
 // Validate runs local validation over every device of the datacenter.
+// The report is stamped with the topology generation observed before
+// pulling, so it can seed ValidateDelta.
 func (d *Datacenter) Validate(opts ValidateOptions) (*Report, error) {
+	gen := d.Topo.Generation()
 	src := opts.Source
 	if src == nil {
 		src = d.Source()
 	}
 	v := rcdc.Validator{Checker: opts.checker(), Workers: opts.Workers}
-	return v.ValidateAll(d.Facts(), src)
+	rep, err := v.ValidateAll(d.Facts(), src)
+	if rep != nil {
+		rep.Generation = gen
+	}
+	return rep, err
+}
+
+// cachedSource returns the persistent generation-cached FIB source used
+// by incremental validation, refreshed against the live topology.
+func (d *Datacenter) cachedSource() *bgp.Synth {
+	if d.synth == nil {
+		d.synth = bgp.NewSynth(d.Topo, d.Config)
+		d.synth.EnableTableCache()
+	}
+	d.synth.Refresh()
+	return d.synth
+}
+
+// ValidateDelta revalidates only the blast radius of the topology changes
+// journaled since prev was taken (prev.Generation), splicing the fresh
+// per-device results into prev. The result is byte-for-byte identical to
+// a from-scratch Validate of the current state — just cheaper, since
+// devices outside the blast radius provably converge to the tables prev
+// already recorded.
+//
+// It falls back to a full Validate when prev is nil, when the change
+// journal no longer reaches back to prev.Generation, or when the blast
+// radius is unbounded (a device-config change, or unbounded config knobs
+// present anywhere). Either way the returned report is complete and
+// stamped with the new generation, ready to be fed back in.
+//
+// Repeated calls amortize work through a persistent table-cached FIB
+// source and a memoized contract generator (unless opts.Source overrides
+// the source). Config edits must go through SetDeviceConfig to be seen.
+func (d *Datacenter) ValidateDelta(prev *Report, opts ValidateOptions) (*Report, error) {
+	if opts.Source == nil {
+		opts.Source = d.cachedSource()
+	}
+	if prev == nil {
+		return d.Validate(opts)
+	}
+	changes, ok := d.Topo.ChangesSince(prev.Generation)
+	if !ok {
+		return d.Validate(opts)
+	}
+	ds := delta.Compute(d.Topo, changes, delta.Options{
+		UnboundedConfig: bgp.ConfigUnbounded(d.Config),
+	})
+	if ds.Full() {
+		return d.Validate(opts)
+	}
+	gen := d.Topo.Generation()
+	if d.cgen == nil {
+		d.cgen = contracts.NewGenerator(d.Facts())
+		d.cgen.EnableMemo()
+	}
+	v := rcdc.Validator{Checker: opts.checker(), Workers: opts.Workers}
+	rep, err := v.ValidateDelta(prev, d.Facts(), d.cgen, opts.Source, ds.Devices())
+	if rep != nil {
+		rep.Generation = gen
+	}
+	return rep, err
 }
 
 // CheckGlobalIntent materializes a global snapshot and verifies all-pairs

@@ -1,0 +1,145 @@
+package dcvalidate
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// incParams is the equivalence-test topology: multi-spine planes so
+// single failures have bounded blast radii, small enough that a full
+// sweep per step stays cheap.
+func incParams() TopologyParams {
+	return TopologyParams{
+		Name: "inc", Clusters: 4, ToRsPerCluster: 6, LeavesPerCluster: 4,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		PrefixesPerToR: 1,
+	}
+}
+
+// renderReport renders the semantic content of a report — everything
+// except wall-clock timing — for byte comparison.
+func renderReport(rep *Report) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "checked=%d failures=%d highrisk=%d devices=%d\n",
+		rep.Checked, rep.Failures, rep.HighRisk(), len(rep.Devices))
+	for i := range rep.Devices {
+		d := &rep.Devices[i]
+		fmt.Fprintf(&buf, "device %d %s %s: %d contracts\n", d.Device, d.Name, d.Role, d.Contracts)
+		for _, v := range d.Violations {
+			fmt.Fprintf(&buf, "  %s\n", v.String())
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestIncrementalEquivalence is the incremental-validation property test:
+// after every step of a random seeded sequence of link failures, session
+// shutdowns, restores, and (journaled) config edits, delta revalidation
+// against the previous report produces a report byte-identical to a
+// from-scratch full sweep of the same state.
+func TestIncrementalEquivalence(t *testing.T) {
+	inc, err := NewDatacenter(incParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewDatacenter(incParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ValidateOptions{Workers: 4}
+	rng := rand.New(rand.NewSource(2019))
+	links := len(inc.Topo.Links)
+
+	var prev *Report
+	for step := 0; step < 40; step++ {
+		// Mutate both datacenters identically.
+		switch op := rng.Intn(10); {
+		case op < 4:
+			l := rng.Intn(links)
+			up := rng.Intn(2) == 0
+			inc.Topo.SetLinkUp(inc.Topo.Links[l].ID, up)
+			ref.Topo.SetLinkUp(ref.Topo.Links[l].ID, up)
+		case op < 8:
+			l := rng.Intn(links)
+			up := rng.Intn(2) == 0
+			inc.Topo.SetSessionUp(inc.Topo.Links[l].ID, up)
+			ref.Topo.SetSessionUp(ref.Topo.Links[l].ID, up)
+		case op == 8:
+			inc.Topo.RestoreAll()
+			ref.Topo.RestoreAll()
+		default:
+			// A journaled config edit: ECMP truncation on a random ToR.
+			name := inc.Topo.Device(inc.Topo.ToRs()[rng.Intn(len(inc.Topo.ToRs()))]).Name
+			keep := 1 + rng.Intn(3)
+			if err := inc.SetDeviceConfig(name, &DeviceConfig{MaxECMPPaths: keep}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.SetDeviceConfig(name, &DeviceConfig{MaxECMPPaths: keep}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		gen := inc.Topo.Generation()
+		prev, err = inc.ValidateDelta(prev, opts)
+		if err != nil {
+			t.Fatalf("step %d: delta: %v", step, err)
+		}
+		if prev.Generation != gen {
+			t.Fatalf("step %d: report generation %d, want %d", step, prev.Generation, gen)
+		}
+		full, err := ref.Validate(ValidateOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("step %d: full: %v", step, err)
+		}
+		got, want := renderReport(prev), renderReport(full)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("step %d: delta report diverges from full sweep:\n--- delta ---\n%s\n--- full ---\n%s",
+				step, firstDiffWindow(got, want), firstDiffWindow(want, got))
+		}
+		if len(prev.Devices) != len(inc.Topo.Devices) || prev.Checked == 0 {
+			t.Fatalf("step %d: degenerate report (%d devices, %d checked)",
+				step, len(prev.Devices), prev.Checked)
+		}
+	}
+}
+
+// TestFactsSurviveLinkStateChanges locks the §2.4 invariant the facade's
+// Facts() cache depends on: contracts derive from intent, so link
+// failures, session shutdowns, and restores must leave the generated
+// contract set byte-identical.
+func TestFactsSurviveLinkStateChanges(t *testing.T) {
+	dc, err := NewDatacenter(incParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		var buf bytes.Buffer
+		for _, set := range dc.Contracts() {
+			fmt.Fprintf(&buf, "device %d: %d contracts\n", set.Device, len(set.Contracts))
+			for _, c := range set.Contracts {
+				fmt.Fprintf(&buf, "  %s %s -> %v\n", c.Kind, c.Prefix, c.NextHops)
+			}
+		}
+		return buf.Bytes()
+	}
+	before := render()
+
+	tor := dc.Topo.Device(dc.Topo.ToRs()[0]).Name
+	leaf0 := dc.Topo.Device(dc.Topo.ClusterLeaves(0)[0]).Name
+	leaf1 := dc.Topo.Device(dc.Topo.ClusterLeaves(0)[1]).Name
+	if err := dc.FailLink(tor, leaf0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.ShutSession(tor, leaf1); err != nil {
+		t.Fatal(err)
+	}
+	if got := render(); !bytes.Equal(before, got) {
+		t.Fatal("contracts changed after link failure / session shutdown")
+	}
+	dc.Topo.RestoreAll()
+	if got := render(); !bytes.Equal(before, got) {
+		t.Fatal("contracts changed after restore")
+	}
+}

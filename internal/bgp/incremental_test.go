@@ -1,0 +1,124 @@
+package bgp
+
+import (
+	"testing"
+
+	"dcvalidate/internal/topology"
+)
+
+// TestRerunMatchesRun locks the warm-restart contract: after a topology
+// mutation, Rerun from the previous converged state reaches exactly the
+// fixpoint a from-scratch Run computes.
+func TestRerunMatchesRun(t *testing.T) {
+	p := topology.Params{
+		Clusters: 3, ToRsPerCluster: 4, LeavesPerCluster: 2,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		PrefixesPerToR: 1,
+	}
+	warmTopo := topology.MustNew(p)
+	warm := NewSim(warmTopo, nil)
+	warm.Run()
+
+	mutations := []func(*topology.Topology){
+		func(tp *topology.Topology) { tp.FailLink(tp.ClusterLeaves(0)[0], tp.Spines()[0]) },
+		func(tp *topology.Topology) { tp.ShutSession(tp.ToRs()[0], tp.ClusterLeaves(0)[0]) },
+		func(tp *topology.Topology) { tp.FailLink(tp.Spines()[1], tp.RegionalSpines()[0]) },
+		func(tp *topology.Topology) { tp.RestoreAll() },
+	}
+	coldTopo := topology.MustNew(p)
+	for i, mutate := range mutations {
+		mutate(warmTopo)
+		mutate(coldTopo)
+		warm.Rerun()
+		cold := NewSim(coldTopo, nil)
+		cold.Run()
+		for id := range warmTopo.Devices {
+			d := topology.DeviceID(id)
+			wt, err := warm.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := cold.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tablesEqual(wt, ct); err != nil {
+				t.Fatalf("mutation %d: device %s: rerun table diverges from fresh run: %v",
+					i, warmTopo.Device(d).Name, err)
+			}
+		}
+	}
+}
+
+// TestRerunBeforeRunIsRun ensures Rerun on a virgin simulation behaves as
+// a plain Run.
+func TestRerunBeforeRunIsRun(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	s := NewSim(topo, nil)
+	if rounds := s.Rerun(); rounds <= 0 {
+		t.Fatalf("Rerun on virgin sim returned %d rounds", rounds)
+	}
+	if _, err := s.Table(topo.ToRs()[0]); err != nil {
+		t.Fatalf("table after virgin Rerun: %v", err)
+	}
+}
+
+// TestSynthTableCache locks the generation-keyed cache: hits return
+// equal tables, topology changes evict exactly the dirty devices, and the
+// cached copies survive caller mutation.
+func TestSynthTableCache(t *testing.T) {
+	topo := topology.MustNew(topology.Params{
+		Clusters: 3, ToRsPerCluster: 4, LeavesPerCluster: 2,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		PrefixesPerToR: 1,
+	})
+	cached := NewSynth(topo, nil)
+	cached.EnableTableCache()
+
+	verify := func(label string) {
+		t.Helper()
+		fresh := NewSynth(topo, nil)
+		for id := range topo.Devices {
+			d := topology.DeviceID(id)
+			ct, err := cached.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft, err := fresh.Table(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tablesEqual(ct, ft); err != nil {
+				t.Fatalf("%s: device %s: cached table diverges: %v", label, topo.Device(d).Name, err)
+			}
+		}
+	}
+	verify("warm-up")
+
+	// Mutating a returned table must not poison the cache.
+	tor := topo.ToRs()[0]
+	tbl, err := cached.Table(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Entries) > 0 {
+		tbl.Entries[0].NextHops = nil
+		tbl.Entries = tbl.Entries[:0]
+	}
+	verify("after caller mutation")
+
+	// A link failure evicts the dirty devices; the next Refresh+Table pass
+	// must match a fresh synthesis of the degraded state.
+	topo.FailLink(topo.ClusterLeaves(0)[0], topo.Spines()[0])
+	cached.Refresh()
+	verify("after link failure")
+
+	topo.RestoreAll()
+	cached.Refresh()
+	verify("after restore")
+
+	// A ChangeDevice journal entry clears the whole cache (conservative).
+	topo.NoteDeviceChanged(tor)
+	cached.Refresh()
+	verify("after device change")
+}

@@ -2,11 +2,27 @@ package bgp
 
 import (
 	"sort"
+	"sync"
 
+	"dcvalidate/internal/delta"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/topology"
 )
+
+// ConfigUnbounded reports whether any device configuration alters route
+// acceptance or session liveness — ASN overrides, default-route rejection,
+// disabled sessions. Blast-radius analysis (internal/delta) must fall back
+// to whole-DC revalidation under such configs; plain ECMP truncation
+// (MaxECMPPaths) is localization-safe and does not count.
+func ConfigUnbounded(cfg map[topology.DeviceID]*DeviceConfig) bool {
+	for _, c := range cfg {
+		if c != nil && (c.ASNOverride != 0 || c.RejectDefaultIn || c.SessionsDisabled) {
+			return true
+		}
+	}
+	return false
+}
 
 // Synth computes per-device converged EBGP state analytically, exploiting
 // the plane-structured Clos topology: a spine learns each prefix from
@@ -34,6 +50,28 @@ type Synth struct {
 	// propagation rules never self-loop, so every constructed path is
 	// accepted. (Cross-validated against Sim.)
 	fastAccept bool
+
+	// Opt-in per-device table cache keyed by topology generation: Refresh
+	// consumes the change journal and evicts only the blast radius, so
+	// steady-state pulls of unaffected devices are O(copy). Off by default
+	// — a populated cache is a materialized global snapshot, which the
+	// full-sweep paths deliberately avoid.
+	mu       sync.Mutex
+	cache    map[topology.DeviceID]*fib.Table
+	cacheGen uint64
+}
+
+// EnableTableCache turns on per-device table caching. Cached tables are
+// invalidated by Refresh using the topology change journal: only devices
+// inside the blast radius of the changes since the last Refresh are
+// evicted (everything, if the radius is unbounded or the journal was
+// truncated). Call only on long-lived sources that serve repeated
+// incremental pulls; memory grows to one table per distinct device pulled.
+func (s *Synth) EnableTableCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = make(map[topology.DeviceID]*fib.Table)
+	s.cacheGen = s.topo.Generation()
 }
 
 // NewSynth precomputes the tier reachability sets. Precomputation is
@@ -51,8 +89,12 @@ func NewSynth(topo *topology.Topology, cfg map[topology.DeviceID]*DeviceConfig) 
 
 // Refresh recomputes the precomputed reachability sets from the current
 // topology and configuration state. The monitoring loop calls this at the
-// start of every pull cycle so synthesized FIBs track live state.
+// start of every pull cycle so synthesized FIBs track live state. The
+// derived sets are always rebuilt (they are cheap, and direct config-map
+// edits leave no journal trace); only the opt-in table cache is
+// invalidated selectively via the change journal.
 func (s *Synth) Refresh() {
+	s.evictDirty()
 	topo := s.topo
 	s.fastAccept = len(s.cfg) == 0
 	spp := topo.Params.SpinesPerPlane
@@ -101,6 +143,36 @@ func (s *Synth) Refresh() {
 				break
 			}
 		}
+	}
+}
+
+// evictDirty drops cached tables for every device inside the blast radius
+// of the topology changes since the cache was last synchronized. Unbounded
+// change sets (journal truncation, device-level changes, acceptance-
+// altering configs) clear the whole cache.
+func (s *Synth) evictDirty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return
+	}
+	gen := s.topo.Generation()
+	if gen == s.cacheGen {
+		return
+	}
+	changes, ok := s.topo.ChangesSince(s.cacheGen)
+	s.cacheGen = gen
+	if !ok {
+		s.cache = make(map[topology.DeviceID]*fib.Table)
+		return
+	}
+	ds := delta.Compute(s.topo, changes, delta.Options{UnboundedConfig: ConfigUnbounded(s.cfg)})
+	if ds.Full() {
+		s.cache = make(map[topology.DeviceID]*fib.Table)
+		return
+	}
+	for _, d := range ds.Devices() {
+		delete(s.cache, d)
 	}
 }
 
@@ -172,7 +244,39 @@ func (s *Synth) truncate(d topology.DeviceID, nhs []topology.DeviceID) []topolog
 }
 
 // Table computes the converged FIB of one device, implementing fib.Source.
+// With the table cache enabled, a hit returns a fresh Table wrapper over a
+// copied entry slice: callers may reslice entries (the RIB-FIB corruption
+// injector does) without corrupting the cache, but must treat the NextHops
+// slices as immutable, same as contracts.
 func (s *Synth) Table(d topology.DeviceID) (*fib.Table, error) {
+	s.mu.Lock()
+	caching := s.cache != nil
+	if caching {
+		if t, ok := s.cache[d]; ok {
+			s.mu.Unlock()
+			return copyTable(t), nil
+		}
+	}
+	s.mu.Unlock()
+	t := s.synthesize(d)
+	if caching {
+		s.mu.Lock()
+		s.cache[d] = t
+		s.mu.Unlock()
+		return copyTable(t), nil
+	}
+	return t, nil
+}
+
+func copyTable(t *fib.Table) *fib.Table {
+	cp := fib.NewTable(t.Device)
+	cp.Entries = append([]fib.Entry(nil), t.Entries...)
+	return cp
+}
+
+// synthesize computes the converged FIB of one device from the refreshed
+// reachability sets.
+func (s *Synth) synthesize(d topology.DeviceID) *fib.Table {
 	t := fib.NewTable(d)
 	dev := s.topo.Device(d)
 	t.Entries = make([]fib.Entry, 0, len(s.prefixes)+2)
@@ -190,7 +294,7 @@ func (s *Synth) Table(d topology.DeviceID) (*fib.Table, error) {
 	// Specific routes, in prefix order (HostedPrefixes is prefix-ordered).
 	if dev.Role == topology.RoleToR && s.fastAccept {
 		s.torSpecifics(t, d, dev)
-		return t, nil
+		return t
 	}
 	for pi, hp := range s.prefixes {
 		if dev.Role == topology.RoleToR && hp.ToR == d {
@@ -200,7 +304,7 @@ func (s *Synth) Table(d topology.DeviceID) (*fib.Table, error) {
 			t.Add(fib.Entry{Prefix: hp.Prefix, NextHops: nhs})
 		}
 	}
-	return t, nil
+	return t
 }
 
 // torSpecifics is the allocation-lean fast path for the dominant workload:

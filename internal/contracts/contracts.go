@@ -22,6 +22,7 @@ package contracts
 
 import (
 	"sort"
+	"sync"
 
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/metadata"
@@ -62,11 +63,30 @@ type DeviceContracts struct {
 // Generator derives contracts from metadata facts.
 type Generator struct {
 	facts *metadata.Facts
+
+	// Opt-in per-device memoization keyed on the facts' intent generation:
+	// intent edits invalidate, link-state changes do not (facts never see
+	// them). Off by default — the full-sweep paths generate transiently so
+	// memory stays O(one device); long-lived incremental generators enable
+	// it to amortize repeated ForDevice calls on the same dirty devices.
+	mu      sync.Mutex
+	memo    map[topology.DeviceID]DeviceContracts
+	memoGen uint64
 }
 
 // NewGenerator returns a contract generator over the given facts snapshot.
 func NewGenerator(f *metadata.Facts) *Generator {
 	return &Generator{facts: f}
+}
+
+// EnableMemo turns on per-device memoization of ForDevice results. Safe
+// for concurrent ForDevice callers. Memory grows to one contract set per
+// distinct device generated since the last intent change.
+func (g *Generator) EnableMemo() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.memo = make(map[topology.DeviceID]DeviceContracts)
+	g.memoGen = g.facts.Generation()
 }
 
 // ForDevice generates the comprehensive contract set for one device,
@@ -75,8 +95,31 @@ func NewGenerator(f *metadata.Facts) *Generator {
 //
 // Next-hop slices are sorted once and shared between the contracts that
 // expect the same set (a ToR expects its leaves for every prefix); treat
-// Contract.NextHops as immutable.
+// Contract.NextHops as immutable. With memoization enabled the whole
+// DeviceContracts value is shared across calls under the same invariant.
 func (g *Generator) ForDevice(id topology.DeviceID) DeviceContracts {
+	if g.memo != nil {
+		g.mu.Lock()
+		if gen := g.facts.Generation(); gen != g.memoGen {
+			g.memo = make(map[topology.DeviceID]DeviceContracts)
+			g.memoGen = gen
+		}
+		if dc, ok := g.memo[id]; ok {
+			g.mu.Unlock()
+			return dc
+		}
+		g.mu.Unlock()
+		dc := g.generate(id)
+		g.mu.Lock()
+		g.memo[id] = dc
+		g.mu.Unlock()
+		return dc
+	}
+	return g.generate(id)
+}
+
+// generate derives one device's contracts from the facts.
+func (g *Generator) generate(id topology.DeviceID) DeviceContracts {
 	df := g.facts.Device(id)
 	dc := DeviceContracts{Device: id}
 

@@ -1,0 +1,206 @@
+package delta_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/delta"
+	"dcvalidate/internal/topology"
+)
+
+// multiSpine is a topology with SpinesPerPlane > 1, so single leaf–spine
+// failures leave alternative plane paths and the blast radius can exclude
+// ToRs.
+func multiSpine(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.MustNew(topology.Params{
+		Clusters: 3, ToRsPerCluster: 4, LeavesPerCluster: 2,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		PrefixesPerToR: 1,
+	})
+}
+
+func changesAfter(t *testing.T, topo *topology.Topology, gen uint64) []topology.Change {
+	t.Helper()
+	cs, ok := topo.ChangesSince(gen)
+	if !ok {
+		t.Fatal("journal truncated unexpectedly")
+	}
+	return cs
+}
+
+func TestLeafSpineBlastExcludesToRsWithAlternatives(t *testing.T) {
+	topo := multiSpine(t)
+	leaf := topo.ClusterLeaves(0)[0]
+	gen := topo.Generation()
+	// Fail the link to one of the leaf's two plane spines.
+	var spine topology.DeviceID = -1
+	for _, n := range topo.Neighbors(leaf) {
+		if topo.Device(n).Role == topology.RoleSpine {
+			spine = n
+			break
+		}
+	}
+	if !topo.FailLink(leaf, spine) {
+		t.Fatal("FailLink failed")
+	}
+	ds := delta.Compute(topo, changesAfter(t, topo, gen), delta.Options{})
+	if ds.Full() {
+		t.Fatal("single leaf-spine failure should not degrade to full")
+	}
+	if !ds.Contains(leaf) || !ds.Contains(spine) {
+		t.Fatal("endpoints must be dirty")
+	}
+	// The second plane spine still carries every route: no ToR is dirty.
+	for _, tor := range topo.ToRs() {
+		if ds.Contains(tor) {
+			t.Fatalf("ToR %s dirty despite alternative spine", topo.Device(tor).Name)
+		}
+	}
+	// All plane leaves are dirty (their via-spine ECMP sets mention the spine).
+	for c := 0; c < topo.Params.Clusters; c++ {
+		if l2 := topo.ClusterLeaves(c)[topo.Device(leaf).Plane]; !ds.Contains(l2) {
+			t.Fatalf("plane leaf %s not dirty", topo.Device(l2).Name)
+		}
+	}
+}
+
+func TestSpineRSBlastIsTinyWithAlternatives(t *testing.T) {
+	topo := multiSpine(t)
+	spine := topo.Spines()[0]
+	var rs topology.DeviceID = -1
+	for _, n := range topo.Neighbors(spine) {
+		if topo.Device(n).Role == topology.RoleRegionalSpine {
+			rs = n
+			break
+		}
+	}
+	gen := topo.Generation()
+	if !topo.FailLink(spine, rs) {
+		t.Fatal("FailLink failed")
+	}
+	ds := delta.Compute(topo, changesAfter(t, topo, gen), delta.Options{})
+	if ds.Full() || ds.Count() != 2 || !ds.Contains(spine) || !ds.Contains(rs) {
+		t.Fatalf("spine-RS blast = %v (full=%v), want exactly the endpoints",
+			ds.Devices(), ds.Full())
+	}
+}
+
+func TestToRLeafBlastCoversPlane(t *testing.T) {
+	topo := multiSpine(t)
+	tor := topo.ToRs()[0]
+	leaf := topo.ClusterLeaves(0)[0]
+	gen := topo.Generation()
+	if !topo.FailLink(tor, leaf) {
+		t.Fatal("FailLink failed")
+	}
+	ds := delta.Compute(topo, changesAfter(t, topo, gen), delta.Options{})
+	for _, d := range topo.ToRs() {
+		if !ds.Contains(d) {
+			t.Fatalf("ToR %s not dirty after ToR-leaf failure", topo.Device(d).Name)
+		}
+	}
+	for _, d := range topo.RegionalSpines() {
+		if !ds.Contains(d) {
+			t.Fatalf("RS %s not dirty after ToR-leaf failure", topo.Device(d).Name)
+		}
+	}
+}
+
+func TestDeviceChangeAndUnboundedConfigFallBack(t *testing.T) {
+	topo := multiSpine(t)
+	gen := topo.Generation()
+	topo.NoteDeviceChanged(topo.ToRs()[0])
+	if ds := delta.Compute(topo, changesAfter(t, topo, gen), delta.Options{}); !ds.Full() {
+		t.Fatal("ChangeDevice must degrade to full")
+	}
+
+	gen = topo.Generation()
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	opts := delta.Options{UnboundedConfig: true}
+	if ds := delta.Compute(topo, changesAfter(t, topo, gen), opts); !ds.Full() {
+		t.Fatal("UnboundedConfig with link changes must degrade to full")
+	}
+}
+
+func TestEmptyWindowIsEmpty(t *testing.T) {
+	topo := multiSpine(t)
+	ds := delta.Compute(topo, nil, delta.Options{})
+	if ds.Full() || ds.Count() != 0 {
+		t.Fatalf("empty change window must be empty, got %v full=%v", ds.Devices(), ds.Full())
+	}
+}
+
+// renderTables snapshots every device's converged table as a comparable
+// string.
+func renderTables(t *testing.T, topo *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig) map[topology.DeviceID]string {
+	t.Helper()
+	s := bgp.NewSynth(topo, cfg)
+	out := make(map[topology.DeviceID]string, len(topo.Devices))
+	for id := range topo.Devices {
+		d := topology.DeviceID(id)
+		tbl, err := s.Table(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tbl.Clone()
+		c.Sort()
+		out[d] = fmt.Sprint(c.Entries)
+	}
+	return out
+}
+
+// TestBlastRadiusIsSuperset is the soundness property: after any random
+// sequence of link/session flips — applied to arbitrary (possibly already
+// degraded) starting states — every device whose converged table changed
+// is inside the computed blast radius.
+func TestBlastRadiusIsSuperset(t *testing.T) {
+	paramSets := []topology.Params{
+		topology.Figure3Params(), // SpinesPerPlane == 1: no alternatives
+		{Clusters: 3, ToRsPerCluster: 2, LeavesPerCluster: 2,
+			SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2, PrefixesPerToR: 1},
+		{Clusters: 4, ToRsPerCluster: 2, LeavesPerCluster: 3,
+			SpinesPerPlane: 3, RegionalSpines: 6, RSLinksPerSpine: 2, PrefixesPerToR: 1},
+	}
+	for pi, p := range paramSets {
+		p := p
+		t.Run(fmt.Sprintf("params%d", pi), func(t *testing.T) {
+			topo := topology.MustNew(p)
+			// A safe config knob on a few devices: ECMP truncation must not
+			// break the bound (it only changes when the full set does).
+			cfg := map[topology.DeviceID]*bgp.DeviceConfig{
+				topo.ToRs()[0]:   {MaxECMPPaths: 1},
+				topo.Leaves()[1]: {MaxECMPPaths: 2},
+			}
+			rng := rand.New(rand.NewSource(int64(42 + pi)))
+			for trial := 0; trial < 60; trial++ {
+				before := renderTables(t, topo, cfg)
+				gen := topo.Generation()
+				nflips := 1 + rng.Intn(4)
+				for i := 0; i < nflips; i++ {
+					lid := topology.LinkID(rng.Intn(len(topo.Links)))
+					if rng.Intn(2) == 0 {
+						topo.SetLinkUp(lid, rng.Intn(2) == 0)
+					} else {
+						topo.SetSessionUp(lid, rng.Intn(2) == 0)
+					}
+				}
+				ds := delta.Compute(topo, changesAfter(t, topo, gen), delta.Options{})
+				if ds.Full() {
+					continue // trivially sound
+				}
+				after := renderTables(t, topo, cfg)
+				for id := range topo.Devices {
+					d := topology.DeviceID(id)
+					if before[d] != after[d] && !ds.Contains(d) {
+						cs, _ := topo.ChangesSince(gen)
+						t.Fatalf("trial %d: device %s table changed outside blast radius\nchanges: %+v\nblast: %v\nbefore: %s\nafter: %s",
+							trial, topo.Device(d).Name, cs, ds.Devices(), before[d], after[d])
+					}
+				}
+			}
+		})
+	}
+}

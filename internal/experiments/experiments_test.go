@@ -85,3 +85,13 @@ func TestSizedParams(t *testing.T) {
 func TestE15Smoke(t *testing.T) { checkResult(t, E15Region(), "E15") }
 
 func TestE13bSmoke(t *testing.T) { checkResult(t, E13bIncremental(150), "E13b") }
+
+// The soundness gate (verifyMax >= size) runs here: a blast-radius or
+// report-equivalence violation panics.
+func TestE16Smoke(t *testing.T) {
+	res, rows := E16Incremental([]int{150}, 200)
+	checkResult(t, res, "E16")
+	if len(rows) != 1 || !rows[0].Verified || rows[0].Dirty == 0 {
+		t.Fatalf("rows = %+v, want one verified row with a nonempty blast radius", rows)
+	}
+}

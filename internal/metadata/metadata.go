@@ -58,7 +58,21 @@ type Facts struct {
 	Prefixes   []PrefixFacts `json:"prefixes"`
 
 	byName map[string]int
+	// gen counts intent changes (see NoteIntentChange). Unlike the
+	// topology generation, it does NOT advance on link state flips: facts
+	// model the expected architecture, so contracts derived from them stay
+	// valid across failures.
+	gen uint64
 }
+
+// Generation returns the intent-change counter. Contract memoization keys
+// on it: link-state changes leave it untouched, edits to the facts
+// themselves must advance it via NoteIntentChange.
+func (f *Facts) Generation() uint64 { return f.gen }
+
+// NoteIntentChange records an edit to the facts (devices added or retired,
+// prefixes moved), invalidating memoized contracts derived from them.
+func (f *Facts) NoteIntentChange() { f.gen++ }
 
 // FromTopology extracts the metadata facts from a datacenter topology.
 // Link state is deliberately ignored: the metadata service describes the

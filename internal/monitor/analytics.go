@@ -268,7 +268,7 @@ func AutoRemediate(errs []TriagedError, dcs []*Datacenter, lossy map[topology.Li
 				escalated = append(escalated, esc)
 				continue
 			}
-			l.SessionUp = true
+			dc.Topo.SetSessionUp(lid, true)
 			restored++
 		}
 	}

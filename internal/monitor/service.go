@@ -63,6 +63,18 @@ type Instance struct {
 	// table and contract documents are unchanged since their last
 	// validation are skipped and their previous result carried forward.
 	SkipUnchanged bool
+	// Incremental enables journal-driven delta cycles: after an initial
+	// full sweep, each cycle consumes the topology change journal, computes
+	// the blast radius of the changes (internal/delta), and pulls/validates
+	// only those devices plus any currently failing ones. Every other
+	// device's previous result is carried forward. Cycles fall back to a
+	// full sweep whenever the blast radius is unbounded or the journal was
+	// truncated; FullSweepEvery adds a periodic safety net on top.
+	Incremental bool
+	// FullSweepEvery forces a full sweep every N cycles while Incremental
+	// is set, bounding the damage of any blast-radius underestimate
+	// (0 = default 16).
+	FullSweepEvery int
 	// PullLatencyMin/Max model the 200–800ms per-device routing table
 	// fetch of §2.6.1. Latencies are accounted virtually (no sleeping) and
 	// reported in CycleStats.ModeledPullTime.
@@ -93,6 +105,13 @@ type Instance struct {
 	memo       map[string]deviceMemo    // incremental-validation cache
 	health     map[string]*DeviceHealth // per-device liveness tracking
 	pullFailed []DeviceError            // latest pull pass's casualties
+
+	// Incremental-cycle bookkeeping (see cyclePlan / carryForward).
+	lastGen        map[string]uint64 // per-DC topology generation at the last cycle's pull
+	lastFullSweep  int               // cycle number of the last full sweep
+	lastFactsGen   uint64            // summed facts generation at the last contract push
+	contractsTotal int               // contract count from the last push
+	observed       map[string]bool   // devices attempted (pulled) this cycle
 }
 
 // NewInstance creates a service instance with the §2.6.1 default latency
@@ -153,6 +172,18 @@ type CycleStats struct {
 	// Unmonitored counts devices past the consecutive-failure threshold;
 	// each is escalated into the alert queue as telemetry loss.
 	Unmonitored int
+	// FullSweep reports whether this cycle pulled and validated the whole
+	// fleet (always true without Incremental; with it, true on the first
+	// cycle, on the FullSweepEvery safety net, and on unbounded-blast or
+	// journal-truncation fallbacks).
+	FullSweep bool
+	// DirtyDevices counts the devices scheduled for revalidation this
+	// cycle: the blast radius of the journaled changes plus currently
+	// failing devices (equals Devices on a full sweep).
+	DirtyDevices int
+	// CarriedForward counts devices outside the dirty set whose previous
+	// result was re-ingested unchanged (Incremental cycles only).
+	CarriedForward int
 	// ModeledPullTime is the wall time the table pulls would take given
 	// the per-device fetch latency model (including failed attempts and
 	// retry backoff) and the worker parallelism.
@@ -249,6 +280,15 @@ type PullStats struct {
 // failed after retries (also listed in PullStats.Failed); the pass itself
 // always completes.
 func (in *Instance) PullTables() (PullStats, error) {
+	return in.pullDevices(nil)
+}
+
+// pullDevices runs one pull pass over the planned device set (per-DC
+// device lists keyed by datacenter name; nil means every device of every
+// datacenter). Sources are always refreshed — derived converged state is
+// cheap to recompute and must reflect the live topology even for devices
+// outside the plan.
+func (in *Instance) pullDevices(plan map[string][]topology.DeviceID) (PullStats, error) {
 	for _, dc := range in.Datacenters {
 		if r, ok := dc.Source.(refresher); ok {
 			r.Refresh()
@@ -261,8 +301,19 @@ func (in *Instance) PullTables() (PullStats, error) {
 	}
 	var list []job
 	for _, dc := range in.Datacenters {
+		if plan != nil {
+			for _, dev := range plan[dc.Name] {
+				list = append(list, job{dc: dc, dev: dev})
+			}
+			continue
+		}
 		for i := range dc.Facts.Devices {
 			list = append(list, job{dc: dc, dev: dc.Facts.Devices[i].ID})
+		}
+	}
+	if in.observed != nil {
+		for _, j := range list {
+			in.observed[memoKey(j.dc.Name, int32(j.dev))] = true
 		}
 	}
 	// Pre-seed a per-job RNG in dispatch order: every latency and jitter
@@ -553,20 +604,45 @@ func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, ra
 	return v.ValidateDevice(dc.Facts, tbl, set)
 }
 
-// RunCycle performs one full monitoring cycle: regenerate contracts, pull
-// all tables, validate everything that was notified. Per-device failures
-// degrade the cycle (stale carry-forward, Unmonitored escalation) and are
-// enumerated in CycleStats.Errs; the returned error is reserved for
-// faults that stop the pipeline itself.
+// RunCycle performs one monitoring cycle: regenerate contracts if the
+// intent changed, pull and validate either the whole fleet (full sweep)
+// or, with Incremental set, just the blast radius of the topology changes
+// journaled since the previous cycle — every untouched device's previous
+// result is carried forward, so the cycle still accounts for the full
+// fleet. Per-device failures degrade the cycle (stale carry-forward,
+// Unmonitored escalation) and are enumerated in CycleStats.Errs; the
+// returned error is reserved for faults that stop the pipeline itself.
 func (in *Instance) RunCycle() (CycleStats, error) {
 	in.cycle++
 	stats := CycleStats{Cycle: in.cycle}
-	n, err := in.GenerateContracts()
-	if err != nil {
-		return stats, err
+	plan, full := in.cyclePlan()
+	stats.FullSweep = full
+
+	// Contracts derive from intent, not link state: regenerate only when
+	// some datacenter's facts changed (or on the first push).
+	factsGen := uint64(0)
+	for _, dc := range in.Datacenters {
+		factsGen += dc.Facts.Generation()
 	}
-	stats.Contracts = n
-	ps, _ := in.PullTables()
+	if in.contractsTotal == 0 || factsGen != in.lastFactsGen {
+		n, err := in.GenerateContracts()
+		if err != nil {
+			return stats, err
+		}
+		in.contractsTotal = n
+		in.lastFactsGen = factsGen
+	}
+	stats.Contracts = in.contractsTotal
+
+	// Snapshot generations before pulling: a change that lands mid-cycle
+	// may or may not be visible to this cycle's pulls, but it stays in the
+	// next cycle's journal window either way (at-least-once revalidation).
+	gens := make(map[string]uint64, len(in.Datacenters))
+	for _, dc := range in.Datacenters {
+		gens[dc.Name] = dc.Topo.Generation()
+	}
+	in.observed = make(map[string]bool)
+	ps, _ := in.pullDevices(plan)
 	stats.ModeledPullTime = ps.Modeled
 	stats.Retries = ps.Retries
 	stats.PullFailures = len(ps.Failed)
@@ -578,7 +654,16 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 	stats.StaleDevices = vs.Stale
 	stats.Unmonitored = vs.Unmonitored
 	stats.Errs = vs.Errs
+	stats.DirtyDevices = len(in.observed)
+	if !full {
+		in.carryForward(&stats)
+	}
+	in.observed = nil
 	stats.ValidateTime = clock.Since(in.Clock, start)
+	in.lastGen = gens
+	if full {
+		in.lastFullSweep = in.cycle
+	}
 	return stats, nil
 }
 

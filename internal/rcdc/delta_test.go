@@ -1,0 +1,134 @@
+package rcdc
+
+import (
+	"errors"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/delta"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+// reportsEquivalent compares two reports ignoring timing fields.
+func reportsEquivalent(t *testing.T, got, want *Report) {
+	t.Helper()
+	if got.Checked != want.Checked || got.Failures != want.Failures {
+		t.Fatalf("totals differ: checked %d/%d failures %d/%d",
+			got.Checked, want.Checked, got.Failures, want.Failures)
+	}
+	if len(got.Devices) != len(want.Devices) {
+		t.Fatalf("device counts differ: %d vs %d", len(got.Devices), len(want.Devices))
+	}
+	for i := range got.Devices {
+		g, w := got.Devices[i], want.Devices[i]
+		if g.Device != w.Device || g.Name != w.Name || g.Role != w.Role ||
+			g.Contracts != w.Contracts || len(g.Violations) != len(w.Violations) {
+			t.Fatalf("device %d differs:\n got %+v\nwant %+v", i, g, w)
+		}
+		for j := range g.Violations {
+			if g.Violations[j].String() != w.Violations[j].String() {
+				t.Fatalf("device %d violation %d differs: %s vs %s",
+					i, j, g.Violations[j], w.Violations[j])
+			}
+		}
+	}
+}
+
+func TestValidateAllReturnsPartialReportOnError(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	bad := topo.ToRs()[1]
+	src := failingSource{inner: bgp.NewSynth(topo, nil), bad: bad}
+	v := Validator{Workers: 4}
+	rep, err := v.ValidateAll(facts, src)
+	if err == nil || !errors.Is(err, errPull) {
+		t.Fatalf("err = %v, want wrapped errPull", err)
+	}
+	if rep == nil {
+		t.Fatal("partial report must be returned alongside the error")
+	}
+	if got, want := len(rep.Devices), len(topo.Devices)-1; got != want {
+		t.Fatalf("partial report covers %d devices, want %d", got, want)
+	}
+	for _, dr := range rep.Devices {
+		if dr.Device == bad {
+			t.Fatal("failed device must not appear in the partial report")
+		}
+	}
+}
+
+func TestValidateDeltaMatchesFullSweep(t *testing.T) {
+	topo := topology.MustNew(topology.Params{
+		Clusters: 3, ToRsPerCluster: 4, LeavesPerCluster: 2,
+		SpinesPerPlane: 2, RegionalSpines: 4, RSLinksPerSpine: 2,
+		PrefixesPerToR: 1,
+	})
+	facts := metadata.FromTopology(topo)
+	v := Validator{Workers: 2}
+	prev, err := v.ValidateAll(facts, bgp.NewSynth(topo, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := topo.Generation()
+	topo.FailLink(topo.ClusterLeaves(0)[0], topo.Spines()[0])
+	changes, ok := topo.ChangesSince(gen)
+	if !ok {
+		t.Fatal("journal truncated")
+	}
+	ds := delta.Compute(topo, changes, delta.Options{})
+	if ds.Full() {
+		t.Fatal("expected a bounded blast radius")
+	}
+
+	src := bgp.NewSynth(topo, nil)
+	got, err := v.ValidateDelta(prev, facts, nil, src, ds.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := v.ValidateAll(facts, bgp.NewSynth(topo, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEquivalent(t, got, want)
+}
+
+func TestValidateDeltaRequiresPrev(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	v := Validator{Workers: 1}
+	if _, err := v.ValidateDelta(nil, facts, nil, bgp.NewSynth(topo, nil), nil); err == nil {
+		t.Fatal("nil prev must error")
+	}
+}
+
+func TestValidateDeltaKeepsPrevResultOnError(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	v := Validator{Workers: 2}
+	prev, err := v.ValidateAll(facts, bgp.NewSynth(topo, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := topo.ToRs()[0]
+	src := failingSource{inner: bgp.NewSynth(topo, nil), bad: bad}
+	gen := contracts.NewGenerator(facts)
+	rep, err := v.ValidateDelta(prev, facts, gen, src, []topology.DeviceID{bad})
+	if err == nil || !errors.Is(err, errPull) {
+		t.Fatalf("err = %v, want wrapped errPull", err)
+	}
+	if len(rep.Devices) != len(prev.Devices) {
+		t.Fatalf("report covers %d devices, want %d", len(rep.Devices), len(prev.Devices))
+	}
+	found := false
+	for _, dr := range rep.Devices {
+		if dr.Device == bad {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed dirty device must keep its previous result")
+	}
+}

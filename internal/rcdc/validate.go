@@ -1,6 +1,7 @@
 package rcdc
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -34,6 +35,10 @@ type Report struct {
 	Workers  int
 	Checked  int // total contracts checked
 	Failures int // total violations
+	// Generation is caller-maintained bookkeeping: the topology generation
+	// the report reflects, recorded by callers that feed the report back
+	// into ValidateDelta (the validator itself never reads it).
+	Generation uint64
 }
 
 // HighRisk returns the number of high-risk violations (§2.6.4).
@@ -95,17 +100,20 @@ func (v *Validator) ValidateDevice(facts *metadata.Facts, tbl *fib.Table, dc con
 	}, nil
 }
 
-// ValidateAll checks every device, pulling each FIB from the source and
-// generating its contracts on the fly. FIBs are not retained: memory stays
-// O(one device) per worker regardless of datacenter size.
-func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Report, error) {
-	gen := contracts.NewGenerator(facts)
-	workers := v.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func (v *Validator) workers() int {
+	if v.Workers > 0 {
+		return v.Workers
 	}
-	start := clock.Or(v.Clock).Now()
+	return runtime.GOMAXPROCS(0)
+}
 
+// validateSet runs the worker pool over one device set, pulling each FIB
+// from the source and validating it against gen's contracts. It returns
+// the per-device reports in ascending device order together with every
+// per-device error (the two are disjoint: an errored device produces no
+// report).
+func (v *Validator) validateSet(facts *metadata.Facts, gen *contracts.Generator,
+	source fib.Source, devs []topology.DeviceID) ([]DeviceReport, []error) {
 	type result struct {
 		rep DeviceReport
 		err error
@@ -113,7 +121,7 @@ func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Repo
 	ids := make(chan topology.DeviceID)
 	results := make(chan result)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < v.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -129,31 +137,95 @@ func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Repo
 		}()
 	}
 	go func() {
-		for i := range facts.Devices {
-			ids <- facts.Devices[i].ID
+		for _, id := range devs {
+			ids <- id
 		}
 		close(ids)
 		wg.Wait()
 		close(results)
 	}()
 
-	rep := &Report{Workers: workers}
-	var firstErr error
+	var reps []DeviceReport
+	var errs []error
 	for r := range results {
 		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
+			errs = append(errs, r.err)
 			continue
 		}
-		rep.Devices = append(rep.Devices, r.rep)
-		rep.Checked += r.rep.Contracts
-		rep.Failures += len(r.rep.Violations)
+		reps = append(reps, r.rep)
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Device < reps[j].Device })
+	return reps, errs
+}
+
+// ValidateAll checks every device, pulling each FIB from the source and
+// generating its contracts on the fly. FIBs are not retained: memory stays
+// O(one device) per worker regardless of datacenter size.
+//
+// Per-device failures degrade rather than abort: the returned report
+// covers every device that validated, alongside an errors.Join of the
+// devices that did not — mirroring the monitor's graceful-degradation
+// policy. Callers that need all-or-nothing semantics should treat a
+// non-nil error as fatal; callers that can tolerate partial coverage get
+// the partial report either way.
+func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Report, error) {
+	start := clock.Or(v.Clock).Now()
+	devs := make([]topology.DeviceID, len(facts.Devices))
+	for i := range facts.Devices {
+		devs[i] = facts.Devices[i].ID
+	}
+	reps, errs := v.validateSet(facts, contracts.NewGenerator(facts), source, devs)
+	rep := &Report{Workers: v.workers(), Devices: reps}
+	for i := range reps {
+		rep.Checked += reps[i].Contracts
+		rep.Failures += len(reps[i].Violations)
+	}
+	rep.Elapsed = clock.Since(v.Clock, start)
+	return rep, errors.Join(errs...)
+}
+
+// ValidateDelta revalidates only the dirty devices (a blast-radius set
+// from internal/delta) and splices the fresh results into prev, carrying
+// every other device's result forward unchanged. The spliced report keeps
+// the sorted-by-device order, so a delta report over an accurate dirty set
+// is byte-identical to a from-scratch full sweep under a fixed clock — the
+// determinism invariant the equivalence test locks.
+//
+// prev must be a complete report over the same device set (typically from
+// ValidateAll or an earlier ValidateDelta); it is not mutated. gen may be
+// nil for a transient generator, or a shared memoizing generator to
+// amortize contract generation across repeated delta validations.
+// Per-device failures degrade as in ValidateAll: a failed dirty device
+// keeps its previous result, and the error return enumerates the failures.
+func (v *Validator) ValidateDelta(prev *Report, facts *metadata.Facts, gen *contracts.Generator,
+	source fib.Source, dirty []topology.DeviceID) (*Report, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("rcdc: ValidateDelta requires a previous report")
+	}
+	start := clock.Or(v.Clock).Now()
+	if gen == nil {
+		gen = contracts.NewGenerator(facts)
+	}
+	fresh, errs := v.validateSet(facts, gen, source, dirty)
+
+	rep := &Report{Workers: v.workers()}
+	rep.Devices = append([]DeviceReport(nil), prev.Devices...)
+	pos := make(map[topology.DeviceID]int, len(rep.Devices))
+	for i := range rep.Devices {
+		pos[rep.Devices[i].Device] = i
+	}
+	for _, fr := range fresh {
+		if i, ok := pos[fr.Device]; ok {
+			rep.Devices[i] = fr
+		} else {
+			rep.Devices = append(rep.Devices, fr)
+		}
 	}
 	sort.Slice(rep.Devices, func(i, j int) bool { return rep.Devices[i].Device < rep.Devices[j].Device })
+	for i := range rep.Devices {
+		rep.Checked += rep.Devices[i].Contracts
+		rep.Failures += len(rep.Devices[i].Violations)
+	}
 	rep.Elapsed = clock.Since(v.Clock, start)
-	return rep, nil
+	return rep, errors.Join(errs...)
 }

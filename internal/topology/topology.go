@@ -20,6 +20,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"dcvalidate/internal/ipnet"
 )
@@ -176,6 +177,57 @@ const (
 	asnToRBase       = 4210000000 // + ToR index within cluster (reused across clusters)
 )
 
+// ChangeKind classifies one recorded topology mutation for the change
+// journal consumed by incremental revalidation.
+type ChangeKind uint8
+
+const (
+	// ChangeLinkDown / ChangeLinkUp record physical link state flips.
+	ChangeLinkDown ChangeKind = iota
+	ChangeLinkUp
+	// ChangeSessionDown / ChangeSessionUp record BGP session admin flips.
+	ChangeSessionDown
+	ChangeSessionUp
+	// ChangeDevice records an out-of-band per-device change — device
+	// configuration edits, FIB reloads, remediation — whose forwarding
+	// impact the journal cannot localize to a link.
+	ChangeDevice
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeLinkDown:
+		return "link-down"
+	case ChangeLinkUp:
+		return "link-up"
+	case ChangeSessionDown:
+		return "session-down"
+	case ChangeSessionUp:
+		return "session-up"
+	case ChangeDevice:
+		return "device"
+	}
+	return "unknown"
+}
+
+// Change is one journaled topology mutation.
+type Change struct {
+	Kind ChangeKind
+	// Link is the affected link for link/session changes; -1 for
+	// ChangeDevice.
+	Link LinkID
+	// Device is the affected device for ChangeDevice; None otherwise.
+	Device DeviceID
+	// Gen is the topology generation the change produced.
+	Gen uint64
+}
+
+// maxJournal bounds the change journal: once exceeded, the oldest entries
+// are dropped and ChangesSince answers ok=false for generations before the
+// truncation point, forcing consumers back to a full sweep. The bound keeps
+// journal memory O(1) in the age of the topology.
+const maxJournal = 4096
+
 // Topology is a generated datacenter network.
 type Topology struct {
 	Params  Params
@@ -191,6 +243,13 @@ type Topology struct {
 	leaves  []DeviceID
 	spines  []DeviceID
 	rspines []DeviceID
+
+	// Change journal: gen counts mutations since construction, journal
+	// holds the most recent maxJournal of them, journalFloor is the newest
+	// generation that has been truncated away (0 = journal complete).
+	gen          uint64
+	journal      []Change
+	journalFloor uint64
 }
 
 // New generates a datacenter network from the parameters.
@@ -385,12 +444,86 @@ func (t *Topology) LiveNeighbors(d DeviceID) []DeviceID {
 	return out
 }
 
+// Generation returns the monotonic mutation counter: it advances on every
+// journaled state change (link/session flips, device-level changes). A
+// freshly constructed topology is at generation 0.
+func (t *Topology) Generation() uint64 { return t.gen }
+
+// ChangesSince returns the journal entries recorded after generation gen,
+// oldest first. ok is false when the journal has been truncated past gen
+// (too many changes since the caller last looked): the caller no longer
+// knows what changed and must fall back to a full revalidation.
+//
+// Direct writes to Link fields bypass the journal; use the SetLinkUp /
+// SetSessionUp / NoteDeviceChanged mutators (or FailLink / ShutSession /
+// RestoreAll) for any change incremental consumers must observe.
+func (t *Topology) ChangesSince(gen uint64) (changes []Change, ok bool) {
+	if gen < t.journalFloor {
+		return nil, false
+	}
+	if gen >= t.gen {
+		return nil, true
+	}
+	// Journal entries are generation-ordered; find the first entry > gen.
+	i := sort.Search(len(t.journal), func(i int) bool { return t.journal[i].Gen > gen })
+	return t.journal[i:], true
+}
+
+// record journals one mutation and bumps the generation.
+func (t *Topology) record(c Change) {
+	t.gen++
+	c.Gen = t.gen
+	t.journal = append(t.journal, c)
+	if len(t.journal) > maxJournal {
+		drop := len(t.journal) - maxJournal
+		t.journalFloor = t.journal[drop-1].Gen
+		t.journal = append(t.journal[:0:0], t.journal[drop:]...)
+	}
+}
+
+// SetLinkUp sets the physical state of a link, journaling the transition.
+// No-op (and no journal entry) when the link is already in that state.
+func (t *Topology) SetLinkUp(id LinkID, up bool) {
+	l := &t.Links[id]
+	if l.Up == up {
+		return
+	}
+	l.Up = up
+	kind := ChangeLinkDown
+	if up {
+		kind = ChangeLinkUp
+	}
+	t.record(Change{Kind: kind, Link: id, Device: None})
+}
+
+// SetSessionUp sets the BGP session admin state of a link, journaling the
+// transition. No-op when the link is already in that state.
+func (t *Topology) SetSessionUp(id LinkID, up bool) {
+	l := &t.Links[id]
+	if l.SessionUp == up {
+		return
+	}
+	l.SessionUp = up
+	kind := ChangeSessionDown
+	if up {
+		kind = ChangeSessionUp
+	}
+	t.record(Change{Kind: kind, Link: id, Device: None})
+}
+
+// NoteDeviceChanged journals an out-of-band change to one device (a
+// configuration edit, a FIB reload) that incremental consumers cannot
+// bound to a link. Blast-radius analysis treats it conservatively.
+func (t *Topology) NoteDeviceChanged(d DeviceID) {
+	t.record(Change{Kind: ChangeDevice, Link: -1, Device: d})
+}
+
 // FailLink marks the link between a and b physically down (optical fault).
 // It reports whether such a link exists.
 func (t *Topology) FailLink(a, b DeviceID) bool {
 	l, ok := t.LinkBetween(a, b)
 	if ok {
-		l.Up = false
+		t.SetLinkUp(l.ID, false)
 	}
 	return ok
 }
@@ -400,14 +533,15 @@ func (t *Topology) FailLink(a, b DeviceID) bool {
 func (t *Topology) ShutSession(a, b DeviceID) bool {
 	l, ok := t.LinkBetween(a, b)
 	if ok {
-		l.SessionUp = false
+		t.SetSessionUp(l.ID, false)
 	}
 	return ok
 }
 
 // Clone returns an independent copy of the topology, including current
 // link state. The network emulator uses clones to try out changes without
-// touching production (§2.7).
+// touching production (§2.7). The clone starts with a fresh journal at
+// generation 0: its history begins at the cloned state.
 func (t *Topology) Clone() *Topology {
 	cp := MustNew(t.Params)
 	for i := range t.Links {
@@ -417,11 +551,12 @@ func (t *Topology) Clone() *Topology {
 	return cp
 }
 
-// RestoreAll returns every link to the healthy state.
+// RestoreAll returns every link to the healthy state, journaling each
+// individual flip so incremental consumers see a bounded change set.
 func (t *Topology) RestoreAll() {
 	for i := range t.Links {
-		t.Links[i].Up = true
-		t.Links[i].SessionUp = true
+		t.SetLinkUp(LinkID(i), true)
+		t.SetSessionUp(LinkID(i), true)
 	}
 }
 

@@ -74,22 +74,26 @@ func (s *Scenario) cfg(d topology.DeviceID) *bgp.DeviceConfig {
 }
 
 // InjectRIBFIBBug makes device d's FIB default route carry only keep next
-// hops while the routing protocol state is healthy (Software Bug 1).
+// hops while the routing protocol state is healthy (Software Bug 1). The
+// corruption happens at FIB extraction, invisible to the topology, so the
+// change journal gets an explicit device event.
 func (s *Scenario) InjectRIBFIBBug(d topology.DeviceID, keep int) {
 	s.ribFibKeep[d] = keep
+	s.Topo.NoteDeviceChanged(d)
 	s.record(monitor.ClassRIBFIBBug, d, -1)
 }
 
 // InjectL2PortBug disables every BGP session of device d (Software Bug 2).
 func (s *Scenario) InjectL2PortBug(d topology.DeviceID) {
 	s.cfg(d).SessionsDisabled = true
+	s.Topo.NoteDeviceChanged(d)
 	s.record(monitor.ClassL2PortBug, d, -1)
 }
 
 // InjectOpticalFailure takes a link operationally down (Hardware Failure).
 func (s *Scenario) InjectOpticalFailure(l topology.LinkID) {
 	lk := s.Topo.Link(l)
-	lk.Up = false
+	s.Topo.SetLinkUp(l, false)
 	s.Injected = append(s.Injected, Injection{
 		Class: monitor.ClassHardwareFailure, Devices: []topology.DeviceID{lk.A, lk.B}, Link: l,
 	})
@@ -99,7 +103,7 @@ func (s *Scenario) InjectOpticalFailure(l topology.LinkID) {
 // mitigation never remediated). If lossy, auto-remediation will re-shut it.
 func (s *Scenario) InjectOperationDrift(l topology.LinkID, lossy bool) {
 	lk := s.Topo.Link(l)
-	lk.SessionUp = false
+	s.Topo.SetSessionUp(l, false)
 	if lossy {
 		s.Lossy[l] = true
 	}
@@ -115,6 +119,7 @@ func (s *Scenario) InjectMigrationClash(a, b int) {
 	var devs []topology.DeviceID
 	for _, leaf := range s.Topo.ClusterLeaves(b) {
 		s.cfg(leaf).ASNOverride = asn
+		s.Topo.NoteDeviceChanged(leaf)
 		devs = append(devs, leaf)
 	}
 	s.Injected = append(s.Injected, Injection{Class: monitor.ClassMigration, Devices: devs, Link: -1})
@@ -124,6 +129,7 @@ func (s *Scenario) InjectMigrationClash(a, b int) {
 // routes on device d (Policy Error 1).
 func (s *Scenario) InjectPolicyRejectDefault(d topology.DeviceID) {
 	s.cfg(d).RejectDefaultIn = true
+	s.Topo.NoteDeviceChanged(d)
 	s.record(monitor.ClassPolicyError, d, -1)
 }
 
@@ -131,6 +137,7 @@ func (s *Scenario) InjectPolicyRejectDefault(d topology.DeviceID) {
 // next hop on device d (Policy Error 2).
 func (s *Scenario) InjectPolicyECMPSingle(d topology.DeviceID) {
 	s.cfg(d).MaxECMPPaths = 1
+	s.Topo.NoteDeviceChanged(d)
 	s.record(monitor.ClassPolicyError, d, -1)
 }
 
@@ -178,18 +185,19 @@ func (s *Scenario) Remediate(class monitor.ErrorClass, dev topology.DeviceID) bo
 	case monitor.ClassRIBFIBBug:
 		if _, ok := s.ribFibKeep[dev]; ok {
 			delete(s.ribFibKeep, dev) // FIB reprogrammed from the healthy RIB
+			s.Topo.NoteDeviceChanged(dev)
 			fixed = true
 		}
 	case monitor.ClassL2PortBug:
 		if c := s.Cfg[dev]; c != nil && c.SessionsDisabled {
 			c.SessionsDisabled = false
+			s.Topo.NoteDeviceChanged(dev)
 			fixed = true
 		}
 	case monitor.ClassHardwareFailure:
 		for _, lid := range s.Topo.LinksOf(dev) {
-			l := s.Topo.Link(lid)
-			if !l.Up {
-				l.Up = true // cable replaced
+			if !s.Topo.Link(lid).Up {
+				s.Topo.SetLinkUp(lid, true) // cable replaced
 				delete(s.Lossy, lid)
 				fixed = true
 			}
@@ -203,7 +211,7 @@ func (s *Scenario) Remediate(class monitor.ErrorClass, dev topology.DeviceID) bo
 					// session can stay up.
 					delete(s.Lossy, lid)
 				}
-				l.SessionUp = true
+				s.Topo.SetSessionUp(lid, true)
 				fixed = true
 			}
 		}
@@ -213,6 +221,7 @@ func (s *Scenario) Remediate(class monitor.ErrorClass, dev topology.DeviceID) bo
 				c.ASNOverride = 0
 				c.RejectDefaultIn = false
 				c.MaxECMPPaths = 0
+				s.Topo.NoteDeviceChanged(dev)
 				fixed = true
 			}
 		}
