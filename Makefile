@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint test test-short test-race bench bench-smoke metrics-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -35,6 +35,12 @@ bench:
 # delta report diverging from a full sweep, panics and fails the target.
 bench-smoke:
 	$(GO) run ./cmd/dcbench -e e16 -quick
+
+# CI gate for the observability layer: run a short fault-free dcmon with
+# -metrics-addr, curl /metrics, and fail on missing series, non-finite
+# values, or a dead pprof endpoint (see scripts/metrics_smoke.sh).
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 # Brief fuzz sessions over every parser (extend -fuzztime for real runs).
 FUZZTIME ?= 15s

@@ -9,7 +9,11 @@
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
 // E16 additionally writes its machine-readable rows to
-// BENCH_incremental.json in the current directory.
+// BENCH_incremental.json in the current directory. Every run records a
+// per-experiment snapshot of the observability registry (validator,
+// solver, and synth-cache series plus dcv_experiment_seconds) and writes
+// them to -metrics-out as JSON: one entry per experiment holding the
+// delta of every series that moved during it.
 package main
 
 import (
@@ -17,16 +21,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"dcvalidate/internal/experiments"
+	"dcvalidate/internal/obs"
 )
+
+// phaseMetrics is one -metrics-out entry: the registry movement
+// attributable to a single experiment.
+type phaseMetrics struct {
+	ID      string       `json:"id"`
+	Samples []obs.Sample `json:"samples"`
+}
 
 func main() {
 	var (
-		only  = flag.String("e", "", "comma-separated experiment ids (e1..e16, e7b, e13b, e13c); empty = all")
-		quick = flag.Bool("quick", false, "reduced sweeps")
-		full  = flag.Bool("full", false, "include the 10^4-device sweep point")
+		only       = flag.String("e", "", "comma-separated experiment ids (e1..e16, e7b, e13b, e13c); empty = all")
+		quick      = flag.Bool("quick", false, "reduced sweeps")
+		full       = flag.Bool("full", false, "include the 10^4-device sweep point")
+		metricsOut = flag.String("metrics-out", "BENCH_metrics.json", "write per-experiment metric snapshots to this file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -103,16 +117,65 @@ func main() {
 			return res
 		}},
 	}
+	if *metricsOut != "" {
+		experiments.Metrics = obs.NewRegistry()
+	}
 	ran := 0
+	var phases []phaseMetrics
+	prev := map[string]float64{}
 	for _, e := range all {
 		if !run(e.id) {
 			continue
 		}
-		fmt.Println(e.fn())
+		fmt.Println(experiments.Phase(e.id, e.fn))
 		ran++
+		if experiments.Metrics != nil {
+			phases = append(phases, phaseMetrics{
+				ID:      e.id,
+				Samples: snapshotDelta(experiments.Metrics, prev),
+			})
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "dcbench: no experiment matches %q\n", *only)
 		os.Exit(2)
 	}
+	if *metricsOut != "" {
+		raw, err := json.MarshalIndent(phases, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("dcbench: wrote per-experiment metrics for %d experiment(s) to %s\n", ran, *metricsOut)
+	}
+}
+
+// snapshotDelta returns the registry samples that moved since the last
+// call, updating prev in place. Counters and histogram series are
+// cumulative so subtracting the previous value isolates one experiment's
+// contribution; dcv_experiment_seconds gauges are set once per id and
+// pass through unchanged.
+func snapshotDelta(reg *obs.Registry, prev map[string]float64) []obs.Sample {
+	var out []obs.Sample
+	for _, s := range reg.Snapshot() {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		key := s.Name
+		for _, k := range keys {
+			key += "\x00" + k + "=" + s.Labels[k]
+		}
+		d := s.Value - prev[key]
+		prev[key] = s.Value
+		if d != 0 {
+			s.Value = d
+			out = append(out, s)
+		}
+	}
+	return out
 }

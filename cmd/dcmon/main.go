@@ -8,40 +8,54 @@
 // transient pull failures (retried with backoff), -dead kills device
 // management planes until remediated, -corrupt mangles store documents.
 //
+// With -metrics-addr the process serves the observability registry as
+// Prometheus text on /metrics plus the standard net/http/pprof profiles
+// on /debug/pprof/, and stays up after the run until interrupted. All
+// durations dcmon reports come from the instance clock through the
+// metrics registry — the command itself never reads the wall clock.
+//
 // Usage:
 //
 //	dcmon -clusters 6 -tors 12 -faults 24 -cycles 14 -fix 4
 //	dcmon -faults 10 -pullfail 0.1 -dead 2 -cycles 16
+//	dcmon -faults 0 -cycles 3 -metrics-addr :9090
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/obs"
 	"dcvalidate/internal/topology"
 	"dcvalidate/internal/workload"
 )
 
 func main() {
 	var (
-		clusters = flag.Int("clusters", 6, "clusters")
-		tors     = flag.Int("tors", 12, "ToRs per cluster")
-		leaves   = flag.Int("leaves", 4, "leaves per cluster")
-		spines   = flag.Int("spines", 2, "spines per plane")
-		rs       = flag.Int("rs", 4, "regional spines")
-		rslinks  = flag.Int("rslinks", 2, "RS links per spine")
-		faults   = flag.Int("faults", 24, "latent faults to inject")
-		cycles   = flag.Int("cycles", 14, "monitoring cycles to run")
-		fix      = flag.Int("fix", 4, "manual remediations per cycle")
-		seed     = flag.Int64("seed", 77, "fault-injection seed")
-		incr     = flag.Bool("incremental", true, "change-driven cycles: validate only the blast radius of journaled changes")
-		sweep    = flag.Int("fullsweep-every", 0, "force a full sweep every N incremental cycles (0 = default)")
-		pullfail = flag.Float64("pullfail", 0, "transient pull-failure rate per attempt (0-1)")
-		dead     = flag.Int("dead", 0, "devices with a dead management plane (telemetry loss)")
-		corrupt  = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
+		clusters    = flag.Int("clusters", 6, "clusters")
+		tors        = flag.Int("tors", 12, "ToRs per cluster")
+		leaves      = flag.Int("leaves", 4, "leaves per cluster")
+		spines      = flag.Int("spines", 2, "spines per plane")
+		rs          = flag.Int("rs", 4, "regional spines")
+		rslinks     = flag.Int("rslinks", 2, "RS links per spine")
+		faults      = flag.Int("faults", 24, "latent faults to inject")
+		cycles      = flag.Int("cycles", 14, "monitoring cycles to run")
+		fix         = flag.Int("fix", 4, "manual remediations per cycle")
+		seed        = flag.Int64("seed", 77, "fault-injection seed")
+		incr        = flag.Bool("incremental", true, "change-driven cycles: validate only the blast radius of journaled changes")
+		sweep       = flag.Int("fullsweep-every", 0, "force a full sweep every N incremental cycles (0 = default)")
+		pullfail    = flag.Float64("pullfail", 0, "transient pull-failure rate per attempt (0-1)")
+		dead        = flag.Int("dead", 0, "devices with a dead management plane (telemetry loss)")
+		corrupt     = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) and linger after the run until interrupted")
 	)
 	flag.Parse()
 
@@ -69,15 +83,32 @@ func main() {
 	}
 	fmt.Println()
 
+	reg := obs.NewRegistry()
 	in := monitor.NewInstance("dcmon-0", s.Datacenter("dcmon"))
 	in.SkipUnchanged = *incr
 	in.Incremental = *incr
 	in.FullSweepEvery = *sweep
+	in.EnableObservability(reg)
 	tracker := monitor.NewAlertTracker()
 
-	fmt.Printf("%5s %5s %8s %6s %8s %10s %8s %8s %7s %6s %9s %8s %9s %9s\n",
+	if *metricsAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dcmon: metrics server:", err)
+				os.Exit(2)
+			}
+		}()
+		fmt.Printf("dcmon: serving /metrics and /debug/pprof on %s\n\n", *metricsAddr)
+	}
+
+	fmt.Printf("%5s %5s %8s %6s %8s %10s %8s %8s %7s %6s %9s %8s %9s %9s %9s\n",
 		"cycle", "sweep", "devices", "dirty", "carried", "violations", "skipped", "pullFail", "stale", "unmon",
-		"openHigh", "openLow", "autoFix", "manualFix")
+		"openHigh", "openLow", "autoFix", "manualFix", "valTime")
+	cleared := false
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		stats, err := in.RunCycle()
 		if err != nil {
@@ -110,11 +141,12 @@ func main() {
 		if stats.FullSweep {
 			sweepMark = "full"
 		}
-		fmt.Printf("%5d %5s %8d %6d %8d %10d %8d %8d %7d %6d %9d %8d %9d %9d\n",
+		fmt.Printf("%5d %5s %8d %6d %8d %10d %8d %8d %7d %6d %9d %8d %9d %9d %9s\n",
 			cycle, sweepMark, stats.Devices, stats.DirtyDevices, stats.CarriedForward,
 			stats.Violations, stats.Skipped,
 			stats.PullFailures, stats.StaleDevices, stats.Unmonitored,
-			pt.OpenHigh, pt.OpenLow, restored, manual)
+			pt.OpenHigh, pt.OpenLow, restored, manual,
+			stats.ValidateTime.Round(time.Microsecond).String())
 		// Declaring the network clean requires actually observing it: no
 		// open alerts AND every device seen this cycle (no pull failures
 		// left unaccounted, nobody unmonitored).
@@ -122,11 +154,46 @@ func main() {
 			stats.PullFailures == 0 && stats.Unmonitored == 0 &&
 			stats.Devices == len(topo.Devices) {
 			fmt.Println("\ndcmon: backlog clear — network matches intent")
-			return
+			cleared = true
+			break
 		}
 	}
-	if open := len(tracker.Open()); open > 0 {
+	open := len(tracker.Open())
+	if !cleared && open > 0 {
 		fmt.Printf("\ndcmon: %d alert(s) still open after %d cycles\n", open, *cycles)
+	}
+	printSummary(reg)
+	if *metricsAddr != "" {
+		fmt.Printf("\ndcmon: metrics server on %s still up — interrupt to exit\n", *metricsAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+	if !cleared && open > 0 {
 		os.Exit(1)
 	}
+}
+
+// printSummary reports the run's aggregate timings straight from the
+// metrics registry: the same series /metrics exposes, so the numbers on
+// stdout and the scraped numbers can never disagree.
+func printSummary(reg *obs.Registry) {
+	want := map[string]float64{
+		"dcv_monitor_cycle_seconds_sum":        0,
+		"dcv_monitor_cycle_seconds_count":      0,
+		"dcv_rcdc_device_check_seconds_sum":    0,
+		"dcv_rcdc_devices_checked_total":       0,
+		"dcv_monitor_modeled_pull_seconds_sum": 0,
+	}
+	for _, s := range reg.Snapshot() {
+		if _, ok := want[s.Name]; ok && len(s.Labels) == 0 {
+			want[s.Name] = s.Value
+		}
+	}
+	fmt.Printf("\ndcmon: %.0f cycle(s) in %.3fs; %.0f device checks (%.3fs validating, %.3fs modeled pull)\n",
+		want["dcv_monitor_cycle_seconds_count"],
+		want["dcv_monitor_cycle_seconds_sum"],
+		want["dcv_rcdc_devices_checked_total"],
+		want["dcv_rcdc_device_check_seconds_sum"],
+		want["dcv_monitor_modeled_pull_seconds_sum"])
 }

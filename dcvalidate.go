@@ -33,6 +33,7 @@ import (
 
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/bv"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/delta"
 	"dcvalidate/internal/emulator"
@@ -41,6 +42,7 @@ import (
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/metadata"
 	"dcvalidate/internal/monitor"
+	"dcvalidate/internal/obs"
 	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/region"
 	"dcvalidate/internal/secguru"
@@ -70,6 +72,13 @@ type (
 	Violation = rcdc.Violation
 	// DeviceConfig carries route-map/platform knobs (§2.6.2 error classes).
 	DeviceConfig = bgp.DeviceConfig
+	// MetricsRegistry is the typed metric registry of internal/obs. It
+	// serves Prometheus text via WritePrometheus and structured samples
+	// via Snapshot; all recording is deterministic under an injected
+	// virtual clock.
+	MetricsRegistry = obs.Registry
+	// MetricSample is one flattened (name, labels, value) exposition row.
+	MetricSample = obs.Sample
 
 	// Policy is an ordered packet-filter rule set (§3.1).
 	Policy = acl.Policy
@@ -158,6 +167,17 @@ type Datacenter struct {
 	// memoized contract generator.
 	synth *bgp.Synth
 	cgen  *contracts.Generator
+
+	// Observability state (built lazily by Metrics): the registry and
+	// the per-subsystem bundles threaded into every validator, solver,
+	// FIB source, and blast-radius computation the facade creates. All
+	// remain nil — and every call site stays a no-op — until Metrics()
+	// is first called.
+	reg    *obs.Registry
+	rcdcM  *rcdc.Metrics
+	bvM    *bv.Metrics
+	bgpM   *bgp.Metrics
+	deltaM *delta.Metrics
 }
 
 // NewDatacenter generates a synthetic datacenter from the parameters.
@@ -187,11 +207,33 @@ func (d *Datacenter) Facts() *Facts {
 	return d.facts
 }
 
+// Metrics returns the datacenter's metric registry, creating it — and
+// wiring the per-subsystem instrumentation bundles into every validator,
+// solver, FIB source, and blast-radius computation the facade builds —
+// on first call. Until then instrumentation is off and costs nothing.
+// The registry is safe for concurrent use and its Prometheus exposition
+// is byte-deterministic.
+func (d *Datacenter) Metrics() *MetricsRegistry {
+	if d.reg == nil {
+		d.reg = obs.NewRegistry()
+		d.rcdcM = rcdc.NewMetrics(d.reg)
+		d.bvM = bv.NewMetrics(d.reg)
+		d.bgpM = bgp.NewMetrics(d.reg)
+		d.deltaM = delta.NewMetrics(d.reg)
+		if d.synth != nil {
+			d.synth.Metrics = d.bgpM
+		}
+	}
+	return d.reg
+}
+
 // Source returns the converged-state FIB source reflecting current link
 // state and device configurations. Tables are synthesized lazily per
 // device; no global snapshot is formed.
 func (d *Datacenter) Source() FIBSource {
-	return bgp.NewSynth(d.Topo, d.Config)
+	s := bgp.NewSynth(d.Topo, d.Config)
+	s.Metrics = d.bgpM
+	return s
 }
 
 // SimulateBGP runs the full EBGP path-vector simulation and returns it as
@@ -199,6 +241,7 @@ func (d *Datacenter) Source() FIBSource {
 // datacenter).
 func (d *Datacenter) SimulateBGP() FIBSource {
 	sim := bgp.NewSim(d.Topo, d.Config)
+	sim.Metrics = d.bgpM
 	sim.Run()
 	return sim
 }
@@ -293,9 +336,12 @@ type ValidateOptions struct {
 	Source FIBSource
 }
 
-func (o ValidateOptions) checker() rcdc.Checker {
+// checker builds the engine for one run, threading the datacenter's
+// solver instrumentation (nil until Metrics() is called) into the SMT
+// path — the trie engine never allocates a solver.
+func (d *Datacenter) checker(o ValidateOptions) rcdc.Checker {
 	if o.Engine == EngineSMT {
-		return rcdc.SMTChecker{Exact: o.Exact}
+		return rcdc.SMTChecker{Exact: o.Exact, Metrics: d.bvM}
 	}
 	return rcdc.TrieChecker{Exact: o.Exact}
 }
@@ -309,7 +355,7 @@ func (d *Datacenter) Validate(opts ValidateOptions) (*Report, error) {
 	if src == nil {
 		src = d.Source()
 	}
-	v := rcdc.Validator{Checker: opts.checker(), Workers: opts.Workers}
+	v := rcdc.Validator{Checker: d.checker(opts), Workers: opts.Workers, Metrics: d.rcdcM}
 	rep, err := v.ValidateAll(d.Facts(), src)
 	if rep != nil {
 		rep.Generation = gen
@@ -323,6 +369,7 @@ func (d *Datacenter) cachedSource() *bgp.Synth {
 	if d.synth == nil {
 		d.synth = bgp.NewSynth(d.Topo, d.Config)
 		d.synth.EnableTableCache()
+		d.synth.Metrics = d.bgpM
 	}
 	d.synth.Refresh()
 	return d.synth
@@ -357,6 +404,7 @@ func (d *Datacenter) ValidateDelta(prev *Report, opts ValidateOptions) (*Report,
 	}
 	ds := delta.Compute(d.Topo, changes, delta.Options{
 		UnboundedConfig: bgp.ConfigUnbounded(d.Config),
+		Metrics:         d.deltaM,
 	})
 	if ds.Full() {
 		return d.Validate(opts)
@@ -366,7 +414,7 @@ func (d *Datacenter) ValidateDelta(prev *Report, opts ValidateOptions) (*Report,
 		d.cgen = contracts.NewGenerator(d.Facts())
 		d.cgen.EnableMemo()
 	}
-	v := rcdc.Validator{Checker: opts.checker(), Workers: opts.Workers}
+	v := rcdc.Validator{Checker: d.checker(opts), Workers: opts.Workers, Metrics: d.rcdcM}
 	rep, err := v.ValidateDelta(prev, d.Facts(), d.cgen, opts.Source, ds.Devices())
 	if rep != nil {
 		rep.Generation = gen
@@ -399,7 +447,11 @@ func (d *Datacenter) NewPipeline() *Pipeline {
 func (d *Datacenter) NewMonitor(name string) *MonitorInstance {
 	dc := monitor.NewDatacenter(d.Topo.Params.Name, d.Topo, d.Config)
 	dc.Source = d.Source()
-	return monitor.NewInstance(name, dc)
+	in := monitor.NewInstance(name, dc)
+	if d.reg != nil {
+		in.EnableObservability(d.reg)
+	}
+	return in
 }
 
 // WriteFIB renders a device's routing table in the Figure 2 text format.

@@ -74,6 +74,10 @@ type Sim struct {
 
 	converged bool
 	rounds    int
+
+	// Metrics, when non-nil, records the convergence round count of
+	// every Run/Rerun.
+	Metrics *Metrics
 }
 
 // SetExternal installs the regionally learned routes of one regional
@@ -142,8 +146,10 @@ func (s *Sim) Rerun() int {
 }
 
 // iterate runs synchronous propagation rounds from the current RIB state
-// until a fixpoint, returning the number of rounds taken.
+// until a fixpoint, returning the number of rounds taken (recorded into
+// Metrics when set — one observation per Run/Rerun).
 func (s *Sim) iterate() int {
+	defer func() { s.Metrics.observeRounds(s.rounds) }()
 	n := len(s.topo.Devices)
 	for round := 1; ; round++ {
 		changed := false

@@ -59,6 +59,10 @@ type Synth struct {
 	mu       sync.Mutex
 	cache    map[topology.DeviceID]*fib.Table
 	cacheGen uint64
+
+	// Metrics, when non-nil, counts table-cache hits and misses (cache
+	// enabled only). Set before serving pulls; recording is atomic.
+	Metrics *Metrics
 }
 
 // EnableTableCache turns on per-device table caching. Cached tables are
@@ -254,12 +258,14 @@ func (s *Synth) Table(d topology.DeviceID) (*fib.Table, error) {
 	if caching {
 		if t, ok := s.cache[d]; ok {
 			s.mu.Unlock()
+			s.Metrics.observeCache(true)
 			return copyTable(t), nil
 		}
 	}
 	s.mu.Unlock()
 	t := s.synthesize(d)
 	if caching {
+		s.Metrics.observeCache(false)
 		s.mu.Lock()
 		s.cache[d] = t
 		s.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dcvalidate/internal/clock"
 	"dcvalidate/internal/sat"
 )
 
@@ -375,6 +376,13 @@ type Solver struct {
 	boolVars map[Term]sat.Lit
 	bvBits   map[Term][]sat.Lit // lsb first
 	blasted  map[Term]sat.Lit   // memoized boolean encodings
+
+	// Metrics, when non-nil, receives per-query search-work deltas and
+	// solve latencies. Clock times those latencies (nil = system clock);
+	// neither is read unless Metrics is set, so uninstrumented solves
+	// never touch a time source.
+	Metrics *Metrics
+	Clock   clock.Clock
 }
 
 // NewSolver returns a solver for formulas of ctx.
@@ -627,13 +635,28 @@ func (s *Solver) blastCmpConst(xb []sat.Lit, c uint64, le bool) sat.Lit {
 // Solve asserts the boolean term f permanently and decides satisfiability,
 // returning a model over all variables appearing in f when satisfiable.
 func (s *Solver) Solve(f Term) (Result, error) {
+	finish := s.startQuery()
 	root := s.litFor(f)
 	s.sat.AddClause(root)
 	ok, err := s.sat.Solve()
+	finish()
 	if err != nil {
 		return Result{}, err
 	}
 	return s.result(ok), nil
+}
+
+// startQuery snapshots search statistics (and, only when instrumented,
+// the clock) before a query; the returned func records the query.
+func (s *Solver) startQuery() func() {
+	if s.Metrics == nil {
+		return func() {}
+	}
+	prev := s.sat.Stats()
+	start := clock.Or(s.Clock).Now()
+	return func() {
+		s.Metrics.observeSolve(prev, s.sat.Stats(), clock.Since(s.Clock, start))
+	}
 }
 
 // SolveAssuming decides satisfiability under the conjunction of the given
@@ -642,11 +665,13 @@ func (s *Solver) Solve(f Term) (Result, error) {
 // and many queries are discharged against it — the pattern SecGuru uses to
 // check a contract suite against one ACL.
 func (s *Solver) SolveAssuming(assumptions ...Term) (Result, error) {
+	finish := s.startQuery()
 	lits := make([]sat.Lit, len(assumptions))
 	for i, f := range assumptions {
 		lits[i] = s.litFor(f)
 	}
 	ok, err := s.sat.SolveAssuming(lits)
+	finish()
 	if err != nil {
 		return Result{}, err
 	}

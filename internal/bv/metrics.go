@@ -1,0 +1,51 @@
+package bv
+
+import (
+	"time"
+
+	"dcvalidate/internal/obs"
+	"dcvalidate/internal/sat"
+)
+
+// Metrics is the solver-pipeline instrumentation bundle: per-query CDCL
+// search work (conflicts, decisions, propagations deltas from the
+// underlying sat.Solver) and the wall time of each Solve/SolveAssuming
+// call, bit-blasting included. Nil-receiver safe; recording is a handful
+// of atomic adds per query.
+type Metrics struct {
+	queries      *obs.Counter   // dcv_bv_queries_total
+	conflicts    *obs.Counter   // dcv_bv_conflicts_total
+	decisions    *obs.Counter   // dcv_bv_decisions_total
+	propagations *obs.Counter   // dcv_bv_propagations_total
+	solveSeconds *obs.Histogram // dcv_bv_solve_seconds
+}
+
+// NewMetrics registers the bit-vector solver metric families in r.
+// Idempotent per registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		queries: r.Counter("dcv_bv_queries_total",
+			"Satisfiability queries discharged (Solve + SolveAssuming)."),
+		conflicts: r.Counter("dcv_bv_conflicts_total",
+			"CDCL conflicts across all queries."),
+		decisions: r.Counter("dcv_bv_decisions_total",
+			"CDCL decisions across all queries."),
+		propagations: r.Counter("dcv_bv_propagations_total",
+			"Unit propagations across all queries."),
+		solveSeconds: r.Histogram("dcv_bv_solve_seconds",
+			"Per-query solve wall time, bit-blasting included.", obs.LatencyBuckets),
+	}
+}
+
+// observeSolve records one query: the search-statistics delta between
+// the pre- and post-query snapshots plus the elapsed blast+search time.
+func (m *Metrics) observeSolve(prev, cur sat.Stats, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	m.conflicts.Add(uint64(cur.Conflicts - prev.Conflicts))
+	m.decisions.Add(uint64(cur.Decisions - prev.Decisions))
+	m.propagations.Add(uint64(cur.Propagations - prev.Propagations))
+	m.solveSeconds.ObserveDuration(d)
+}

@@ -124,6 +124,10 @@ type Options struct {
 	// ECMP truncation (MaxECMPPaths) is safe and does not set this: a
 	// truncated set only changes when the untruncated set does.
 	UnboundedConfig bool
+
+	// Metrics, when non-nil, records the size of every computed blast
+	// radius (or a fallback counter tick when it degrades to full).
+	Metrics *Metrics
 }
 
 // scope carries the per-window state the blast rules consult: the
@@ -138,6 +142,7 @@ type scope struct {
 // of the devices whose converged tables differ from before the sequence.
 func Compute(t *topology.Topology, changes []topology.Change, opts Options) *Set {
 	s := NewSet()
+	defer func() { opts.Metrics.observeSet(s) }()
 	sc := scope{t: t, changed: make(map[topology.LinkID]bool, len(changes))}
 	for _, c := range changes {
 		if c.Kind == topology.ChangeDevice || opts.UnboundedConfig {

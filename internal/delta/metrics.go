@@ -1,0 +1,34 @@
+package delta
+
+import "dcvalidate/internal/obs"
+
+// Metrics is the blast-radius instrumentation bundle. Compute records
+// one observation per call: the dirty-device count for bounded results,
+// or a full-fallback counter tick when a rule degrades to the whole-DC
+// set. Nil-receiver safe.
+type Metrics struct {
+	dirty *obs.Histogram // dcv_delta_blast_radius_devices
+	full  *obs.Counter   // dcv_delta_full_fallbacks_total
+}
+
+// NewMetrics registers the delta metric families in r. Idempotent per
+// registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		dirty: r.Histogram("dcv_delta_blast_radius_devices",
+			"Dirty devices per bounded blast-radius computation.", obs.SizeBuckets),
+		full: r.Counter("dcv_delta_full_fallbacks_total",
+			"Blast-radius computations that degraded to the whole-DC set."),
+	}
+}
+
+func (m *Metrics) observeSet(s *Set) {
+	if m == nil {
+		return
+	}
+	if s.full {
+		m.full.Inc()
+		return
+	}
+	m.dirty.Observe(float64(len(s.devs)))
+}

@@ -73,7 +73,7 @@ func E5Figure3() Result {
 	topo.FailLink(tor2, leavesA[1])
 
 	facts := metadata.FromTopology(topo)
-	v := rcdc.Validator{Workers: 1}
+	v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
 	rep, err := v.ValidateAll(facts, bgp.NewSynth(topo, nil))
 	if err != nil {
 		panic(err)
@@ -237,7 +237,7 @@ func E14Claim1(trials int) Result {
 		}
 		facts := metadata.FromTopology(topo)
 		src := bgp.NewSynth(topo, nil)
-		v := rcdc.Validator{Workers: 1}
+		v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
 		rep, err := v.ValidateAll(facts, src)
 		if err != nil {
 			panic(err)

@@ -75,7 +75,7 @@ func E1PerDevice(prefixCounts []int, sample int) Result {
 		facts := metadata.FromTopology(topo)
 		gen := contracts.NewGenerator(facts)
 		src := bgp.NewSynth(topo, nil)
-		v := rcdc.Validator{Workers: 1}
+		v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
 
 		// Sample ToRs spread across clusters (ToRs carry the big tables).
 		tors := topo.ToRs()
@@ -128,7 +128,7 @@ func E2Sweep(deviceCounts []int, singleCPU bool) Result {
 		topo := topology.MustNew(p)
 		facts := metadata.FromTopology(topo)
 		src := bgp.NewSynth(topo, nil)
-		v := rcdc.Validator{Workers: workers}
+		v := rcdc.Validator{Workers: workers, Metrics: validatorMetrics()}
 		start := now()
 		rep, err := v.ValidateAll(facts, src)
 		if err != nil {
@@ -166,7 +166,7 @@ func E3LocalVsGlobal(deviceCounts []int) Result {
 		facts := metadata.FromTopology(topo)
 		src := bgp.NewSynth(topo, nil)
 
-		v := rcdc.Validator{Workers: 1}
+		v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
 		start := now()
 		if _, err := v.ValidateAll(facts, src); err != nil {
 			panic(err)

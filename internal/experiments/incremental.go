@@ -64,7 +64,7 @@ func E16Incremental(deviceCounts []int, verifyMax int) (Result, []E16Row) {
 		p := SizedParams("e16", n)
 		topo := topology.MustNew(p)
 		facts := metadata.FromTopology(topo)
-		v := rcdc.Validator{Workers: 1}
+		v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
 
 		// The baseline: a cold full sweep, as the monitor runs today.
 		start := now()
@@ -77,6 +77,7 @@ func E16Incremental(deviceCounts []int, verifyMax int) (Result, []E16Row) {
 		// source and a memoized contract generator, warmed by one sweep.
 		cached := bgp.NewSynth(topo, nil)
 		cached.EnableTableCache()
+		cached.Metrics = synthMetrics()
 		gen := contracts.NewGenerator(facts)
 		gen.EnableMemo()
 		prev, err := v.ValidateAll(facts, cached)

@@ -3,7 +3,10 @@ package experiments
 import (
 	"time"
 
+	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/clock"
+	"dcvalidate/internal/obs"
+	"dcvalidate/internal/rcdc"
 )
 
 // Clock is the time source every experiment measures with. It defaults
@@ -13,6 +16,43 @@ import (
 // directly.
 var Clock clock.Clock = clock.System{}
 
+// Metrics, when non-nil, makes every experiment record subsystem
+// metrics (validator latencies and run counters, synth cache hit rates,
+// per-experiment wall time) into the registry. dcbench sets it and
+// snapshots the registry between experiments for its JSON output; nil
+// (the default) keeps experiments instrumentation-free.
+var Metrics *obs.Registry
+
 func now() time.Time { return clock.Or(Clock).Now() }
 
 func since(t time.Time) time.Duration { return clock.Since(Clock, t) }
+
+// Phase runs one experiment, timing it on the experiment clock and
+// recording dcv_experiment_seconds{id} when Metrics is set.
+func Phase(id string, fn func() Result) Result {
+	start := now()
+	res := fn()
+	if Metrics != nil {
+		Metrics.GaugeVec("dcv_experiment_seconds",
+			"Wall time of one dcbench experiment.", "id").With(id).Set(since(start).Seconds())
+	}
+	return res
+}
+
+// validatorMetrics returns the rcdc bundle bound to Metrics (nil when
+// instrumentation is off). Registration is idempotent, so calling it per
+// experiment hands back the same underlying series.
+func validatorMetrics() *rcdc.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return rcdc.NewMetrics(Metrics)
+}
+
+// synthMetrics is the bgp counterpart of validatorMetrics.
+func synthMetrics() *bgp.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return bgp.NewMetrics(Metrics)
+}

@@ -44,6 +44,7 @@ func (in *Instance) cyclePlan() (map[string][]topology.DeviceID, bool) {
 		}
 		ds := delta.Compute(dc.Topo, changes, delta.Options{
 			UnboundedConfig: bgp.ConfigUnbounded(dc.Cfg),
+			Metrics:         in.deltaM,
 		})
 		if ds.Full() {
 			return nil, true

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"time"
+
+	"dcvalidate/internal/delta"
+	"dcvalidate/internal/obs"
+	"dcvalidate/internal/rcdc"
+)
+
+// Metrics is the monitoring-pipeline instrumentation bundle: one
+// observation set per RunCycle, covering throughput (devices,
+// violations), the fault-tolerance machinery (retries, pull failures,
+// stale carry-forward, Unmonitored escalation), and the incremental
+// planner (dirty-set sizes, carried-forward counts). All recording is
+// nil-receiver safe so call sites stay unconditional.
+type Metrics struct {
+	cycles     *obs.CounterVec // dcv_monitor_cycles_total{sweep}
+	cycleDur   *obs.Histogram  // dcv_monitor_cycle_seconds
+	pullDur    *obs.Histogram  // dcv_monitor_modeled_pull_seconds
+	devices    *obs.Counter    // dcv_monitor_devices_total
+	violations *obs.Counter    // dcv_monitor_violations_total
+	skipped    *obs.Counter    // dcv_monitor_skipped_total
+	retries    *obs.Counter    // dcv_monitor_pull_retries_total
+	pullFails  *obs.Counter    // dcv_monitor_pull_failures_total
+	stale      *obs.Counter    // dcv_monitor_stale_devices_total
+	carried    *obs.Counter    // dcv_monitor_carried_forward_total
+	unmon      *obs.Gauge      // dcv_monitor_unmonitored_devices
+	dirty      *obs.Histogram  // dcv_monitor_dirty_devices
+}
+
+// NewMetrics registers the monitor metric families in r. Idempotent per
+// registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		cycles: r.CounterVec("dcv_monitor_cycles_total",
+			"Completed monitoring cycles by sweep kind.", "sweep"),
+		cycleDur: r.Histogram("dcv_monitor_cycle_seconds",
+			"End-to-end RunCycle duration on the instance clock.", obs.LatencyBuckets),
+		pullDur: r.Histogram("dcv_monitor_modeled_pull_seconds",
+			"Modeled wall time of the cycle's table pulls.", obs.LatencyBuckets),
+		devices: r.Counter("dcv_monitor_devices_total",
+			"Devices accounted per cycle (validated, skipped, or carried)."),
+		violations: r.Counter("dcv_monitor_violations_total",
+			"Contract violations reported across cycles."),
+		skipped: r.Counter("dcv_monitor_skipped_total",
+			"Devices skipped because table and contracts were unchanged."),
+		retries: r.Counter("dcv_monitor_pull_retries_total",
+			"Pull retry attempts across the fleet."),
+		pullFails: r.Counter("dcv_monitor_pull_failures_total",
+			"Devices whose pull failed after exhausting retries."),
+		stale: r.Counter("dcv_monitor_stale_devices_total",
+			"Results carried forward stale after a failed observation."),
+		carried: r.Counter("dcv_monitor_carried_forward_total",
+			"Clean carry-forwards outside the incremental dirty set."),
+		unmon: r.Gauge("dcv_monitor_unmonitored_devices",
+			"Devices currently past the consecutive-failure threshold."),
+		dirty: r.Histogram("dcv_monitor_dirty_devices",
+			"Devices scheduled for revalidation per cycle.", obs.SizeBuckets),
+	}
+}
+
+func (m *Metrics) observeCycle(s *CycleStats, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	sweep := "delta"
+	if s.FullSweep {
+		sweep = "full"
+	}
+	m.cycles.With(sweep).Inc()
+	m.cycleDur.ObserveDuration(dur)
+	m.pullDur.ObserveDuration(s.ModeledPullTime)
+	m.devices.Add(uint64(s.Devices))
+	m.violations.Add(uint64(s.Violations))
+	m.skipped.Add(uint64(s.Skipped))
+	m.retries.Add(uint64(s.Retries))
+	m.pullFails.Add(uint64(s.PullFailures))
+	m.stale.Add(uint64(s.StaleDevices))
+	m.carried.Add(uint64(s.CarriedForward))
+	m.unmon.Set(float64(s.Unmonitored))
+	m.dirty.Observe(float64(s.DirtyDevices))
+}
+
+// EnableObservability wires the instance — and the validators and
+// blast-radius computations it runs — to record into r, and attaches a
+// tracer (on the instance clock) whose ring holds the most recent cycle
+// spans. Call before the first cycle; calling again with the same
+// registry is harmless (registration is idempotent).
+func (in *Instance) EnableObservability(r *obs.Registry) {
+	in.Metrics = NewMetrics(r)
+	in.rcdcM = rcdc.NewMetrics(r)
+	in.deltaM = delta.NewMetrics(r)
+	if in.Tracer == nil {
+		in.Tracer = obs.NewTracer(in.Clock, 256)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/clock"
 	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/delta"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/obs"
 	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/topology"
 )
@@ -99,6 +101,15 @@ type Instance struct {
 	// previous validation result is re-ingested (flagged stale) for up to
 	// this many cycles past its last success (0 = default 3).
 	StaleCycles int
+
+	// Metrics, when non-nil, records per-cycle pipeline metrics; Tracer,
+	// when non-nil, records a span per cycle with pull/validate children.
+	// EnableObservability wires both plus the per-subsystem bundles below.
+	Metrics *Metrics
+	Tracer  *obs.Tracer
+
+	rcdcM  *rcdc.Metrics  // instruments the per-device validators
+	deltaM *delta.Metrics // instruments cyclePlan's blast radii
 
 	rng        *rand.Rand
 	cycle      int
@@ -600,7 +611,7 @@ func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, ra
 			Device: dev, Kind: d.Kind, Prefix: p, NextHops: d.NextHops,
 		})
 	}
-	v := rcdc.Validator{Workers: 1}
+	v := rcdc.Validator{Workers: 1, Clock: in.Clock, Metrics: in.rcdcM}
 	return v.ValidateDevice(dc.Facts, tbl, set)
 }
 
@@ -614,6 +625,10 @@ func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, ra
 // returned error is reserved for faults that stop the pipeline itself.
 func (in *Instance) RunCycle() (CycleStats, error) {
 	in.cycle++
+	sp := in.Tracer.Start("monitor.RunCycle")
+	defer sp.End()
+	sp.SetAttr("cycle", strconv.Itoa(in.cycle))
+	cycleStart := clock.Or(in.Clock).Now()
 	stats := CycleStats{Cycle: in.cycle}
 	plan, full := in.cyclePlan()
 	stats.FullSweep = full
@@ -642,12 +657,16 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 		gens[dc.Name] = dc.Topo.Generation()
 	}
 	in.observed = make(map[string]bool)
+	pullSp := sp.Child("monitor.pull")
 	ps, _ := in.pullDevices(plan)
+	pullSp.End()
 	stats.ModeledPullTime = ps.Modeled
 	stats.Retries = ps.Retries
 	stats.PullFailures = len(ps.Failed)
 	start := clock.Or(in.Clock).Now()
+	valSp := sp.Child("monitor.validate")
 	vs, _ := in.ValidateQueued()
+	valSp.End()
 	stats.Devices = vs.Devices
 	stats.Violations = vs.Violations
 	stats.Skipped = vs.Skipped
@@ -664,6 +683,7 @@ func (in *Instance) RunCycle() (CycleStats, error) {
 	if full {
 		in.lastFullSweep = in.cycle
 	}
+	in.Metrics.observeCycle(&stats, clock.Since(in.Clock, cycleStart))
 	return stats, nil
 }
 

@@ -1,0 +1,324 @@
+// Package obs is the observability layer of the validation stack: a
+// stdlib-only, allocation-light metrics registry (counters, gauges,
+// histograms with fixed bucket layouts) plus lightweight trace spans for
+// validation cycles (trace.go) and a Prometheus text exposition
+// (prometheus.go).
+//
+// Design constraints, in priority order:
+//
+//   - Determinism: metrics must not perturb validation results, and under
+//     an injected clock.Virtual every metric value of a fixed run is
+//     bit-reproducible (the golden exposition test locks this). Nothing in
+//     this package reads the wall clock; all timing flows through
+//     injectable clock.Clock values owned by the instrumented subsystems.
+//   - Hot-path cost: recording is a handful of atomic operations — no
+//     locks, no allocation, no map lookups. Handles are resolved once at
+//     registration and kept on the instrumented structs.
+//   - Nil-safety: instrumentation is optional everywhere. Subsystem
+//     metric bundles (rcdc.Metrics, monitor.Metrics, ...) use nil-receiver
+//     no-op methods so call sites stay unconditional.
+//
+// Metric naming follows the Prometheus conventions with a dcv_ prefix and
+// a subsystem token: dcv_<subsystem>_<what>_<unit> (see DESIGN.md
+// "Observability").
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind discriminates the metric families a registry can hold.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds named metric families. It is safe for concurrent use;
+// registration is idempotent (registering an existing name with the same
+// shape returns the existing handles), so independently wired subsystems
+// can share one registry without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and, for
+// histograms, a fixed bucket layout. Unlabeled metrics are a family with
+// a single series under the empty key.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// lookup returns the family for name, creating it on first registration
+// and validating the shape on re-registration. A name re-registered with
+// a different type, label schema, or bucket layout is a programming
+// error: observability wiring is static, so this panics rather than
+// returning errors every hot-path call site would have to thread.
+func (r *Registry) lookup(name, help string, k kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: k,
+			labels: append([]string(nil), labels...),
+			bounds: append([]float64(nil), bounds...),
+			series: make(map[string]any),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s with %d label(s), was %s with %d",
+			name, k, len(labels), f.kind, len(f.labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: metric %s re-registered with label %q, was %q", name, labels[i], f.labels[i]))
+		}
+	}
+	if k == histogramKind && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %s re-registered with different buckets", name))
+	}
+	return f
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with returns the series for the given label values, creating it with
+// mk on first use.
+func (f *family) with(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing event count. The value wraps
+// modulo 2^64 on overflow — like a hardware event counter, and like
+// Prometheus client counters backed by integers, rate computation over a
+// wrap is the scraper's problem; the counter itself never saturates or
+// panics (locked by TestCounterOverflowWraps).
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into a fixed bucket layout chosen at
+// registration. Bucket semantics follow Prometheus: bucket i counts
+// observations v with v <= bounds[i] (upper bounds are inclusive); an
+// implicit +Inf bucket catches the rest. Counts are stored per bucket and
+// cumulated at exposition time.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64   // float64 bits of the sum, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the inclusive bucket; all bounds < v → +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, counterKind, nil, nil)
+	return f.with(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, gaugeKind, nil, nil)
+	return f.with(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// ascending bucket upper bounds (+Inf is implicit; do not include it).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, histogramKind, nil, bounds)
+	return f.with(nil, func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, counterKind, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Resolve handles once outside hot loops.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, gaugeKind, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.with(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by label values; every
+// series shares the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.lookup(name, help, histogramKind, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Fixed bucket layouts shared across the stack, so the same quantity is
+// comparable across subsystems and the golden exposition stays stable.
+
+// LatencyBuckets covers 100µs..30s, the observed spread from a trie
+// per-device check (sub-millisecond) through a full-fleet validation
+// cycle: 0.0001 to 25.6 doubling, roughly.
+var LatencyBuckets = ExponentialBuckets(0.0001, 2, 19)
+
+// SizeBuckets covers set sizes (blast radii, dirty-device counts) from
+// single devices to 100K-device fleets.
+var SizeBuckets = ExponentialBuckets(1, 4, 10)
+
+// RoundBuckets covers small iteration counts (BGP convergence rounds).
+var RoundBuckets = LinearBuckets(1, 1, 16)
+
+// LinearBuckets returns n ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n ascending bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

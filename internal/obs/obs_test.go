@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Registration is idempotent: same name returns the same handle.
+	if r.Counter("test_events_total", "events") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+}
+
+// TestCounterOverflowWraps locks the documented overflow contract: a
+// counter wraps modulo 2^64 instead of saturating or panicking.
+func TestCounterOverflowWraps(t *testing.T) {
+	var c Counter
+	c.Add(math.MaxUint64)
+	if got := c.Value(); got != math.MaxUint64 {
+		t.Fatalf("counter = %d, want MaxUint64", got)
+	}
+	c.Inc() // wraps
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter after overflow = %d, want 0", got)
+	}
+	c.Add(math.MaxUint64) // 0 + (2^64-1) ≡ -1
+	c.Add(5)
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter after wrapped adds = %d, want 4", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_temp", "temperature")
+	g.Set(1.5)
+	g.Add(-0.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+// TestHistogramBucketBoundaries locks the Prometheus le semantics: upper
+// bounds are inclusive, and a value above every bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	obs := []float64{
+		0.05, // < first bound        → bucket le=0.1
+		0.1,  // exactly first bound  → bucket le=0.1 (inclusive)
+		0.5,  // between              → bucket le=1
+		1.0,  // exactly second bound → bucket le=1
+		10.0, // exactly last bound   → bucket le=10
+		99.9, // above all bounds     → +Inf
+	}
+	wantSum := 0.0
+	for _, v := range obs {
+		h.Observe(v)
+		wantSum += v // same accumulation order as the histogram
+	}
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	hr := r.Histogram("test_dur_seconds", "d", []float64{1})
+	hr.ObserveDuration(1500 * time.Millisecond)
+	if got := hr.Sum(); got != 1.5 {
+		t.Fatalf("sum = %v, want 1.5", got)
+	}
+	if got := hr.counts[1].Load(); got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1 (1.5s > le=1)", got)
+	}
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_runs_total", "runs by mode", "mode")
+	cv.With("full").Add(3)
+	cv.With("delta").Inc()
+	if got := cv.With("full").Value(); got != 3 {
+		t.Fatalf("full = %d, want 3", got)
+	}
+	gv := r.GaugeVec("test_util", "utilization", "worker")
+	gv.With("0").Set(0.5)
+	if got := gv.With("0").Value(); got != 0.5 {
+		t.Fatalf("gauge = %v, want 0.5", got)
+	}
+	hv := r.HistogramVec("test_hv_seconds", "latency by phase", []float64{1}, "phase")
+	hv.With("pull").Observe(0.5)
+	if got := hv.With("pull").Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "concurrent adds")
+	h := r.Histogram("test_conc_seconds", "concurrent observes", LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				// Concurrent registration of the same families must be safe
+				// and idempotent.
+				r.Counter("test_conc_total", "concurrent adds").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 4, 3)
+	if exp[0] != 1 || exp[1] != 4 || exp[2] != 16 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+	for _, bs := range [][]float64{LatencyBuckets, SizeBuckets, RoundBuckets} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("bucket layout not ascending: %v", bs)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) and a JSON-able snapshot of
+// the same data. Output is fully deterministic: families sort by name,
+// series by label values, histogram buckets ascending — so a fixed
+// virtual-clock run exposes byte-identical text (the golden test's
+// contract).
+
+// Sample is one exposed series value, the unit of Snapshot. Histograms
+// expand into _bucket/_sum/_count samples exactly as in the text format.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every exposed series as flat samples, in exposition
+// order. Counters are widened to float64 (exact below 2^53, far beyond
+// any count this stack produces in a run).
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, f := range r.sortedFamilies() {
+		out = append(out, f.samples()...)
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedKeys returns the series keys in deterministic order under the
+// family lock.
+func (f *family) sortedKeys() []string {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+func (f *family) get(key string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.series[key]
+}
+
+// labelPairs renders {k="v",...} for a series key, with extra appended
+// last (the histogram le label).
+func (f *family) labelPairs(key string, extra ...string) string {
+	var vals []string
+	if key != "" || len(f.labels) > 0 {
+		vals = strings.Split(key, "\x00")
+	}
+	var b strings.Builder
+	n := 0
+	emit := func(k, v string) {
+		if n == 0 {
+			b.WriteByte('{')
+		} else {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for i, lv := range vals {
+		if i < len(f.labels) {
+			emit(f.labels[i], lv)
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	if n > 0 {
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (f *family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+		return err
+	}
+	for _, key := range f.sortedKeys() {
+		s := f.get(key)
+		lp := f.labelPairs(key)
+		var err error
+		switch m := s.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, lp, m.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, lp, formatFloat(m.Value()))
+		case *Histogram:
+			var cum uint64
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, f.labelPairs(key, "le", formatFloat(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, f.labelPairs(key, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lp, formatFloat(m.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, lp, cum)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) samples() []Sample {
+	var out []Sample
+	for _, key := range f.sortedKeys() {
+		s := f.get(key)
+		labels := f.labelMap(key)
+		switch m := s.(type) {
+		case *Counter:
+			out = append(out, Sample{Name: f.name, Labels: labels, Value: float64(m.Value())})
+		case *Gauge:
+			out = append(out, Sample{Name: f.name, Labels: labels, Value: m.Value()})
+		case *Histogram:
+			var cum uint64
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				out = append(out, Sample{Name: f.name + "_bucket",
+					Labels: withLabel(labels, "le", formatFloat(b)), Value: float64(cum)})
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			out = append(out, Sample{Name: f.name + "_bucket",
+				Labels: withLabel(labels, "le", "+Inf"), Value: float64(cum)})
+			out = append(out, Sample{Name: f.name + "_sum", Labels: labels, Value: m.Sum()})
+			out = append(out, Sample{Name: f.name + "_count", Labels: labels, Value: float64(cum)})
+		}
+	}
+	return out
+}
+
+func (f *family) labelMap(key string) map[string]string {
+	if len(f.labels) == 0 {
+		return nil
+	}
+	vals := strings.Split(key, "\x00")
+	m := make(map[string]string, len(f.labels))
+	for i, lv := range vals {
+		if i < len(f.labels) {
+			m[f.labels[i]] = lv
+		}
+	}
+	return m
+}
+
+func withLabel(m map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for mk, mv := range m {
+		out[mk] = mv
+	}
+	out[k] = v
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus locks the exposition format and its deterministic
+// ordering: families by name, series by label values, histogram buckets
+// ascending with cumulative counts, _sum and _count last.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcv_b_total", "a counter").Add(7)
+	r.Gauge("dcv_c_ratio", "a gauge").Set(0.5)
+	cv := r.CounterVec("dcv_a_runs_total", "labeled counter", "mode")
+	cv.With("full").Add(2)
+	cv.With("delta").Add(5)
+	h := r.Histogram("dcv_d_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dcv_a_runs_total labeled counter
+# TYPE dcv_a_runs_total counter
+dcv_a_runs_total{mode="delta"} 5
+dcv_a_runs_total{mode="full"} 2
+# HELP dcv_b_total a counter
+# TYPE dcv_b_total counter
+dcv_b_total 7
+# HELP dcv_c_ratio a gauge
+# TYPE dcv_c_ratio gauge
+dcv_c_ratio 0.5
+# HELP dcv_d_seconds a histogram
+# TYPE dcv_d_seconds histogram
+dcv_d_seconds_bucket{le="0.1"} 2
+dcv_d_seconds_bucket{le="1"} 3
+dcv_d_seconds_bucket{le="+Inf"} 4
+dcv_d_seconds_sum 3.6
+dcv_d_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Two writes are byte-identical (ordering is deterministic).
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("two expositions of the same registry differ")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcv_x_total", "x").Add(3)
+	h := r.Histogram("dcv_y_seconds", "y", []float64{1})
+	h.Observe(0.5)
+	samples := r.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range samples {
+		key := s.Name
+		if le, ok := s.Labels["le"]; ok {
+			key += ":" + le
+		}
+		byName[key] = s.Value
+	}
+	checks := map[string]float64{
+		"dcv_x_total":            3,
+		"dcv_y_seconds_bucket:1": 1, "dcv_y_seconds_bucket:+Inf": 1,
+		"dcv_y_seconds_sum": 0.5, "dcv_y_seconds_count": 1,
+	}
+	for k, want := range checks {
+		if got, ok := byName[k]; !ok || got != want {
+			t.Errorf("sample %s = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("dcv_esc_total", "escapes", "path").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"dcvalidate/internal/clock"
+)
+
+// Lightweight trace spans for validation cycles. A Tracer hands out
+// spans (cycle → device → contract/solver call), timestamps them on its
+// injected clock.Clock, and keeps the most recent completed spans in a
+// fixed ring buffer — an in-process exporter for debugging and tests, not
+// a wire protocol. All methods are nil-receiver safe so instrumented code
+// never branches on whether tracing is enabled.
+
+// SpanData is one completed span as recorded in the ring.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 for roots
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// Duration is the span's elapsed time on the tracer's clock.
+func (s *SpanData) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Tracer allocates spans and retains the most recent completed ones.
+// Safe for concurrent use.
+type Tracer struct {
+	clk clock.Clock
+
+	mu   sync.Mutex
+	ring []SpanData
+	next int    // ring write position
+	n    int    // filled entries (≤ len(ring))
+	seq  uint64 // span id source
+}
+
+// NewTracer returns a tracer timestamping on clk (nil = system clock)
+// retaining the last capacity completed spans.
+func NewTracer(clk clock.Clock, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{clk: clock.Or(clk), ring: make([]SpanData, capacity)}
+}
+
+// Span is an in-flight span. End completes it into the tracer's ring.
+type Span struct {
+	t    *Tracer
+	data SpanData
+}
+
+// Start opens a root span. Safe on a nil tracer (returns nil; all Span
+// methods are no-ops on nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	id := t.seq
+	t.mu.Unlock()
+	return &Span{t: t, data: SpanData{ID: id, Name: name, Start: t.clk.Now()}}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.Start(name)
+	c.data.Parent = s.data.ID
+	return c
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// End stamps the span's end time and records it in the tracer's ring,
+// evicting the oldest span when full.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.data.End = s.t.clk.Now()
+	t := s.t
+	t.mu.Lock()
+	t.ring[t.next] = s.data
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}

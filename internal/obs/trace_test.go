@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"dcvalidate/internal/clock"
+)
+
+func TestTracerSpansVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	tr := NewTracer(vc, 8)
+
+	cycle := tr.Start("cycle")
+	cycle.SetAttr("instance", "test-0")
+	vc.Advance(10 * time.Millisecond)
+	dev := cycle.Child("device")
+	vc.Advance(5 * time.Millisecond)
+	dev.End()
+	vc.Advance(time.Millisecond)
+	cycle.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completed in End order: child first.
+	if spans[0].Name != "device" || spans[1].Name != "cycle" {
+		t.Fatalf("span order = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %d, want %d", spans[0].Parent, spans[1].ID)
+	}
+	if got := spans[0].Duration(); got != 5*time.Millisecond {
+		t.Fatalf("device span duration = %v, want 5ms", got)
+	}
+	if got := spans[1].Duration(); got != 16*time.Millisecond {
+		t.Fatalf("cycle span duration = %v, want 16ms", got)
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "instance" {
+		t.Fatalf("cycle attrs = %v", spans[1].Attrs)
+	}
+}
+
+// TestTracerRingEviction: the ring keeps only the most recent completed
+// spans, oldest first in Spans.
+func TestTracerRingEviction(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	tr := NewTracer(vc, 3)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(string(rune('a' + i)))
+		sp.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if spans[i].Name != want {
+			t.Errorf("span[%d] = %s, want %s", i, spans[i].Name, want)
+		}
+	}
+}
+
+// TestTracerNilSafety: a nil tracer and its nil spans are inert, so
+// instrumented code never branches on tracing being enabled.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("cycle")
+	if sp != nil {
+		t.Fatal("nil tracer Start returned a span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	child := sp.Child("device")
+	if child != nil {
+		t.Fatal("nil span Child returned a span")
+	}
+	child.End()
+	sp.End()
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcvalidate/internal/bv"
+	"dcvalidate/internal/clock"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
@@ -32,6 +33,11 @@ import (
 // additionally requires every expected redundant hop.
 type SMTChecker struct {
 	Exact bool
+	// Metrics, when non-nil, instruments every solver this checker
+	// creates (per-query conflicts/decisions/propagations and solve
+	// latency); Clock times those solves (nil = system clock).
+	Metrics *bv.Metrics
+	Clock   clock.Clock
 }
 
 func hopVar(c *bv.Ctx, d topology.DeviceID) bv.Term {
@@ -89,6 +95,8 @@ func (s SMTChecker) CheckDevice(tbl *fib.Table, dc contracts.DeviceContracts, ro
 	dst := c.BVVar("dstIp", 32)
 	policy, covered := encodePolicy(c, dst, tbl)
 	solver := bv.NewSolver(c)
+	solver.Metrics = s.Metrics
+	solver.Clock = s.Clock
 
 	var out []Violation
 	for _, ct := range dc.Contracts {

@@ -12,6 +12,7 @@ import (
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/obs"
 	"dcvalidate/internal/topology"
 )
 
@@ -76,6 +77,12 @@ type Validator struct {
 	// the system clock. Tests inject a clock.Virtual for reproducible
 	// Elapsed fields.
 	Clock clock.Clock
+	// Metrics, when non-nil, receives per-device check latencies and
+	// per-run counters (see NewMetrics). Instrumentation never alters
+	// validation results.
+	Metrics *Metrics
+	// Tracer, when non-nil, records a span per validation run.
+	Tracer *obs.Tracer
 }
 
 func (v *Validator) checker() Checker {
@@ -93,11 +100,13 @@ func (v *Validator) ValidateDevice(facts *metadata.Facts, tbl *fib.Table, dc con
 	if err != nil {
 		return DeviceReport{}, err
 	}
-	return DeviceReport{
+	rep := DeviceReport{
 		Device: dc.Device, Name: df.Name, Role: df.Role,
 		Contracts: len(dc.Contracts), Violations: viols,
 		Elapsed: clock.Since(v.Clock, start),
-	}, nil
+	}
+	v.Metrics.observeDevice(&rep)
+	return rep, nil
 }
 
 func (v *Validator) workers() int {
@@ -169,6 +178,8 @@ func (v *Validator) validateSet(facts *metadata.Facts, gen *contracts.Generator,
 // non-nil error as fatal; callers that can tolerate partial coverage get
 // the partial report either way.
 func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Report, error) {
+	sp := v.Tracer.Start("rcdc.ValidateAll")
+	defer sp.End()
 	start := clock.Or(v.Clock).Now()
 	devs := make([]topology.DeviceID, len(facts.Devices))
 	for i := range facts.Devices {
@@ -181,6 +192,7 @@ func (v *Validator) ValidateAll(facts *metadata.Facts, source fib.Source) (*Repo
 		rep.Failures += len(reps[i].Violations)
 	}
 	rep.Elapsed = clock.Since(v.Clock, start)
+	v.Metrics.observeRun("full", rep, len(devs), busyTime(reps))
 	return rep, errors.Join(errs...)
 }
 
@@ -202,6 +214,8 @@ func (v *Validator) ValidateDelta(prev *Report, facts *metadata.Facts, gen *cont
 	if prev == nil {
 		return nil, fmt.Errorf("rcdc: ValidateDelta requires a previous report")
 	}
+	sp := v.Tracer.Start("rcdc.ValidateDelta")
+	defer sp.End()
 	start := clock.Or(v.Clock).Now()
 	if gen == nil {
 		gen = contracts.NewGenerator(facts)
@@ -227,5 +241,6 @@ func (v *Validator) ValidateDelta(prev *Report, facts *metadata.Facts, gen *cont
 		rep.Failures += len(rep.Devices[i].Violations)
 	}
 	rep.Elapsed = clock.Since(v.Clock, start)
+	v.Metrics.observeRun("delta", rep, len(dirty), busyTime(fresh))
 	return rep, errors.Join(errs...)
 }
