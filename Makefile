@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-smoke metrics-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -29,12 +29,25 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Solver-stack microbenchmarks: policy encode+solve with/without the
+# pre-blast rewrite pass (internal/bv) and the incremental-assumption
+# session pattern (internal/sat).
+bench-solver:
+	$(GO) test -run xxx -bench 'BenchmarkBlast' -benchmem ./internal/bv/
+	$(GO) test -run xxx -bench 'BenchmarkIncrementalAssumptions' -benchmem ./internal/sat/
+
 # CI gate for incremental validation: runs the E16 experiment at its
 # smallest sweep point (520 devices) with the soundness gate on — any
 # device whose table changes outside the computed blast radius, or any
 # delta report diverging from a full sweep, panics and fails the target.
 bench-smoke:
 	$(GO) run ./cmd/dcbench -e e16 -quick
+
+# CI gate for solver performance: one short E4 point; panics when
+# smt/contract exceeds a generous ceiling or the SMT verdicts (sequential
+# or parallel) disagree with the trie engine.
+solver-smoke:
+	$(GO) run ./cmd/dcbench -e e4s -quick
 
 # CI gate for the observability layer: run a short fault-free dcmon with
 # -metrics-addr, curl /metrics, and fail on missing series, non-finite

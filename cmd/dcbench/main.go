@@ -4,12 +4,15 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e16, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e16, e4s, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
-// E16 additionally writes its machine-readable rows to
-// BENCH_incremental.json in the current directory. Every run records a
+// E4 and E16 additionally write their machine-readable rows to
+// BENCH_solver.json and BENCH_incremental.json in the current directory;
+// e4s is the CI solver-perf smoke (panics when the SMT engine regresses
+// past a generous per-contract ceiling or disagrees with the trie
+// engine). Every run records a
 // per-experiment snapshot of the observability registry (validator,
 // solver, and synth-cache series plus dcv_experiment_seconds) and writes
 // them to -metrics-out as JSON: one entry per experiment holding the
@@ -23,10 +26,25 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dcvalidate/internal/experiments"
 	"dcvalidate/internal/obs"
 )
+
+// writeJSON serializes an experiment's machine-readable rows next to the
+// human tables; dcbench exits non-zero when the artifact can't be
+// written, matching the panic-on-error convention of the experiments.
+func writeJSON(path string, rows any) {
+	raw, err := json.MarshalIndent(rows, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, raw, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
 
 // phaseMetrics is one -metrics-out entry: the registry movement
 // attributable to a single experiment.
@@ -56,6 +74,7 @@ func main() {
 	e2Sizes := []int{500, 1000, 2000, 5000}
 	e3Sizes := []int{250, 500, 1000}
 	e4Sizes := []int{500, 1000, 2000}
+	e4sSize := 500
 	e8Sizes := []int{100, 300, 1000, 3000, 5000}
 	// E13's store holds every serialized table; 5000 devices (~20M rules)
 	// is the single-instance ceiling for an in-memory store on a 16 GB
@@ -72,6 +91,7 @@ func main() {
 		e2Sizes = []int{250, 500}
 		e3Sizes = []int{250}
 		e4Sizes = []int{250, 500}
+		e4sSize = 250
 		e8Sizes = []int{100, 300, 1000}
 		e13Sizes = []int{500, 1000}
 		e16Sizes = []int{520}
@@ -87,9 +107,19 @@ func main() {
 	}
 	all := []exp{
 		{"e1", func() experiments.Result { return experiments.E1PerDevice(e1Sizes, 8) }},
-		{"e2", func() experiments.Result { return experiments.E2Sweep(e2Sizes, true) }},
+		{"e2", func() experiments.Result { return experiments.E2Sweep(e2Sizes) }},
 		{"e3", func() experiments.Result { return experiments.E3LocalVsGlobal(e3Sizes) }},
-		{"e4", func() experiments.Result { return experiments.E4SMTVsTrie(e4Sizes) }},
+		{"e4", func() experiments.Result {
+			res, rows := experiments.E4SMTVsTrie(e4Sizes)
+			writeJSON("BENCH_solver.json", rows)
+			return res
+		}},
+		{"e4s", func() experiments.Result {
+			// Generous ceiling: the committed baseline sits around 200µs
+			// per contract; 10ms trips only on an order-of-magnitude
+			// regression, not on CI-runner noise.
+			return experiments.E4SolverGate(e4sSize, 10*time.Millisecond)
+		}},
 		{"e5", experiments.E5Figure3},
 		{"e6", experiments.E6Taxonomy},
 		{"e7", experiments.E7Burndown},
@@ -106,14 +136,7 @@ func main() {
 		{"e15", experiments.E15Region},
 		{"e16", func() experiments.Result {
 			res, rows := experiments.E16Incremental(e16Sizes, e16VerifyMax)
-			raw, err := json.MarshalIndent(rows, "", "  ")
-			if err == nil {
-				err = os.WriteFile("BENCH_incremental.json", raw, 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dcbench: writing BENCH_incremental.json: %v\n", err)
-				os.Exit(1)
-			}
+			writeJSON("BENCH_incremental.json", rows)
 			return res
 		}},
 	}

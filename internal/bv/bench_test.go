@@ -1,0 +1,90 @@
+package bv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPolicy builds a routing-policy-shaped formula: an ITE chain of
+// CIDR-range conditions selecting next-hop disjunctions, exactly the
+// Definition 2.1 shape rcdc's SMT engine encodes. Rules are synthesized
+// deterministically (/20 blocks walking a 10.0.0.0/8 pool).
+func benchPolicy(c *Ctx, rules int) (dst, policy, covered Term) {
+	dst = c.BVVar("dstIp", 32)
+	policy = c.False()
+	conds := make([]Term, 0, rules)
+	for i := 0; i < rules; i++ {
+		lo := uint64(10<<24 | i<<12)
+		hi := lo | (1<<12 - 1)
+		cond := c.InRange(dst, lo, hi)
+		conds = append(conds, cond)
+		hops := c.Or(
+			c.BoolVar(fmt.Sprintf("nh%d", i%8)),
+			c.BoolVar(fmt.Sprintf("nh%d", (i+1)%8)),
+		)
+		policy = c.Ite(cond, hops, policy)
+	}
+	return dst, policy, c.Or(conds...)
+}
+
+// benchBlast encodes the policy and discharges one contract-shaped query
+// per iteration: range ∧ policy ∧ ¬expected-hops.
+func benchBlast(b *testing.B, rules int, disableSimplify bool) {
+	for i := 0; i < b.N; i++ {
+		c := NewCtx()
+		dst, policy, _ := benchPolicy(c, rules)
+		s := NewSolver(c)
+		s.DisableSimplify = disableSimplify
+		q := c.And(
+			c.InRange(dst, uint64(10<<24), uint64(10<<24|1<<12-1)),
+			policy,
+			c.Not(c.Or(c.BoolVar("nh0"), c.BoolVar("nh1"))),
+		)
+		res, err := s.Solve(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sat {
+			b.Fatal("rule 0's hops are exactly {nh0, nh1}; query should be unsat")
+		}
+	}
+}
+
+// BenchmarkBlastSimplified and BenchmarkBlastDirect measure the policy
+// encode+solve path with and without the pre-blast rewrite pass — the
+// headline ablation for the term-rewriting layer (make bench-solver).
+func BenchmarkBlastSimplified(b *testing.B) {
+	for _, rules := range []int{128, 512} {
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) { benchBlast(b, rules, false) })
+	}
+}
+
+func BenchmarkBlastDirect(b *testing.B) {
+	for _, rules := range []int{128, 512} {
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) { benchBlast(b, rules, true) })
+	}
+}
+
+// BenchmarkBlastAssumptions measures the shared-encoding incremental
+// pattern at the bv layer: blast the policy once, then many per-contract
+// assumption queries against it.
+func BenchmarkBlastAssumptions(b *testing.B) {
+	const rules = 256
+	for i := 0; i < b.N; i++ {
+		c := NewCtx()
+		dst, policy, covered := benchPolicy(c, rules)
+		s := NewSolver(c)
+		for q := 0; q < rules; q += 8 {
+			lo := uint64(10<<24 | q<<12)
+			hi := lo | (1<<12 - 1)
+			inRange := c.InRange(dst, lo, hi)
+			if _, err := s.SolveAssuming(inRange, c.Not(covered)); err != nil {
+				b.Fatal(err)
+			}
+			want := c.Or(c.BoolVar(fmt.Sprintf("nh%d", q%8)), c.BoolVar(fmt.Sprintf("nh%d", (q+1)%8)))
+			if _, err := s.SolveAssuming(c.And(inRange, policy, c.Not(want))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -52,9 +52,10 @@ type node struct {
 // Ctx is a term context. All terms passed to a Ctx's methods must have been
 // created by the same Ctx.
 type Ctx struct {
-	nodes  []node
-	memo   map[string]Term
-	keyBuf []byte
+	nodes      []node
+	memo       map[string]Term
+	keyBuf     []byte
+	simplified map[Term]Term // Simplify memo; rewrite results are fixpoints
 }
 
 // NewCtx returns an empty term context with True and False preallocated.
@@ -383,6 +384,16 @@ type Solver struct {
 	// never touch a time source.
 	Metrics *Metrics
 	Clock   clock.Clock
+
+	// DisableSimplify skips the pre-blast rewrite pass (Ctx.Simplify) on
+	// asserted and assumed formulas — the ablation knob the equivalence
+	// property tests and the BenchmarkBlast* benches flip.
+	DisableSimplify bool
+
+	// Last SolveAssuming call's assumption terms and their literals, for
+	// mapping FailedAssumptions back to terms.
+	lastAssumpTerms []Term
+	lastAssumpLits  []sat.Lit
 }
 
 // NewSolver returns a solver for formulas of ctx.
@@ -632,11 +643,21 @@ func (s *Solver) blastCmpConst(xb []sat.Lit, c uint64, le bool) sat.Lit {
 	return g
 }
 
+// prep runs the pre-blast simplification pass unless disabled. The
+// rewritten term is equivalent over the original variables, so results
+// and extracted models are unchanged; only the CNF gets smaller.
+func (s *Solver) prep(f Term) Term {
+	if s.DisableSimplify {
+		return f
+	}
+	return s.ctx.Simplify(f)
+}
+
 // Solve asserts the boolean term f permanently and decides satisfiability,
 // returning a model over all variables appearing in f when satisfiable.
 func (s *Solver) Solve(f Term) (Result, error) {
 	finish := s.startQuery()
-	root := s.litFor(f)
+	root := s.litFor(s.prep(f))
 	s.sat.AddClause(root)
 	ok, err := s.sat.Solve()
 	finish()
@@ -668,14 +689,35 @@ func (s *Solver) SolveAssuming(assumptions ...Term) (Result, error) {
 	finish := s.startQuery()
 	lits := make([]sat.Lit, len(assumptions))
 	for i, f := range assumptions {
-		lits[i] = s.litFor(f)
+		lits[i] = s.litFor(s.prep(f))
 	}
+	s.lastAssumpTerms = append(s.lastAssumpTerms[:0], assumptions...)
+	s.lastAssumpLits = append(s.lastAssumpLits[:0], lits...)
 	ok, err := s.sat.SolveAssuming(lits)
 	finish()
 	if err != nil {
 		return Result{}, err
 	}
 	return s.result(ok), nil
+}
+
+// FailedAssumptions returns the subset of the last SolveAssuming call's
+// assumption terms whose conjunction already makes the query unsatisfiable
+// (the SAT core's assumption failure analysis mapped back to terms). Empty
+// when the last query was satisfiable or unsat independent of assumptions.
+// Callers use it to prune later queries: an assumption set disjoint from
+// the failed core cannot be the reason a query became unsat.
+func (s *Solver) FailedAssumptions() []Term {
+	var out []Term
+	for _, l := range s.sat.FailedAssumptions() {
+		for i, al := range s.lastAssumpLits {
+			if al == l {
+				out = append(out, s.lastAssumpTerms[i])
+				break
+			}
+		}
+	}
+	return out
 }
 
 func (s *Solver) result(ok bool) Result {

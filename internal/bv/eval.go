@@ -1,0 +1,92 @@
+package bv
+
+// Eval evaluates a boolean-sorted term under a model, treating absent
+// boolean variables as false and absent bit-vector variables as zero. It
+// is the reference semantics the simplifier and blaster are tested
+// against: for any model extracted from a satisfiable query, the asserted
+// formula must evaluate to true — simplified or not.
+func (c *Ctx) Eval(t Term, m Model) bool {
+	n := c.n(t)
+	switch n.kind {
+	case kTrue:
+		return true
+	case kFalse:
+		return false
+	case kBoolVar:
+		return m.Bools[n.name]
+	case kNot:
+		return !c.Eval(n.args[0], m)
+	case kAnd:
+		for _, a := range n.args {
+			if !c.Eval(a, m) {
+				return false
+			}
+		}
+		return true
+	case kOr:
+		for _, a := range n.args {
+			if c.Eval(a, m) {
+				return true
+			}
+		}
+		return false
+	case kIte:
+		if c.Eval(n.args[0], m) {
+			return c.Eval(n.args[1], m)
+		}
+		return c.Eval(n.args[2], m)
+	case kEq:
+		return c.EvalBV(n.args[0], m) == c.EvalBV(n.args[1], m)
+	case kUle:
+		return c.EvalBV(n.args[0], m) <= c.EvalBV(n.args[1], m)
+	case kSle:
+		w := c.n(n.args[0]).width
+		return signExtend(c.EvalBV(n.args[0], m), w) <= signExtend(c.EvalBV(n.args[1], m), w)
+	}
+	panic("bv: Eval of non-boolean term") // invariant: caller passes boolean-sorted terms — same precondition as litFor
+}
+
+// EvalBV evaluates a bit-vector-sorted term under a model, truncated to
+// the term's width.
+func (c *Ctx) EvalBV(t Term, m Model) uint64 {
+	n := c.n(t)
+	mask := c.maxVal(t)
+	switch n.kind {
+	case kBVConst:
+		return n.val
+	case kBVVar:
+		return m.BVs[n.name] & mask
+	case kBVNot:
+		return ^c.EvalBV(n.args[0], m) & mask
+	case kBVAnd:
+		return c.EvalBV(n.args[0], m) & c.EvalBV(n.args[1], m)
+	case kBVOr:
+		return c.EvalBV(n.args[0], m) | c.EvalBV(n.args[1], m)
+	case kBVXor:
+		return c.EvalBV(n.args[0], m) ^ c.EvalBV(n.args[1], m)
+	case kBVAdd:
+		return (c.EvalBV(n.args[0], m) + c.EvalBV(n.args[1], m)) & mask
+	case kBVSub:
+		return (c.EvalBV(n.args[0], m) - c.EvalBV(n.args[1], m)) & mask
+	case kBVMul:
+		return (c.EvalBV(n.args[0], m) * c.EvalBV(n.args[1], m)) & mask
+	case kBVNeg:
+		return -c.EvalBV(n.args[0], m) & mask
+	case kBVShl:
+		return c.EvalBV(n.args[0], m) << n.val & mask
+	case kBVLshr:
+		return c.EvalBV(n.args[0], m) >> n.val
+	case kBVExtract:
+		lo := n.val & 0xff
+		return c.EvalBV(n.args[0], m) >> lo & mask
+	case kBVConcat:
+		lw := c.n(n.args[1]).width
+		return c.EvalBV(n.args[0], m)<<lw | c.EvalBV(n.args[1], m)
+	case kBVIte:
+		if c.Eval(n.args[0], m) {
+			return c.EvalBV(n.args[1], m)
+		}
+		return c.EvalBV(n.args[2], m)
+	}
+	panic("bv: EvalBV of non-bit-vector term") // invariant: caller passes bit-vector-sorted terms — same precondition as bits()
+}

@@ -18,12 +18,28 @@ func FuzzParseSMTLIB2(f *testing.F) {
 			return
 		}
 		// Accepted scripts must be solvable without panic; bound the work.
+		// Both blasting pipelines run — the default simplified one and the
+		// direct ablation — and must agree on satisfiability, with the
+		// simplified pipeline's model satisfying the original formula.
 		f := sc.Formula()
 		s := NewSolver(sc.Ctx)
-		if _, err := s.Solve(f); err != nil {
+		res, err := s.Solve(f)
+		if err != nil {
 			// Conflict limits are not configured here, so any error is a
 			// bug.
 			t.Fatalf("solve failed on accepted script: %v", err)
+		}
+		d := NewSolver(sc.Ctx)
+		d.DisableSimplify = true
+		dres, err := d.Solve(f)
+		if err != nil {
+			t.Fatalf("direct solve failed on accepted script: %v", err)
+		}
+		if res.Sat != dres.Sat {
+			t.Fatalf("simplified sat=%v, direct sat=%v on %q", res.Sat, dres.Sat, in)
+		}
+		if res.Sat && !sc.Ctx.Eval(f, res.Model) {
+			t.Fatalf("model does not satisfy original formula for %q", in)
 		}
 	})
 }

@@ -1,0 +1,256 @@
+package bv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Unit tests: one per rewrite rule. Hash-consing makes rewrites directly
+// observable — structurally equal terms are the same handle, so expected
+// shapes compare with ==.
+
+func TestSimplifyIteConstantBranches(t *testing.T) {
+	c := NewCtx()
+	p, q := c.BoolVar("p"), c.BoolVar("q")
+	cases := []struct {
+		name     string
+		in, want Term
+	}{
+		{"then-true", c.Ite(p, c.True(), q), c.Or(p, q)},
+		{"then-false", c.Ite(p, c.False(), q), c.And(c.Not(p), q)},
+		{"else-true", c.Ite(p, q, c.True()), c.Or(c.Not(p), q)},
+		{"else-false", c.Ite(p, q, c.False()), c.And(p, q)},
+	}
+	for _, tc := range cases {
+		if got := c.Simplify(tc.in); got != tc.want {
+			t.Errorf("%s: Simplify(%s) = %s, want %s",
+				tc.name, c.String(tc.in), c.String(got), c.String(tc.want))
+		}
+	}
+}
+
+func TestSimplifyFusesRangePair(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 32)
+	// 10.1.16.0/20 → the pair fuses to extract(x,31,12) = prefix.
+	lo, hi := uint64(0x0A011000), uint64(0x0A011FFF)
+	in := c.And(c.Ule(c.BVConst(lo, 32), x), c.Ule(x, c.BVConst(hi, 32)))
+	want := c.Eq(c.Extract(x, 31, 12), c.BVConst(lo>>12, 20))
+	if got := c.Simplify(in); got != want {
+		t.Errorf("Simplify(%s) = %s, want %s", c.String(in), c.String(got), c.String(want))
+	}
+	// A /32 (single address) fuses to plain equality.
+	one := c.And(c.Ule(c.BVConst(lo, 32), x), c.Ule(x, c.BVConst(lo, 32)))
+	if got, want := c.Simplify(one), c.Eq(x, c.BVConst(lo, 32)); got != want {
+		t.Errorf("single-address range: got %s, want %s", c.String(got), c.String(want))
+	}
+}
+
+func TestSimplifyFusesAnchoredSingleBound(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 16)
+	// x ≤ 0x0FFF is the block [0, 0x0FFF]: top four bits zero.
+	if got, want := c.Simplify(c.Ule(x, c.BVConst(0x0FFF, 16))), c.Eq(c.Extract(x, 15, 12), c.BVConst(0, 4)); got != want {
+		t.Errorf("upper anchored: got %s, want %s", c.String(got), c.String(want))
+	}
+	// 0xF000 ≤ x is the block [0xF000, 0xFFFF]: top four bits one.
+	if got, want := c.Simplify(c.Ule(c.BVConst(0xF000, 16), x)), c.Eq(c.Extract(x, 15, 12), c.BVConst(0xF, 4)); got != want {
+		t.Errorf("lower anchored: got %s, want %s", c.String(got), c.String(want))
+	}
+}
+
+func TestSimplifyLeavesNonBlockRange(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 16)
+	// [5, 10] is not a binary block; the comparison pair must survive.
+	in := c.And(c.Ule(c.BVConst(5, 16), x), c.Ule(x, c.BVConst(10, 16)))
+	if got := c.Simplify(in); got != in {
+		t.Errorf("non-block range rewritten: %s → %s", c.String(in), c.String(got))
+	}
+}
+
+func TestSimplifyFoldsThroughIteChain(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 8)
+	p := c.BoolVar("p")
+	// The innermost policy Ite always terminates in false (drop), so the
+	// chain collapses into nested And/Or with the range tests fused.
+	chain := c.Ite(c.InRange(x, 0x10, 0x1F), p, c.False())
+	want := c.And(c.Eq(c.Extract(x, 7, 4), c.BVConst(1, 4)), p)
+	if got := c.Simplify(chain); got != want {
+		t.Errorf("Simplify(%s) = %s, want %s", c.String(chain), c.String(got), c.String(want))
+	}
+}
+
+func TestSimplifyIdempotentAndMemoized(t *testing.T) {
+	c := NewCtx()
+	x := c.BVVar("x", 32)
+	f := c.Ite(c.InRange(x, 0x0A000000, 0x0AFFFFFF), c.BoolVar("p"), c.False())
+	once := c.Simplify(f)
+	if twice := c.Simplify(once); twice != once {
+		t.Errorf("not idempotent: %s vs %s", c.String(once), c.String(twice))
+	}
+}
+
+func TestBlockSuffix(t *testing.T) {
+	cases := []struct {
+		lo, hi uint64
+		k      int
+		ok     bool
+	}{
+		{0x0A011000, 0x0A011FFF, 12, true},
+		{7, 7, 0, true},
+		{0, 0xFFFF, 16, true},
+		{5, 10, 0, false},      // not an all-ones suffix
+		{0x10, 0x2F, 0, false}, // suffix ones but lo's free bits misaligned crossing
+		{0x18, 0x1F, 3, true},
+		{10, 5, 0, false}, // inverted
+	}
+	for _, tc := range cases {
+		k, ok := blockSuffix(tc.lo, tc.hi)
+		if ok != tc.ok || (ok && k != tc.k) {
+			t.Errorf("blockSuffix(%#x, %#x) = (%d, %v), want (%d, %v)", tc.lo, tc.hi, k, ok, tc.k, tc.ok)
+		}
+	}
+}
+
+// randomPolicyFormula builds an RCDC-shaped contract query: an ITE policy
+// chain over random prefix ranges (a deliberate mix of exact CIDR blocks
+// and non-block spans) conjoined with a range assumption and a negated
+// hop set — the Definition 2.1 query shape.
+func randomPolicyFormula(c *Ctx, rng *rand.Rand) Term {
+	dst := c.BVVar("dstIp", 32)
+	policy := c.False()
+	for i := 0; i < 4+rng.Intn(8); i++ {
+		var lo, hi uint64
+		if rng.Intn(2) == 0 {
+			bits := 8 + rng.Intn(17)
+			lo = uint64(rng.Uint32()) &^ (1<<(32-bits) - 1)
+			hi = lo | (1<<(32-bits) - 1)
+		} else {
+			a, b := uint64(rng.Uint32()), uint64(rng.Uint32())
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi = a, b
+		}
+		hops := c.Or(
+			c.BoolVar(fmt.Sprintf("nh%d", rng.Intn(4))),
+			c.BoolVar(fmt.Sprintf("nh%d", rng.Intn(4))),
+		)
+		policy = c.Ite(c.InRange(dst, lo, hi), hops, policy)
+	}
+	want := c.BoolVar(fmt.Sprintf("nh%d", rng.Intn(4)))
+	lo := uint64(rng.Uint32()) &^ 0xFFF
+	return c.And(c.InRange(dst, lo, lo|0xFFF), policy, c.Not(want))
+}
+
+// randomACLFormula builds a SecGuru-shaped filter: conjunctions of header
+// field ranges combined first-match through the allow/deny chain.
+func randomACLFormula(c *Ctx, rng *rand.Rand) Term {
+	src := c.BVVar("srcIp", 32)
+	dstPort := c.BVVar("dstPort", 16)
+	proto := c.BVVar("protocol", 8)
+	formula := c.False()
+	for i := 0; i < 3+rng.Intn(6); i++ {
+		bits := 8 + rng.Intn(17)
+		lo := uint64(rng.Uint32()) &^ (1<<(32-bits) - 1)
+		match := c.And(
+			c.InRange(src, lo, lo|(1<<(32-bits)-1)),
+			c.InRange(dstPort, uint64(rng.Intn(1000)), uint64(1000+rng.Intn(60000))),
+			c.Eq(proto, c.BVConst(uint64(6+11*rng.Intn(2)), 8)),
+		)
+		if rng.Intn(2) == 0 {
+			formula = c.Or(match, formula)
+		} else {
+			formula = c.And(c.Not(match), formula)
+		}
+	}
+	return formula
+}
+
+// TestSimplifyEquisatisfiable is the rewrite-pass property test: on
+// RCDC- and SecGuru-shaped encodings, the simplified-then-blasted and
+// directly-blasted pipelines must agree on satisfiability, and each
+// pipeline's extracted model must satisfy both the original and the
+// simplified formula under the reference evaluator — models stay
+// interchangeable across the rewrite.
+func TestSimplifyEquisatisfiable(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(*Ctx, *rand.Rand) Term
+	}{
+		{"rcdc-policy", randomPolicyFormula},
+		{"secguru-acl", randomACLFormula},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 60; trial++ {
+				c := NewCtx()
+				f := g.gen(c, rng)
+				simp := NewSolver(c)
+				direct := NewSolver(c)
+				direct.DisableSimplify = true
+				rs, err := simp.Solve(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rd, err := direct.Solve(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rs.Sat != rd.Sat {
+					t.Fatalf("trial %d: simplified sat=%v, direct sat=%v on %s",
+						trial, rs.Sat, rd.Sat, c.String(f))
+				}
+				if !rs.Sat {
+					continue
+				}
+				sf := c.Simplify(f)
+				for _, m := range []struct {
+					name  string
+					model Model
+				}{{"simplified-pipeline", rs.Model}, {"direct-pipeline", rd.Model}} {
+					if !c.Eval(f, m.model) {
+						t.Fatalf("trial %d: %s model fails the original formula", trial, m.name)
+					}
+					if !c.Eval(sf, m.model) {
+						t.Fatalf("trial %d: %s model fails the simplified formula", trial, m.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSimplifyEquivalentExhaustive checks full semantic equivalence (not
+// just equisatisfiability) by enumerating every assignment of narrow
+// random formulas.
+func TestSimplifyEquivalentExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		c := NewCtx()
+		x := c.BVVar("x", 4)
+		p := c.BoolVar("p")
+		f := c.False()
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			a, b := uint64(rng.Intn(16)), uint64(rng.Intn(16))
+			if a > b {
+				a, b = b, a
+			}
+			f = c.Ite(c.InRange(x, a, b), c.Or(p, f), f)
+		}
+		sf := c.Simplify(f)
+		for xv := uint64(0); xv < 16; xv++ {
+			for _, pv := range []bool{false, true} {
+				m := Model{Bools: map[string]bool{"p": pv}, BVs: map[string]uint64{"x": xv}}
+				if c.Eval(f, m) != c.Eval(sf, m) {
+					t.Fatalf("trial %d: differ at x=%d p=%v:\n  f  = %s\n  sf = %s",
+						trial, xv, pv, c.String(f), c.String(sf))
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -14,50 +15,149 @@ import (
 	"dcvalidate/internal/workload"
 )
 
+// E4Row is one machine-readable sweep point of E4, serialized to
+// BENCH_solver.json by dcbench so solver-perf regressions diff cleanly.
+type E4Row struct {
+	Rules         int     `json:"rules"`
+	Contracts     int     `json:"contracts"`
+	SMTDeviceNS   int64   `json:"smt_device_ns"`
+	SMTContractNS int64   `json:"smt_contract_ns"`
+	SMTParDevNS   int64   `json:"smt_par_device_ns"`
+	Workers       int     `json:"workers"`
+	TrieDeviceNS  int64   `json:"trie_device_ns"`
+	TrieSpeedup   float64 `json:"trie_speedup"`
+	Match         bool    `json:"match"`
+}
+
+// violationKey is the differential-oracle identity of a violation — the
+// same key the trie-vs-SMT tests use. Witness details (counterexample
+// addresses, matched rule prefixes) are engine- and schedule-dependent
+// and deliberately excluded.
+func violationKey(v rcdc.Violation) string {
+	return fmt.Sprintf("%d|%v|%v", v.Device, v.Contract.Prefix, v.Kind)
+}
+
+func sameViolations(a, b []rcdc.Violation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]int, len(a))
+	for _, v := range a {
+		set[violationKey(v)]++
+	}
+	for _, v := range b {
+		set[violationKey(v)]--
+	}
+	for _, n := range set {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// e4Point benchmarks one table size and cross-checks every engine
+// configuration against the trie verdicts.
+func e4Point(n int) E4Row {
+	p := SizedParams("e4", 0)
+	p.Clusters = (n + p.ToRsPerCluster - 1) / p.ToRsPerCluster
+	topo := topology.MustNew(p)
+	facts := metadata.FromTopology(topo)
+	gen := contracts.NewGenerator(facts)
+	src := bgp.NewSynth(topo, nil)
+
+	tor := topo.ToRs()[0]
+	tbl, err := src.Table(tor)
+	if err != nil {
+		panic(err)
+	}
+	dc := gen.ForDevice(tor)
+
+	sm := solverMetrics()
+	start := now()
+	smtViol, err := (rcdc.SMTChecker{Workers: 1, Metrics: sm, Clock: Clock}).CheckDevice(tbl, dc, topology.RoleToR)
+	if err != nil {
+		panic(err)
+	}
+	smt := since(start)
+
+	workers := runtime.GOMAXPROCS(0)
+	start = now()
+	parViol, err := (rcdc.SMTChecker{Workers: workers, Metrics: sm, Clock: Clock}).CheckDevice(tbl, dc, topology.RoleToR)
+	if err != nil {
+		panic(err)
+	}
+	smtPar := since(start)
+
+	start = now()
+	trieViol, err := (rcdc.TrieChecker{}).CheckDevice(tbl, dc, topology.RoleToR)
+	if err != nil {
+		panic(err)
+	}
+	trie := since(start)
+
+	return E4Row{
+		Rules:         tbl.Len(),
+		Contracts:     len(dc.Contracts),
+		SMTDeviceNS:   int64(smt),
+		SMTContractNS: int64(smt) / int64(len(dc.Contracts)),
+		SMTParDevNS:   int64(smtPar),
+		Workers:       workers,
+		TrieDeviceNS:  int64(trie),
+		TrieSpeedup:   float64(smt) / float64(trie),
+		Match:         sameViolations(smtViol, trieViol) && sameViolations(parViol, trieViol),
+	}
+}
+
 // E4SMTVsTrie compares the generic bit-vector engine against the
 // specialized trie checker per device (§2.5: SMT "within a second" per
 // routing table; the trie algorithm enabled scaling with modest CPU).
-func E4SMTVsTrie(prefixCounts []int) Result {
+// Every point also runs the SMT engine at Workers = GOMAXPROCS and
+// cross-checks all verdicts against the trie oracle; the machine-readable
+// rows back BENCH_solver.json.
+func E4SMTVsTrie(prefixCounts []int) (Result, []E4Row) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%10s %10s %12s %14s %12s %9s %12s\n",
-		"rules", "contracts", "smt/device", "smt/contract", "trie/device", "speedup", "paper(query)")
+	rows := make([]E4Row, 0, len(prefixCounts))
+	fmt.Fprintf(&b, "%10s %10s %12s %14s %12s %12s %9s %6s %12s\n",
+		"rules", "contracts", "smt/device", "smt/contract", "smt-par", "trie/device", "speedup", "match", "paper(query)")
 	for _, n := range prefixCounts {
-		p := SizedParams("e4", 0)
-		p.Clusters = (n + p.ToRsPerCluster - 1) / p.ToRsPerCluster
-		topo := topology.MustNew(p)
-		facts := metadata.FromTopology(topo)
-		gen := contracts.NewGenerator(facts)
-		src := bgp.NewSynth(topo, nil)
-
-		tor := topo.ToRs()[0]
-		tbl, err := src.Table(tor)
-		if err != nil {
-			panic(err)
-		}
-		dc := gen.ForDevice(tor)
-
-		start := now()
-		if _, err := (rcdc.SMTChecker{}).CheckDevice(tbl, dc, topology.RoleToR); err != nil {
-			panic(err)
-		}
-		smt := since(start)
-		start = now()
-		if _, err := (rcdc.TrieChecker{}).CheckDevice(tbl, dc, topology.RoleToR); err != nil {
-			panic(err)
-		}
-		trie := since(start)
-		fmt.Fprintf(&b, "%10d %10d %12s %14s %12s %8.0fx %12s\n",
-			tbl.Len(), len(dc.Contracts),
-			smt.Round(time.Millisecond),
-			(smt / time.Duration(len(dc.Contracts))).Round(time.Microsecond),
-			trie.Round(time.Microsecond),
-			float64(smt)/float64(trie), "≤1s")
+		r := e4Point(n)
+		rows = append(rows, r)
+		fmt.Fprintf(&b, "%10d %10d %12s %14s %12s %12s %8.0fx %6v %12s\n",
+			r.Rules, r.Contracts,
+			time.Duration(r.SMTDeviceNS).Round(time.Millisecond),
+			time.Duration(r.SMTContractNS).Round(time.Microsecond),
+			time.Duration(r.SMTParDevNS).Round(time.Millisecond),
+			time.Duration(r.TrieDeviceNS).Round(time.Microsecond),
+			r.TrieSpeedup, r.Match, "≤1s")
 	}
 	return Result{
 		ID:    "E4",
 		Title: "verification engines: bit-vector SMT vs specialized trie (§2.5)",
 		Table: b.String(),
-		Notes: "paper: Z3-based checking stays within a second per query on datacenter routing tables (see smt/contract); the specialized trie algorithm is the much faster common-workload path — same ordering here, and the gap is why RCDC built it",
+		Notes: "paper: Z3-based checking stays within a second per query on datacenter routing tables (see smt/contract); the specialized trie algorithm is the much faster common-workload path — same ordering here, and the gap is why RCDC built it; match cross-checks SMT (sequential and parallel) verdicts against the trie oracle",
+	}, rows
+}
+
+// E4SolverGate is the CI solver-perf smoke: one short E4 point that must
+// stay under a generous per-contract ceiling with verdicts matching the
+// trie engine. It panics on regression so dcbench exits non-zero.
+func E4SolverGate(prefixCount int, ceiling time.Duration) Result {
+	r := e4Point(prefixCount)
+	if !r.Match {
+		panic(fmt.Sprintf("e4s: SMT verdicts diverge from trie oracle at %d rules", r.Rules))
+	}
+	if got := time.Duration(r.SMTContractNS); got > ceiling {
+		panic(fmt.Sprintf("e4s: smt/contract %v exceeds ceiling %v at %d rules", got, ceiling, r.Rules))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rules %d: smt/contract %v (ceiling %v), match %v\n",
+		r.Rules, time.Duration(r.SMTContractNS).Round(time.Microsecond), ceiling, r.Match)
+	return Result{
+		ID:    "E4s",
+		Title: "solver perf smoke: per-contract ceiling and trie agreement",
+		Table: b.String(),
+		Notes: "CI gate: panics (non-zero exit) when the SMT engine regresses past the ceiling or stops agreeing with the trie engine",
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // The experiment harness is exercised end to end at tiny scale: every
@@ -26,9 +27,8 @@ func checkResult(t *testing.T, r Result, wantID string) {
 }
 
 func TestE1Smoke(t *testing.T)   { checkResult(t, E1PerDevice([]int{200}, 3), "E1") }
-func TestE2Smoke(t *testing.T)   { checkResult(t, E2Sweep([]int{200}, true), "E2") }
+func TestE2Smoke(t *testing.T)   { checkResult(t, E2Sweep([]int{200}), "E2") }
 func TestE3Smoke(t *testing.T)   { checkResult(t, E3LocalVsGlobal([]int{200}), "E3") }
-func TestE4Smoke(t *testing.T)   { checkResult(t, E4SMTVsTrie([]int{100}), "E4") }
 func TestE5Smoke(t *testing.T)   { checkResult(t, E5Figure3(), "E5") }
 func TestE6Smoke(t *testing.T)   { checkResult(t, E6Taxonomy(), "E6") }
 func TestE7Smoke(t *testing.T)   { checkResult(t, E7Burndown(), "E7") }
@@ -39,6 +39,26 @@ func TestE12Smoke(t *testing.T)  { checkResult(t, E12Precheck(), "E12") }
 func TestE13Smoke(t *testing.T)  { checkResult(t, E13Monitor([]int{150}), "E13") }
 func TestE13cSmoke(t *testing.T) { checkResult(t, E13cDegraded(150, 4), "E13c") }
 func TestE14Smoke(t *testing.T)  { checkResult(t, E14Claim1(6), "E14") }
+
+// E4's rows feed BENCH_solver.json and the e4s CI gate: every point must
+// agree with the trie oracle (sequential and parallel SMT alike).
+func TestE4Smoke(t *testing.T) {
+	res, rows := E4SMTVsTrie([]int{100})
+	checkResult(t, res, "E4")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v, want one point", rows)
+	}
+	if !rows[0].Match {
+		t.Errorf("SMT verdicts diverge from trie oracle: %+v", rows[0])
+	}
+	if rows[0].SMTContractNS <= 0 || rows[0].Workers < 1 {
+		t.Errorf("implausible row: %+v", rows[0])
+	}
+}
+
+func TestE4SolverGateSmoke(t *testing.T) {
+	checkResult(t, E4SolverGate(100, time.Second), "E4s")
+}
 
 func TestE5DetectsPaperViolationSet(t *testing.T) {
 	r := E5Figure3()

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/bv"
 	"dcvalidate/internal/clock"
 	"dcvalidate/internal/obs"
 	"dcvalidate/internal/rcdc"
@@ -47,6 +48,15 @@ func validatorMetrics() *rcdc.Metrics {
 		return nil
 	}
 	return rcdc.NewMetrics(Metrics)
+}
+
+// solverMetrics is the bv counterpart of validatorMetrics: the solver
+// bundle is atomic-add based, so one bundle serves every SMT worker.
+func solverMetrics() *bv.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return bv.NewMetrics(Metrics)
 }
 
 // synthMetrics is the bgp counterpart of validatorMetrics.

@@ -262,13 +262,26 @@ func TestTrieVsSMTRandom(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sv, err := (SMTChecker{}).CheckDevice(tbl, dc, role)
+			sv, err := (SMTChecker{Workers: 1}).CheckDevice(tbl, dc, role)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !sameViolatedContracts(tv, sv) {
 				t.Fatalf("iter %d dev %s: engines disagree\ntrie: %v\nsmt:  %v",
 					iter, topo.Device(d).Name, tv, sv)
+			}
+			// The parallel fan-out must report the same violated-contract
+			// set as both the sequential SMT path and the trie oracle
+			// (witness details may differ; the contract set may not).
+			// Workers=4 forces true chunked fan-out regardless of
+			// GOMAXPROCS on the test host.
+			pv, err := (SMTChecker{Workers: 4}).CheckDevice(tbl, dc, role)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameViolatedContracts(tv, pv) {
+				t.Fatalf("iter %d dev %s: parallel SMT disagrees with trie\ntrie: %v\npar:  %v",
+					iter, topo.Device(d).Name, tv, pv)
 			}
 		}
 	}

@@ -84,6 +84,50 @@ func BenchmarkRandom3SAT(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalAssumptions measures the SecGuru query pattern: one
+// large shared encoding, many retractable assumption queries against it.
+// The learned-clause budget must survive across calls (it grows with the
+// session instead of resetting), so later queries reuse earlier ones'
+// work — this bench regresses if SolveAssuming ever goes back to
+// recomputing maxLearned per entry.
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(7))
+	build := func() *Solver {
+		s := New(n)
+		// An implication ladder plus random ternary constraints: enough
+		// structure that assumption queries propagate deeply and learn.
+		for v := 1; v < n; v++ {
+			s.AddClause(NewLit(v, true), NewLit(v+1, false))
+		}
+		for j := 0; j < 3*n; j++ {
+			s.AddClause(
+				NewLit(1+rng.Intn(n), rng.Intn(2) == 0),
+				NewLit(1+rng.Intn(n), rng.Intn(2) == 0),
+				NewLit(1+rng.Intn(n), rng.Intn(2) == 0))
+		}
+		return s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := build()
+		for q := 0; q < 64; q++ {
+			v := 1 + (q*31)%n
+			// Alternate sat-leaning single assumptions with unsat ladder
+			// contradictions (x_1 ∧ ¬x_k forces a failed-assumption core).
+			var as []Lit
+			if q%2 == 0 {
+				as = []Lit{NewLit(v, false)}
+			} else {
+				as = []Lit{NewLit(1, false), NewLit(v, true)}
+			}
+			if _, err := s.SolveAssuming(as); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkPropagation measures raw unit propagation on a long implication
 // chain.
 func BenchmarkPropagation(b *testing.B) {

@@ -58,11 +58,21 @@ type clause struct {
 	lits    []Lit
 	learned bool
 	act     float64
+	lbd     int32  // literal block distance (glue) at learning time, refined on reuse
+	id      uint32 // creation sequence number; deterministic sort tie-break
 }
 
 type watcher struct {
 	c       *clause
 	blocker Lit // a literal of c; if true, the clause is satisfied
+}
+
+// binWatch is the specialized watch entry for binary clauses: the
+// implied literal is stored inline, so propagation over binaries never
+// dereferences the clause or rewrites watch lists.
+type binWatch struct {
+	other Lit
+	c     *clause
 }
 
 type varState struct {
@@ -77,10 +87,11 @@ type varState struct {
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	vars    []varState // 1-based; vars[0] unused
-	clauses []*clause
-	learned []*clause
-	watches [][]watcher // indexed by Lit
+	vars       []varState // 1-based; vars[0] unused
+	clauses    []*clause
+	learned    []*clause
+	watches    [][]watcher  // indexed by Lit; clauses of length ≥ 3
+	binWatches [][]binWatch // indexed by Lit; binary clauses
 
 	trail    []Lit
 	trailLim []int // decision-level boundaries in trail
@@ -96,6 +107,13 @@ type Solver struct {
 	propagations int64
 	restarts     int64
 
+	// maxLearned is the learned-clause budget. It is seeded from the
+	// problem size on first use and then carried across incremental
+	// SolveAssuming calls, so a long assumption session keeps the budget
+	// it has grown into instead of thrashing reduceDB.
+	maxLearned int
+	clauseSeq  uint32 // next clause id
+
 	// Options.
 	DisableLearning bool  // ablation: chronological backtracking, no learned clauses
 	DisableVSIDS    bool  // ablation: pick lowest-index unassigned var
@@ -103,18 +121,22 @@ type Solver struct {
 
 	seen     []bool // scratch for conflict analysis
 	analyzeL []Lit
+	lbdStamp []int64 // scratch for LBD computation, indexed by level
+	lbdGen   int64
+	failed   []Lit // failing assumption subset of the last SolveAssuming
 }
 
 // New returns a solver with nVars variables (numbered 1..nVars). More
 // variables may be added later with AddVar.
 func New(nVars int) *Solver {
 	s := &Solver{
-		vars:      make([]varState, nVars+1),
-		watches:   make([][]watcher, 2*(nVars+1)),
-		varInc:    1,
-		clauseInc: 1,
-		ok:        true,
-		seen:      make([]bool, nVars+1),
+		vars:       make([]varState, nVars+1),
+		watches:    make([][]watcher, 2*(nVars+1)),
+		binWatches: make([][]binWatch, 2*(nVars+1)),
+		varInc:     1,
+		clauseInc:  1,
+		ok:         true,
+		seen:       make([]bool, nVars+1),
 	}
 	for v := 1; v <= nVars; v++ {
 		s.vars[v].heapIdx = -1
@@ -127,6 +149,7 @@ func New(nVars int) *Solver {
 func (s *Solver) AddVar() int {
 	s.vars = append(s.vars, varState{heapIdx: -1})
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.seen = append(s.seen, false)
 	v := len(s.vars) - 1
 	s.heapInsert(int32(v))
@@ -196,15 +219,28 @@ outer:
 		}
 		return true
 	}
-	c := &clause{lits: norm}
+	c := &clause{lits: norm, id: s.nextClauseID()}
 	s.clauses = append(s.clauses, c)
 	s.watchClause(c)
 	return true
 }
 
+func (s *Solver) nextClauseID() uint32 {
+	s.clauseSeq++
+	return s.clauseSeq
+}
+
 func (s *Solver) watchClause(c *clause) {
 	// Watch the negations of the first two literals: when one becomes
-	// false we visit the clause.
+	// false we visit the clause. Binary clauses go to the specialized
+	// inline watch lists instead; they are never moved or removed.
+	if len(c.lits) == 2 {
+		w0 := c.lits[0].Not()
+		w1 := c.lits[1].Not()
+		s.binWatches[w0] = append(s.binWatches[w0], binWatch{c.lits[1], c})
+		s.binWatches[w1] = append(s.binWatches[w1], binWatch{c.lits[0], c})
+		return
+	}
 	w0 := c.lits[0].Not()
 	w1 := c.lits[1].Not()
 	s.watches[w0] = append(s.watches[w0], watcher{c, c.lits[1]})
@@ -232,6 +268,18 @@ func (s *Solver) propagate() *clause {
 		l := s.trail[s.qhead]
 		s.qhead++
 		s.propagations++
+		// Binary clauses first: the implied literal is inline in the
+		// watch entry, so this loop touches no clause memory and never
+		// rewrites the list.
+		for _, bw := range s.binWatches[l] {
+			switch s.value(bw.other) {
+			case lFalse:
+				s.qhead = len(s.trail)
+				return bw.c
+			case lUndef:
+				s.enqueue(bw.other, bw.c)
+			}
+		}
 		ws := s.watches[l]
 		kept := ws[:0]
 		var conflict *clause
@@ -337,6 +385,11 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		}
 		if c.learned {
 			s.bumpClause(c)
+			// Glucose-style refinement: a reused learned clause whose
+			// current glue is lower than at learning time is promoted.
+			if nl := s.computeLBD(c.lits); nl < c.lbd {
+				c.lbd = nl
+			}
 		}
 		// Find next literal on the trail at the current level that is seen.
 		for !s.seen[s.trail[idx].Var()] {
@@ -408,6 +461,26 @@ func (s *Solver) redundant(q Lit) bool {
 	return true
 }
 
+// computeLBD returns the literal block distance of a clause under the
+// current assignment: the number of distinct decision levels among its
+// literals (Audemard & Simon). Lower glue predicts higher reuse. All
+// literals must be assigned.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	if need := s.decisionLevel() + 1; len(s.lbdStamp) < need {
+		s.lbdStamp = append(s.lbdStamp, make([]int64, need-len(s.lbdStamp))...)
+	}
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		lvl := s.vars[l.Var()].level
+		if int(lvl) < len(s.lbdStamp) && s.lbdStamp[lvl] != s.lbdGen {
+			s.lbdStamp[lvl] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
 func (s *Solver) bumpVar(v int) {
 	s.vars[v].act += s.varInc
 	if s.vars[v].act > 1e100 {
@@ -458,8 +531,11 @@ func (s *Solver) Solve() (bool, error) {
 
 // SolveAssuming solves under the given assumption literals. Assumptions are
 // treated as temporary unit decisions; the clause database is unchanged, so
-// the solver can be reused with different assumptions.
+// the solver can be reused with different assumptions. When the result is
+// false because of the assumptions, FailedAssumptions reports a subset
+// responsible.
 func (s *Solver) SolveAssuming(assumptions []Lit) (bool, error) {
+	s.failed = nil
 	if !s.ok {
 		return false, nil
 	}
@@ -467,12 +543,16 @@ func (s *Solver) SolveAssuming(assumptions []Lit) (bool, error) {
 
 	restartBase := int64(100)
 	lubyIdx := int64(0)
-	maxLearned := len(s.clauses)/3 + 500
+	// Seed the learned-clause budget from the problem size, but never
+	// shrink a budget grown during earlier incremental calls.
+	if floor := len(s.clauses)/3 + 500; s.maxLearned < floor {
+		s.maxLearned = floor
+	}
 	var conflictsAtStart = s.conflicts
 
 	for {
 		budget := restartBase * luby(lubyIdx)
-		res := s.search(budget, assumptions, &maxLearned)
+		res := s.search(budget, assumptions)
 		switch res {
 		case lTrue:
 			return true, nil
@@ -490,7 +570,7 @@ func (s *Solver) SolveAssuming(assumptions []Lit) (bool, error) {
 
 // search runs CDCL until a result, a conflict budget is exhausted (returns
 // lUndef to signal restart), or an assumption fails.
-func (s *Solver) search(budget int64, assumptions []Lit, maxLearned *int) lbool {
+func (s *Solver) search(budget int64, assumptions []Lit) lbool {
 	var conflictC int64
 	for {
 		conf := s.propagate()
@@ -512,22 +592,24 @@ func (s *Solver) search(budget int64, assumptions []Lit, maxLearned *int) lbool 
 				continue
 			}
 			learned, btLevel := s.analyze(conf)
+			lbd := s.computeLBD(learned)
 			// Assumptions live below the backtrack level only if btLevel
 			// respects them; clamp handled by caller re-asserting.
 			s.backtrack(btLevel)
 			if len(learned) == 1 {
 				s.enqueue(learned[0], nil)
 			} else {
-				c := &clause{lits: learned, learned: true, act: s.clauseInc}
+				c := &clause{lits: learned, learned: true, act: s.clauseInc,
+					lbd: lbd, id: s.nextClauseID()}
 				s.learned = append(s.learned, c)
 				s.watchClause(c)
 				s.enqueue(learned[0], c)
 			}
 			s.varInc /= 0.95
 			s.clauseInc /= 0.999
-			if len(s.learned) > *maxLearned {
+			if len(s.learned) > s.maxLearned {
 				s.reduceDB()
-				*maxLearned += *maxLearned / 10
+				s.maxLearned += s.maxLearned / 10
 			}
 			continue
 		}
@@ -545,7 +627,8 @@ func (s *Solver) search(budget int64, assumptions []Lit, maxLearned *int) lbool 
 				s.newDecisionLevel() // dummy level to keep indices aligned
 				continue
 			case lFalse:
-				return lFalse // conflicting assumptions
+				s.analyzeFinal(a) // ¬a implied by earlier assumptions
+				return lFalse
 			}
 			s.newDecisionLevel()
 			s.enqueue(a, nil)
@@ -561,30 +644,89 @@ func (s *Solver) search(budget int64, assumptions []Lit, maxLearned *int) lbool 
 	}
 }
 
-// reduceDB removes the less active half of the learned clauses, keeping
-// clauses that are reasons for current assignments.
+// analyzeFinal records the subset of the current assumptions responsible
+// for forcing ¬p: it walks the implication graph from p's complement back
+// to assumption decisions. The result (including p itself) lands in
+// s.failed for FailedAssumptions. Valid for the standard configuration;
+// the DisableLearning ablation flips decisions without reasons and is not
+// analyzed.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.failed = []Lit{p}
+	if s.decisionLevel() == 0 {
+		return // ¬p is a top-level fact: p fails on its own
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		if r := s.vars[v].reason; r != nil {
+			for _, l := range r.lits {
+				if l.Var() != v && s.vars[l.Var()].level > 0 {
+					s.seen[l.Var()] = true
+				}
+			}
+		} else {
+			// A reasonless literal above the root level is an assumption
+			// decision (unit learned clauses are always enqueued at level
+			// 0, below trailLim[0]).
+			s.failed = append(s.failed, s.trail[i])
+		}
+	}
+	s.seen[p.Var()] = false
+}
+
+// FailedAssumptions returns the subset of the assumptions passed to the
+// last SolveAssuming call that made it unsatisfiable: their conjunction
+// with the clause database is already unsat. Valid until the next solve
+// call. It is empty when the formula is unsatisfiable regardless of
+// assumptions (or the last result was SAT). Callers use it to skip later
+// queries whose assumption sets are supersets of a failed core.
+func (s *Solver) FailedAssumptions() []Lit {
+	return append([]Lit(nil), s.failed...)
+}
+
+// reduceDB garbage-collects the learned-clause database using a two-tier
+// LBD policy (Audemard & Simon): glue clauses (lbd ≤ 2), binary clauses,
+// and clauses locked as reasons are kept unconditionally; the rest is
+// ranked worst-first by (higher lbd, lower activity) and the worst half
+// removed. Ties break on clause id, keeping the pass deterministic.
 func (s *Solver) reduceDB() {
 	if len(s.learned) == 0 {
 		return
 	}
-	lc := s.learned
-	sort.Slice(lc, func(i, j int) bool { return lc[i].act < lc[j].act })
 	locked := make(map[*clause]bool)
 	for _, l := range s.trail {
 		if r := s.vars[l.Var()].reason; r != nil {
 			locked[r] = true
 		}
 	}
-	keepFrom := len(lc) / 2
-	kept := make([]*clause, 0, len(lc)-keepFrom)
-	removed := make(map[*clause]bool)
-	for i, c := range lc {
-		if i >= keepFrom || locked[c] || len(c.lits) == 2 {
+	kept := make([]*clause, 0, len(s.learned))
+	var cand []*clause
+	for _, c := range s.learned {
+		if len(c.lits) == 2 || c.lbd <= 2 || locked[c] {
 			kept = append(kept, c)
 		} else {
-			removed[c] = true
+			cand = append(cand, c)
 		}
 	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].lbd != cand[j].lbd {
+			return cand[i].lbd > cand[j].lbd
+		}
+		if cand[i].act != cand[j].act {
+			return cand[i].act < cand[j].act
+		}
+		return cand[i].id > cand[j].id
+	})
+	drop := len(cand) / 2
+	removed := make(map[*clause]bool, drop)
+	for _, c := range cand[:drop] {
+		removed[c] = true
+	}
+	kept = append(kept, cand[drop:]...)
 	if len(removed) == 0 {
 		s.learned = kept
 		return

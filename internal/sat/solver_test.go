@@ -211,6 +211,82 @@ func TestContradictoryAssumptions(t *testing.T) {
 	}
 }
 
+func TestFailedAssumptions(t *testing.T) {
+	// Ladder x1 → x2 → x3 → x4, plus an unconstrained x5.
+	s := New(5)
+	addAll(s, [][]int{{-1, 2}, {-2, 3}, {-3, 4}})
+
+	has := func(ls []Lit, want Lit) bool {
+		for _, l := range ls {
+			if l == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	ok, _ := s.SolveAssuming([]Lit{lit(5), lit(1), lit(-4)})
+	if ok {
+		t.Fatal("x1 ∧ ¬x4 should be unsat under the ladder")
+	}
+	failed := s.FailedAssumptions()
+	if len(failed) == 0 {
+		t.Fatal("no failed assumptions on assumption-driven unsat")
+	}
+	// The core must implicate the contradiction and exclude the
+	// irrelevant assumption x5.
+	if has(failed, lit(5)) {
+		t.Errorf("x5 is irrelevant but appears in the core %v", failed)
+	}
+	if !has(failed, lit(1)) && !has(failed, lit(-4)) {
+		t.Errorf("core %v names neither x1 nor ¬x4", failed)
+	}
+
+	// Satisfiable call: the failed set must reset to empty.
+	if ok, _ = s.SolveAssuming([]Lit{lit(1)}); !ok {
+		t.Fatal("x1 alone should be sat")
+	}
+	if got := s.FailedAssumptions(); len(got) != 0 {
+		t.Errorf("failed set after sat call = %v, want empty", got)
+	}
+
+	// Contradiction discovered at re-assertion (both polarities assumed):
+	// the core is the contradicting pair, found without search.
+	if ok, _ = s.SolveAssuming([]Lit{lit(2), lit(-2)}); ok {
+		t.Fatal("x2 ∧ ¬x2 should be unsat")
+	}
+	failed = s.FailedAssumptions()
+	if len(failed) == 0 {
+		t.Fatal("no failed assumptions on contradictory pair")
+	}
+}
+
+func TestLearnedBudgetCarriesAcrossCalls(t *testing.T) {
+	// A session of incremental calls on a hard instance must not shrink
+	// the learned-clause budget between calls: each entry may only raise
+	// it to the size floor, so growth earned by reduceDB survives.
+	n := 5
+	nVars, cls := pigeonholeClauses(n)
+	s := New(nVars)
+	addAll(s, cls)
+	if ok, _ := s.SolveAssuming(nil); ok {
+		t.Fatal("PHP should be unsat")
+	}
+	grown := s.maxLearned
+	if floor := len(s.clauses)/3 + 500; grown < floor {
+		t.Fatalf("budget %d below the entry floor %d", grown, floor)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, _ := s.SolveAssuming([]Lit{lit(1)}); ok {
+			t.Fatal("PHP should stay unsat under assumptions")
+		}
+		if s.maxLearned < grown {
+			t.Fatalf("call %d shrank the budget: %d < %d", i, s.maxLearned, grown)
+		}
+		grown = s.maxLearned
+	}
+}
+
 func TestAddVar(t *testing.T) {
 	s := New(1)
 	v := s.AddVar()
