@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -48,6 +48,14 @@ bench-smoke:
 # or parallel) disagree with the trie engine.
 solver-smoke:
 	$(GO) run ./cmd/dcbench -e e4s -quick
+
+# CI gate for the failure-space explorer: the E17 experiment at its quick
+# width, with all three panic gates armed — the symmetry-pruned k=1 sweep
+# must report the exact violating scenario set of the brute-force sweep,
+# the k=2 pruning ratio must clear its 2x floor, and every minimal
+# failure set must still violate its contract on replay.
+explore-smoke:
+	$(GO) run ./cmd/dcbench -e e17 -quick
 
 # CI gate for the observability layer: run a short fault-free dcmon with
 # -metrics-addr, curl /metrics, and fail on missing series, non-finite

@@ -4,15 +4,16 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e16, e4s, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e17, e4s, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
-// E4 and E16 additionally write their machine-readable rows to
-// BENCH_solver.json and BENCH_incremental.json in the current directory;
-// e4s is the CI solver-perf smoke (panics when the SMT engine regresses
-// past a generous per-contract ceiling or disagrees with the trie
-// engine). Every run records a
+// E4, E16, and E17 additionally write their machine-readable rows to
+// BENCH_solver.json, BENCH_incremental.json, and BENCH_explore.json in
+// the current directory; e4s is the CI solver-perf smoke (panics when the
+// SMT engine regresses past a generous per-contract ceiling or disagrees
+// with the trie engine); e17 carries its own panic gates (pruned-vs-brute
+// divergence, pruning-ratio floor, minimal-set replay). Every run records a
 // per-experiment snapshot of the observability registry (validator,
 // solver, and synth-cache series plus dcv_experiment_seconds) and writes
 // them to -metrics-out as JSON: one entry per experiment holding the
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -62,6 +64,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Effective-parallelism report up front so speedup columns can be read
+	// in context; E2 raises GOMAXPROCS itself for its parallel leg.
+	fmt.Printf("dcbench: %d host CPUs, GOMAXPROCS=%d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	if runtime.NumCPU() == 1 {
+		fmt.Println("dcbench: WARNING: single-CPU host — parallel speedup columns will read ~1.0x")
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -86,6 +95,9 @@ func main() {
 	// small sweep points.
 	e16VerifyMax := 600
 	claim1Trials := 40
+	// E17's 2-pod Clos: 8 ToRs per cluster is ~26k k=2 scenarios before
+	// pruning; quick halves the pods' width.
+	e17Tors := 8
 	if *quick {
 		e1Sizes = []int{500, 1000}
 		e2Sizes = []int{250, 500}
@@ -96,6 +108,7 @@ func main() {
 		e13Sizes = []int{500, 1000}
 		e16Sizes = []int{520}
 		claim1Trials = 10
+		e17Tors = 4
 	}
 	if *full {
 		e2Sizes = append(e2Sizes, 10000)
@@ -137,6 +150,11 @@ func main() {
 		{"e16", func() experiments.Result {
 			res, rows := experiments.E16Incremental(e16Sizes, e16VerifyMax)
 			writeJSON("BENCH_incremental.json", rows)
+			return res
+		}},
+		{"e17", func() experiments.Result {
+			res, rows := experiments.E17Explore(e17Tors)
+			writeJSON("BENCH_explore.json", rows)
 			return res
 		}},
 	}

@@ -14,11 +14,18 @@
 // durations dcmon reports come from the instance clock through the
 // metrics registry — the command itself never reads the wall clock.
 //
+// With -explore-k N the run starts by certifying the clean topology
+// against every combination of up to N link/device/session failures
+// (symmetry-pruned failure-space exploration), printing the violating
+// equivalence classes and their minimal failure sets before the
+// monitoring loop begins.
+//
 // Usage:
 //
 //	dcmon -clusters 6 -tors 12 -faults 24 -cycles 14 -fix 4
 //	dcmon -faults 10 -pullfail 0.1 -dead 2 -cycles 16
 //	dcmon -faults 0 -cycles 3 -metrics-addr :9090
+//	dcmon -clusters 2 -tors 4 -faults 0 -cycles 1 -explore-k 1
 package main
 
 import (
@@ -29,9 +36,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dcvalidate/internal/explore"
 	"dcvalidate/internal/monitor"
 	"dcvalidate/internal/obs"
 	"dcvalidate/internal/topology"
@@ -56,6 +65,7 @@ func main() {
 		dead        = flag.Int("dead", 0, "devices with a dead management plane (telemetry loss)")
 		corrupt     = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) and linger after the run until interrupted")
+		exploreK    = flag.Int("explore-k", 0, "before fault injection, certify contracts up to k simultaneous failures (symmetry-pruned failure-space exploration; 0 = off)")
 	)
 	flag.Parse()
 
@@ -68,6 +78,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcmon:", err)
 		os.Exit(2)
 	}
+	reg := obs.NewRegistry()
+
+	// Failure-space certification runs against the clean topology, before
+	// any latent faults exist: it answers "which contracts survive any k
+	// simultaneous failures" for the intended network, not a broken one.
+	if *exploreK > 0 {
+		ex := explore.Explorer{Topo: topo, Opts: explore.Options{
+			K: *exploreK, Metrics: explore.NewMetrics(reg),
+		}}
+		res, err := ex.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcmon: explore:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("dcmon: explored failure space up to k=%d: %d scenarios over %d fault sites as %d equivalence classes (%.1fx pruning, %d symmetry generators) in %s\n",
+			*exploreK, res.Total, res.Universe, res.Explored,
+			res.PruningRatio(), res.Generators, res.Elapsed.Round(time.Millisecond))
+		if len(res.Violating) == 0 {
+			fmt.Printf("dcmon: all contracts hold under every <=%d-failure scenario\n", *exploreK)
+		} else {
+			fmt.Printf("dcmon: %d violating class(es) covering %d scenario(s); %d minimal failure set(s):\n",
+				len(res.Violating), violatingWeight(res), len(res.MinimalSets))
+			for i, ms := range res.MinimalSets {
+				if i == 8 {
+					fmt.Printf("  ... %d more\n", len(res.MinimalSets)-i)
+					break
+				}
+				var fs []string
+				for _, f := range ms.Faults {
+					fs = append(fs, f.Describe(topo))
+				}
+				fmt.Printf("  %s <- {%s}\n", ms.ContractKey, strings.Join(fs, ", "))
+			}
+		}
+		if res.DegradedOnly > 0 {
+			fmt.Printf("dcmon: %d class(es) degrade telemetry only (baseline verdict retained)\n", res.DegradedOnly)
+		}
+		fmt.Println()
+	}
+
 	s := workload.NewScenario(topo)
 	s.InjectRandom(rand.New(rand.NewSource(*seed)), *faults)
 	s.TransientPullRate = *pullfail
@@ -83,7 +133,6 @@ func main() {
 	}
 	fmt.Println()
 
-	reg := obs.NewRegistry()
 	in := monitor.NewInstance("dcmon-0", s.Datacenter("dcmon"))
 	in.SkipUnchanged = *incr
 	in.Incremental = *incr
@@ -172,6 +221,16 @@ func main() {
 	if !cleared && open > 0 {
 		os.Exit(1)
 	}
+}
+
+// violatingWeight sums the scenario counts the violating equivalence
+// classes represent (each class validates once for its whole orbit).
+func violatingWeight(r *explore.Result) int {
+	n := 0
+	for _, sc := range r.Violating {
+		n += sc.Weight
+	}
+	return n
 }
 
 // printSummary reports the run's aggregate timings straight from the

@@ -37,6 +37,7 @@ import (
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/delta"
 	"dcvalidate/internal/emulator"
+	"dcvalidate/internal/explore"
 	"dcvalidate/internal/faulty"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
@@ -79,6 +80,26 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricSample is one flattened (name, labels, value) exposition row.
 	MetricSample = obs.Sample
+
+	// ExploreOptions configures a failure-space exploration run: the
+	// fault budget k, the fault universe (links, devices, sessions,
+	// telemetry), symmetry pruning, ordered-trace analysis, and worker
+	// parallelism.
+	ExploreOptions = explore.Options
+	// ExploreResult is the outcome of a failure-space exploration:
+	// equivalence classes explored, scenarios pruned by symmetry,
+	// violating classes with their orbit weights, and minimal
+	// per-contract failure sets.
+	ExploreResult = explore.Result
+	// Fault is one injectable failure (link, device, BGP session, or
+	// telemetry blackout) in a failure scenario.
+	Fault = explore.Fault
+	// MinimalSet is a delta-debugged minimal failure set that still
+	// violates a specific contract.
+	MinimalSet = explore.MinimalSet
+	// FailureScenario is one explored equivalence-class representative
+	// with its faults, orbit weight, and validation outcome.
+	FailureScenario = explore.Scenario
 
 	// Policy is an ordered packet-filter rule set (§3.1).
 	Policy = acl.Policy
@@ -173,11 +194,12 @@ type Datacenter struct {
 	// FIB source, and blast-radius computation the facade creates. All
 	// remain nil — and every call site stays a no-op — until Metrics()
 	// is first called.
-	reg    *obs.Registry
-	rcdcM  *rcdc.Metrics
-	bvM    *bv.Metrics
-	bgpM   *bgp.Metrics
-	deltaM *delta.Metrics
+	reg      *obs.Registry
+	rcdcM    *rcdc.Metrics
+	bvM      *bv.Metrics
+	bgpM     *bgp.Metrics
+	deltaM   *delta.Metrics
+	exploreM *explore.Metrics
 }
 
 // NewDatacenter generates a synthetic datacenter from the parameters.
@@ -220,6 +242,7 @@ func (d *Datacenter) Metrics() *MetricsRegistry {
 		d.bvM = bv.NewMetrics(d.reg)
 		d.bgpM = bgp.NewMetrics(d.reg)
 		d.deltaM = delta.NewMetrics(d.reg)
+		d.exploreM = explore.NewMetrics(d.reg)
 		if d.synth != nil {
 			d.synth.Metrics = d.bgpM
 		}
@@ -253,6 +276,19 @@ func (d *Datacenter) FailLink(a, b string) error {
 		return err
 	}
 	if !d.Topo.FailLink(da, db) {
+		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
+	}
+	return nil
+}
+
+// RestoreLink marks the link between two named devices operationally up
+// again — the exact inverse of FailLink.
+func (d *Datacenter) RestoreLink(a, b string) error {
+	da, db, err := d.pair(a, b)
+	if err != nil {
+		return err
+	}
+	if !d.Topo.RestoreLink(da, db) {
 		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
 	}
 	return nil
@@ -432,6 +468,24 @@ func (d *Datacenter) CheckGlobalIntent() ([]rcdc.PairResult, error) {
 		return nil, err
 	}
 	return g.Check(rcdc.FullRedundancy), nil
+}
+
+// ExploreFailures model-checks the datacenter's contracts against every
+// combination of up to opts.K simultaneous failures. Scenarios related by
+// a verified topology automorphism are validated once per equivalence
+// class (the class representative carries a "represents N scenarios"
+// weight), each class revalidates only the blast radius of its faults
+// against a healthy baseline, and every violating class is shrunk to
+// minimal per-contract failure sets via delta debugging. Exploration runs
+// on a clone: the datacenter's live state is never modified.
+//
+// With opts.Metrics unset, the run records into the facade registry's
+// explorer bundle when Metrics() has been called.
+func (d *Datacenter) ExploreFailures(opts ExploreOptions) (*ExploreResult, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = d.exploreM
+	}
+	return (&explore.Explorer{Topo: d.Topo, Cfg: d.Config, Opts: opts}).Run()
 }
 
 // NewPipeline returns the §2.7 precheck pipeline treating this datacenter

@@ -63,6 +63,15 @@ type Synth struct {
 	// Metrics, when non-nil, counts table-cache hits and misses (cache
 	// enabled only). Set before serving pulls; recording is atomic.
 	Metrics *Metrics
+
+	// UnionECMP disables MaxECMPPaths truncation so every synthesized
+	// next-hop set is the union of all ECMP tie-break choices — the
+	// ACORN-style route-nondeterminism abstraction the failure explorer
+	// uses to cover "any tie-break" in a single validation run (and to
+	// keep Clos symmetry intact: deterministic truncation picks hops by
+	// device-ID order, which position permutations do not preserve). Set
+	// before the first Table call; cached tables are not re-cut.
+	UnionECMP bool
 }
 
 // EnableTableCache turns on per-device table caching. Cached tables are
@@ -241,7 +250,7 @@ func (s *Synth) acceptsPath(d topology.DeviceID, path []uint32) bool {
 
 func (s *Synth) truncate(d topology.DeviceID, nhs []topology.DeviceID) []topology.DeviceID {
 	sort.Slice(nhs, func(i, j int) bool { return nhs[i] < nhs[j] })
-	if m := s.config(d).MaxECMPPaths; m > 0 && len(nhs) > m {
+	if m := s.config(d).MaxECMPPaths; m > 0 && len(nhs) > m && !s.UnionECMP {
 		nhs = nhs[:m]
 	}
 	return nhs
@@ -371,7 +380,7 @@ func (s *Synth) torSpecifics(t *fib.Table, d topology.DeviceID, dev *topology.De
 		}
 		out := make([]topology.DeviceID, len(hops))
 		copy(out, hops)
-		if maxPaths > 0 && len(out) > maxPaths {
+		if maxPaths > 0 && len(out) > maxPaths && !s.UnionECMP {
 			out = out[:maxPaths]
 		}
 		t.Add(fib.Entry{Prefix: hp.Prefix, NextHops: out})

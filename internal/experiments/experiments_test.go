@@ -104,6 +104,23 @@ func TestSizedParams(t *testing.T) {
 
 func TestE15Smoke(t *testing.T) { checkResult(t, E15Region(), "E15") }
 
+// E17 carries three panic gates (brute-vs-pruned divergence, k=2
+// pruning-ratio floor, minimal-set replay); running it at the smallest
+// 2-pod width exercises all of them.
+func TestE17Smoke(t *testing.T) {
+	res, rows := E17Explore(2)
+	checkResult(t, res, "E17")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v, want brute-k1, pruned-k1, pruned-k2", rows)
+	}
+	if rows[0].Total != rows[1].Total {
+		t.Errorf("k=1 totals diverge: %d vs %d", rows[0].Total, rows[1].Total)
+	}
+	if rows[2].Generators > 0 && rows[2].PruningRatio <= 2 {
+		t.Errorf("k=2 pruning ratio %.2fx <= 2x", rows[2].PruningRatio)
+	}
+}
+
 func TestE13bSmoke(t *testing.T) { checkResult(t, E13bIncremental(150), "E13b") }
 
 // The soundness gate (verifyMax >= size) runs here: a blast-radius or

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcvalidate/internal/explore"
+	"dcvalidate/internal/topology"
+)
+
+// E17Row is one machine-readable leg of the failure-space exploration
+// experiment (BENCH_explore.json).
+type E17Row struct {
+	Leg              string  `json:"leg"`
+	K                int     `json:"k"`
+	Mode             string  `json:"mode"` // "brute" | "pruned"
+	Universe         int     `json:"universe"`
+	Total            uint64  `json:"total_scenarios"`
+	Explored         int     `json:"explored_classes"`
+	Pruned           uint64  `json:"pruned_scenarios"`
+	Generators       int     `json:"generators"`
+	ViolatingClasses int     `json:"violating_classes"`
+	ViolatingWeight  int     `json:"violating_weight"`
+	DegradedOnly     int     `json:"degraded_only_classes"`
+	MinimalSets      int     `json:"minimal_sets"`
+	PruningRatio     float64 `json:"pruning_ratio"`
+	ScenariosPerSec  float64 `json:"scenarios_per_sec"`
+	WallMS           float64 `json:"wall_ms"`
+}
+
+// e17Params is the 2-pod Clos the exploration sweeps: two clusters of
+// torsPerCluster ToRs with 4 leaves each, two spines per plane, and four
+// regional spines.
+func e17Params(torsPerCluster int) topology.Params {
+	return topology.Params{
+		Name: "e17", Clusters: 2, ToRsPerCluster: torsPerCluster,
+		LeavesPerCluster: 4, SpinesPerPlane: 2,
+		RegionalSpines: 4, RSLinksPerSpine: 2,
+	}
+}
+
+// E17Explore runs the failure-space model checker over a 2-pod Clos:
+// an exhaustive brute-force k=1 sweep, the symmetry-pruned k=1 sweep
+// (gated to report the exact same violating scenario space), and the
+// symmetry-pruned k=2 sweep with pruning-ratio and scenarios/sec columns.
+// Three soundness gates panic on divergence:
+//
+//   - the pruned k=1 violating classes, expanded back through their
+//     orbits, must equal the brute-force violating set exactly;
+//   - the k=2 pruning ratio must exceed 2x (the acceptance floor for
+//     symmetry pruning being worth its overhead);
+//   - every reported minimal failure set must still violate its contract
+//     when replayed from scratch.
+func E17Explore(torsPerCluster int) (Result, []E17Row) {
+	topo := topology.MustNew(e17Params(torsPerCluster))
+	run := func(opts explore.Options) *explore.Result {
+		opts.Clock = Clock
+		opts.Metrics = exploreMetrics()
+		res, err := (&explore.Explorer{Topo: topo, Opts: opts}).Run()
+		if err != nil {
+			panic(fmt.Sprintf("e17: exploration failed: %v", err))
+		}
+		return res
+	}
+
+	brute1 := run(explore.Options{K: 1, NoPrune: true})
+	pruned1 := run(explore.Options{K: 1})
+	gateDivergence(topo, brute1, pruned1)
+	pruned2 := run(explore.Options{K: 2, OnlyK: true})
+	if pruned2.Generators > 0 && pruned2.PruningRatio() <= 2 {
+		panic(fmt.Sprintf("e17: k=2 pruning ratio %.2fx <= 2x acceptance floor (%d classes for %d scenarios)",
+			pruned2.PruningRatio(), pruned2.Explored, pruned2.Total))
+	}
+	gateReplay(topo, append(append([]explore.MinimalSet(nil),
+		pruned1.MinimalSets...), pruned2.MinimalSets...))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %2s %7s %9s %9s %9s %5s %6s %7s %7s %6s %10s %10s\n",
+		"leg", "k", "mode", "universe", "total", "explored", "gens",
+		"viol", "weight", "minsets", "ratio", "scen/s", "wall")
+	var rows []E17Row
+	for _, leg := range []struct {
+		name string
+		k    int
+		mode string
+		res  *explore.Result
+	}{
+		{"k1-brute", 1, "brute", brute1},
+		{"k1-sym", 1, "pruned", pruned1},
+		{"k2-sym", 2, "pruned", pruned2},
+	} {
+		r := leg.res
+		row := E17Row{
+			Leg: leg.name, K: leg.k, Mode: leg.mode,
+			Universe: r.Universe, Total: r.Total,
+			Explored: r.Explored, Pruned: r.Pruned, Generators: r.Generators,
+			ViolatingClasses: len(r.Violating), ViolatingWeight: violatingWeight(r),
+			DegradedOnly: r.DegradedOnly, MinimalSets: len(r.MinimalSets),
+			PruningRatio:    r.PruningRatio(),
+			ScenariosPerSec: r.ScenariosPerSec(),
+			WallMS:          float64(r.Elapsed) / float64(time.Millisecond),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "%8s %2d %7s %9d %9d %9d %5d %6d %7d %7d %5.1fx %10.0f %10s\n",
+			row.Leg, row.K, row.Mode, row.Universe, row.Total, row.Explored,
+			row.Generators, row.ViolatingClasses, row.ViolatingWeight,
+			row.MinimalSets, row.PruningRatio, row.ScenariosPerSec,
+			r.Elapsed.Round(time.Millisecond))
+	}
+	// A taste of the certification output: the first few minimal failure
+	// sets, rendered with device names.
+	if n := len(pruned2.MinimalSets); n > 0 {
+		fmt.Fprintf(&b, "sample minimal failure sets (%d total):\n", n)
+		for i, ms := range pruned2.MinimalSets {
+			if i == 3 {
+				break
+			}
+			var fs []string
+			for _, f := range ms.Faults {
+				fs = append(fs, f.Describe(topo))
+			}
+			fmt.Fprintf(&b, "  %s <- {%s}\n", ms.ContractKey, strings.Join(fs, ", "))
+		}
+	}
+	return Result{
+		ID:    "E17",
+		Title: "failure-space exploration: certify contracts up to k faults",
+		Table: b.String(),
+		Notes: "Plankton-style equivalence partitioning over the Clos automorphism group: symmetric failure scenarios validate once with a 'represents N' weight; each class revalidates only its blast radius against the healthy baseline; violating classes shrink to minimal per-contract failure sets (all gates replayed)",
+	}, rows
+}
+
+// gateDivergence panics unless the pruned run's violating classes,
+// expanded back through the verified automorphism orbits, cover exactly
+// the brute-force violating scenario set — the same invariant the
+// explore property test fuzzes, enforced here on every bench run.
+func gateDivergence(topo *topology.Topology, brute, pruned *explore.Result) {
+	if brute.Total != pruned.Total {
+		panic(fmt.Sprintf("e17: scenario totals diverge: brute %d vs pruned %d", brute.Total, pruned.Total))
+	}
+	bruteViolating := make(map[string]bool, len(brute.Violating))
+	for _, sc := range brute.Violating {
+		bruteViolating[sc.Key] = true
+	}
+	sym := explore.ComputeSymmetry(topo, nil, false)
+	orbitUnion := make(map[string]bool)
+	weight := 0
+	for _, sc := range pruned.Violating {
+		weight += sc.Weight
+		sym.Orbit(sc.Faults, func(k string) { orbitUnion[k] = true })
+	}
+	if weight != len(brute.Violating) {
+		panic(fmt.Sprintf("e17: violating weight %d != brute violating count %d", weight, len(brute.Violating)))
+	}
+	for k := range orbitUnion {
+		if !bruteViolating[k] {
+			panic(fmt.Sprintf("e17: pruned orbit member %s not violating under brute force", k))
+		}
+	}
+	for k := range bruteViolating {
+		if !orbitUnion[k] {
+			panic(fmt.Sprintf("e17: brute violating scenario %s missed by pruned classes", k))
+		}
+	}
+}
+
+// gateReplay re-evaluates every reported minimal failure set on a fresh
+// clone and panics unless the named contract still fails — the acceptance
+// gate that shrunk counterexamples are real.
+func gateReplay(topo *topology.Topology, sets []explore.MinimalSet) {
+	re, err := (&explore.Explorer{Topo: topo}).NewReplayer()
+	if err != nil {
+		panic(fmt.Sprintf("e17: replayer: %v", err))
+	}
+	for _, ms := range sets {
+		keys, err := re.ViolationKeys(ms.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("e17: replaying %v: %v", ms.Faults, err))
+		}
+		if !keys[ms.ContractKey] {
+			panic(fmt.Sprintf("e17: minimal set %v does not violate %s on replay", ms.Faults, ms.ContractKey))
+		}
+	}
+}
+
+func violatingWeight(r *explore.Result) int {
+	n := 0
+	for _, sc := range r.Violating {
+		n += sc.Weight
+	}
+	return n
+}

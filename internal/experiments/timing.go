@@ -6,6 +6,7 @@ import (
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/bv"
 	"dcvalidate/internal/clock"
+	"dcvalidate/internal/explore"
 	"dcvalidate/internal/obs"
 	"dcvalidate/internal/rcdc"
 )
@@ -65,4 +66,12 @@ func synthMetrics() *bgp.Metrics {
 		return nil
 	}
 	return bgp.NewMetrics(Metrics)
+}
+
+// exploreMetrics is the failure-explorer counterpart of validatorMetrics.
+func exploreMetrics() *explore.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return explore.NewMetrics(Metrics)
 }

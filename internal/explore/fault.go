@@ -1,0 +1,138 @@
+// Package explore is a failure-space model checker for the Clos
+// datacenter: it enumerates every combination of up to K simultaneous
+// faults (link losses, whole-device losses, BGP session shutdowns,
+// telemetry blackouts), partitions the combinations into equivalence
+// classes under the topology's verified automorphism group so symmetric
+// scenarios are validated once, and revalidates each class representative
+// incrementally against a healthy baseline using the blast-radius
+// machinery of internal/delta. Violating scenarios are shrunk
+// delta-debugging style to a locally minimal failure set per violated
+// contract, and every per-scenario finding is routed through the
+// monitoring pipeline's §2.6.2 triage classes — so a scenario that merely
+// blinds the telemetry plane is reported as degradation, not as a
+// contract violation.
+//
+// The net effect moves the repository from "validates a given network
+// state" to "certifies contracts up to k faults": the paper validates one
+// snapshot, Plankton-style equivalence partitioning plus partial-order
+// reduction (see PAPERS.md) makes the whole fault space tractable, and
+// the ACORN-style ECMP-union abstraction covers every tie-break choice in
+// one run.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcvalidate/internal/topology"
+)
+
+// FaultKind is the category of one elementary fault.
+type FaultKind uint8
+
+const (
+	// FaultLink takes a link physically down (optical loss).
+	FaultLink FaultKind = iota
+	// FaultDevice takes every live link of a device down (device loss).
+	FaultDevice
+	// FaultSession administratively shuts one BGP session.
+	FaultSession
+	// FaultTelemetry kills a device's management plane: the device may
+	// forward fine, but every table pull fails. Scenarios containing only
+	// telemetry faults degrade monitoring without violating contracts.
+	FaultTelemetry
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLink:
+		return "link"
+	case FaultDevice:
+		return "device"
+	case FaultSession:
+		return "session"
+	case FaultTelemetry:
+		return "telemetry"
+	}
+	return "unknown"
+}
+
+// Fault is one elementary fault. Link and Session faults identify a link;
+// Device and Telemetry faults identify a device.
+type Fault struct {
+	Kind   FaultKind
+	Link   topology.LinkID
+	Device topology.DeviceID
+}
+
+// id is the fault's target identifier regardless of kind, used for the
+// deterministic total order.
+func (f Fault) id() int32 {
+	if f.Kind == FaultDevice || f.Kind == FaultTelemetry {
+		return int32(f.Device)
+	}
+	return int32(f.Link)
+}
+
+// less is the deterministic total order over faults: kind-major, target
+// minor.
+func (f Fault) less(g Fault) bool {
+	if f.Kind != g.Kind {
+		return f.Kind < g.Kind
+	}
+	return f.id() < g.id()
+}
+
+// Describe renders the fault against its topology (device names for
+// device faults, endpoint names for link faults).
+func (f Fault) Describe(t *topology.Topology) string {
+	switch f.Kind {
+	case FaultDevice, FaultTelemetry:
+		return fmt.Sprintf("%s(%s)", f.Kind, t.Device(f.Device).Name)
+	default:
+		l := t.Link(f.Link)
+		return fmt.Sprintf("%s(%s—%s)", f.Kind, t.Device(l.A).Name, t.Device(l.B).Name)
+	}
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s#%d", f.Kind, f.id())
+}
+
+// sortFaults orders a scenario canonically in place.
+func sortFaults(fs []Fault) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].less(fs[j]) })
+}
+
+// Key is the deterministic identity of a fault set (order-insensitive):
+// two scenarios with the same Key are the same set of faults.
+func Key(fs []Fault) string {
+	cp := append([]Fault(nil), fs...)
+	sortFaults(cp)
+	var b strings.Builder
+	for i, f := range cp {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", f.Kind, f.id())
+	}
+	return b.String()
+}
+
+// keyLess compares two sorted fault sets lexicographically; it defines
+// which orbit member becomes the canonical class representative.
+func keyLess(a, b []Fault) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].less(b[i]) {
+			return true
+		}
+		if b[i].less(a[i]) {
+			return false
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,61 @@
+package explore
+
+import (
+	"time"
+
+	"dcvalidate/internal/obs"
+)
+
+// Metrics is the explorer's instrumentation bundle. All recording methods
+// are nil-receiver safe no-ops, and instrumentation never alters
+// exploration verdicts.
+type Metrics struct {
+	explored        *obs.Counter   // dcv_explore_scenarios_explored_total
+	pruned          *obs.Counter   // dcv_explore_scenarios_pruned_total
+	violating       *obs.Counter   // dcv_explore_scenarios_violating_total
+	shrinkIters     *obs.Counter   // dcv_explore_shrink_iterations_total
+	scenarioSeconds *obs.Histogram // dcv_explore_scenario_seconds
+}
+
+// NewMetrics registers the explorer metric families in r and returns the
+// recording handles. Idempotent: a second call against the same registry
+// returns handles to the same series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		explored: r.Counter("dcv_explore_scenarios_explored_total",
+			"Failure scenarios actually revalidated (class representatives)."),
+		pruned: r.Counter("dcv_explore_scenarios_pruned_total",
+			"Failure scenarios skipped as symmetric to an explored representative."),
+		violating: r.Counter("dcv_explore_scenarios_violating_total",
+			"Explored scenarios with at least one contract violation."),
+		shrinkIters: r.Counter("dcv_explore_shrink_iterations_total",
+			"Delta-debugging revalidations spent shrinking violating scenarios."),
+		scenarioSeconds: r.Histogram("dcv_explore_scenario_seconds",
+			"Apply-revalidate-restore latency per explored scenario.", obs.LatencyBuckets),
+	}
+}
+
+func (m *Metrics) observeScenario(d time.Duration, violating bool) {
+	if m == nil {
+		return
+	}
+	m.explored.Inc()
+	m.scenarioSeconds.ObserveDuration(d)
+	if violating {
+		m.violating.Inc()
+	}
+}
+
+func (m *Metrics) observePruned(n int) {
+	if m == nil {
+		return
+	}
+	m.pruned.Add(uint64(n))
+}
+
+func (m *Metrics) observeShrink() {
+	if m == nil {
+		return
+	}
+	m.shrinkIters.Inc()
+}

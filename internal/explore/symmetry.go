@@ -1,0 +1,298 @@
+package explore
+
+import (
+	"reflect"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/topology"
+)
+
+// generator is one verified automorphism of the configured datacenter: a
+// device permutation plus the link permutation it induces. Applying it to
+// a failure scenario yields a scenario with an isomorphic validation
+// verdict, so only one member of each orbit needs revalidation.
+type generator struct {
+	dev  []topology.DeviceID
+	link []topology.LinkID
+}
+
+// Symmetry is the verified automorphism set of a configured topology in a
+// given base link state. It is computed once per exploration; the empty
+// set (no generators) degenerates gracefully to brute force.
+type Symmetry struct {
+	gens []generator
+}
+
+// Generators reports how many verified automorphisms survive filtering.
+func (s *Symmetry) Generators() int { return len(s.gens) }
+
+// ComputeSymmetry proposes the structural automorphism candidates of the
+// Clos topology — cluster transpositions, global ToR-index transpositions,
+// spine-plane swaps (with regional-spine group compensation), intra-plane
+// spine swaps, and same-residue regional-spine swaps — and keeps only the
+// candidates that *verify* against the actual configured network: role,
+// prefix count, base link state, device configuration, and effective-ASN
+// equality pattern must all be preserved. Verification, not derivation,
+// carries the soundness burden: an analytically wrong candidate is
+// silently dropped and costs completeness of pruning, never correctness.
+//
+// When any device truncates ECMP (MaxECMPPaths > 0) and the union-ECMP
+// abstraction is off, no candidate is safe: truncation picks the first m
+// next hops in device-ID order, which permutations do not preserve, so
+// two symmetric scenarios can produce non-isomorphic FIBs. In that case
+// ComputeSymmetry returns the empty set and exploration is brute-force.
+func ComputeSymmetry(t *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig, unionECMP bool) *Symmetry {
+	s := &Symmetry{}
+	if !unionECMP {
+		for _, c := range cfg {
+			if c != nil && c.MaxECMPPaths > 0 {
+				return s
+			}
+		}
+	}
+	for _, cand := range candidates(t) {
+		if g, ok := verify(t, cfg, cand); ok {
+			s.gens = append(s.gens, g)
+		}
+	}
+	return s
+}
+
+// identity returns the identity device permutation.
+func identity(t *topology.Topology) []topology.DeviceID {
+	p := make([]topology.DeviceID, len(t.Devices))
+	for i := range p {
+		p[i] = topology.DeviceID(i)
+	}
+	return p
+}
+
+func swap(p []topology.DeviceID, a, b topology.DeviceID) {
+	p[a], p[b] = p[b], p[a]
+}
+
+// candidates proposes device permutations from the Clos construction
+// rules. Each is a guess to be verified, never trusted.
+func candidates(t *topology.Topology) [][]topology.DeviceID {
+	var out [][]topology.DeviceID
+	p := t.Params
+	spp := p.SpinesPerPlane
+	groups := p.RegionalSpines / p.RSLinksPerSpine
+
+	// Cluster transpositions: clusters are interchangeable wholesale —
+	// swap their ToRs and leaves position-wise.
+	for c1 := 0; c1 < p.Clusters; c1++ {
+		for c2 := c1 + 1; c2 < p.Clusters; c2++ {
+			pm := identity(t)
+			for i, a := range t.ClusterToRs(c1) {
+				swap(pm, a, t.ClusterToRs(c2)[i])
+			}
+			for i, a := range t.ClusterLeaves(c1) {
+				swap(pm, a, t.ClusterLeaves(c2)[i])
+			}
+			out = append(out, pm)
+		}
+	}
+
+	// Global ToR-index transpositions: ToR i and ToR j swap in *every*
+	// cluster at once, preserving the cross-cluster ASN-reuse pattern.
+	for i := 0; i < p.ToRsPerCluster; i++ {
+		for j := i + 1; j < p.ToRsPerCluster; j++ {
+			pm := identity(t)
+			for c := 0; c < p.Clusters; c++ {
+				swap(pm, t.ClusterToRs(c)[i], t.ClusterToRs(c)[j])
+			}
+			out = append(out, pm)
+		}
+	}
+
+	// Spine-plane swaps: leaf p1/p2 swap in every cluster plus the
+	// position-wise swap of the two spine planes. Spine k connects to RS
+	// residue class k mod groups, and the swap changes global spine
+	// indices, so the candidate is emitted twice: plain, and composed
+	// with the RS residue-class permutation that re-aligns spine–RS
+	// adjacency when one consistent residue map exists.
+	for p1 := 0; p1 < p.LeavesPerCluster; p1++ {
+		for p2 := p1 + 1; p2 < p.LeavesPerCluster; p2++ {
+			pm := identity(t)
+			for c := 0; c < p.Clusters; c++ {
+				swap(pm, t.ClusterLeaves(c)[p1], t.ClusterLeaves(c)[p2])
+			}
+			sigma := make([]int, groups)
+			for g := range sigma {
+				sigma[g] = g
+			}
+			ok := true
+			for i := 0; i < spp; i++ {
+				s1, s2 := t.Spines()[p1*spp+i], t.Spines()[p2*spp+i]
+				swap(pm, s1, s2)
+				g1, g2 := (p1*spp+i)%groups, (p2*spp+i)%groups
+				if !bindResidue(sigma, g1, g2) || !bindResidue(sigma, g2, g1) {
+					ok = false
+				}
+			}
+			out = append(out, pm)
+			if ok && !residueIdentity(sigma) {
+				out = append(out, composeRS(t, pm, sigma, groups))
+			}
+		}
+	}
+
+	// Intra-plane spine swaps, again plain plus RS-compensated.
+	for pl := 0; pl < p.LeavesPerCluster; pl++ {
+		for i := 0; i < spp; i++ {
+			for j := i + 1; j < spp; j++ {
+				pm := identity(t)
+				s1, s2 := t.Spines()[pl*spp+i], t.Spines()[pl*spp+j]
+				swap(pm, s1, s2)
+				out = append(out, pm)
+				g1, g2 := (pl*spp+i)%groups, (pl*spp+j)%groups
+				sigma := make([]int, groups)
+				for g := range sigma {
+					sigma[g] = g
+				}
+				if bindResidue(sigma, g1, g2) && bindResidue(sigma, g2, g1) && !residueIdentity(sigma) {
+					out = append(out, composeRS(t, pm, sigma, groups))
+				}
+			}
+		}
+	}
+
+	// Regional-spine swaps within a residue class: RS r1 and r2 with
+	// r1 ≡ r2 (mod groups) connect to exactly the same spines.
+	for r1 := 0; r1 < p.RegionalSpines; r1++ {
+		for r2 := r1 + groups; r2 < p.RegionalSpines; r2 += groups {
+			pm := identity(t)
+			swap(pm, t.RegionalSpines()[r1], t.RegionalSpines()[r2])
+			out = append(out, pm)
+		}
+	}
+	return out
+}
+
+// bindResidue records the constraint σ(g1)=g2 in a partial residue map,
+// reporting false on conflict with an earlier binding.
+func bindResidue(sigma []int, g1, g2 int) bool {
+	if sigma[g1] != g1 && sigma[g1] != g2 {
+		return false
+	}
+	sigma[g1] = g2
+	return true
+}
+
+func residueIdentity(sigma []int) bool {
+	for g, v := range sigma {
+		if v != g {
+			return false
+		}
+	}
+	return true
+}
+
+// composeRS applies the residue-class permutation sigma to the RS tier of
+// a copy of pm: RS index r maps to σ(r mod groups) + (r/groups)*groups.
+func composeRS(t *topology.Topology, pm []topology.DeviceID, sigma []int, groups int) []topology.DeviceID {
+	cp := append([]topology.DeviceID(nil), pm...)
+	rs := t.RegionalSpines()
+	for r, id := range rs {
+		cp[id] = rs[sigma[r%groups]+(r/groups)*groups]
+	}
+	return cp
+}
+
+// verify checks that a candidate device permutation is an automorphism of
+// the *configured* network in its current base state, and derives the
+// induced link permutation. Conditions:
+//
+//   - role and hosted-prefix count are preserved per device;
+//   - device configurations are equal between d and π(d) (deep equality,
+//     nil meaning default config);
+//   - the effective-ASN relabeling d→π(d) is a consistent bijection, so
+//     AS-path loop-prevention behaves identically under the permutation;
+//   - every link (a,b) has an image link (π(a),π(b)) with identical
+//     current Up/SessionUp state, so the permuted base network is the
+//     same network.
+func verify(t *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig, pm []topology.DeviceID) (generator, bool) {
+	effASN := func(d topology.DeviceID) uint32 {
+		if c := cfg[d]; c != nil && c.ASNOverride != 0 {
+			return c.ASNOverride
+		}
+		return t.Device(d).ASN
+	}
+	fwd := map[uint32]uint32{}
+	rev := map[uint32]uint32{}
+	for i := range t.Devices {
+		d, img := topology.DeviceID(i), pm[i]
+		dd, di := t.Device(d), t.Device(img)
+		if dd.Role != di.Role || len(dd.HostedPrefixes) != len(di.HostedPrefixes) {
+			return generator{}, false
+		}
+		if !reflect.DeepEqual(cfg[d], cfg[img]) {
+			return generator{}, false
+		}
+		a, b := effASN(d), effASN(img)
+		if prev, ok := fwd[a]; ok && prev != b {
+			return generator{}, false
+		}
+		if prev, ok := rev[b]; ok && prev != a {
+			return generator{}, false
+		}
+		fwd[a], rev[b] = b, a
+	}
+	lp := make([]topology.LinkID, len(t.Links))
+	for i := range t.Links {
+		l := &t.Links[i]
+		img, ok := t.LinkBetween(pm[l.A], pm[l.B])
+		if !ok || img.Up != l.Up || img.SessionUp != l.SessionUp {
+			return generator{}, false
+		}
+		lp[i] = img.ID
+	}
+	return generator{dev: pm, link: lp}, true
+}
+
+// apply maps a fault through the automorphism.
+func (g *generator) apply(f Fault) Fault {
+	switch f.Kind {
+	case FaultDevice, FaultTelemetry:
+		f.Device = g.dev[f.Device]
+	default:
+		f.Link = g.link[f.Link]
+	}
+	return f
+}
+
+// Orbit enumerates the closure of one scenario under the generator set:
+// every fault set reachable by repeatedly applying generators. The
+// returned size counts distinct fault sets in the orbit (including the
+// seed); visit, when non-nil, is called with each member's Key. The
+// generated semigroup of a finite permutation set is its group, so BFS
+// over the generators reaches the full group orbit.
+func (s *Symmetry) Orbit(seed []Fault, visit func(key string)) int {
+	seen := map[string]bool{Key(seed): true}
+	if visit != nil {
+		visit(Key(seed))
+	}
+	queue := [][]Fault{append([]Fault(nil), seed...)}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for gi := range s.gens {
+			img := make([]Fault, len(cur))
+			for i, f := range cur {
+				img[i] = s.gens[gi].apply(f)
+			}
+			sortFaults(img)
+			k := Key(img)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if visit != nil {
+				visit(k)
+			}
+			queue = append(queue, img)
+		}
+	}
+	return len(seen)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/topology"
 )
@@ -185,31 +186,36 @@ func classify(r Record, dc *Datacenter) TriagedError {
 			Detail:   "device unreachable: consecutive pull failures exhausted the staleness bound",
 		}
 	}
-	te := TriagedError{Record: r, Class: ClassUnknown, Queue: QueueInvestigation}
+	te := TriagedError{Record: r}
 	for _, v := range r.Violations {
 		if v.Severity == rcdc.HighRisk {
 			te.Severity = rcdc.HighRisk
 		}
 	}
-	cfg := dc.Cfg[r.Device]
+	te.Class, te.Queue, te.Detail = ClassifyDevice(dc.Topo, dc.Cfg, r.Device, r.Violations)
+	return te
+}
+
+// ClassifyDevice runs the §2.6.1 triage query rules for one unhealthy
+// device: correlate its contract violations with device configuration and
+// link state to assign a §2.6.2 root-cause class and remediation queue.
+// It is the classification kernel behind Triage, shared with the failure
+// explorer so per-scenario findings route through the same taxonomy.
+func ClassifyDevice(topo *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig,
+	dev topology.DeviceID, viols []rcdc.Violation) (ErrorClass, RemediationQueueName, string) {
+	c := cfg[dev]
 	switch {
-	case cfg != nil && cfg.SessionsDisabled:
-		te.Class, te.Queue = ClassL2PortBug, QueueInvestigation
-		te.Detail = "no BGP session on any interface"
-		return te
-	case cfg != nil && cfg.ASNOverride != 0:
-		te.Class, te.Queue = ClassMigration, QueueConfigReview
-		te.Detail = fmt.Sprintf("ASN override %d", cfg.ASNOverride)
-		return te
-	case cfg != nil && (cfg.RejectDefaultIn || cfg.MaxECMPPaths > 0):
-		te.Class, te.Queue = ClassPolicyError, QueueConfigReview
-		te.Detail = "route-map/ECMP configuration deviates"
-		return te
+	case c != nil && c.SessionsDisabled:
+		return ClassL2PortBug, QueueInvestigation, "no BGP session on any interface"
+	case c != nil && c.ASNOverride != 0:
+		return ClassMigration, QueueConfigReview, fmt.Sprintf("ASN override %d", c.ASNOverride)
+	case c != nil && (c.RejectDefaultIn || c.MaxECMPPaths > 0):
+		return ClassPolicyError, QueueConfigReview, "route-map/ECMP configuration deviates"
 	}
 	// Correlate with link state.
 	var down, shut int
-	for _, lid := range dc.Topo.LinksOf(r.Device) {
-		l := dc.Topo.Link(lid)
+	for _, lid := range topo.LinksOf(dev) {
+		l := topo.Link(lid)
 		switch {
 		case !l.Up:
 			down++
@@ -219,22 +225,18 @@ func classify(r Record, dc *Datacenter) TriagedError {
 	}
 	switch {
 	case down > 0:
-		te.Class, te.Queue = ClassHardwareFailure, QueueReplaceCable
-		te.Detail = fmt.Sprintf("%d links operationally down", down)
+		return ClassHardwareFailure, QueueReplaceCable, fmt.Sprintf("%d links operationally down", down)
 	case shut > 0:
-		te.Class, te.Queue = ClassOperationDrift, QueueAutoUnshut
-		te.Detail = fmt.Sprintf("%d sessions administratively shut", shut)
+		return ClassOperationDrift, QueueAutoUnshut, fmt.Sprintf("%d sessions administratively shut", shut)
 	default:
 		// All links healthy yet the FIB deviates: RIB-FIB inconsistency.
-		for _, v := range r.Violations {
+		for _, v := range viols {
 			if v.Kind == rcdc.DefaultMismatch && len(v.Missing) > 0 {
-				te.Class, te.Queue = ClassRIBFIBBug, QueueInvestigation
-				te.Detail = "FIB default route missing next hops with healthy links"
-				return te
+				return ClassRIBFIBBug, QueueInvestigation, "FIB default route missing next hops with healthy links"
 			}
 		}
 	}
-	return te
+	return ClassUnknown, QueueInvestigation, ""
 }
 
 // AutoRemediate executes the automated §2.6.1 remediation for operation

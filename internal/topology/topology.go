@@ -528,6 +528,48 @@ func (t *Topology) FailLink(a, b DeviceID) bool {
 	return ok
 }
 
+// RestoreLink marks the link between a and b physically up again — the
+// exact inverse of FailLink. It reports whether such a link exists.
+func (t *Topology) RestoreLink(a, b DeviceID) bool {
+	l, ok := t.LinkBetween(a, b)
+	if ok {
+		t.SetLinkUp(l.ID, true)
+	}
+	return ok
+}
+
+// FailDevice models a whole-device loss (power, supervisor crash): every
+// physically-up link incident to d is taken down, each flip journaled. It
+// returns the links it actually flipped, in ascending ID order, so callers
+// exploring failure scenarios can restore the exact prior state with
+// RestoreLinks even when the surrounding network was already degraded.
+func (t *Topology) FailDevice(d DeviceID) []LinkID {
+	var flipped []LinkID
+	for _, lid := range t.linksOf[d] {
+		if t.Links[lid].Up {
+			t.SetLinkUp(lid, false)
+			flipped = append(flipped, lid)
+		}
+	}
+	return flipped
+}
+
+// RestoreLinks brings the given links physically up, journaling each flip —
+// the exact inverse of a FailDevice return value.
+func (t *Topology) RestoreLinks(ids []LinkID) {
+	for _, lid := range ids {
+		t.SetLinkUp(lid, true)
+	}
+}
+
+// RestoreDevice brings every link incident to d physically up — the
+// convenience inverse of FailDevice from a fully healthy base state. When
+// neighboring failures overlapped the device, use the FailDevice return
+// value with RestoreLinks instead to avoid resurrecting unrelated faults.
+func (t *Topology) RestoreDevice(d DeviceID) {
+	t.RestoreLinks(t.linksOf[d])
+}
+
 // ShutSession administratively shuts the BGP session between a and b
 // (operation drift). It reports whether such a link exists.
 func (t *Topology) ShutSession(a, b DeviceID) bool {

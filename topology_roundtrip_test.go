@@ -1,0 +1,154 @@
+package dcvalidate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The failure explorer's checkpoint/restore invariant: a fault applied
+// and then undone must leave the world byte-identical — every synthesized
+// FIB and every validation verdict — or incremental exploration against a
+// fixed healthy baseline would silently drift. These tests lock the
+// FailLink/RestoreLink and FailDevice/RestoreDevice round trips.
+
+// worldSnapshot renders every device's synthesized FIB plus the full
+// validation verdict into one comparable string.
+func worldSnapshot(t *testing.T, dc *Datacenter) string {
+	t.Helper()
+	var b strings.Builder
+	for i := range dc.Topo.Devices {
+		d := &dc.Topo.Devices[i]
+		fmt.Fprintf(&b, "== %s ==\n", d.Name)
+		if err := dc.WriteFIB(&b, d.Name); err != nil {
+			t.Fatalf("WriteFIB(%s): %v", d.Name, err)
+		}
+	}
+	rep, err := dc.Validate(ValidateOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, v := range rep.Violations() {
+		fmt.Fprintf(&b, "violation: %+v\n", v)
+	}
+	return b.String()
+}
+
+func roundTripDC(t *testing.T) *Datacenter {
+	t.Helper()
+	dc, err := NewDatacenter(TopologyParams{
+		Clusters: 2, ToRsPerCluster: 2, LeavesPerCluster: 2,
+		SpinesPerPlane: 1, RegionalSpines: 2, RSLinksPerSpine: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestFailRestoreLinkRoundTrip(t *testing.T) {
+	dc := roundTripDC(t)
+	base := worldSnapshot(t, dc)
+
+	tor := dc.Topo.Device(dc.Topo.ClusterToRs(0)[0]).Name
+	leaf := dc.Topo.Device(dc.Topo.ClusterLeaves(0)[0]).Name
+	if err := dc.FailLink(tor, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if degraded := worldSnapshot(t, dc); degraded == base {
+		t.Fatal("failing a ToR-leaf link changed nothing; snapshot is not sensitive enough")
+	}
+	if err := dc.RestoreLink(tor, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if got := worldSnapshot(t, dc); got != base {
+		t.Error("FailLink/RestoreLink round trip did not restore a byte-identical world")
+	}
+}
+
+func TestFailRestoreDeviceRoundTrip(t *testing.T) {
+	dc := roundTripDC(t)
+	base := worldSnapshot(t, dc)
+
+	leaf := dc.Topo.ClusterLeaves(0)[0]
+	flipped := dc.Topo.FailDevice(leaf)
+	if len(flipped) == 0 {
+		t.Fatal("FailDevice flipped no links on a healthy leaf")
+	}
+	if degraded := worldSnapshot(t, dc); degraded == base {
+		t.Fatal("failing a leaf changed nothing; snapshot is not sensitive enough")
+	}
+	dc.Topo.RestoreDevice(leaf)
+	if got := worldSnapshot(t, dc); got != base {
+		t.Error("FailDevice/RestoreDevice round trip did not restore a byte-identical world")
+	}
+}
+
+// TestOverlappingFailureExactRestore is the degraded-base case: when a
+// link is already down before the device fails, FailDevice must not
+// resurrect it on restore — the FailDevice return value replayed through
+// RestoreLinks restores exactly the pre-FailDevice state.
+func TestOverlappingFailureExactRestore(t *testing.T) {
+	dc := roundTripDC(t)
+	tor := dc.Topo.Device(dc.Topo.ClusterToRs(0)[0]).Name
+	leafID := dc.Topo.ClusterLeaves(0)[0]
+	leaf := dc.Topo.Device(leafID).Name
+
+	if err := dc.FailLink(tor, leaf); err != nil {
+		t.Fatal(err)
+	}
+	degradedBase := worldSnapshot(t, dc)
+
+	flipped := dc.Topo.FailDevice(leafID)
+	for _, lid := range flipped {
+		l := dc.Topo.Link(lid)
+		a, b := dc.Topo.Device(l.A).Name, dc.Topo.Device(l.B).Name
+		if (a == tor && b == leaf) || (a == leaf && b == tor) {
+			t.Fatal("FailDevice reported the already-down link as flipped")
+		}
+	}
+	dc.Topo.RestoreLinks(flipped)
+	if got := worldSnapshot(t, dc); got != degradedBase {
+		t.Error("RestoreLinks(flipped) did not restore the degraded base state exactly")
+	}
+
+	// RestoreDevice, by contrast, deliberately resurrects everything.
+	dc.Topo.RestoreDevice(leafID)
+	if got := worldSnapshot(t, dc); got == degradedBase {
+		t.Error("RestoreDevice should have brought the pre-existing failed link back up")
+	}
+}
+
+// TestExploreFailuresFacade exercises the public certification entry
+// point: exploration runs on a clone (the datacenter's own state must
+// not move), accounts for the whole k=1 scenario space, and records into
+// the facade registry.
+func TestExploreFailuresFacade(t *testing.T) {
+	dc := roundTripDC(t)
+	reg := dc.Metrics()
+	base := worldSnapshot(t, dc)
+
+	res, err := dc.ExploreFailures(ExploreOptions{K: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != uint64(res.Universe) {
+		t.Errorf("k=1 total %d != universe %d", res.Total, res.Universe)
+	}
+	if res.Explored == 0 || len(res.Violating) == 0 || len(res.MinimalSets) == 0 {
+		t.Errorf("implausibly empty exploration: %d classes, %d violating, %d minimal sets",
+			res.Explored, len(res.Violating), len(res.MinimalSets))
+	}
+	if got := worldSnapshot(t, dc); got != base {
+		t.Error("ExploreFailures mutated the datacenter's live state")
+	}
+	explored := 0.0
+	for _, s := range reg.Snapshot() {
+		if s.Name == "dcv_explore_scenarios_explored_total" {
+			explored = s.Value
+		}
+	}
+	if explored == 0 {
+		t.Error("exploration did not record into the facade metrics registry")
+	}
+}
