@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint conflint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke conflint-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -10,10 +10,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet plus the in-tree dclint suite (wallclock,
-# mapiter, rngseed, panicsite — see DESIGN.md "Determinism invariants").
-lint: vet
+# Static analysis: go vet, the in-tree dclint suite (wallclock,
+# sleepsite, mapiter, rngseed, panicsite — see DESIGN.md "Determinism
+# invariants"), and the configuration linter's all-green baseline.
+lint: vet conflint
 	$(GO) run ./cmd/dclint ./...
+
+# Configuration static analysis (internal/conflint): render the default
+# fleet from the topology and require a findings-free lint.
+conflint:
+	$(GO) run ./cmd/dcconflint -selfcheck
 
 test:
 	$(GO) test ./...
@@ -57,6 +63,14 @@ solver-smoke:
 explore-smoke:
 	$(GO) run ./cmd/dcbench -e e17 -quick
 
+# CI gate for the configuration multichecker: the E18 experiment at its
+# quick sweep point, panic gates armed — zero findings on the clean
+# fleet, 100% detection of every seeded misconfiguration class, a
+# byte-identical report across two runs, and acl-shadow's SMT verdicts
+# agreeing with the exact interval engine.
+conflint-smoke:
+	$(GO) run ./cmd/dcbench -e e18 -quick
+
 # CI gate for the observability layer: run a short fault-free dcmon with
 # -metrics-addr, curl /metrics, and fail on missing series, non-finite
 # values, or a dead pprof endpoint (see scripts/metrics_smoke.sh).
@@ -71,6 +85,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseSMTLIB2 -fuzztime $(FUZZTIME) ./internal/bv/
 	$(GO) test -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME) ./internal/sat/
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/devconf/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/devconf/
 
 # Regenerate every paper experiment (see DESIGN.md / EXPERIMENTS.md).
 experiments:

@@ -43,6 +43,73 @@ func TestCLIs(t *testing.T) {
 		}
 	})
 
+	t.Run("dcconflint-selfcheck", func(t *testing.T) {
+		args := append([]string{"./cmd/dcconflint", "-selfcheck"}, topoFlags...)
+		out, err := run(args...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "0 finding(s)") {
+			t.Errorf("selfcheck not clean:\n%s", out)
+		}
+	})
+
+	t.Run("dcconflint-from-files", func(t *testing.T) {
+		args := append([]string{"./cmd/dcconflint"}, topoFlags...)
+		args = append(args, filepath.Join(dir, "confs"))
+		out, err := run(args...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "0 finding(s)") {
+			t.Errorf("rendered confs not clean:\n%s", out)
+		}
+	})
+
+	t.Run("dcconflint-detects-misconfig", func(t *testing.T) {
+		// Point one ToR's first session at a wrong remote-as and re-lint
+		// the directory: session-symmetry must fire and the exit code
+		// must flip to 1.
+		raw, err := os.ReadFile(filepath.Join(dir, "confs", "dc-c0-t0-0.conf"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		broken := strings.Replace(string(raw), "remote-as 4200001000", "remote-as 64999", 1)
+		if broken == string(raw) {
+			t.Fatalf("mutation did not apply:\n%s", raw)
+		}
+		brokenDir := filepath.Join(dir, "confs-broken")
+		if err := os.MkdirAll(brokenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(filepath.Join(dir, "confs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			src := filepath.Join(dir, "confs", e.Name())
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Name() == "dc-c0-t0-0.conf" {
+				data = []byte(broken)
+			}
+			if err := os.WriteFile(filepath.Join(brokenDir, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		args := append([]string{"./cmd/dcconflint"}, topoFlags...)
+		args = append(args, brokenDir)
+		out, err := run(args...)
+		if err == nil {
+			t.Fatalf("dcconflint exited 0 despite misconfig:\n%s", out)
+		}
+		if !strings.Contains(out, "session-symmetry") {
+			t.Errorf("missing session-symmetry finding:\n%s", out)
+		}
+	})
+
 	t.Run("rcdc-from-files", func(t *testing.T) {
 		args := append([]string{"./cmd/rcdc", "-fibdir", filepath.Join(dir, "fibs")}, topoFlags...)
 		out, err := run(args...)

@@ -4,16 +4,19 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e17, e4s, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e18, e4s, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
-// E4, E16, and E17 additionally write their machine-readable rows to
-// BENCH_solver.json, BENCH_incremental.json, and BENCH_explore.json in
-// the current directory; e4s is the CI solver-perf smoke (panics when the
-// SMT engine regresses past a generous per-contract ceiling or disagrees
-// with the trie engine); e17 carries its own panic gates (pruned-vs-brute
-// divergence, pruning-ratio floor, minimal-set replay). Every run records a
+// E4, E16, E17, and E18 additionally write their machine-readable rows to
+// BENCH_solver.json, BENCH_incremental.json, BENCH_explore.json, and
+// BENCH_conflint.json in the current directory; e4s is the CI solver-perf
+// smoke (panics when the SMT engine regresses past a generous per-contract
+// ceiling or disagrees with the trie engine); e17 carries its own panic
+// gates (pruned-vs-brute divergence, pruning-ratio floor, minimal-set
+// replay); e18 is the conflint detection gate (panics on clean-fleet false
+// positives, a missed seeded misconfig class, report instability, or
+// SMT/interval shadow disagreement). Every run records a
 // per-experiment snapshot of the observability registry (validator,
 // solver, and synth-cache series plus dcv_experiment_seconds) and writes
 // them to -metrics-out as JSON: one entry per experiment holding the
@@ -98,6 +101,7 @@ func main() {
 	// E17's 2-pod Clos: 8 ToRs per cluster is ~26k k=2 scenarios before
 	// pruning; quick halves the pods' width.
 	e17Tors := 8
+	e18Sizes := []int{136, 520, 2008}
 	if *quick {
 		e1Sizes = []int{500, 1000}
 		e2Sizes = []int{250, 500}
@@ -109,6 +113,7 @@ func main() {
 		e16Sizes = []int{520}
 		claim1Trials = 10
 		e17Tors = 4
+		e18Sizes = []int{136}
 	}
 	if *full {
 		e2Sizes = append(e2Sizes, 10000)
@@ -155,6 +160,11 @@ func main() {
 		{"e17", func() experiments.Result {
 			res, rows := experiments.E17Explore(e17Tors)
 			writeJSON("BENCH_explore.json", rows)
+			return res
+		}},
+		{"e18", func() experiments.Result {
+			res, rows := experiments.E18Conflint(e18Sizes)
+			writeJSON("BENCH_conflint.json", rows)
 			return res
 		}},
 	}

@@ -1,0 +1,144 @@
+// Command dcconflint is the static-analysis multichecker for device
+// configurations (internal/conflint): the devconf counterpart of the
+// Go-source dclint. It binds a directory of rendered (or
+// production-pulled) configuration files to the intended topology and
+// reports misconfigurations — asymmetric sessions, off-plan ASNs,
+// dangling route-maps, foreign prefix origination, ECMP divergence,
+// shadowed ACL rules — before any convergence or contract sweep runs.
+//
+// Usage:
+//
+//	dcconflint -clusters 4 -tors 16 -leaves 4 -spines 2 -rs 4 -rslinks 2 \
+//	           confdir/
+//	dcconflint -selfcheck
+//
+// Positional arguments are configuration files or directories of *.conf
+// files; the topology flags must describe the intent the configs are
+// checked against (same flags as topogen). -selfcheck renders the
+// fleet from the topology in-memory and lints it — the all-green
+// baseline CI runs. Exit status: 0 clean, 1 findings, 2 errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dcvalidate/internal/conflint"
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/topology"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "dc", "datacenter name")
+		clusters  = flag.Int("clusters", 4, "number of clusters")
+		tors      = flag.Int("tors", 16, "ToRs per cluster")
+		leaves    = flag.Int("leaves", 4, "leaves per cluster (= spine planes)")
+		spines    = flag.Int("spines", 2, "spines per plane")
+		rs        = flag.Int("rs", 4, "regional spine devices")
+		rslinks   = flag.Int("rslinks", 2, "regional spines per spine")
+		prefixes  = flag.Int("prefixes", 1, "VLAN prefixes per ToR")
+		selfcheck = flag.Bool("selfcheck", false, "render the fleet from the topology and lint it (no config args)")
+		quiet     = flag.Bool("q", false, "suppress the summary line; print findings only")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dcconflint [topology flags] <conf file or dir>...\n")
+		fmt.Fprintf(os.Stderr, "       dcconflint [topology flags] -selfcheck\n\nanalyzers:\n")
+		for _, az := range conflint.All() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", az.Name, az.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	topo, err := topology.New(topology.Params{
+		Name: *name, Clusters: *clusters, ToRsPerCluster: *tors,
+		LeavesPerCluster: *leaves, SpinesPerPlane: *spines,
+		RegionalSpines: *rs, RSLinksPerSpine: *rslinks, PrefixesPerToR: *prefixes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var configs map[string]string
+	switch {
+	case *selfcheck:
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-selfcheck takes no config arguments"))
+		}
+		configs, err = devconf.RenderFleet(topo, nil)
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 0:
+		flag.Usage()
+		os.Exit(2)
+	default:
+		configs, err = loadConfigs(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	rep, err := conflint.Lint(topo, configs)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.WriteString(rep.String())
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dcconflint: %d device(s), %d finding(s), %d suppressed\n",
+			len(configs), len(rep.Findings), rep.Suppressed)
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadConfigs reads each argument as a config file, or as a directory
+// whose *.conf entries are configs, keyed by file path for error
+// attribution.
+func loadConfigs(args []string) (map[string]string, error) {
+	var files []string
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		ents, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".conf") {
+				files = append(files, filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no configuration files found in %v", args)
+	}
+	configs := make(map[string]string, len(files))
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		configs[f] = string(b)
+	}
+	return configs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcconflint:", err)
+	os.Exit(2)
+}

@@ -1,6 +1,7 @@
 // Command dclint is the repository's determinism linter: a multichecker
-// that runs the internal/analysis suite (wallclock, mapiter, rngseed,
-// panicsite) over the module. CI and `make lint` gate on a clean run.
+// that runs the internal/analysis suite (wallclock, sleepsite, mapiter,
+// rngseed, panicsite) over the module. CI and `make lint` gate on a
+// clean run.
 //
 // Usage:
 //
@@ -24,7 +25,8 @@ import (
 
 // wallclockAllow lists the sanctioned measurement boundaries: the
 // injectable clock package itself, and nothing else. Everything that
-// measures elapsed time takes a clock.Clock.
+// measures elapsed time takes a clock.Clock. sleepsite shares the list:
+// clock.Sleep is the single sanctioned raw-sleep site.
 var wallclockAllow = []string{
 	"dcvalidate/internal/clock",
 }
@@ -84,6 +86,7 @@ func main() {
 func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		analysis.NewWallclock(wallclockAllow),
+		analysis.NewSleepsite(wallclockAllow),
 		analysis.NewMapiter(),
 		analysis.NewRngseed(),
 		analysis.NewPanicsite(parserPackages),

@@ -34,8 +34,10 @@ import (
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/bv"
+	"dcvalidate/internal/conflint"
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/delta"
+	"dcvalidate/internal/devconf"
 	"dcvalidate/internal/emulator"
 	"dcvalidate/internal/explore"
 	"dcvalidate/internal/faulty"
@@ -100,6 +102,12 @@ type (
 	// FailureScenario is one explored equivalence-class representative
 	// with its faults, orbit weight, and validation outcome.
 	FailureScenario = explore.Scenario
+
+	// ConflintReport is the deterministic result of statically linting a
+	// configuration fleet (internal/conflint).
+	ConflintReport = conflint.Report
+	// ConflintFinding is one configuration lint diagnostic.
+	ConflintFinding = conflint.Finding
 
 	// Policy is an ordered packet-filter rule set (§3.1).
 	Policy = acl.Policy
@@ -194,12 +202,18 @@ type Datacenter struct {
 	// FIB source, and blast-radius computation the facade creates. All
 	// remain nil — and every call site stays a no-op — until Metrics()
 	// is first called.
-	reg      *obs.Registry
-	rcdcM    *rcdc.Metrics
-	bvM      *bv.Metrics
-	bgpM     *bgp.Metrics
-	deltaM   *delta.Metrics
-	exploreM *explore.Metrics
+	reg       *obs.Registry
+	rcdcM     *rcdc.Metrics
+	bvM       *bv.Metrics
+	bgpM      *bgp.Metrics
+	deltaM    *delta.Metrics
+	exploreM  *explore.Metrics
+	conflintM *conflint.Metrics
+
+	// lintGate, when enabled, makes SetDeviceConfig render and
+	// statically lint the candidate fleet, rejecting changes that
+	// introduce findings.
+	lintGate bool
 }
 
 // NewDatacenter generates a synthetic datacenter from the parameters.
@@ -243,6 +257,7 @@ func (d *Datacenter) Metrics() *MetricsRegistry {
 		d.bgpM = bgp.NewMetrics(d.reg)
 		d.deltaM = delta.NewMetrics(d.reg)
 		d.exploreM = explore.NewMetrics(d.reg)
+		d.conflintM = conflint.NewMetrics(d.reg)
 		if d.synth != nil {
 			d.synth.Metrics = d.bgpM
 		}
@@ -313,10 +328,32 @@ func (d *Datacenter) ShutSession(a, b string) error {
 // (ValidateDelta, the monitoring service's Incremental mode) require
 // config edits to go through this method — writing to the Config map
 // directly leaves no journal trace and can yield stale delta reports.
+// With the lint gate enabled (EnableLintGate), the candidate fleet —
+// current configs plus this change — is rendered and statically linted
+// first; a change that introduces findings is rejected with a *LintError
+// carrying the report, and nothing is applied or journaled.
 func (d *Datacenter) SetDeviceConfig(device string, cfg *DeviceConfig) error {
 	dev, ok := d.Topo.ByName(device)
 	if !ok {
 		return fmt.Errorf("dcvalidate: unknown device %q", device)
+	}
+	if d.lintGate {
+		candidate := make(map[DeviceID]*DeviceConfig, len(d.Config)+1)
+		for id, c := range d.Config {
+			candidate[id] = c
+		}
+		if cfg == nil {
+			delete(candidate, dev.ID)
+		} else {
+			candidate[dev.ID] = cfg
+		}
+		rep, err := d.lint(candidate)
+		if err != nil {
+			return err
+		}
+		if len(rep.Findings) > 0 {
+			return &LintError{Device: device, Report: rep}
+		}
 	}
 	if cfg == nil {
 		delete(d.Config, dev.ID)
@@ -325,6 +362,48 @@ func (d *Datacenter) SetDeviceConfig(device string, cfg *DeviceConfig) error {
 	}
 	d.Topo.NoteDeviceChanged(dev.ID)
 	return nil
+}
+
+// EnableLintGate turns on lint-before-apply for SetDeviceConfig: every
+// candidate configuration is rendered to device configs and checked by
+// the full conflint analyzer suite before it takes effect, catching
+// misconfigurations milliseconds before they would cost a re-convergence
+// and a contract sweep. Off by default, because the simulator's whole
+// purpose often *is* installing a misconfiguration to study (E3, E18).
+func (d *Datacenter) EnableLintGate() { d.lintGate = true }
+
+// DisableLintGate turns lint-before-apply back off.
+func (d *Datacenter) DisableLintGate() { d.lintGate = false }
+
+// LintConfigs renders the current fleet and runs the conflint analyzer
+// suite over it, recording into the facade registry's conflint bundle
+// when Metrics() has been called.
+func (d *Datacenter) LintConfigs() (*ConflintReport, error) {
+	return d.lint(d.Config)
+}
+
+func (d *Datacenter) lint(cfgs map[DeviceID]*DeviceConfig) (*ConflintReport, error) {
+	texts, err := devconf.RenderFleet(d.Topo, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := conflint.NewFleet(d.Topo, texts)
+	if err != nil {
+		return nil, err
+	}
+	return (&conflint.Runner{Metrics: d.conflintM}).Run(fleet)
+}
+
+// LintError is returned by SetDeviceConfig when the lint gate rejects a
+// change; Report carries the findings that would have been introduced.
+type LintError struct {
+	Device string
+	Report *ConflintReport
+}
+
+func (e *LintError) Error() string {
+	return fmt.Sprintf("dcvalidate: lint gate rejected config change on %s: %d finding(s)\n%s",
+		e.Device, len(e.Report.Findings), e.Report)
 }
 
 func (d *Datacenter) pair(a, b string) (DeviceID, DeviceID, error) {

@@ -53,6 +53,26 @@ func ParseIOS(name string, r io.Reader) (*Policy, error) {
 	return p, nil
 }
 
+// ParseIOSRule parses a single permit/deny rule line already split into
+// fields, attributing errors to lineNo. It is the per-rule primitive
+// behind ParseIOS, exported for embedders of the rule syntax such as the
+// devconf `ip access-list` blocks.
+func ParseIOSRule(fields []string, lineNo int) (Rule, error) {
+	if len(fields) == 0 || (fields[0] != "permit" && fields[0] != "deny") {
+		return Rule{}, fmt.Errorf("acl: line %d: expected permit/deny", lineNo)
+	}
+	return parseIOSRule(fields, lineNo)
+}
+
+// FormatIOSRule renders one rule in the Figure 8 syntax without remark or
+// trailing newline; FormatIOSRule ∘ ParseIOSRule is byte-stable.
+func FormatIOSRule(r *Rule) string {
+	return fmt.Sprintf("%s %s %s%s %s%s",
+		r.Action, r.Protocol,
+		iosAddr(r.Src), iosPorts(r.SrcPorts),
+		iosAddr(r.Dst), iosPorts(r.DstPorts))
+}
+
 func parseIOSRule(fields []string, lineNo int) (Rule, error) {
 	rule := Rule{SrcPorts: AnyPort, DstPorts: AnyPort, Line: lineNo}
 	if fields[0] == "permit" {
@@ -148,10 +168,7 @@ func WriteIOS(w io.Writer, p *Policy) error {
 		if r.Remark != "" {
 			fmt.Fprintf(bw, "remark %s\n", r.Remark)
 		}
-		fmt.Fprintf(bw, "%s %s %s%s %s%s\n",
-			r.Action, r.Protocol,
-			iosAddr(r.Src), iosPorts(r.SrcPorts),
-			iosAddr(r.Dst), iosPorts(r.DstPorts))
+		fmt.Fprintf(bw, "%s\n", FormatIOSRule(r))
 	}
 	return bw.Flush()
 }

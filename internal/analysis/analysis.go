@@ -7,11 +7,13 @@
 //
 //   - wallclock: simulation and measurement paths use internal/clock,
 //     never time.Now/time.Sleep/time.Since directly;
+//   - sleepsite: raw time.Sleep is banned outside tests even at
+//     measurement boundaries; delays go through clock.Sleep;
 //   - mapiter:   map iteration order never leaks into reports or hashes;
 //   - rngseed:   randomness comes from explicitly seeded *rand.Rand;
 //   - panicsite: parsers of untrusted input return errors, never panic.
 //
-// cmd/dclint runs all four over the module; `make lint` and CI gate on
+// cmd/dclint runs the suite over the module; `make lint` and CI gate on
 // a clean run. Violations that are genuinely unreachable invariants can
 // be suppressed with a trailing or preceding comment:
 //

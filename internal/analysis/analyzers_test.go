@@ -23,6 +23,18 @@ func TestWallclockAllowsWholePackage(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "wallclockall"), a)
 }
 
+func TestSleepsite(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "sleepsite"), analysis.NewSleepsite(nil))
+}
+
+func TestSleepsiteAllowsClockPackage(t *testing.T) {
+	// The same offending call produces no findings when the package is
+	// allowlisted (as internal/clock is in dclint: clock.Sleep is the one
+	// sanctioned raw-sleep site).
+	a := analysis.NewSleepsite([]string{"dclint.test/sleepsiteall"})
+	analysistest.Run(t, filepath.Join("testdata", "sleepsiteall"), a)
+}
+
 func TestMapiter(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "mapiter"), analysis.NewMapiter())
 }

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NewSleepsite returns the `sleepsite` analyzer: it flags every raw
+// time.Sleep call outside test files. Production delays must go through
+// clock.Sleep(c, d) with the injected internal/clock.Clock so that
+// virtual-time runs (simulations, deterministic tests, replay) advance
+// instantly instead of blocking an OS thread.
+//
+// It overlaps wallclock on purpose but is stricter: wallclock's
+// per-function measurement-boundary waivers do not apply here — a
+// sanctioned boundary may read time.Now, but nothing outside the
+// allowlisted packages may block on real time. allow entries are whole
+// package paths only (in dclint: dcvalidate/internal/clock, the single
+// sanctioned sleep site).
+func NewSleepsite(allow []string) *Analyzer {
+	allowPkg := map[string]bool{}
+	for _, a := range allow {
+		allowPkg[a] = true
+	}
+	a := &Analyzer{
+		Name: "sleepsite",
+		Doc: "flags raw time.Sleep outside tests; delays must use clock.Sleep " +
+			"with the injected clock.Clock so virtual-time runs don't block",
+	}
+	a.Run = func(pass *Pass) error {
+		if allowPkg[pass.PkgPath()] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Sleep" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn := pkgNameOf(pass.TypesInfo, id)
+				if pn == nil || pn.Imported().Path() != "time" {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"time.Sleep blocks on real time; use clock.Sleep with the injected clock.Clock (internal/clock)")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

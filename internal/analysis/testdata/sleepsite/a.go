@@ -1,0 +1,36 @@
+// Package sleepsite is golden-file input for the sleepsite analyzer.
+package sleepsite
+
+import (
+	"time"
+	tm "time"
+)
+
+// bad blocks an OS thread on real time from production code.
+func bad() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on real time"
+}
+
+// badAliased hides the import behind an alias; type info still resolves it.
+func badAliased() {
+	tm.Sleep(tm.Second) // want "time.Sleep blocks on real time"
+}
+
+// reads of the clock are wallclock's business, not sleepsite's.
+func readsOnly() time.Time {
+	return time.Now()
+}
+
+// notTimePackage has a local type whose Sleep method must not be flagged.
+type throttle struct{}
+
+func (throttle) Sleep(time.Duration) {}
+
+func methodCall() {
+	var t throttle
+	t.Sleep(time.Second)
+}
+
+func suppressed() {
+	time.Sleep(time.Second) // dclint:allow sleepsite backoff in the retry CLI only
+}

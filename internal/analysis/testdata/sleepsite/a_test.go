@@ -1,0 +1,8 @@
+package sleepsite
+
+import "time"
+
+// Test files are exempt: tests may legitimately block on real time.
+func sleepInTest() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,12 @@
+// Package sleepsiteall mirrors the sanctioned sleep site: the whole
+// package is allowlisted in the test, so the raw Sleep below carries no
+// `// want` annotation.
+package sleepsiteall
+
+import "time"
+
+// Sleep stands in for clock.Sleep: the one place allowed to block on
+// real time when no virtual clock is injected.
+func Sleep(d time.Duration) {
+	time.Sleep(d)
+}

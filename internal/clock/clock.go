@@ -39,6 +39,22 @@ func Since(c Clock, t time.Time) time.Duration {
 	return Or(c).Now().Sub(t)
 }
 
+// Sleep pauses for d on the given clock: a Virtual clock advances
+// instantly (keeping simulated runs deterministic and fast), anything
+// else falls through to a real sleep. It is the Clock-aware replacement
+// for time.Sleep; the `sleepsite` analyzer in internal/analysis makes
+// this package the single sanctioned call site.
+func Sleep(c Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if v, ok := Or(c).(*Virtual); ok {
+		v.Advance(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Or returns c if non-nil and the System clock otherwise, so struct
 // fields of type Clock can default to real time when left unset.
 func Or(c Clock) Clock {

@@ -1,0 +1,190 @@
+package conflint
+
+import (
+	"fmt"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bv"
+	"dcvalidate/internal/ipnet"
+)
+
+// ACLShadow is the semantic lint of the suite: rule i of an access-list
+// is dead when the union of the earlier rules covers its entire match
+// space, so it can never fire regardless of action. Shadowed rules are
+// the classic silent ACL bug (§3.3's legacy Edge ACLs grew them for
+// years): the intent the rule expresses — often a deny — is simply not
+// enforced. Each verdict is decided with the bv/SMT stack
+// (sat(r_i ∧ ¬(r_0 ∨ … ∨ r_{i−1})) ⇔ reachable) and cross-checked
+// in-pass against an exact interval engine that subtracts 5-dimensional
+// header-space boxes, the same differential-oracle discipline the trie
+// and SMT dataplane engines use; disagreement is an analyzer error, not
+// a finding.
+var ACLShadow = &Analyzer{
+	Name: "acl-shadow",
+	Doc: "access-list rules must be reachable: earlier rules must not " +
+		"cover a later rule's entire match space",
+	Run: runACLShadow,
+}
+
+func runACLShadow(pass *Pass) error {
+	for _, dc := range pass.Fleet.Devices {
+		for ai := range dc.Spec.ACLs {
+			a := &dc.Spec.ACLs[ai]
+			if len(a.Rules) < 2 {
+				continue
+			}
+			pol := a.Policy()
+			shadowed, err := ShadowedRulesSMT(pol)
+			if err != nil {
+				return fmt.Errorf("%s: access-list %s: %w", dc.Name, a.Name, err)
+			}
+			exact := ShadowedRulesInterval(pol)
+			for i := range shadowed {
+				if shadowed[i] != exact[i] {
+					return fmt.Errorf(
+						"%s: access-list %s rule %d: SMT and interval engines disagree (smt=%v interval=%v)",
+						dc.Name, a.Name, i+1, shadowed[i], exact[i])
+				}
+			}
+			for i, dead := range shadowed {
+				if dead {
+					pass.Reportf(dc, a.RulePos[i],
+						"rule %d (%s) is unreachable: earlier rules cover its entire match space",
+						i+1, acl.FormatIOSRule(&a.Rules[i]))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ShadowedRulesSMT decides reachability of every rule with the bit-vector
+// solver: rule i is shadowed iff r_i ∧ ¬(r_0 ∨ … ∨ r_{i−1}) is
+// unsatisfiable. The policy is encoded once and each rule is discharged
+// as a retractable assumption query, mirroring the secguru contract
+// pattern.
+func ShadowedRulesSMT(p *acl.Policy) ([]bool, error) {
+	c := bv.NewCtx()
+	h := struct{ srcIP, srcPort, dstIP, dstPort, proto bv.Term }{
+		srcIP:   c.BVVar("srcIp", 32),
+		srcPort: c.BVVar("srcPort", 16),
+		dstIP:   c.BVVar("dstIp", 32),
+		dstPort: c.BVVar("dstPort", 16),
+		proto:   c.BVVar("protocol", 8),
+	}
+	encode := func(r *acl.Rule) bv.Term {
+		var conj []bv.Term
+		if !r.Src.IsDefault() {
+			rng := ipnet.RangeOf(r.Src)
+			conj = append(conj, c.InRange(h.srcIP, uint64(rng.Lo), uint64(rng.Hi)))
+		}
+		if !r.Dst.IsDefault() {
+			rng := ipnet.RangeOf(r.Dst)
+			conj = append(conj, c.InRange(h.dstIP, uint64(rng.Lo), uint64(rng.Hi)))
+		}
+		if !r.SrcPorts.IsAny() {
+			conj = append(conj, c.InRange(h.srcPort, uint64(r.SrcPorts.Lo), uint64(r.SrcPorts.Hi)))
+		}
+		if !r.DstPorts.IsAny() {
+			conj = append(conj, c.InRange(h.dstPort, uint64(r.DstPorts.Lo), uint64(r.DstPorts.Hi)))
+		}
+		if !r.Protocol.Any {
+			conj = append(conj, c.Eq(h.proto, c.BVConst(uint64(r.Protocol.Num), 8)))
+		}
+		return c.And(conj...)
+	}
+	solver := bv.NewSolver(c)
+	shadowed := make([]bool, len(p.Rules))
+	earlier := c.False() // r_0 ∨ … ∨ r_{i−1}
+	for i := range p.Rules {
+		ri := encode(&p.Rules[i])
+		res, err := solver.SolveAssuming(c.And(ri, c.Not(earlier)))
+		if err != nil {
+			return nil, err
+		}
+		shadowed[i] = !res.Sat
+		earlier = c.Or(earlier, ri)
+	}
+	return shadowed, nil
+}
+
+// ShadowedRulesInterval is the exact geometric oracle for the same
+// question: each rule is a 5-dimensional box over (srcIP, srcPort,
+// dstIP, dstPort, protocol), and rule i is shadowed iff subtracting the
+// earlier rules' boxes from its own leaves nothing. Box subtraction is
+// exact (it splits the residue along each dimension), so the verdicts
+// are ground truth for the SMT engine's differential check.
+func ShadowedRulesInterval(p *acl.Policy) []bool {
+	shadowed := make([]bool, len(p.Rules))
+	boxes := make([]headerBox, len(p.Rules))
+	for i := range p.Rules {
+		boxes[i] = ruleBox(&p.Rules[i])
+	}
+	for i := range p.Rules {
+		residue := []headerBox{boxes[i]}
+		for j := 0; j < i && len(residue) > 0; j++ {
+			var next []headerBox
+			for _, b := range residue {
+				next = append(next, b.subtract(boxes[j])...)
+			}
+			residue = next
+		}
+		shadowed[i] = len(residue) == 0
+	}
+	return shadowed
+}
+
+// headerBox is a product of closed intervals over the five header
+// dimensions, in the order srcIP, srcPort, dstIP, dstPort, protocol.
+type headerBox struct {
+	lo, hi [5]uint64
+}
+
+func ruleBox(r *acl.Rule) headerBox {
+	var b headerBox
+	src, dst := ipnet.RangeOf(r.Src), ipnet.RangeOf(r.Dst)
+	b.lo[0], b.hi[0] = uint64(src.Lo), uint64(src.Hi)
+	b.lo[1], b.hi[1] = uint64(r.SrcPorts.Lo), uint64(r.SrcPorts.Hi)
+	b.lo[2], b.hi[2] = uint64(dst.Lo), uint64(dst.Hi)
+	b.lo[3], b.hi[3] = uint64(r.DstPorts.Lo), uint64(r.DstPorts.Hi)
+	if r.Protocol.Any {
+		b.lo[4], b.hi[4] = 0, 255
+	} else {
+		b.lo[4], b.hi[4] = uint64(r.Protocol.Num), uint64(r.Protocol.Num)
+	}
+	return b
+}
+
+// subtract returns b minus o as disjoint boxes (at most two per
+// dimension): the pieces of b hanging outside o's interval along each
+// axis, peeled off one dimension at a time.
+func (b headerBox) subtract(o headerBox) []headerBox {
+	inter := b
+	for d := 0; d < 5; d++ {
+		if o.lo[d] > inter.lo[d] {
+			inter.lo[d] = o.lo[d]
+		}
+		if o.hi[d] < inter.hi[d] {
+			inter.hi[d] = o.hi[d]
+		}
+		if inter.lo[d] > inter.hi[d] {
+			return []headerBox{b} // disjoint: nothing removed
+		}
+	}
+	var out []headerBox
+	cur := b
+	for d := 0; d < 5; d++ {
+		if cur.lo[d] < inter.lo[d] {
+			piece := cur
+			piece.hi[d] = inter.lo[d] - 1
+			out = append(out, piece)
+		}
+		if cur.hi[d] > inter.hi[d] {
+			piece := cur
+			piece.lo[d] = inter.hi[d] + 1
+			out = append(out, piece)
+		}
+		cur.lo[d], cur.hi[d] = inter.lo[d], inter.hi[d]
+	}
+	return out
+}

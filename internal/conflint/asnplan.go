@@ -1,0 +1,53 @@
+package conflint
+
+// ASNPlan checks each device's configured ASN against the Clos tier
+// allocation plan the topology was generated with (§2.1: regional
+// spines 4200000000+region, spines 4200000100, leaves 4200001000+cluster,
+// ToRs 4210000000+index reused across clusters). A device whose ASN
+// deviates from the plan breaks the fabric's loop-prevention assumptions
+// — the simulator models this as ASNOverride (Misconfiguration 1), where
+// path-hunting after a failure forwards traffic through an unintended
+// tier. The analyzer also enforces the E15 region-boundary convention:
+// fabric ASNs must be private (RFC 6996), because the regional spine
+// strips private ASNs when announcing across the inter-region boundary;
+// a public ASN here would leak the fabric's internal path into other
+// regions.
+var ASNPlan = &Analyzer{
+	Name: "asn-plan",
+	Doc: "device ASNs must follow the Clos tier allocation plan and stay " +
+		"inside the RFC 6996 private ranges stripped at region boundaries",
+	Run: runASNPlan,
+}
+
+// RFC 6996 private ASN ranges.
+const (
+	private2ByteLo = 64512
+	private2ByteHi = 65534
+	private4ByteLo = 4200000000
+	private4ByteHi = 4294967294
+)
+
+func isPrivateASN(asn uint32) bool {
+	return (asn >= private2ByteLo && asn <= private2ByteHi) ||
+		(asn >= private4ByteLo && asn <= private4ByteHi)
+}
+
+func runASNPlan(pass *Pass) error {
+	for _, dc := range pass.Fleet.Devices {
+		if dc.Spec.NoRouterStanza {
+			continue
+		}
+		if want := dc.Dev.ASN; dc.Spec.ASN != want {
+			pass.Reportf(dc, dc.Spec.RouterPos,
+				"ASN %d violates the tier plan: %s %s is allocated %d",
+				dc.Spec.ASN, dc.Dev.Role, dc.Name, want)
+		}
+		if !isPrivateASN(dc.Spec.ASN) {
+			pass.Reportf(dc, dc.Spec.RouterPos,
+				"ASN %d is not private (RFC 6996): it would survive "+
+					"private-ASN stripping at the region boundary and leak",
+				dc.Spec.ASN)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package conflint is a static-analysis multichecker for device
+// configurations: the configuration-language counterpart of
+// internal/analysis (which lints this repo's Go sources). Where the
+// simulator and the SMT engine catch misconfigurations *after* BGP
+// re-convergence and a full contract sweep, conflint flags whole bug
+// classes in milliseconds by inspecting parsed devconf specs against the
+// intended topology — the Plankton/ACORN argument that many datacenter
+// outages are visible in the configs themselves, before any dataplane
+// exists.
+//
+// The architecture mirrors internal/analysis deliberately: small
+// Analyzer values with a Run(*Pass) hook, positioned findings, in-config
+// suppression comments, byte-deterministic reports, and golden tests.
+// The unit of analysis is a Fleet: every device's parsed Spec bound to
+// its topology.Device, so analyzers can reason about both ends of a
+// session, tier-wide conventions, and fleet-wide prefix origination.
+//
+// A finding is suppressed by a comment line in the device's own
+// configuration, immediately above the offending stanza:
+//
+//	! conflint:allow session-symmetry planned maintenance on t0-3
+//	neighbor 100.64.0.7 shutdown
+//
+// Suppressed findings are excluded from the report and surfaced in the
+// Suppressed count (and dcv_conflint_suppressed_total metric) so a quiet
+// report is never silently quiet.
+package conflint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dcvalidate/internal/clock"
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/topology"
+)
+
+// An Analyzer describes one configuration lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppression comments
+	// (lower-case, hyphenated).
+	Name string
+	// Doc is a one-paragraph description: what it flags and why that is
+	// a bug worth catching before convergence.
+	Doc string
+	// Run inspects the fleet via pass.Fleet and reports findings with
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// DeviceConf is one device's configuration bound to the topology.
+type DeviceConf struct {
+	// Name is the configured hostname.
+	Name string
+	// Spec is the parsed configuration.
+	Spec *devconf.Spec
+	// ID is the topology device this configuration belongs to.
+	ID topology.DeviceID
+	// Dev is the topology view of the device (the *intent*: planned ASN,
+	// hosted prefixes, links).
+	Dev *topology.Device
+
+	// allow[line] holds analyzer names waived on that line by a
+	// `! conflint:allow <name>` comment on the preceding line.
+	allow map[int][]string
+}
+
+func (dc *DeviceConf) allowed(line int, analyzer string) bool {
+	for _, a := range dc.allow[line] {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Fleet is the unit of analysis: every device configuration parsed and
+// bound to its topology device.
+type Fleet struct {
+	Topo *topology.Topology
+	// Devices is sorted by hostname so every iteration in every analyzer
+	// is deterministic.
+	Devices []*DeviceConf
+
+	byID map[topology.DeviceID]*DeviceConf
+}
+
+// ByID returns the configuration of a topology device, or nil when the
+// fleet has none for it.
+func (f *Fleet) ByID(id topology.DeviceID) *DeviceConf { return f.byID[id] }
+
+// suppressPrefix introduces an in-config suppression comment.
+const suppressPrefix = "! conflint:allow "
+
+// scanSuppressions collects `! conflint:allow <analyzer> [reason]`
+// comments: each waives the named analyzer on the following line.
+func scanSuppressions(text string) map[int][]string {
+	var allow map[int][]string
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if !strings.HasPrefix(line, suppressPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, suppressPrefix))
+		if len(fields) == 0 {
+			continue
+		}
+		if allow == nil {
+			allow = map[int][]string{}
+		}
+		allow[lineNo+1] = append(allow[lineNo+1], fields[0])
+	}
+	return allow
+}
+
+// NewFleet parses every configuration and binds it to the topology.
+// The map key is a source label (file name or hostname) used only in
+// error messages; the binding key is the configured hostname. Configs
+// for unknown devices and duplicate configs are errors — lint needs the
+// intent, and a config that matches no intent cannot be linted.
+func NewFleet(topo *topology.Topology, configs map[string]string) (*Fleet, error) {
+	labels := make([]string, 0, len(configs))
+	for label := range configs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	f := &Fleet{Topo: topo, byID: make(map[topology.DeviceID]*DeviceConf, len(configs))}
+	for _, label := range labels {
+		text := configs[label]
+		spec, err := devconf.Parse(strings.NewReader(text))
+		if err != nil {
+			return nil, fmt.Errorf("conflint: %s: %w", label, err)
+		}
+		dev, ok := topo.ByName(spec.Hostname)
+		if !ok {
+			return nil, fmt.Errorf("conflint: %s: hostname %q not in topology", label, spec.Hostname)
+		}
+		if f.byID[dev.ID] != nil {
+			return nil, fmt.Errorf("conflint: %s: duplicate configuration for %q", label, spec.Hostname)
+		}
+		dc := &DeviceConf{
+			Name:  spec.Hostname,
+			Spec:  spec,
+			ID:    dev.ID,
+			Dev:   dev,
+			allow: scanSuppressions(text),
+		}
+		f.byID[dev.ID] = dc
+		f.Devices = append(f.Devices, dc)
+	}
+	sort.Slice(f.Devices, func(i, j int) bool { return f.Devices[i].Name < f.Devices[j].Name })
+	return f, nil
+}
+
+// A Finding is one diagnostic: a device, a position in its config, the
+// analyzer that produced it, and the message.
+type Finding struct {
+	Device   string
+	Pos      devconf.Pos
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Device, f.Pos.Line, f.Pos.Col, f.Analyzer, f.Message)
+}
+
+// Pass carries one analyzer's run over a fleet.
+type Pass struct {
+	Analyzer *Analyzer
+	Fleet    *Fleet
+
+	findings   []Finding
+	suppressed int
+}
+
+// Reportf records a finding against a device at the given config
+// position, unless a suppression comment waives it.
+func (p *Pass) Reportf(dc *DeviceConf, pos devconf.Pos, format string, args ...any) {
+	if dc.allowed(pos.Line, p.Analyzer.Name) {
+		p.suppressed++
+		return
+	}
+	p.findings = append(p.findings, Finding{
+		Device:   dc.Name,
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report is the deterministic result of linting one fleet.
+type Report struct {
+	// Findings is sorted by (device, line, col, analyzer, message).
+	Findings []Finding
+	// Suppressed counts findings waived by conflint:allow comments.
+	Suppressed int
+	// Elapsed is the lint wall time on the runner's clock. It is not
+	// part of String(), which must be byte-identical across runs.
+	Elapsed time.Duration
+}
+
+// String renders one line per finding; the empty report renders the
+// empty string. Byte-identical across runs on the same fleet.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, f := range r.Findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ByAnalyzer returns finding counts keyed by analyzer name.
+func (r *Report) ByAnalyzer() map[string]int {
+	out := map[string]int{}
+	for _, f := range r.Findings {
+		out[f.Analyzer]++
+	}
+	return out
+}
+
+// Runner executes a set of analyzers over fleets.
+type Runner struct {
+	// Analyzers defaults to All() when nil.
+	Analyzers []*Analyzer
+	// Metrics is optional (nil-safe, like every obs bundle).
+	Metrics *Metrics
+	// Clock times the run; nil means the system clock.
+	Clock clock.Clock
+}
+
+// Run lints the fleet with every analyzer and returns the sorted report.
+// An analyzer error (not a finding — an inability to analyze) aborts the
+// run.
+func (r *Runner) Run(fleet *Fleet) (*Report, error) {
+	start := clock.Or(r.Clock).Now()
+	azs := r.Analyzers
+	if azs == nil {
+		azs = All()
+	}
+	rep := &Report{}
+	for _, az := range azs {
+		pass := &Pass{Analyzer: az, Fleet: fleet}
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("conflint: %s: %w", az.Name, err)
+		}
+		rep.Findings = append(rep.Findings, pass.findings...)
+		rep.Suppressed += pass.suppressed
+		r.Metrics.observeAnalyzer(az.Name, len(pass.findings))
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	rep.Elapsed = clock.Since(r.Clock, start)
+	r.Metrics.observeRun(rep)
+	return rep, nil
+}
+
+// All returns the full analyzer suite in report order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ACLShadow,
+		ASNPlan,
+		ECMPConsistency,
+		PrefixOrigin,
+		RefIntegrity,
+		SessionSymmetry,
+	}
+}
+
+// Lint is the one-call convenience: parse, bind, and run the full suite.
+func Lint(topo *topology.Topology, configs map[string]string) (*Report, error) {
+	fleet, err := NewFleet(topo, configs)
+	if err != nil {
+		return nil, err
+	}
+	return (&Runner{}).Run(fleet)
+}

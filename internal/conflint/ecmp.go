@@ -1,0 +1,103 @@
+package conflint
+
+import (
+	"fmt"
+	"sort"
+
+	"dcvalidate/internal/topology"
+)
+
+// ECMPConsistency checks that maximum-paths agrees across every device
+// of a tier scope (ToRs and leaves per cluster, spines and regional
+// spines fleet-wide). The Clos design load-balances by hashing flows
+// over equal-cost BGP paths; one device with a lower multipath limit
+// (Misconfiguration 2, MaxECMPPaths) concentrates its share of traffic
+// onto a subset of uplinks and congests them — a capacity contract
+// violation the simulator only exposes after convergence. The analyzer
+// flags every device whose setting deviates from its tier's consensus
+// (the most common value, unset counting as a value of its own).
+var ECMPConsistency = &Analyzer{
+	Name: "ecmp-consistency",
+	Doc: "maximum-paths must agree across each tier scope (per-cluster " +
+		"for ToRs and leaves, fleet-wide for spines and regional spines)",
+	Run: runECMPConsistency,
+}
+
+type ecmpScope struct {
+	role    topology.Role
+	cluster int // -1 for fleet-wide tiers
+}
+
+func (s ecmpScope) String() string {
+	if s.cluster >= 0 {
+		return fmt.Sprintf("%s tier of cluster %d", s.role, s.cluster)
+	}
+	return fmt.Sprintf("%s tier", s.role)
+}
+
+func runECMPConsistency(pass *Pass) error {
+	groups := map[ecmpScope][]*DeviceConf{}
+	var scopes []ecmpScope
+	for _, dc := range pass.Fleet.Devices {
+		if dc.Spec.NoRouterStanza {
+			continue
+		}
+		s := ecmpScope{role: dc.Dev.Role, cluster: dc.Dev.Cluster}
+		if _, ok := groups[s]; !ok {
+			scopes = append(scopes, s)
+		}
+		groups[s] = append(groups[s], dc)
+	}
+	sort.Slice(scopes, func(i, j int) bool {
+		if scopes[i].role != scopes[j].role {
+			return scopes[i].role < scopes[j].role
+		}
+		return scopes[i].cluster < scopes[j].cluster
+	})
+	for _, s := range scopes {
+		dcs := groups[s]
+		if len(dcs) < 2 {
+			continue
+		}
+		// Consensus: most common maximum-paths value; ties go to the
+		// smaller value so the verdict is deterministic.
+		votes := map[int]int{}
+		for _, dc := range dcs {
+			votes[dc.Spec.MaxPaths]++
+		}
+		consensus, best := 0, -1
+		vals := make([]int, 0, len(votes))
+		for v := range votes {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		for _, v := range vals {
+			if votes[v] > best {
+				consensus, best = v, votes[v]
+			}
+		}
+		if len(votes) == 1 {
+			continue
+		}
+		for _, dc := range dcs {
+			if dc.Spec.MaxPaths == consensus {
+				continue
+			}
+			pos := dc.Spec.MaxPathsPos
+			if pos.IsZero() {
+				pos = dc.Spec.RouterPos
+			}
+			pass.Reportf(dc, pos,
+				"maximum-paths %s diverges from the %s consensus %s",
+				ecmpValue(dc.Spec.MaxPaths), s, ecmpValue(consensus))
+		}
+	}
+	return nil
+}
+
+func ecmpValue(v int) string {
+	if v == 0 {
+		return "unset"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,46 @@
+package conflint
+
+import "dcvalidate/internal/obs"
+
+// Metrics is the conflint observability bundle. Like every bundle in
+// this codebase it is nil-safe: a nil *Metrics records nothing.
+type Metrics struct {
+	// Runs counts completed lint runs.
+	Runs *obs.Counter
+	// Findings counts reported (unsuppressed) findings by analyzer.
+	Findings *obs.CounterVec
+	// Suppressed counts findings waived by conflint:allow comments.
+	Suppressed *obs.Counter
+	// RunSeconds is the lint wall-time distribution.
+	RunSeconds *obs.Histogram
+}
+
+// NewMetrics registers the conflint series on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Runs: reg.Counter("dcv_conflint_runs_total",
+			"Completed configuration lint runs."),
+		Findings: reg.CounterVec("dcv_conflint_findings_total",
+			"Configuration lint findings by analyzer.", "analyzer"),
+		Suppressed: reg.Counter("dcv_conflint_suppressed_total",
+			"Findings waived by conflint:allow suppression comments."),
+		RunSeconds: reg.Histogram("dcv_conflint_run_seconds",
+			"Wall time of one fleet lint run.", obs.LatencyBuckets),
+	}
+}
+
+func (m *Metrics) observeAnalyzer(name string, findings int) {
+	if m == nil || findings == 0 {
+		return
+	}
+	m.Findings.With(name).Add(uint64(findings))
+}
+
+func (m *Metrics) observeRun(rep *Report) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Suppressed.Add(uint64(rep.Suppressed))
+	m.RunSeconds.ObserveDuration(rep.Elapsed)
+}

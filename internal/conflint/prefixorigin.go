@@ -1,0 +1,63 @@
+package conflint
+
+import "dcvalidate/internal/ipnet"
+
+// PrefixOrigin checks that `network` stanzas agree with the topology's
+// prefix-hosting plan (§2.1: each VLAN prefix lives on exactly one ToR).
+// Originating a prefix the device does not host is anycast-by-accident:
+// once both announcements converge, ECMP splits the prefix's traffic
+// between the real host and the impostor and a fraction of flows
+// blackholes — the validator only notices after convergence, as a
+// reachability-contract violation. The inverse bug, a hosted prefix with
+// no network stanza, silently withdraws a VLAN from the entire fabric.
+var PrefixOrigin = &Analyzer{
+	Name: "prefix-origin",
+	Doc: "network stanzas must originate exactly the prefixes the device " +
+		"hosts: no foreign or duplicate origination, no missing stanza",
+	Run: runPrefixOrigin,
+}
+
+func runPrefixOrigin(pass *Pass) error {
+	// The intended origin of every prefix, from the topology.
+	intended := map[ipnet.Prefix]string{}
+	for _, hp := range pass.Fleet.Topo.HostedPrefixes() {
+		intended[hp.Prefix] = pass.Fleet.Topo.Device(hp.ToR).Name
+	}
+	for _, dc := range pass.Fleet.Devices {
+		if dc.Spec.NoRouterStanza {
+			continue
+		}
+		hosted := map[ipnet.Prefix]bool{}
+		for _, p := range dc.Dev.HostedPrefixes {
+			hosted[p] = true
+		}
+		originated := map[ipnet.Prefix]bool{}
+		for i, p := range dc.Spec.Networks {
+			pos := dc.Spec.NetworkPos[i]
+			if originated[p] {
+				pass.Reportf(dc, pos, "duplicate network stanza for %s", p)
+				continue
+			}
+			originated[p] = true
+			if hosted[p] {
+				continue
+			}
+			if host, ok := intended[p]; ok {
+				pass.Reportf(dc, pos,
+					"network %s is hosted by %s: originating it here splits "+
+						"its traffic across both devices", p, host)
+			} else {
+				pass.Reportf(dc, pos,
+					"network %s is not hosted by any device in the topology", p)
+			}
+		}
+		for _, p := range dc.Dev.HostedPrefixes {
+			if !originated[p] {
+				pass.Reportf(dc, dc.Spec.RouterPos,
+					"hosted prefix %s has no network stanza: the VLAN is "+
+						"unreachable fabric-wide", p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package conflint
+
+// RefIntegrity checks routing-policy reference integrity within each
+// device: every `neighbor ... route-map <name> in` must resolve to a
+// `route-map <name> ...` definition on the same device, and every
+// defined route-map must be referenced by some session. A dangling
+// reference is the classic fail-open: most BGP implementations treat a
+// missing policy as permit-all (or deny-all, depending on vendor — both
+// wrong), so the §2.6.2 reject-default policy silently stops filtering.
+// An unused definition is dead configuration that rots until someone
+// re-attaches it to the wrong session.
+var RefIntegrity = &Analyzer{
+	Name: "ref-integrity",
+	Doc: "route-maps referenced by neighbor stanzas must be defined " +
+		"on-device, and defined route-maps must be referenced",
+	Run: runRefIntegrity,
+}
+
+func runRefIntegrity(pass *Pass) error {
+	for _, dc := range pass.Fleet.Devices {
+		defined := map[string]bool{}
+		for _, rm := range dc.Spec.RouteMaps {
+			defined[rm.Name] = true
+		}
+		referenced := map[string]bool{}
+		for i := range dc.Spec.Neighbors {
+			nb := &dc.Spec.Neighbors[i]
+			if nb.RouteMapIn == "" {
+				continue
+			}
+			referenced[nb.RouteMapIn] = true
+			if !defined[nb.RouteMapIn] {
+				pass.Reportf(dc, nb.RouteMapInPos,
+					"route-map %q referenced but not defined on this device",
+					nb.RouteMapIn)
+			}
+		}
+		for _, rm := range dc.Spec.RouteMaps {
+			if !referenced[rm.Name] {
+				pass.Reportf(dc, rm.Pos,
+					"route-map %q defined but never referenced", rm.Name)
+			}
+		}
+	}
+	return nil
+}

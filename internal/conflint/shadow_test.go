@@ -1,0 +1,163 @@
+package conflint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/ipnet"
+)
+
+func policyOf(t *testing.T, lines ...string) *acl.Policy {
+	t.Helper()
+	p, err := acl.ParseIOS("test", strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	return p
+}
+
+func shadowBoth(t *testing.T, p *acl.Policy) []bool {
+	t.Helper()
+	smt, err := ShadowedRulesSMT(p)
+	if err != nil {
+		t.Fatalf("ShadowedRulesSMT: %v", err)
+	}
+	exact := ShadowedRulesInterval(p)
+	for i := range smt {
+		if smt[i] != exact[i] {
+			t.Fatalf("engines disagree on rule %d: smt=%v interval=%v\npolicy: %+v",
+				i+1, smt[i], exact[i], p.Rules)
+		}
+	}
+	return smt
+}
+
+func TestShadowedRules(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+		want  []bool
+	}{
+		{
+			name: "exact-duplicate",
+			lines: []string{
+				"permit tcp 10.0.0.0/8 any eq 443",
+				"deny tcp 10.0.0.0/8 any eq 443",
+				"permit ip any any",
+			},
+			want: []bool{false, true, false},
+		},
+		{
+			name: "broader-earlier",
+			lines: []string{
+				"permit ip 10.0.0.0/8 any",
+				"deny tcp 10.1.0.0/16 any eq 22",
+			},
+			want: []bool{false, true},
+		},
+		{
+			name: "narrower-earlier-not-shadowing",
+			lines: []string{
+				"deny tcp 10.1.0.0/16 any eq 22",
+				"permit ip 10.0.0.0/8 any",
+			},
+			want: []bool{false, false},
+		},
+		{
+			name: "union-covers",
+			lines: []string{
+				"permit tcp any any range 0 1023",
+				"permit tcp any any range 1024 65535",
+				"deny tcp any any eq 8080",
+			},
+			want: []bool{false, false, true},
+		},
+		{
+			name: "protocol-disjoint",
+			lines: []string{
+				"permit tcp any any",
+				"permit udp any any",
+			},
+			want: []bool{false, false},
+		},
+		{
+			name: "ip-covers-tcp",
+			lines: []string{
+				"permit ip any any",
+				"deny tcp any any",
+			},
+			want: []bool{false, true},
+		},
+		{
+			name: "split-src-halves",
+			lines: []string{
+				"permit ip 10.0.0.0/9 host 10.9.9.9",
+				"permit ip 10.128.0.0/9 host 10.9.9.9",
+				"deny ip 10.0.0.0/8 host 10.9.9.9",
+			},
+			want: []bool{false, false, true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := shadowBoth(t, policyOf(t, tc.lines...))
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("rule %d: shadowed=%v, want %v", i+1, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShadowEnginesAgreeOnRandomPolicies is the differential property
+// test: on seeded-random policies the SMT verdicts and the exact
+// interval-subtraction verdicts must be identical rule for rule.
+func TestShadowEnginesAgreeOnRandomPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPrefix := func() ipnet.Prefix {
+		// Small universe so overlap and shadowing actually occur.
+		bits := uint8([]int{0, 6, 7, 8, 8, 9}[rng.Intn(6)])
+		return ipnet.PrefixFrom(ipnet.Addr(rng.Uint32()), bits)
+	}
+	randPorts := func() acl.PortRange {
+		switch rng.Intn(3) {
+		case 0:
+			return acl.AnyPort
+		case 1:
+			return acl.Port(uint16(rng.Intn(4)))
+		default:
+			lo := uint16(rng.Intn(3))
+			return acl.PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(65530))}
+		}
+	}
+	randProto := func() acl.ProtoMatch {
+		if rng.Intn(2) == 0 {
+			return acl.AnyProto
+		}
+		return acl.Proto([]uint8{acl.ProtoTCP, acl.ProtoUDP}[rng.Intn(2)])
+	}
+	for trial := 0; trial < 40; trial++ {
+		p := &acl.Policy{Name: "rand", Semantics: acl.FirstApplicable}
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			action := acl.Permit
+			if rng.Intn(2) == 0 {
+				action = acl.Deny
+			}
+			p.Rules = append(p.Rules, acl.Rule{
+				Action:   action,
+				Protocol: randProto(),
+				Src:      randPrefix(),
+				Dst:      randPrefix(),
+				SrcPorts: randPorts(),
+				DstPorts: randPorts(),
+				Priority: i + 1,
+				Line:     i + 1,
+			})
+		}
+		shadowBoth(t, p)
+	}
+}

@@ -1,0 +1,99 @@
+package conflint
+
+import (
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/obs"
+)
+
+// insertAbove adds a line immediately before the first line containing
+// the marker substring.
+func insertAbove(t *testing.T, text, marker, inserted string) string {
+	t.Helper()
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, marker) {
+			out := append([]string{}, lines[:i]...)
+			out = append(out, inserted)
+			out = append(out, lines[i:]...)
+			return strings.Join(out, "\n")
+		}
+	}
+	t.Fatalf("marker %q not found in:\n%s", marker, text)
+	return ""
+}
+
+func TestSuppressionCommentWaivesFinding(t *testing.T) {
+	topo, configs := fig3Fleet(t)
+	mutate(t, configs, "fig3-c0-t0-0", func(s *devconf.Spec) {
+		s.Neighbors[0].Shutdown = true // asymmetric: peer not shut
+	})
+
+	// Unsuppressed: the one-sided shutdown is reported.
+	rep, err := Lint(topo, configs)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if got := rep.ByAnalyzer()["session-symmetry"]; got == 0 {
+		t.Fatalf("expected session-symmetry finding, report:\n%s", rep)
+	}
+	if rep.Suppressed != 0 {
+		t.Fatalf("Suppressed = %d before any comment", rep.Suppressed)
+	}
+	baseline := len(rep.Findings)
+
+	// Suppressed: an allow comment above the shutdown stanza waives it,
+	// the report shrinks by exactly one, and the metric records it.
+	configs["fig3-c0-t0-0"] = insertAbove(t, configs["fig3-c0-t0-0"], "shutdown",
+		"! conflint:allow session-symmetry draining for maintenance")
+	fleet, err := NewFleet(topo, configs)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	reg := obs.NewRegistry()
+	runner := &Runner{Metrics: NewMetrics(reg)}
+	rep, err = runner.Run(fleet)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Findings) != baseline-1 {
+		t.Fatalf("findings %d, want %d after suppression; report:\n%s",
+			len(rep.Findings), baseline-1, rep)
+	}
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Message, "shut down here") {
+			t.Fatalf("suppressed finding still reported: %s", f)
+		}
+	}
+	if rep.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", rep.Suppressed)
+	}
+	if got := runner.Metrics.Suppressed.Value(); got != 1 {
+		t.Fatalf("dcv_conflint_suppressed_total = %d, want 1", got)
+	}
+	if got := runner.Metrics.Runs.Value(); got != 1 {
+		t.Fatalf("dcv_conflint_runs_total = %d, want 1", got)
+	}
+}
+
+func TestSuppressionIsAnalyzerScoped(t *testing.T) {
+	topo, configs := fig3Fleet(t)
+	mutate(t, configs, "fig3-c0-t0-0", func(s *devconf.Spec) {
+		s.Neighbors[0].Shutdown = true
+	})
+	// A comment naming a different analyzer must not waive the finding.
+	configs["fig3-c0-t0-0"] = insertAbove(t, configs["fig3-c0-t0-0"], "shutdown",
+		"! conflint:allow asn-plan wrong analyzer")
+	rep, err := Lint(topo, configs)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if rep.Suppressed != 0 {
+		t.Fatalf("Suppressed = %d, want 0", rep.Suppressed)
+	}
+	if got := rep.ByAnalyzer()["session-symmetry"]; got == 0 {
+		t.Fatalf("finding vanished without a matching suppression:\n%s", rep)
+	}
+}

@@ -1,0 +1,93 @@
+package conflint
+
+import (
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/ipnet"
+)
+
+// SessionSymmetry checks that every EBGP session is configured
+// coherently on both ends: a neighbor stanza must point at a real
+// far-end interface on an adjacent device, the peer must declare the
+// session back, remote-as must match the peer's *effective* (configured)
+// ASN, and an administrative shutdown must be symmetric — a one-sided
+// shutdown is precisely the §2.6.2 "shut one end, forget the other"
+// operator error, which converges to a half-dead session that still
+// holds up the physical link.
+var SessionSymmetry = &Analyzer{
+	Name: "session-symmetry",
+	Doc: "neighbor stanzas must be symmetric: declared on both ends, " +
+		"remote-as matching the peer's configured ASN, shutdown on both " +
+		"ends or neither",
+	Run: runSessionSymmetry,
+}
+
+func runSessionSymmetry(pass *Pass) error {
+	topo := pass.Fleet.Topo
+	for _, dc := range pass.Fleet.Devices {
+		if dc.Spec.NoRouterStanza {
+			// No BGP process: nothing declared here. The asymmetry is
+			// visible (and reported) from each peer still pointing at us.
+			continue
+		}
+		for i := range dc.Spec.Neighbors {
+			nb := &dc.Spec.Neighbors[i]
+			peerID, ok := topo.DeviceByAddr(nb.Addr)
+			if !ok {
+				pass.Reportf(dc, nb.Pos,
+					"neighbor %s is not an interface of any device", nb.Addr)
+				continue
+			}
+			link, ok := topo.LinkBetween(dc.ID, peerID)
+			if !ok {
+				pass.Reportf(dc, nb.Pos,
+					"neighbor %s belongs to %s, which has no link to this device",
+					nb.Addr, topo.Device(peerID).Name)
+				continue
+			}
+			if nb.RemoteAS == 0 {
+				pass.Reportf(dc, nb.Pos,
+					"neighbor %s has no remote-as", nb.Addr)
+			}
+			peer := pass.Fleet.ByID(peerID)
+			if peer == nil {
+				// Lint invoked on a partial fleet: one-ended checks only.
+				continue
+			}
+			if peer.Spec.NoRouterStanza {
+				pass.Reportf(dc, nb.Pos,
+					"neighbor %s declared, but %s has no BGP process",
+					nb.Addr, peer.Name)
+				continue
+			}
+			if nb.RemoteAS != 0 && nb.RemoteAS != peer.Spec.ASN {
+				pass.Reportf(dc, nb.RemoteASPos,
+					"neighbor %s remote-as %d, but %s is configured with ASN %d",
+					nb.Addr, nb.RemoteAS, peer.Name, peer.Spec.ASN)
+			}
+			peerNb := findNeighbor(peer.Spec, topo.AddrOf(dc.ID, link))
+			if peerNb == nil {
+				pass.Reportf(dc, nb.Pos,
+					"neighbor %s declared here, but %s has no matching stanza back",
+					nb.Addr, peer.Name)
+				continue
+			}
+			if nb.Shutdown && !peerNb.Shutdown {
+				pass.Reportf(dc, nb.ShutdownPos,
+					"neighbor %s shut down here but not on %s",
+					nb.Addr, peer.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// findNeighbor returns the spec's stanza for the given far-end address,
+// or nil when the session is not declared.
+func findNeighbor(spec *devconf.Spec, addr ipnet.Addr) *devconf.Neighbor {
+	for i := range spec.Neighbors {
+		if spec.Neighbors[i].Addr == addr {
+			return &spec.Neighbors[i]
+		}
+	}
+	return nil
+}

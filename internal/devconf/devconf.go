@@ -4,9 +4,14 @@
 // devices") and that the §2.7 emulation pipeline loads from production
 // devices before re-converging the network.
 //
-// The syntax is an IOS/FRR-flavored BGP stanza:
+// The syntax is an IOS/FRR-flavored BGP stanza, optionally preceded by
+// packet-filter and routing-policy definitions:
 //
 //	hostname dc-c0-t0-0
+//	ip access-list EDGE-IN
+//	  permit tcp 10.0.0.0/8 any eq 443
+//	  deny ip any any
+//	route-map DENY-DEFAULT-IN deny 10
 //	router bgp 4210000000
 //	  maximum-paths 64
 //	  network 10.0.0.0/24
@@ -19,9 +24,15 @@
 // Render generates the fleet's configurations from a topology plus the
 // simulator's DeviceConfig knobs; Parse reads one back; ApplyFleet
 // reconstructs topology session state and simulator knobs from a set of
-// parsed configurations. Round-tripping is exact: rendering a fleet,
-// parsing it, and applying it to a fresh topology reproduces the same
-// converged FIBs (see devconf_test.go).
+// parsed configurations. Round-tripping is exact in two senses: rendering
+// a fleet, parsing it, and applying it to a fresh topology reproduces the
+// same converged FIBs (devconf_test.go), and Parse followed by Spec.Write
+// is a byte-stable normal form (roundtrip_test.go).
+//
+// Every parsed stanza carries a 1-based line:col Pos so static analysis
+// (internal/conflint) can point diagnostics at the offending stanza, and
+// parse errors are positioned ParseError values in the same line:col
+// convention as the bv/sat parsers.
 package devconf
 
 import (
@@ -32,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/topology"
@@ -41,6 +53,31 @@ import (
 // error of rejecting default-route announcements from upstream devices.
 const RouteMapDenyDefaultIn = "DENY-DEFAULT-IN"
 
+// Pos is a 1-based line:column position of a stanza within one device's
+// configuration text (the column of the statement keyword).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsZero reports whether the position is unset.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+// ParseError is a positioned configuration syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("devconf: %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Neighbor is one BGP session stanza.
 type Neighbor struct {
 	Addr       ipnet.Addr // far-end interface address
@@ -48,6 +85,42 @@ type Neighbor struct {
 	Shutdown   bool
 	AllowASIn  bool
 	RouteMapIn string
+
+	// Pos is the first stanza line mentioning this neighbor; the
+	// per-option positions locate the specific line carrying each option
+	// (zero when the option is absent).
+	Pos           Pos
+	RemoteASPos   Pos
+	ShutdownPos   Pos
+	AllowASInPos  Pos
+	RouteMapInPos Pos
+}
+
+// RouteMap is one `route-map <name> permit|deny <seq>` definition.
+type RouteMap struct {
+	Name   string
+	Permit bool
+	Seq    int
+	Pos    Pos
+}
+
+// ACL is one `ip access-list <name>` block of IOS-style packet-filter
+// rules (first-applicable semantics, Figure 8 syntax).
+type ACL struct {
+	Name  string
+	Pos   Pos
+	Rules []acl.Rule
+	// RulePos is parallel to Rules: the position of each rule line.
+	RulePos []Pos
+}
+
+// Policy returns the block as an acl.Policy for the semantic engines.
+func (a *ACL) Policy() *acl.Policy {
+	return &acl.Policy{
+		Name:      a.Name,
+		Semantics: acl.FirstApplicable,
+		Rules:     append([]acl.Rule(nil), a.Rules...),
+	}
 }
 
 // Spec is one device's parsed configuration.
@@ -57,10 +130,23 @@ type Spec struct {
 	MaxPaths  int
 	Networks  []ipnet.Prefix
 	Neighbors []Neighbor
+	RouteMaps []RouteMap
+	ACLs      []ACL
 	// NoRouterStanza marks a device whose interfaces came up as layer-2
 	// switch ports (Software Bug 2): no BGP process at all.
 	NoRouterStanza bool
+
+	// Stanza positions for diagnostics. NetworkPos is parallel to
+	// Networks; RouterPos locates the `router bgp` line.
+	HostnamePos Pos
+	RouterPos   Pos
+	MaxPathsPos Pos
+	NetworkPos  []Pos
 }
+
+// noRouterComment is the fixed comment Render and Write emit for a
+// device with no BGP process, so the two renderers stay byte-identical.
+const noRouterComment = "! interfaces in switchport mode; no routing process\n!\n"
 
 // Render produces the configuration text of one device given the topology
 // and its simulator knobs (nil means default configuration).
@@ -70,8 +156,13 @@ func Render(w io.Writer, topo *topology.Topology, d topology.DeviceID, cfg *bgp.
 	fmt.Fprintf(bw, "hostname %s\n", dev.Name)
 	if cfg != nil && cfg.SessionsDisabled {
 		// Software Bug 2: ports are L2, no BGP process configured.
-		fmt.Fprintf(bw, "! interfaces in switchport mode; no routing process\n!\n")
+		fmt.Fprint(bw, noRouterComment)
 		return bw.Flush()
+	}
+	if cfg != nil && cfg.RejectDefaultIn {
+		// The referenced policy must be defined on-device, or the
+		// ref-integrity lint flags the dangling reference.
+		fmt.Fprintf(bw, "route-map %s deny 10\n", RouteMapDenyDefaultIn)
 	}
 	asn := dev.ASN
 	if cfg != nil && cfg.ASNOverride != 0 {
@@ -113,6 +204,90 @@ func Render(w io.Writer, topo *topology.Topology, d topology.DeviceID, cfg *bgp.
 	return bw.Flush()
 }
 
+// Write renders the spec in the canonical form Render produces: ACL
+// blocks (stable-sorted by name, rule order preserved), route-map
+// definitions (stable-sorted by name then sequence), then the router
+// stanza with networks in prefix order and neighbors in address order.
+// Parsing any accepted configuration and writing it back is a stable
+// normal form: Write ∘ Parse ∘ Write ≡ Write byte-for-byte (locked by
+// the round-trip fuzz test).
+func (s *Spec) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "hostname %s\n", s.Hostname)
+
+	acls := append([]ACL(nil), s.ACLs...)
+	sort.SliceStable(acls, func(i, j int) bool { return acls[i].Name < acls[j].Name })
+	for ai := range acls {
+		a := &acls[ai]
+		fmt.Fprintf(bw, "ip access-list %s\n", a.Name)
+		for i := range a.Rules {
+			r := &a.Rules[i]
+			if r.Remark != "" {
+				fmt.Fprintf(bw, "  remark %s\n", r.Remark)
+			}
+			fmt.Fprintf(bw, "  %s\n", acl.FormatIOSRule(r))
+		}
+	}
+
+	rms := append([]RouteMap(nil), s.RouteMaps...)
+	sort.SliceStable(rms, func(i, j int) bool {
+		if rms[i].Name != rms[j].Name {
+			return rms[i].Name < rms[j].Name
+		}
+		return rms[i].Seq < rms[j].Seq
+	})
+	for _, rm := range rms {
+		action := "deny"
+		if rm.Permit {
+			action = "permit"
+		}
+		fmt.Fprintf(bw, "route-map %s %s %d\n", rm.Name, action, rm.Seq)
+	}
+
+	if s.NoRouterStanza {
+		fmt.Fprint(bw, noRouterComment)
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "router bgp %d\n", s.ASN)
+	if s.MaxPaths > 0 {
+		fmt.Fprintf(bw, "  maximum-paths %d\n", s.MaxPaths)
+	}
+	nets := append([]ipnet.Prefix(nil), s.Networks...)
+	sort.SliceStable(nets, func(i, j int) bool { return nets[i].Compare(nets[j]) < 0 })
+	for _, p := range nets {
+		fmt.Fprintf(bw, "  network %s\n", p)
+	}
+	nbrs := append([]Neighbor(nil), s.Neighbors...)
+	sort.SliceStable(nbrs, func(i, j int) bool { return nbrs[i].Addr < nbrs[j].Addr })
+	for i := range nbrs {
+		nb := &nbrs[i]
+		if nb.RemoteAS != 0 {
+			fmt.Fprintf(bw, "  neighbor %s remote-as %d\n", nb.Addr, nb.RemoteAS)
+		}
+		if nb.AllowASIn {
+			fmt.Fprintf(bw, "  neighbor %s allowas-in\n", nb.Addr)
+		}
+		if nb.Shutdown {
+			fmt.Fprintf(bw, "  neighbor %s shutdown\n", nb.Addr)
+		}
+		if nb.RouteMapIn != "" {
+			fmt.Fprintf(bw, "  neighbor %s route-map %s in\n", nb.Addr, nb.RouteMapIn)
+		}
+	}
+	fmt.Fprintf(bw, "!\n")
+	return bw.Flush()
+}
+
+// Text returns the canonical configuration text of the spec.
+func (s *Spec) Text() string {
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		// invariant: strings.Builder writes cannot fail.
+		panic(err)
+	}
+	return sb.String()
+}
+
 // RenderFleet renders every device, returning configuration text keyed by
 // hostname.
 func RenderFleet(topo *topology.Topology, cfgs map[topology.DeviceID]*bgp.DeviceConfig) (map[string]string, error) {
@@ -128,101 +303,154 @@ func RenderFleet(topo *topology.Topology, cfgs map[topology.DeviceID]*bgp.Device
 	return out, nil
 }
 
-// Parse reads one device configuration.
+// Parse reads one device configuration. Errors are *ParseError values
+// carrying the line:col of the offending stanza.
 func Parse(r io.Reader) (*Spec, error) {
 	sc := bufio.NewScanner(r)
 	spec := &Spec{NoRouterStanza: true}
 	nbrIdx := map[ipnet.Addr]int{}
 	lineNo := 0
 	inRouter := false
+	curACL := -1 // index into spec.ACLs while inside a block
+	remark := ""
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
 			continue
 		}
+		pos := Pos{Line: lineNo, Col: strings.Index(raw, line) + 1}
 		f := strings.Fields(line)
+		if curACL >= 0 {
+			// Inside an access-list block: rule and remark lines belong
+			// to the block; any other statement closes it.
+			switch f[0] {
+			case "remark":
+				remark = strings.TrimSpace(strings.TrimPrefix(line, "remark"))
+				continue
+			case "permit", "deny":
+				rule, err := acl.ParseIOSRule(f, lineNo)
+				if err != nil {
+					return nil, errf(pos, "%v", err)
+				}
+				rule.Remark = remark
+				remark = ""
+				a := &spec.ACLs[curACL]
+				rule.Priority = len(a.Rules) + 1
+				a.Rules = append(a.Rules, rule)
+				a.RulePos = append(a.RulePos, pos)
+				continue
+			}
+			curACL = -1
+			remark = ""
+		}
 		switch f[0] {
 		case "hostname":
 			if len(f) != 2 {
-				return nil, fmt.Errorf("devconf: line %d: malformed hostname", lineNo)
+				return nil, errf(pos, "malformed hostname")
 			}
 			spec.Hostname = f[1]
+			spec.HostnamePos = pos
+		case "ip":
+			if len(f) != 3 || f[1] != "access-list" {
+				return nil, errf(pos, "only 'ip access-list <name>' supported")
+			}
+			spec.ACLs = append(spec.ACLs, ACL{Name: f[2], Pos: pos})
+			curACL = len(spec.ACLs) - 1
+		case "route-map":
+			if len(f) != 4 || (f[2] != "permit" && f[2] != "deny") {
+				return nil, errf(pos, "only 'route-map <name> permit|deny <seq>' supported")
+			}
+			seq, err := strconv.Atoi(f[3])
+			if err != nil || seq < 0 {
+				return nil, errf(pos, "bad route-map sequence %q", f[3])
+			}
+			spec.RouteMaps = append(spec.RouteMaps, RouteMap{
+				Name: f[1], Permit: f[2] == "permit", Seq: seq, Pos: pos,
+			})
 		case "router":
 			if len(f) != 3 || f[1] != "bgp" {
-				return nil, fmt.Errorf("devconf: line %d: only 'router bgp <asn>' supported", lineNo)
+				return nil, errf(pos, "only 'router bgp <asn>' supported")
 			}
 			asn, err := strconv.ParseUint(f[2], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("devconf: line %d: bad ASN %q", lineNo, f[2])
+				return nil, errf(pos, "bad ASN %q", f[2])
 			}
 			spec.ASN = uint32(asn)
 			spec.NoRouterStanza = false
+			spec.RouterPos = pos
 			inRouter = true
 		case "maximum-paths":
 			if !inRouter || len(f) != 2 {
-				return nil, fmt.Errorf("devconf: line %d: maximum-paths outside router bgp", lineNo)
+				return nil, errf(pos, "maximum-paths outside router bgp")
 			}
 			n, err := strconv.Atoi(f[1])
 			if err != nil || n < 1 {
-				return nil, fmt.Errorf("devconf: line %d: bad maximum-paths", lineNo)
+				return nil, errf(pos, "bad maximum-paths")
 			}
 			spec.MaxPaths = n
+			spec.MaxPathsPos = pos
 		case "network":
 			if !inRouter || len(f) != 2 {
-				return nil, fmt.Errorf("devconf: line %d: network outside router bgp", lineNo)
+				return nil, errf(pos, "network outside router bgp")
 			}
 			p, err := ipnet.ParsePrefix(f[1])
 			if err != nil {
-				return nil, fmt.Errorf("devconf: line %d: %v", lineNo, err)
+				return nil, errf(pos, "%v", err)
 			}
 			spec.Networks = append(spec.Networks, p)
+			spec.NetworkPos = append(spec.NetworkPos, pos)
 		case "neighbor":
 			if !inRouter || len(f) < 3 {
-				return nil, fmt.Errorf("devconf: line %d: malformed neighbor", lineNo)
+				return nil, errf(pos, "malformed neighbor")
 			}
 			addr, err := ipnet.ParseAddr(f[1])
 			if err != nil {
-				return nil, fmt.Errorf("devconf: line %d: %v", lineNo, err)
+				return nil, errf(pos, "%v", err)
 			}
 			i, ok := nbrIdx[addr]
 			if !ok {
 				i = len(spec.Neighbors)
 				nbrIdx[addr] = i
-				spec.Neighbors = append(spec.Neighbors, Neighbor{Addr: addr})
+				spec.Neighbors = append(spec.Neighbors, Neighbor{Addr: addr, Pos: pos})
 			}
 			nb := &spec.Neighbors[i]
 			switch f[2] {
 			case "remote-as":
 				if len(f) != 4 {
-					return nil, fmt.Errorf("devconf: line %d: malformed remote-as", lineNo)
+					return nil, errf(pos, "malformed remote-as")
 				}
 				ras, err := strconv.ParseUint(f[3], 10, 32)
 				if err != nil {
-					return nil, fmt.Errorf("devconf: line %d: bad remote-as", lineNo)
+					return nil, errf(pos, "bad remote-as")
 				}
 				nb.RemoteAS = uint32(ras)
+				nb.RemoteASPos = pos
 			case "shutdown":
 				nb.Shutdown = true
+				nb.ShutdownPos = pos
 			case "allowas-in":
 				nb.AllowASIn = true
+				nb.AllowASInPos = pos
 			case "route-map":
 				if len(f) != 5 || f[4] != "in" {
-					return nil, fmt.Errorf("devconf: line %d: only 'route-map <name> in' supported", lineNo)
+					return nil, errf(pos, "only 'route-map <name> in' supported")
 				}
 				nb.RouteMapIn = f[3]
+				nb.RouteMapInPos = pos
 			default:
-				return nil, fmt.Errorf("devconf: line %d: unknown neighbor option %q", lineNo, f[2])
+				return nil, errf(pos, "unknown neighbor option %q", f[2])
 			}
 		default:
-			return nil, fmt.Errorf("devconf: line %d: unknown statement %q", lineNo, f[0])
+			return nil, errf(pos, "unknown statement %q", f[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if spec.Hostname == "" {
-		return nil, fmt.Errorf("devconf: missing hostname")
+		return nil, errf(Pos{Line: 1, Col: 1}, "missing hostname")
 	}
 	return spec, nil
 }

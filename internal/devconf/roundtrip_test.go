@@ -1,0 +1,154 @@
+package devconf
+
+import (
+	"strings"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/topology"
+)
+
+// TestRenderParseWriteByteIdentical locks the canonical-form contract:
+// for every device of a rendered fleet — across the full misconfig knob
+// matrix — parsing the rendered text and writing it back through
+// Spec.Write reproduces the original bytes.
+func TestRenderParseWriteByteIdentical(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	knobs := []*bgp.DeviceConfig{
+		nil,
+		{RejectDefaultIn: true},
+		{MaxECMPPaths: 2},
+		{SessionsDisabled: true},
+		{ASNOverride: 65001},
+		{RejectDefaultIn: true, MaxECMPPaths: 3, ASNOverride: 64999},
+	}
+	for ki, knob := range knobs {
+		cfgs := map[topology.DeviceID]*bgp.DeviceConfig{}
+		if knob != nil {
+			for i := range topo.Devices {
+				cfgs[topology.DeviceID(i)] = knob
+			}
+		}
+		fleet, err := RenderFleet(topo, cfgs)
+		if err != nil {
+			t.Fatalf("knob %d: RenderFleet: %v", ki, err)
+		}
+		for host, text := range fleet {
+			spec, err := Parse(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("knob %d: parse %s: %v", ki, host, err)
+			}
+			if got := spec.Text(); got != text {
+				t.Fatalf("knob %d: %s: Write not byte-identical to Render\n--- rendered\n%s--- rewritten\n%s",
+					ki, host, text, got)
+			}
+		}
+	}
+}
+
+// TestPositions checks the line:col positions Parse attaches to stanzas
+// and the positioned error convention.
+func TestPositions(t *testing.T) {
+	in := "hostname sw1\n" +
+		"ip access-list EDGE\n" +
+		"  remark block telnet\n" +
+		"  deny tcp any any eq 23\n" +
+		"route-map RM deny 10\n" +
+		"router bgp 65000\n" +
+		"  maximum-paths 8\n" +
+		"  network 10.0.0.0/24\n" +
+		"  neighbor 1.2.3.4 remote-as 65001\n" +
+		"  neighbor 1.2.3.4 shutdown\n" +
+		"  neighbor 1.2.3.4 route-map RM in\n" +
+		"!\n"
+	spec, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  Pos
+		want Pos
+	}{
+		{"hostname", spec.HostnamePos, Pos{1, 1}},
+		{"acl", spec.ACLs[0].Pos, Pos{2, 1}},
+		{"acl rule", spec.ACLs[0].RulePos[0], Pos{4, 3}},
+		{"route-map def", spec.RouteMaps[0].Pos, Pos{5, 1}},
+		{"router", spec.RouterPos, Pos{6, 1}},
+		{"maximum-paths", spec.MaxPathsPos, Pos{7, 3}},
+		{"network", spec.NetworkPos[0], Pos{8, 3}},
+		{"neighbor", spec.Neighbors[0].Pos, Pos{9, 3}},
+		{"remote-as", spec.Neighbors[0].RemoteASPos, Pos{9, 3}},
+		{"shutdown", spec.Neighbors[0].ShutdownPos, Pos{10, 3}},
+		{"route-map in", spec.Neighbors[0].RouteMapInPos, Pos{11, 3}},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s position = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if spec.ACLs[0].Rules[0].Remark != "block telnet" {
+		t.Errorf("remark = %q", spec.ACLs[0].Rules[0].Remark)
+	}
+	if len(spec.RouteMaps) != 1 || spec.RouteMaps[0].Permit {
+		t.Errorf("route-map def = %+v", spec.RouteMaps)
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // error prefix "devconf: line:col"
+	}{
+		{"hostname a b\n", "devconf: 1:1"},
+		{"hostname a\nrouter bgp zzz\n", "devconf: 2:1"},
+		{"hostname a\nrouter bgp 1\n  network bogus\n", "devconf: 3:3"},
+		{"hostname a\nrouter bgp 1\n  neighbor 1.2.3.4 frobnicate\n", "devconf: 3:3"},
+		{"hostname a\nroute-map X permit nope\n", "devconf: 2:1"},
+		{"hostname a\nip access-list L\n  permit tcp bogus any\n", "devconf: 3:3"},
+		{"maximum-paths 4\n", "devconf: 1:1"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%q: no error", c.in)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %v is not a *ParseError", c.in, err)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), c.want) {
+			t.Errorf("%q: error %q, want prefix %q", c.in, err, c.want)
+		}
+		if pe.Pos.Line == 0 || pe.Pos.Col == 0 {
+			t.Errorf("%q: zero position in %v", c.in, err)
+		}
+	}
+}
+
+// FuzzRoundTrip asserts Write is a normal form: any accepted input,
+// written canonically, re-parses to a spec whose canonical form is
+// byte-identical (Write ∘ Parse is idempotent from the first
+// application on).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("hostname x\nrouter bgp 65000\n  network 10.0.0.0/24\n  neighbor 1.2.3.4 remote-as 65001\n!\n")
+	f.Add("hostname y\n! L2 only\n")
+	f.Add("hostname z\nrouter bgp 1\n  neighbor 1.2.3.4 shutdown\n  neighbor 1.2.3.4 remote-as 2\n")
+	f.Add("hostname q\nip access-list A\n  remark r\n  permit tcp 10.0.0.0/8 any eq 443\nroute-map M permit 5\nrouter bgp 7\n  maximum-paths 2\n  neighbor 9.9.9.9 route-map M in\n!\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		canon := spec.Text()
+		spec2, err := Parse(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, canon)
+		}
+		if again := spec2.Text(); again != canon {
+			t.Fatalf("Write not idempotent:\n--- first\n%s--- second\n%s", canon, again)
+		}
+	})
+}

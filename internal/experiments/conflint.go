@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcvalidate/internal/acl"
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/conflint"
+	"dcvalidate/internal/devconf"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// E18Row is one machine-readable sweep point (BENCH_conflint.json).
+type E18Row struct {
+	Devices         int     `json:"devices"`
+	SeededInstances int     `json:"seededInstances"`
+	SeededClasses   int     `json:"seededClasses"`
+	DetectedClasses int     `json:"detectedClasses"`
+	Findings        int     `json:"findings"`
+	CleanFindings   int     `json:"cleanFindings"`
+	LintMs          float64 `json:"lintMs"`
+	ValidateMs      float64 `json:"validateMs"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// e18Seed is one planted misconfiguration: the device whose config is
+// mutated, the analyzer class expected to fire, the device the finding
+// must land on (usually the mutated device; for one-sided declarations
+// it is the abandoned peer), and the mutation itself.
+type e18Seed struct {
+	class    string
+	host     string
+	expectOn string
+	mutate   func(*devconf.Spec)
+}
+
+// E18Conflint is the detection experiment for the configuration
+// multichecker: render a clean fleet, require a findings-free lint (zero
+// false positives), seed every misconfiguration class the analyzers
+// cover, and require 100% class detection — with the report byte-stable
+// across runs and the acl-shadow SMT verdicts agreeing with the exact
+// interval engine. The timing columns compare a static lint of the whole
+// fleet against full validation (FIB synthesis + trie contract sweep) of
+// the same topology: the static pass is what you can afford on every
+// config push.
+//
+// Gates (all panic, wired into CI as `make conflint-smoke`):
+//   - clean fleet lints to zero findings;
+//   - every seeded class is detected on the expected device;
+//   - the seeded report is byte-identical across two runs;
+//   - acl-shadow's SMT and interval engines agree rule-for-rule.
+func E18Conflint(sizes []int) (Result, []E18Row) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%9s %8s %9s %10s %9s %12s %12s %9s\n",
+		"devices", "seeded", "classes", "detected", "findings", "lint", "validate", "speedup")
+	var rows []E18Row
+	for _, n := range sizes {
+		row := e18Point(n)
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "%9d %8d %9d %10d %9d %12s %12s %8.1fx\n",
+			row.Devices, row.SeededInstances, row.SeededClasses, row.DetectedClasses,
+			row.Findings,
+			(time.Duration(row.LintMs * float64(time.Millisecond))).Round(10*time.Microsecond),
+			(time.Duration(row.ValidateMs * float64(time.Millisecond))).Round(10*time.Microsecond),
+			row.Speedup)
+	}
+	return Result{
+		ID:    "E18",
+		Title: "configuration static analysis: seeded-misconfig detection and lint cost",
+		Table: b.String(),
+		Notes: "gates: zero findings on the clean fleet, 100% detection of seeded classes, byte-stable report, SMT/interval shadow agreement; lint column is the full-fleet static pass, validate column a 1-worker trie sweep incl. FIB synthesis",
+	}, rows
+}
+
+func e18Point(n int) E18Row {
+	topo := topology.MustNew(SizedParams("e18", n))
+	clean, err := devconf.RenderFleet(topo, nil)
+	if err != nil {
+		panic(err)
+	}
+	runner := &conflint.Runner{Clock: Clock, Metrics: conflintMetrics()}
+
+	lintStart := now()
+	cleanRep := lintFleet(runner, topo, clean)
+	lintElapsed := since(lintStart)
+	if len(cleanRep.Findings) != 0 {
+		panic(fmt.Sprintf("e18: clean fleet of %d devices has %d findings (false positives):\n%s",
+			len(topo.Devices), len(cleanRep.Findings), cleanRep))
+	}
+
+	// Full validation of the same (clean) fleet for the cost column.
+	valStart := now()
+	facts := metadata.FromTopology(topo)
+	v := rcdc.Validator{Workers: 1, Metrics: validatorMetrics()}
+	rep, err := v.ValidateAll(facts, bgp.NewSynth(topo, nil))
+	if err != nil {
+		panic(err)
+	}
+	valElapsed := since(valStart)
+	if len(rep.Violations()) != 0 {
+		panic("e18: clean fleet fails full validation")
+	}
+
+	// Seed every misconfiguration class on deterministic devices.
+	seeded := make(map[string]string, len(clean))
+	for host, text := range clean {
+		seeded[host] = text
+	}
+	seeds := e18Seeds(topo, seeded)
+	for _, s := range seeds {
+		spec, err := devconf.Parse(strings.NewReader(seeded[s.host]))
+		if err != nil {
+			panic(err)
+		}
+		s.mutate(spec)
+		seeded[s.host] = spec.Text()
+	}
+
+	seededRep := lintFleet(runner, topo, seeded)
+	if again := lintFleet(runner, topo, seeded); again.String() != seededRep.String() {
+		panic("e18: seeded report not byte-identical across runs")
+	}
+
+	classes := map[string]bool{}
+	detected := map[string]bool{}
+	for _, s := range seeds {
+		classes[s.class] = true
+	}
+	for _, s := range seeds {
+		for _, f := range seededRep.Findings {
+			if f.Analyzer == s.class && f.Device == s.expectOn {
+				detected[s.class] = true
+				break
+			}
+		}
+	}
+	for class := range classes {
+		if !detected[class] {
+			panic(fmt.Sprintf("e18: seeded class %q not detected; report:\n%s", class, seededRep))
+		}
+	}
+
+	lintMs := float64(lintElapsed) / float64(time.Millisecond)
+	valMs := float64(valElapsed) / float64(time.Millisecond)
+	speedup := 0.0
+	if lintMs > 0 {
+		speedup = valMs / lintMs
+	}
+	return E18Row{
+		Devices:         len(topo.Devices),
+		SeededInstances: len(seeds),
+		SeededClasses:   len(classes),
+		DetectedClasses: len(detected),
+		Findings:        len(seededRep.Findings),
+		CleanFindings:   len(cleanRep.Findings),
+		LintMs:          lintMs,
+		ValidateMs:      valMs,
+		Speedup:         speedup,
+	}
+}
+
+func lintFleet(r *conflint.Runner, topo *topology.Topology, configs map[string]string) *conflint.Report {
+	fleet, err := conflint.NewFleet(topo, configs)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := r.Run(fleet)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// e18Seeds plants at least one instance of every analyzer class; the
+// device picks are deterministic tier indices so reports are stable.
+func e18Seeds(topo *topology.Topology, configs map[string]string) []e18Seed {
+	name := func(id topology.DeviceID) string { return topo.Device(id).Name }
+	tors, leaves := topo.ToRs(), topo.Leaves()
+	spines, rspines := topo.Spines(), topo.RegionalSpines()
+
+	// The peer abandoned by the one-sided-declaration seed reports it.
+	t0 := name(tors[0])
+	spec, err := devconf.Parse(strings.NewReader(configs[t0]))
+	if err != nil {
+		panic(err)
+	}
+	peerID, ok := topo.DeviceByAddr(spec.Neighbors[0].Addr)
+	if !ok {
+		panic("e18: ToR neighbor address unresolvable")
+	}
+
+	shadowACL := devconf.ACL{
+		Name: "EDGE-IN",
+		Rules: []acl.Rule{
+			mustRule("permit tcp 10.0.0.0/8 any eq 443"),
+			mustRule("deny tcp 10.0.0.0/8 any eq 443"),
+			mustRule("permit ip any any"),
+		},
+		RulePos: make([]devconf.Pos, 3),
+	}
+	// The gate's differential cross-check, surfaced explicitly: the SMT
+	// and interval engines must agree on the seeded policy.
+	pol := shadowACL.Policy()
+	smt, err := conflint.ShadowedRulesSMT(pol)
+	if err != nil {
+		panic(err)
+	}
+	exact := conflint.ShadowedRulesInterval(pol)
+	for i := range smt {
+		if smt[i] != exact[i] {
+			panic(fmt.Sprintf("e18: shadow engines disagree on rule %d", i+1))
+		}
+	}
+
+	return []e18Seed{
+		{"session-symmetry", t0, name(peerID),
+			func(s *devconf.Spec) { s.Neighbors = s.Neighbors[1:] }},
+		{"session-symmetry", name(tors[1]), name(tors[1]),
+			func(s *devconf.Spec) { s.Neighbors[0].RemoteAS++ }},
+		{"session-symmetry", name(leaves[0]), name(leaves[0]),
+			func(s *devconf.Spec) { s.Neighbors[0].Shutdown = true }},
+		{"asn-plan", name(leaves[1]), name(leaves[1]),
+			func(s *devconf.Spec) { s.ASN = 65000 }},
+		{"asn-plan", name(spines[0]), name(spines[0]),
+			func(s *devconf.Spec) { s.ASN = 3320 }}, // public: leaks past E15 stripping
+		{"ref-integrity", name(tors[2]), name(tors[2]),
+			func(s *devconf.Spec) { s.Neighbors[0].RouteMapIn = "NO-SUCH-MAP" }},
+		{"ref-integrity", name(rspines[0]), name(rspines[0]),
+			func(s *devconf.Spec) {
+				s.RouteMaps = append(s.RouteMaps, devconf.RouteMap{Name: "STALE", Seq: 10})
+			}},
+		{"prefix-origin", name(tors[3]), name(tors[3]),
+			func(s *devconf.Spec) {
+				s.Networks = append(s.Networks, topo.Device(tors[0]).HostedPrefixes[0])
+			}},
+		{"prefix-origin", name(tors[4]), name(tors[4]),
+			func(s *devconf.Spec) { s.Networks = nil }},
+		{"prefix-origin", name(tors[5]), name(tors[5]),
+			func(s *devconf.Spec) { s.Networks = append(s.Networks, s.Networks[0]) }},
+		{"ecmp-consistency", name(leaves[2]), name(leaves[2]),
+			func(s *devconf.Spec) { s.MaxPaths = 1 }},
+		{"acl-shadow", name(rspines[1]), name(rspines[1]),
+			func(s *devconf.Spec) { s.ACLs = append(s.ACLs, shadowACL) }},
+	}
+}
+
+func mustRule(line string) acl.Rule {
+	r, err := acl.ParseIOSRule(strings.Fields(line), 1)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -6,6 +6,7 @@ import (
 	"dcvalidate/internal/bgp"
 	"dcvalidate/internal/bv"
 	"dcvalidate/internal/clock"
+	"dcvalidate/internal/conflint"
 	"dcvalidate/internal/explore"
 	"dcvalidate/internal/obs"
 	"dcvalidate/internal/rcdc"
@@ -66,6 +67,15 @@ func synthMetrics() *bgp.Metrics {
 		return nil
 	}
 	return bgp.NewMetrics(Metrics)
+}
+
+// conflintMetrics is the configuration-lint counterpart of
+// validatorMetrics.
+func conflintMetrics() *conflint.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return conflint.NewMetrics(Metrics)
 }
 
 // exploreMetrics is the failure-explorer counterpart of validatorMetrics.

@@ -1,0 +1,79 @@
+package dcvalidate_test
+
+import (
+	"errors"
+	"testing"
+
+	"dcvalidate"
+)
+
+// TestLintGate exercises lint-before-apply on the facade: clean changes
+// pass, changes that would introduce findings are rejected untouched,
+// and the gate is strictly opt-in.
+func TestLintGate(t *testing.T) {
+	dc, err := dcvalidate.NewDatacenter(dcvalidate.Figure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := dc.Metrics()
+	dc.EnableLintGate()
+
+	// A coherent change: reject-default-in renders both the route-map
+	// definition and its references, so the fleet stays lint-clean.
+	if err := dc.SetDeviceConfig("fig3-c0-t1-0", &dcvalidate.DeviceConfig{RejectDefaultIn: true}); err != nil {
+		t.Fatalf("clean change rejected: %v", err)
+	}
+	if len(dc.Config) != 1 {
+		t.Fatalf("clean change not applied")
+	}
+
+	// An off-plan ASN must be rejected with the report attached, and
+	// must not be applied or journaled.
+	gen := dc.Topo.Generation()
+	err = dc.SetDeviceConfig("fig3-c0-t0-0", &dcvalidate.DeviceConfig{ASNOverride: 65000})
+	var le *dcvalidate.LintError
+	if !errors.As(err, &le) {
+		t.Fatalf("off-plan ASN: got %v, want *LintError", err)
+	}
+	if got := le.Report.ByAnalyzer()["asn-plan"]; got == 0 {
+		t.Fatalf("LintError lacks asn-plan finding:\n%s", le.Report)
+	}
+	if _, ok := dc.Config[dc.Topo.Devices[0].ID]; ok {
+		t.Fatal("rejected change was applied")
+	}
+	if dc.Topo.Generation() != gen {
+		t.Fatal("rejected change was journaled")
+	}
+
+	// Gate off: the same change applies (that is how E3-style
+	// misconfiguration studies seed bugs on purpose).
+	dc.DisableLintGate()
+	if err := dc.SetDeviceConfig("fig3-c0-t0-0", &dcvalidate.DeviceConfig{ASNOverride: 65000}); err != nil {
+		t.Fatalf("gate off: %v", err)
+	}
+
+	// The gate's lint runs recorded into the facade registry.
+	var runs float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "dcv_conflint_runs_total" {
+			runs += s.Value
+		}
+	}
+	if runs < 2 {
+		t.Fatalf("dcv_conflint_runs_total = %v, want >= 2", runs)
+	}
+}
+
+func TestLintConfigsCleanBaseline(t *testing.T) {
+	dc, err := dcvalidate.NewDatacenter(dcvalidate.Figure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dc.LintConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean baseline has findings:\n%s", rep)
+	}
+}
