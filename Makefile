@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint conflint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke conflint-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint conflint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke conflint-smoke serve-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -70,6 +70,15 @@ explore-smoke:
 # agreeing with the exact interval engine.
 conflint-smoke:
 	$(GO) run ./cmd/dcbench -e e18 -quick
+
+# CI gate for the serving plane: boot dcvalidated on a small sharded
+# topology, issue conformance + reachability queries over HTTP, require
+# repeat queries to land as dcv_serve_cache_hits_total increments with
+# zero extra sweeps, then run E19 at its quick point with the
+# byte-identity gate armed (sharded merged report vs single-engine sweep
+# for N in {1,2,5}). See scripts/serve_smoke.sh.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # CI gate for the observability layer: run a short fault-free dcmon with
 # -metrics-addr, curl /metrics, and fail on missing series, non-finite

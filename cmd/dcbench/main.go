@@ -4,13 +4,13 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e18, e4s, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e19, e4s, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
-// E4, E16, E17, and E18 additionally write their machine-readable rows to
-// BENCH_solver.json, BENCH_incremental.json, BENCH_explore.json, and
-// BENCH_conflint.json in the current directory; e4s is the CI solver-perf
+// E4, E16, E17, E18, and E19 additionally write their machine-readable
+// rows to BENCH_solver.json, BENCH_incremental.json, BENCH_explore.json,
+// BENCH_conflint.json, and BENCH_serve.json in the current directory; e4s is the CI solver-perf
 // smoke (panics when the SMT engine regresses past a generous per-contract
 // ceiling or disagrees with the trie engine); e17 carries its own panic
 // gates (pruned-vs-brute divergence, pruning-ratio floor, minimal-set
@@ -102,6 +102,7 @@ func main() {
 	// pruning; quick halves the pods' width.
 	e17Tors := 8
 	e18Sizes := []int{136, 520, 2008}
+	e19Sizes := []int{520, 2008}
 	if *quick {
 		e1Sizes = []int{500, 1000}
 		e2Sizes = []int{250, 500}
@@ -114,6 +115,7 @@ func main() {
 		claim1Trials = 10
 		e17Tors = 4
 		e18Sizes = []int{136}
+		e19Sizes = []int{520}
 	}
 	if *full {
 		e2Sizes = append(e2Sizes, 10000)
@@ -165,6 +167,11 @@ func main() {
 		{"e18", func() experiments.Result {
 			res, rows := experiments.E18Conflint(e18Sizes)
 			writeJSON("BENCH_conflint.json", rows)
+			return res
+		}},
+		{"e19", func() experiments.Result {
+			res, rows := experiments.E19Serve(e19Sizes)
+			writeJSON("BENCH_serve.json", rows)
 			return res
 		}},
 	}

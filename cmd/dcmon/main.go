@@ -141,10 +141,7 @@ func main() {
 	tracker := monitor.NewAlertTracker()
 
 	if *metricsAddr != "" {
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			reg.WritePrometheus(w)
-		})
+		http.Handle("/metrics", reg.Handler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dcmon: metrics server:", err)

@@ -28,17 +28,14 @@
 package dcvalidate
 
 import (
-	"fmt"
 	"io"
 
 	"dcvalidate/internal/acl"
 	"dcvalidate/internal/bgp"
-	"dcvalidate/internal/bv"
 	"dcvalidate/internal/conflint"
 	"dcvalidate/internal/contracts"
-	"dcvalidate/internal/delta"
-	"dcvalidate/internal/devconf"
 	"dcvalidate/internal/emulator"
+	"dcvalidate/internal/engine"
 	"dcvalidate/internal/explore"
 	"dcvalidate/internal/faulty"
 	"dcvalidate/internal/fib"
@@ -184,36 +181,21 @@ func NewRegion(params []TopologyParams) (*Region, error) {
 }
 
 // Datacenter bundles a topology with its metadata facts and a converged
-// FIB source — everything RCDC needs.
+// FIB source — everything RCDC needs. It is a thin client of the
+// orchestration engine (internal/engine): every method delegates, so the
+// facade, the sharded coordinator, and the dcvalidated query server all
+// share one implementation, one set of serving caches, and one lock.
+// Datacenter methods are safe for concurrent use; only direct writes to
+// the public Topo and Config fields bypass the engine's synchronization.
 type Datacenter struct {
+	// Topo and Config are the live state the engine operates on — shared,
+	// not copied. Reads are always safe; concurrent programs must route
+	// mutations through the facade methods (FailLink, SetDeviceConfig, …)
+	// rather than writing these directly.
 	Topo   *Topology
 	Config map[DeviceID]*DeviceConfig
 
-	facts *Facts // regenerated lazily if nil
-
-	// Incremental-validation state (built lazily by ValidateDelta): a
-	// persistent FIB source with generation-keyed table caching and a
-	// memoized contract generator.
-	synth *bgp.Synth
-	cgen  *contracts.Generator
-
-	// Observability state (built lazily by Metrics): the registry and
-	// the per-subsystem bundles threaded into every validator, solver,
-	// FIB source, and blast-radius computation the facade creates. All
-	// remain nil — and every call site stays a no-op — until Metrics()
-	// is first called.
-	reg       *obs.Registry
-	rcdcM     *rcdc.Metrics
-	bvM       *bv.Metrics
-	bgpM      *bgp.Metrics
-	deltaM    *delta.Metrics
-	exploreM  *explore.Metrics
-	conflintM *conflint.Metrics
-
-	// lintGate, when enabled, makes SetDeviceConfig render and
-	// statically lint the candidate fleet, rejecting changes that
-	// introduce findings.
-	lintGate bool
+	eng *engine.Engine
 }
 
 // NewDatacenter generates a synthetic datacenter from the parameters.
@@ -222,7 +204,8 @@ func NewDatacenter(p TopologyParams) (*Datacenter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Datacenter{Topo: topo, Config: map[DeviceID]*DeviceConfig{}}, nil
+	cfg := map[DeviceID]*DeviceConfig{}
+	return &Datacenter{Topo: topo, Config: cfg, eng: engine.New(topo, cfg)}, nil
 }
 
 // Facts returns the metadata snapshot for the datacenter.
@@ -236,12 +219,7 @@ func NewDatacenter(p TopologyParams) (*Datacenter, error) {
 // Only an intent edit (devices added or retired, prefixes moved) would
 // invalidate the cache, and the facade does not support those on a built
 // topology.
-func (d *Datacenter) Facts() *Facts {
-	if d.facts == nil {
-		d.facts = metadata.FromTopology(d.Topo)
-	}
-	return d.facts
-}
+func (d *Datacenter) Facts() *Facts { return d.eng.Facts() }
 
 // Metrics returns the datacenter's metric registry, creating it — and
 // wiring the per-subsystem instrumentation bundles into every validator,
@@ -249,77 +227,39 @@ func (d *Datacenter) Facts() *Facts {
 // on first call. Until then instrumentation is off and costs nothing.
 // The registry is safe for concurrent use and its Prometheus exposition
 // is byte-deterministic.
-func (d *Datacenter) Metrics() *MetricsRegistry {
-	if d.reg == nil {
-		d.reg = obs.NewRegistry()
-		d.rcdcM = rcdc.NewMetrics(d.reg)
-		d.bvM = bv.NewMetrics(d.reg)
-		d.bgpM = bgp.NewMetrics(d.reg)
-		d.deltaM = delta.NewMetrics(d.reg)
-		d.exploreM = explore.NewMetrics(d.reg)
-		d.conflintM = conflint.NewMetrics(d.reg)
-		if d.synth != nil {
-			d.synth.Metrics = d.bgpM
-		}
-	}
-	return d.reg
-}
+func (d *Datacenter) Metrics() *MetricsRegistry { return d.eng.Metrics() }
 
 // Source returns the converged-state FIB source reflecting current link
 // state and device configurations. Tables are synthesized lazily per
 // device; no global snapshot is formed.
-func (d *Datacenter) Source() FIBSource {
-	s := bgp.NewSynth(d.Topo, d.Config)
-	s.Metrics = d.bgpM
-	return s
-}
+func (d *Datacenter) Source() FIBSource { return d.eng.NewSource() }
 
 // SimulateBGP runs the full EBGP path-vector simulation and returns it as
 // a FIB source (higher fidelity than Source; cost scales with the
 // datacenter).
-func (d *Datacenter) SimulateBGP() FIBSource {
-	sim := bgp.NewSim(d.Topo, d.Config)
-	sim.Metrics = d.bgpM
-	sim.Run()
-	return sim
-}
+func (d *Datacenter) SimulateBGP() FIBSource { return d.eng.SimulateBGP() }
 
 // FailLink marks the link between two named devices operationally down.
 func (d *Datacenter) FailLink(a, b string) error {
-	da, db, err := d.pair(a, b)
-	if err != nil {
-		return err
-	}
-	if !d.Topo.FailLink(da, db) {
-		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
-	}
-	return nil
+	return d.eng.Apply(engine.Change{Kind: engine.FailLink, A: a, B: b})
 }
 
 // RestoreLink marks the link between two named devices operationally up
 // again — the exact inverse of FailLink.
 func (d *Datacenter) RestoreLink(a, b string) error {
-	da, db, err := d.pair(a, b)
-	if err != nil {
-		return err
-	}
-	if !d.Topo.RestoreLink(da, db) {
-		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
-	}
-	return nil
+	return d.eng.Apply(engine.Change{Kind: engine.RestoreLink, A: a, B: b})
 }
 
 // ShutSession administratively shuts the BGP session between two named
 // devices.
 func (d *Datacenter) ShutSession(a, b string) error {
-	da, db, err := d.pair(a, b)
-	if err != nil {
-		return err
-	}
-	if !d.Topo.ShutSession(da, db) {
-		return fmt.Errorf("dcvalidate: no link between %s and %s", a, b)
-	}
-	return nil
+	return d.eng.Apply(engine.Change{Kind: engine.ShutSession, A: a, B: b})
+}
+
+// RestoreSession brings the BGP session between two named devices back
+// up — the exact inverse of ShutSession.
+func (d *Datacenter) RestoreSession(a, b string) error {
+	return d.eng.Apply(engine.Change{Kind: engine.RestoreSession, A: a, B: b})
 }
 
 // SetDeviceConfig installs (or, with nil, clears) a device's
@@ -333,35 +273,7 @@ func (d *Datacenter) ShutSession(a, b string) error {
 // first; a change that introduces findings is rejected with a *LintError
 // carrying the report, and nothing is applied or journaled.
 func (d *Datacenter) SetDeviceConfig(device string, cfg *DeviceConfig) error {
-	dev, ok := d.Topo.ByName(device)
-	if !ok {
-		return fmt.Errorf("dcvalidate: unknown device %q", device)
-	}
-	if d.lintGate {
-		candidate := make(map[DeviceID]*DeviceConfig, len(d.Config)+1)
-		for id, c := range d.Config {
-			candidate[id] = c
-		}
-		if cfg == nil {
-			delete(candidate, dev.ID)
-		} else {
-			candidate[dev.ID] = cfg
-		}
-		rep, err := d.lint(candidate)
-		if err != nil {
-			return err
-		}
-		if len(rep.Findings) > 0 {
-			return &LintError{Device: device, Report: rep}
-		}
-	}
-	if cfg == nil {
-		delete(d.Config, dev.ID)
-	} else {
-		d.Config[dev.ID] = cfg
-	}
-	d.Topo.NoteDeviceChanged(dev.ID)
-	return nil
+	return d.eng.Apply(engine.Change{Kind: engine.SetConfig, Device: device, Config: cfg})
 }
 
 // EnableLintGate turns on lint-before-apply for SetDeviceConfig: every
@@ -370,58 +282,26 @@ func (d *Datacenter) SetDeviceConfig(device string, cfg *DeviceConfig) error {
 // misconfigurations milliseconds before they would cost a re-convergence
 // and a contract sweep. Off by default, because the simulator's whole
 // purpose often *is* installing a misconfiguration to study (E3, E18).
-func (d *Datacenter) EnableLintGate() { d.lintGate = true }
+func (d *Datacenter) EnableLintGate() { d.eng.EnableLintGate() }
 
 // DisableLintGate turns lint-before-apply back off.
-func (d *Datacenter) DisableLintGate() { d.lintGate = false }
+func (d *Datacenter) DisableLintGate() { d.eng.DisableLintGate() }
 
 // LintConfigs renders the current fleet and runs the conflint analyzer
 // suite over it, recording into the facade registry's conflint bundle
 // when Metrics() has been called.
 func (d *Datacenter) LintConfigs() (*ConflintReport, error) {
-	return d.lint(d.Config)
-}
-
-func (d *Datacenter) lint(cfgs map[DeviceID]*DeviceConfig) (*ConflintReport, error) {
-	texts, err := devconf.RenderFleet(d.Topo, cfgs)
-	if err != nil {
-		return nil, err
-	}
-	fleet, err := conflint.NewFleet(d.Topo, texts)
-	if err != nil {
-		return nil, err
-	}
-	return (&conflint.Runner{Metrics: d.conflintM}).Run(fleet)
+	return d.eng.Lint()
 }
 
 // LintError is returned by SetDeviceConfig when the lint gate rejects a
 // change; Report carries the findings that would have been introduced.
-type LintError struct {
-	Device string
-	Report *ConflintReport
-}
-
-func (e *LintError) Error() string {
-	return fmt.Sprintf("dcvalidate: lint gate rejected config change on %s: %d finding(s)\n%s",
-		e.Device, len(e.Report.Findings), e.Report)
-}
-
-func (d *Datacenter) pair(a, b string) (DeviceID, DeviceID, error) {
-	da, ok := d.Topo.ByName(a)
-	if !ok {
-		return 0, 0, fmt.Errorf("dcvalidate: unknown device %q", a)
-	}
-	db, ok := d.Topo.ByName(b)
-	if !ok {
-		return 0, 0, fmt.Errorf("dcvalidate: unknown device %q", b)
-	}
-	return da.ID, db.ID, nil
-}
+type LintError = engine.LintError
 
 // Contracts generates the full contract set for every device from the
 // metadata facts (§2.4.1–2.4.3).
 func (d *Datacenter) Contracts() []contracts.DeviceContracts {
-	return contracts.NewGenerator(d.Facts()).All()
+	return d.eng.Contracts()
 }
 
 // Engine selects the verification algorithm of §2.5.
@@ -451,43 +331,21 @@ type ValidateOptions struct {
 	Source FIBSource
 }
 
-// checker builds the engine for one run, threading the datacenter's
-// solver instrumentation (nil until Metrics() is called) into the SMT
-// path — the trie engine never allocates a solver.
-func (d *Datacenter) checker(o ValidateOptions) rcdc.Checker {
-	if o.Engine == EngineSMT {
-		return rcdc.SMTChecker{Exact: o.Exact, Metrics: d.bvM}
+// engineOptions lowers the public options to the engine's.
+func (o ValidateOptions) engineOptions() engine.Options {
+	return engine.Options{
+		SMT:     o.Engine == EngineSMT,
+		Exact:   o.Exact,
+		Workers: o.Workers,
+		Source:  o.Source,
 	}
-	return rcdc.TrieChecker{Exact: o.Exact}
 }
 
 // Validate runs local validation over every device of the datacenter.
 // The report is stamped with the topology generation observed before
 // pulling, so it can seed ValidateDelta.
 func (d *Datacenter) Validate(opts ValidateOptions) (*Report, error) {
-	gen := d.Topo.Generation()
-	src := opts.Source
-	if src == nil {
-		src = d.Source()
-	}
-	v := rcdc.Validator{Checker: d.checker(opts), Workers: opts.Workers, Metrics: d.rcdcM}
-	rep, err := v.ValidateAll(d.Facts(), src)
-	if rep != nil {
-		rep.Generation = gen
-	}
-	return rep, err
-}
-
-// cachedSource returns the persistent generation-cached FIB source used
-// by incremental validation, refreshed against the live topology.
-func (d *Datacenter) cachedSource() *bgp.Synth {
-	if d.synth == nil {
-		d.synth = bgp.NewSynth(d.Topo, d.Config)
-		d.synth.EnableTableCache()
-		d.synth.Metrics = d.bgpM
-	}
-	d.synth.Refresh()
-	return d.synth
+	return d.eng.Validate(opts.engineOptions())
 }
 
 // ValidateDelta revalidates only the blast radius of the topology changes
@@ -507,34 +365,7 @@ func (d *Datacenter) cachedSource() *bgp.Synth {
 // source and a memoized contract generator (unless opts.Source overrides
 // the source). Config edits must go through SetDeviceConfig to be seen.
 func (d *Datacenter) ValidateDelta(prev *Report, opts ValidateOptions) (*Report, error) {
-	if opts.Source == nil {
-		opts.Source = d.cachedSource()
-	}
-	if prev == nil {
-		return d.Validate(opts)
-	}
-	changes, ok := d.Topo.ChangesSince(prev.Generation)
-	if !ok {
-		return d.Validate(opts)
-	}
-	ds := delta.Compute(d.Topo, changes, delta.Options{
-		UnboundedConfig: bgp.ConfigUnbounded(d.Config),
-		Metrics:         d.deltaM,
-	})
-	if ds.Full() {
-		return d.Validate(opts)
-	}
-	gen := d.Topo.Generation()
-	if d.cgen == nil {
-		d.cgen = contracts.NewGenerator(d.Facts())
-		d.cgen.EnableMemo()
-	}
-	v := rcdc.Validator{Checker: d.checker(opts), Workers: opts.Workers, Metrics: d.rcdcM}
-	rep, err := v.ValidateDelta(prev, d.Facts(), d.cgen, opts.Source, ds.Devices())
-	if rep != nil {
-		rep.Generation = gen
-	}
-	return rep, err
+	return d.eng.ValidateDelta(prev, opts.engineOptions())
 }
 
 // CheckGlobalIntent materializes a global snapshot and verifies all-pairs
@@ -542,11 +373,7 @@ func (d *Datacenter) ValidateDelta(prev *Report, opts ValidateOptions) (*Report,
 // whole-snapshot baseline the local technique replaces; empty result means
 // the intent holds.
 func (d *Datacenter) CheckGlobalIntent() ([]rcdc.PairResult, error) {
-	g, err := rcdc.NewGlobalChecker(d.Topo, d.Source())
-	if err != nil {
-		return nil, err
-	}
-	return g.Check(rcdc.FullRedundancy), nil
+	return d.eng.CheckGlobalIntent()
 }
 
 // ExploreFailures model-checks the datacenter's contracts against every
@@ -561,44 +388,76 @@ func (d *Datacenter) CheckGlobalIntent() ([]rcdc.PairResult, error) {
 // With opts.Metrics unset, the run records into the facade registry's
 // explorer bundle when Metrics() has been called.
 func (d *Datacenter) ExploreFailures(opts ExploreOptions) (*ExploreResult, error) {
-	if opts.Metrics == nil {
-		opts.Metrics = d.exploreM
-	}
-	return (&explore.Explorer{Topo: d.Topo, Cfg: d.Config, Opts: opts}).Run()
+	return d.eng.ExploreFailures(opts)
 }
 
 // NewPipeline returns the §2.7 precheck pipeline treating this datacenter
 // as production.
-func (d *Datacenter) NewPipeline() *Pipeline {
-	net := emulator.NewNetwork(d.Topo)
-	net.Cfg = d.Config
-	return &emulator.Pipeline{Production: net}
-}
+func (d *Datacenter) NewPipeline() *Pipeline { return d.eng.NewPipeline() }
 
 // NewMonitor returns an RCDC live-monitoring instance watching this
 // datacenter (Figure 5).
 func (d *Datacenter) NewMonitor(name string) *MonitorInstance {
-	dc := monitor.NewDatacenter(d.Topo.Params.Name, d.Topo, d.Config)
-	dc.Source = d.Source()
-	in := monitor.NewInstance(name, dc)
-	if d.reg != nil {
-		in.EnableObservability(d.reg)
-	}
-	return in
+	return d.eng.NewMonitor(name)
 }
 
 // WriteFIB renders a device's routing table in the Figure 2 text format.
 func (d *Datacenter) WriteFIB(w io.Writer, device string) error {
-	dev, ok := d.Topo.ByName(device)
-	if !ok {
-		return fmt.Errorf("dcvalidate: unknown device %q", device)
-	}
-	tbl, err := d.Source().Table(dev.ID)
-	if err != nil {
-		return err
-	}
-	return tbl.WriteText(w, d.Topo)
+	return d.eng.WriteFIB(w, device)
 }
+
+// Serving layer: the query API backed by the engine's generation-keyed
+// caches. Steady-state repeat queries are O(1) map hits (visible in the
+// dcv_serve_cache_hits_total counter once Metrics() has been called);
+// after a journaled change only the blast radius revalidates.
+
+// Re-exported query types.
+type (
+	// DeviceAnswer answers "is device X conformant?".
+	DeviceAnswer = engine.DeviceAnswer
+	// ReachAnswer answers "can traffic from src reach dst?".
+	ReachAnswer = engine.ReachAnswer
+	// ReachCounterexample is the concrete packet trajectory demonstrating
+	// a failed reachability query.
+	ReachCounterexample = engine.Counterexample
+	// FleetSummary is the aggregate health of the datacenter.
+	FleetSummary = engine.Summary
+)
+
+// QueryDevice answers "is device name conformant?" from the serving
+// cache; on a hit this is an O(1) lookup with zero revalidation work.
+func (d *Datacenter) QueryDevice(name string) (*DeviceAnswer, error) {
+	return d.eng.QueryDevice(name)
+}
+
+// QueryReach answers "can traffic from src reach dst?" where dst is a
+// device name or a hosted CIDR prefix; failing answers carry a
+// counterexample packet.
+func (d *Datacenter) QueryReach(src, dst string) (*ReachAnswer, error) {
+	return d.eng.QueryReach(src, dst)
+}
+
+// Summary reports aggregate fleet health from the serving cache.
+func (d *Datacenter) Summary() (*FleetSummary, error) { return d.eng.Summary() }
+
+// QueryViolations returns every current violation (deep-copied; callers
+// may mutate freely) plus the topology generation it reflects.
+func (d *Datacenter) QueryViolations() ([]Violation, uint64, error) {
+	return d.eng.QueryViolations()
+}
+
+// EnableSharding partitions full-fleet sweeps across n validator shards
+// coordinated by consistent hashing over the Clos pod structure with
+// work stealing. Sharded sweeps are byte-identical (modulo timing) to
+// single-engine sweeps. Call Metrics() first to observe the shard
+// counters.
+func (d *Datacenter) EnableSharding(n int) { d.eng.EnableSharding(n) }
+
+// DisableSharding restores single-engine sweeps.
+func (d *Datacenter) DisableSharding() { d.eng.DisableSharding() }
+
+// Shards reports the current sweep partition width (1 when unsharded).
+func (d *Datacenter) Shards() int { return d.eng.Shards() }
 
 // SecGuru facade.
 

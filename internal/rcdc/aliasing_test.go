@@ -1,0 +1,97 @@
+package rcdc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+// renderViolations renders the full violation state of a report,
+// including the per-contract next-hop sets a caller could alias.
+func renderViolations(rep *Report) []byte {
+	var buf bytes.Buffer
+	for i := range rep.Devices {
+		for _, v := range rep.Devices[i].Violations {
+			fmt.Fprintf(&buf, "%s hops=%v\n", v.String(), v.Contract.NextHops)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestViolationsCopyOnReturn pins the copy-on-return contract of
+// Report.Violations: the caller may mutate the returned slice, the
+// violations in it, and their next-hop sets without corrupting the
+// report the serving layer caches — or the contract sets a memoizing
+// generator shares across validations.
+func TestViolationsCopyOnReturn(t *testing.T) {
+	topo := topology.MustNew(topology.Params{
+		Clusters: 2, ToRsPerCluster: 3, LeavesPerCluster: 2,
+		SpinesPerPlane: 1, RegionalSpines: 2, RSLinksPerSpine: 1,
+		PrefixesPerToR: 1,
+	})
+	// Break enough links that violations carry non-empty Missing sets.
+	tor := topo.ClusterToRs(0)[0]
+	topo.FailLink(tor, topo.ClusterLeaves(0)[0])
+	facts := metadata.FromTopology(topo)
+	gen := contracts.NewGenerator(facts)
+	gen.EnableMemo()
+
+	v := Validator{Workers: 2}
+	synth := bgp.NewSynth(topo, nil)
+	full, err := v.ValidateAll(facts, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revalidate the failed ToR through the memoizing generator so its
+	// violations reference the shared, cached contract sets.
+	rep, err := v.ValidateDelta(full, facts, gen, synth, []topology.DeviceID{tor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures == 0 {
+		t.Fatal("expected violations after link failure")
+	}
+	before := renderViolations(rep)
+	genBefore := fmt.Sprintf("%v", gen.ForDevice(tor))
+
+	got := rep.Violations()
+	if len(got) != rep.Failures {
+		t.Fatalf("Violations() returned %d, want %d", len(got), rep.Failures)
+	}
+	// Vandalize everything the caller can reach through the return value.
+	for i := range got {
+		got[i].Device = -99
+		got[i].Kind = 200
+		for j := range got[i].Missing {
+			got[i].Missing[j] = -1
+		}
+		for j := range got[i].Unexpected {
+			got[i].Unexpected[j] = -1
+		}
+		for j := range got[i].Contract.NextHops {
+			got[i].Contract.NextHops[j] = -1
+		}
+	}
+
+	if after := renderViolations(rep); !bytes.Equal(before, after) {
+		t.Fatalf("mutating Violations() corrupted the report:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+	if genAfter := fmt.Sprintf("%v", gen.ForDevice(tor)); genBefore != genAfter {
+		t.Fatalf("mutating Violations() corrupted memoized contracts:\n%s\nvs\n%s", genBefore, genAfter)
+	}
+	// A second flatten must match the first, pre-vandalism.
+	second := rep.Violations()
+	var a, b bytes.Buffer
+	for _, v := range second {
+		fmt.Fprintf(&a, "%s hops=%v\n", v.String(), v.Contract.NextHops)
+	}
+	b.Write(before)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("second Violations() call diverges from the report")
+	}
+}

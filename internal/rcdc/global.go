@@ -191,6 +191,47 @@ func (g *GlobalChecker) Check(level Intent) []PairResult {
 	return failures
 }
 
+// CounterexamplePath finds one concrete forwarding trajectory from src
+// toward the hosted prefix that fails to deliver: a hop-by-hop ECMP
+// branch ending where the packet is dropped (no covering route), looped
+// (revisits a device on its own path), or delivered at the wrong device.
+// The returned path lists every device the packet traverses including the
+// failure point; reason is "no-route", "loop", or "wrong-delivery". ok is
+// false when every ECMP branch delivers — there is no counterexample.
+//
+// The serving layer turns this into the counterexample packet of a failed
+// reachability query: a header addressed into the prefix plus the switch
+// where it dies.
+func (g *GlobalChecker) CounterexamplePath(src topology.DeviceID, hp topology.HostedPrefix) (path []topology.DeviceID, reason string, ok bool) {
+	addr := hp.Prefix.First()
+	onPath := make(map[topology.DeviceID]bool)
+	var walk func(d topology.DeviceID) ([]topology.DeviceID, string, bool)
+	walk = func(d topology.DeviceID) ([]topology.DeviceID, string, bool) {
+		if d == hp.ToR {
+			return nil, "", false // delivered: this branch is no counterexample
+		}
+		e, found := g.tables[d].Lookup(addr)
+		if !found || len(e.NextHops) == 0 {
+			return []topology.DeviceID{d}, "no-route", true
+		}
+		if e.Connected {
+			return []topology.DeviceID{d}, "wrong-delivery", true
+		}
+		onPath[d] = true
+		defer delete(onPath, d)
+		for _, nh := range e.NextHops {
+			if onPath[nh] {
+				return []topology.DeviceID{d, nh}, "loop", true
+			}
+			if sub, why, bad := walk(nh); bad {
+				return append([]topology.DeviceID{d}, sub...), why, true
+			}
+		}
+		return nil, "", false
+	}
+	return walk(src)
+}
+
 // Pairs returns the number of (src ToR, prefix) pairs Check examines.
 func (g *GlobalChecker) Pairs() int {
 	return len(g.topo.HostedPrefixes()) * (len(g.topo.ToRs()) - 1)

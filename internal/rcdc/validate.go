@@ -55,11 +55,18 @@ func (r *Report) HighRisk() int {
 	return n
 }
 
-// Violations flattens all violations across devices.
+// Violations flattens all violations across devices. The returned slice
+// is a deep copy: callers may sort it, truncate it, or edit the next-hop
+// sets of individual violations without corrupting the report — or the
+// cached per-device results the serving and shard layers splice reports
+// from, or the memoized contract generator whose NextHops slices the
+// violations would otherwise alias.
 func (r *Report) Violations() []Violation {
 	var out []Violation
 	for i := range r.Devices {
-		out = append(out, r.Devices[i].Violations...)
+		for _, v := range r.Devices[i].Violations {
+			out = append(out, v.Clone())
+		}
 	}
 	return out
 }

@@ -79,6 +79,18 @@ type Violation struct {
 	Remaining int
 }
 
+// Clone returns a deep copy of the violation: the Missing/Unexpected
+// sets and the contract's NextHops get fresh backing arrays, so mutating
+// the copy cannot corrupt a cached report or the shared contract sets a
+// memoizing generator hands out.
+func (v Violation) Clone() Violation {
+	cp := v
+	cp.Contract.NextHops = append([]topology.DeviceID(nil), v.Contract.NextHops...)
+	cp.Missing = append([]topology.DeviceID(nil), v.Missing...)
+	cp.Unexpected = append([]topology.DeviceID(nil), v.Unexpected...)
+	return cp
+}
+
 func (v Violation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dev=%d %s contract=%s kind=%s sev=%s",

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Serving-plane smoke test (CI: make serve-smoke): boot dcvalidated on a
+# small sharded topology, issue conformance and reachability queries,
+# and fail unless repeat queries land as dcv_serve_cache_hits_total
+# increments without triggering extra revalidation sweeps. Then run the
+# E19 experiment at its quick sweep point, which arms the byte-identity
+# gate (sharded merged report vs single-engine sweep for N in {1,2,5})
+# and the cached-query O(1) gates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_PORT:-9378}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+go run ./cmd/dcvalidated -addr "$ADDR" \
+    -clusters 2 -tors 4 -leaves 2 -spines 2 -rs 2 -rslinks 1 \
+    -shards 2 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the warm sweep + listener.
+for _ in $(seq 1 150); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "serve_smoke: dcvalidated exited before serving" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if ! curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    echo "serve_smoke: timed out waiting for dcvalidated" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+hits() {
+    curl -fsS "$BASE/metrics" |
+        awk '$1 == "dcv_serve_cache_hits_total" { print int($2); found = 1 }
+             END { if (!found) print 0 }'
+}
+sweeps() {
+    curl -fsS "$BASE/metrics" |
+        awk '$1 ~ /^dcv_serve_sweeps_total/ { n += $2 } END { print int(n) }'
+}
+
+TOR="dc-c0-t0-0"
+REMOTE="dc-c1-t0-0"
+
+# Conformance query: the healthy fleet must answer conformant.
+DEV="$(curl -fsS "$BASE/device?name=$TOR")"
+echo "$DEV" | grep -q '"conformant": true' || {
+    echo "serve_smoke: $TOR not conformant on a healthy fleet:" >&2
+    echo "$DEV" >&2
+    exit 1
+}
+
+# Reachability query with a counterexample-capable answer shape.
+REACH="$(curl -fsS "$BASE/reach?src=$TOR&dst=$REMOTE")"
+echo "$REACH" | grep -q '"reaches": true' || {
+    echo "serve_smoke: $TOR cannot reach $REMOTE on a healthy fleet:" >&2
+    echo "$REACH" >&2
+    exit 1
+}
+
+# Repeat queries must be O(1) cache hits: the hit counter increments and
+# no additional sweep runs.
+H0="$(hits)"; S0="$(sweeps)"
+for _ in 1 2 3; do
+    curl -fsS "$BASE/device?name=$TOR" >/dev/null
+    curl -fsS "$BASE/summary" >/dev/null
+done
+H1="$(hits)"; S1="$(sweeps)"
+if [ "$H1" -lt $((H0 + 6)) ]; then
+    echo "serve_smoke: cache hits went $H0 -> $H1 over 6 repeat queries (want +6)" >&2
+    exit 1
+fi
+if [ "$S1" -ne "$S0" ]; then
+    echo "serve_smoke: repeat queries triggered revalidation ($S0 -> $S1 sweeps)" >&2
+    exit 1
+fi
+
+# A mutation through the API invalidates the cache (one new sweep), and
+# the violation surfaces in the device answer.
+curl -fsS -X POST "$BASE/link?a=$TOR&b=dc-c0-t1-0&action=fail" >/dev/null
+curl -fsS "$BASE/device?name=$TOR" | grep -q '"conformant": false' || {
+    echo "serve_smoke: failed link did not surface as a violation on $TOR" >&2
+    exit 1
+}
+S2="$(sweeps)"
+if [ "$S2" -ne $((S1 + 1)) ]; then
+    echo "serve_smoke: post-mutation query ran $((S2 - S1)) sweeps (want exactly 1)" >&2
+    exit 1
+fi
+curl -fsS -X POST "$BASE/link?a=$TOR&b=dc-c0-t1-0&action=restore" >/dev/null
+
+kill "$PID" 2>/dev/null || true
+PID=""
+echo "serve_smoke: HTTP gates ok (hits $H0 -> $H1, sweeps $S0 -> $S2)"
+
+# Byte-identity + cached-latency gates: E19 at the quick sweep point
+# panics on any divergence between sharded and single-engine reports.
+go run ./cmd/dcbench -e e19 -quick -metrics-out ""
+echo "serve_smoke: ok"
