@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint conflint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke conflint-smoke serve-smoke fuzz experiments experiments-full clean
+.PHONY: all build vet lint conflint test test-short test-race bench bench-solver bench-smoke solver-smoke metrics-smoke explore-smoke conflint-smoke serve-smoke pec-smoke fuzz experiments experiments-full clean
 
 all: build vet lint test
 
@@ -46,8 +46,13 @@ bench-solver:
 # smallest sweep point (520 devices) with the soundness gate on — any
 # device whose table changes outside the computed blast radius, or any
 # delta report diverging from a full sweep, panics and fails the target.
+# The -benchmem leg locks the zero-allocation steady state: a warmed
+# sequential ValidateAll must report 0 allocs/op on both the trie and the
+# PEC engine (the companion test asserts the same via AllocsPerRun).
 bench-smoke:
 	$(GO) run ./cmd/dcbench -e e16 -quick
+	$(GO) test -run TestValidateAllSteadyStateZeroAlloc -count=1 .
+	$(GO) test -run xxx -bench BenchmarkValidateAllSteadyState -benchmem -benchtime 100x .
 
 # CI gate for solver performance: one short E4 point; panics when
 # smt/contract exceeds a generous ceiling or the SMT verdicts (sequential
@@ -80,6 +85,14 @@ conflint-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# CI gate for the packet-equivalence-class engine: the E20 experiment at
+# its quick point, panic gates armed — the PEC report must render
+# byte-identically to the trie engine's (cold and warm), agree with the
+# SMT engine on a per-role device sample, and clear the warm-speedup
+# floor.
+pec-smoke:
+	$(GO) run ./cmd/dcbench -e e20 -quick
+
 # CI gate for the observability layer: run a short fault-free dcmon with
 # -metrics-addr, curl /metrics, and fail on missing series, non-finite
 # values, or a dead pprof endpoint (see scripts/metrics_smoke.sh).
@@ -95,6 +108,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME) ./internal/sat/
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/devconf/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/devconf/
+	$(GO) test -fuzz FuzzPECDifferential -fuzztime $(FUZZTIME) ./internal/pec/
 
 # Regenerate every paper experiment (see DESIGN.md / EXPERIMENTS.md).
 experiments:

@@ -4,19 +4,24 @@
 // Usage:
 //
 //	dcbench              # run all experiments at default scale
-//	dcbench -e e2,e4     # run a subset (ids e1..e19, e4s, e7b, e13b, e13c)
+//	dcbench -e e2,e4     # run a subset (ids e1..e20, e4s, e7b, e13b, e13c)
 //	dcbench -quick       # smaller parameter sweeps (CI-friendly)
 //	dcbench -full        # include the 10^4-device E2 point (minutes)
 //
-// E4, E16, E17, E18, and E19 additionally write their machine-readable
-// rows to BENCH_solver.json, BENCH_incremental.json, BENCH_explore.json,
-// BENCH_conflint.json, and BENCH_serve.json in the current directory; e4s is the CI solver-perf
+// E4, E16, E17, E18, E19, and E20 additionally write their
+// machine-readable rows to BENCH_solver.json, BENCH_incremental.json,
+// BENCH_explore.json, BENCH_conflint.json, BENCH_serve.json, and
+// BENCH_pec.json in the current directory; e4s is the CI solver-perf
 // smoke (panics when the SMT engine regresses past a generous per-contract
 // ceiling or disagrees with the trie engine); e17 carries its own panic
 // gates (pruned-vs-brute divergence, pruning-ratio floor, minimal-set
 // replay); e18 is the conflint detection gate (panics on clean-fleet false
 // positives, a missed seeded misconfig class, report instability, or
-// SMT/interval shadow disagreement). Every run records a
+// SMT/interval shadow disagreement); e20 gates the packet-equivalence-
+// class engine (panics unless PEC reports render byte-identically to the
+// trie engine at every size, agree with the SMT engine on a per-role
+// sample, and clear a 2x warm-sweep speedup floor at the largest size —
+// the make pec-smoke hook). Every run records a
 // per-experiment snapshot of the observability registry (validator,
 // solver, and synth-cache series plus dcv_experiment_seconds) and writes
 // them to -metrics-out as JSON: one entry per experiment holding the
@@ -103,6 +108,7 @@ func main() {
 	e17Tors := 8
 	e18Sizes := []int{136, 520, 2008}
 	e19Sizes := []int{520, 2008}
+	e20Sizes := []int{520, 2008, 5080}
 	if *quick {
 		e1Sizes = []int{500, 1000}
 		e2Sizes = []int{250, 500}
@@ -116,9 +122,11 @@ func main() {
 		e17Tors = 4
 		e18Sizes = []int{136}
 		e19Sizes = []int{520}
+		e20Sizes = []int{520}
 	}
 	if *full {
 		e2Sizes = append(e2Sizes, 10000)
+		e20Sizes = append(e20Sizes, 10040)
 	}
 
 	type exp struct {
@@ -172,6 +180,11 @@ func main() {
 		{"e19", func() experiments.Result {
 			res, rows := experiments.E19Serve(e19Sizes)
 			writeJSON("BENCH_serve.json", rows)
+			return res
+		}},
+		{"e20", func() experiments.Result {
+			res, rows := experiments.E20PEC(e20Sizes)
+			writeJSON("BENCH_pec.json", rows)
 			return res
 		}},
 	}

@@ -20,6 +20,10 @@
 // equivalence classes and their minimal failure sets before the
 // monitoring loop begins.
 //
+// The -engine flag swaps the per-device verification engine — trie
+// (default), smt, or pec (packet equivalence classes) — without changing
+// any verdict.
+//
 // Usage:
 //
 //	dcmon -clusters 6 -tors 12 -faults 24 -cycles 14 -fix 4
@@ -40,9 +44,12 @@ import (
 	"syscall"
 	"time"
 
+	"dcvalidate/internal/engine"
 	"dcvalidate/internal/explore"
 	"dcvalidate/internal/monitor"
 	"dcvalidate/internal/obs"
+	"dcvalidate/internal/pec"
+	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/topology"
 	"dcvalidate/internal/workload"
 )
@@ -66,8 +73,14 @@ func main() {
 		corrupt     = flag.Float64("corrupt", 0, "store-document corruption rate per write (0-1)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) and linger after the run until interrupted")
 		exploreK    = flag.Int("explore-k", 0, "before fault injection, certify contracts up to k simultaneous failures (symmetry-pruned failure-space exploration; 0 = off)")
+		engineName  = flag.String("engine", "", "verification engine: trie (default), smt, or pec")
 	)
 	flag.Parse()
+	kind, err := engine.ParseKind(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcmon:", err)
+		os.Exit(2)
+	}
 
 	topo, err := topology.New(topology.Params{
 		Name: "dcmon", Clusters: *clusters, ToRsPerCluster: *tors,
@@ -138,6 +151,12 @@ func main() {
 	in.Incremental = *incr
 	in.FullSweepEvery = *sweep
 	in.EnableObservability(reg)
+	switch kind {
+	case engine.KindSMT:
+		in.Checker = rcdc.SMTChecker{}
+	case engine.KindPEC:
+		in.Checker = &pec.Checker{Metrics: pec.NewMetrics(reg)}
+	}
 	tracker := monitor.NewAlertTracker()
 
 	if *metricsAddr != "" {

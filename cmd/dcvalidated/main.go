@@ -10,6 +10,10 @@
 // with work stealing; merged reports are byte-identical to single-engine
 // sweeps.
 //
+// The -engine flag swaps the verification engine behind every sweep —
+// trie (default), smt, or pec (packet equivalence classes) — without
+// changing any verdict.
+//
 // Usage:
 //
 //	dcvalidated -addr :8080 -clusters 6 -tors 12
@@ -45,8 +49,14 @@ func main() {
 		rslinks  = flag.Int("rslinks", 2, "RS links per spine")
 		shards   = flag.Int("shards", 0, "partition sweeps across N validator shards (0 = single engine)")
 		warm     = flag.Bool("warm", true, "run the first fleet sweep at boot so the first query hits the cache")
+		engName  = flag.String("engine", "", "verification engine: trie (default), smt, or pec")
 	)
 	flag.Parse()
+	kind, err := engine.ParseKind(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcvalidated:", err)
+		os.Exit(2)
+	}
 
 	topo, err := topology.New(topology.Params{
 		Name: "dc", Clusters: *clusters, ToRsPerCluster: *tors,
@@ -59,6 +69,8 @@ func main() {
 	}
 	eng := engine.New(topo, nil)
 	eng.Metrics() // instrument before the coordinator is built
+	// Set the default engine before sharding so the coordinator inherits it.
+	eng.SetDefaultEngine(kind)
 	if *shards > 0 {
 		eng.EnableSharding(*shards)
 	}

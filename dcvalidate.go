@@ -314,7 +314,24 @@ const (
 	// EngineSMT is the bit-vector-logic engine (§2.5.1) discharged to the
 	// built-in SAT solver.
 	EngineSMT
+	// EnginePEC is the packet-equivalence-class engine (internal/pec):
+	// per-device atoms of the destination space with interned hop-set
+	// IDs, contract checks as constant-time class operations, verdicts
+	// byte-identical to EngineTrie (locked by the cross-engine scenario
+	// matrix, the E20 gates, and a differential fuzzer).
+	EnginePEC
 )
+
+// engineKind lowers the facade enum to the engine's Kind vocabulary.
+func (e Engine) engineKind() engine.Kind {
+	switch e {
+	case EngineSMT:
+		return engine.KindSMT
+	case EnginePEC:
+		return engine.KindPEC
+	}
+	return engine.KindTrie
+}
 
 // ValidateOptions configures a validation run.
 type ValidateOptions struct {
@@ -334,6 +351,7 @@ type ValidateOptions struct {
 // engineOptions lowers the public options to the engine's.
 func (o ValidateOptions) engineOptions() engine.Options {
 	return engine.Options{
+		Engine:  o.Engine.engineKind(),
 		SMT:     o.Engine == EngineSMT,
 		Exact:   o.Exact,
 		Workers: o.Workers,
@@ -445,6 +463,12 @@ func (d *Datacenter) Summary() (*FleetSummary, error) { return d.eng.Summary() }
 func (d *Datacenter) QueryViolations() ([]Violation, uint64, error) {
 	return d.eng.QueryViolations()
 }
+
+// SetDefaultEngine makes every run that doesn't name an engine in its
+// ValidateOptions — including the serving path's cache refreshes — use
+// the given one. Call it before EnableSharding so the shard coordinator
+// inherits the choice.
+func (d *Datacenter) SetDefaultEngine(e Engine) { d.eng.SetDefaultEngine(e.engineKind()) }
 
 // EnableSharding partitions full-fleet sweeps across n validator shards
 // coordinated by consistent hashing over the Clos pod structure with

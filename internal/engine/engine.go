@@ -38,6 +38,7 @@ import (
 	"dcvalidate/internal/metadata"
 	"dcvalidate/internal/monitor"
 	"dcvalidate/internal/obs"
+	"dcvalidate/internal/pec"
 	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/shard"
 	"dcvalidate/internal/topology"
@@ -46,8 +47,13 @@ import (
 // Options configures one validation run (the engine-level mirror of the
 // facade's ValidateOptions).
 type Options struct {
+	// Engine selects the verification engine for this run. KindDefault
+	// defers to the SMT flag below, then the engine-wide default
+	// (SetDefaultEngine), then trie.
+	Engine Kind
 	// SMT selects the bit-vector-logic engine (§2.5.1); default is the
-	// specialized trie engine (§2.5.2).
+	// specialized trie engine (§2.5.2). Subsumed by Engine; kept because
+	// the facade's ValidateOptions predates engine kinds.
 	SMT bool
 	// Exact extends the exact-ECMP-set requirement to specific contracts.
 	Exact bool
@@ -99,6 +105,14 @@ type Engine struct {
 	// candidate fleet, rejecting changes that introduce findings.
 	lintGate bool
 
+	// defaultKind routes runs that don't name an engine; pec/pecExact are
+	// the engine-lifetime packet-equivalence-class checkers (created
+	// lazily so non-PEC engines never pay for them) whose atomization
+	// caches the delta path invalidates by blast radius.
+	defaultKind Kind
+	pec         *pec.Checker
+	pecExact    *pec.Checker
+
 	// Observability: nil — and every call site a no-op — until Metrics()
 	// is first called.
 	reg       *obs.Registry
@@ -108,6 +122,7 @@ type Engine struct {
 	deltaM    *delta.Metrics
 	exploreM  *explore.Metrics
 	conflintM *conflint.Metrics
+	pecM      *pec.Metrics
 	serveM    *Metrics
 }
 
@@ -163,6 +178,9 @@ func (e *Engine) EnableSharding(n int) {
 		m = shard.NewMetrics(e.reg)
 	}
 	e.sweeper = shard.New(e.topo, e.cfg, n, shard.Options{
+		SMT:          e.defaultKind == KindSMT,
+		PEC:          e.defaultKind == KindPEC,
+		PECMetrics:   e.pecM,
 		Metrics:      m,
 		DeltaMetrics: e.deltaM,
 		Clock:        e.clk,
@@ -217,9 +235,16 @@ func (e *Engine) Metrics() *obs.Registry {
 		e.deltaM = delta.NewMetrics(e.reg)
 		e.exploreM = explore.NewMetrics(e.reg)
 		e.conflintM = conflint.NewMetrics(e.reg)
+		e.pecM = pec.NewMetrics(e.reg)
 		e.serveM = NewMetrics(e.reg)
 		if e.synth != nil {
 			e.synth.Metrics = e.bgpM
+		}
+		if e.pec != nil {
+			e.pec.Metrics = e.pecM
+		}
+		if e.pecExact != nil {
+			e.pecExact.Metrics = e.pecM
 		}
 	}
 	return e.reg
@@ -432,11 +457,16 @@ func (e *LintError) Error() string {
 }
 
 // checkerLocked builds the verification engine for one run, threading the
-// solver instrumentation (nil until Metrics() is called) into the SMT
-// path — the trie engine never allocates a solver.
+// per-engine instrumentation (nil until Metrics() is called) into the SMT
+// and PEC paths — the trie engine never allocates a solver. PEC checkers
+// are persistent (see pecLocked) so their atomization caches amortize
+// across runs.
 func (e *Engine) checkerLocked(o Options) rcdc.Checker {
-	if o.SMT {
+	switch e.resolveKindLocked(o) {
+	case KindSMT:
 		return rcdc.SMTChecker{Exact: o.Exact, Metrics: e.bvM}
+	case KindPEC:
+		return e.pecLocked(o.Exact)
 	}
 	return rcdc.TrieChecker{Exact: o.Exact}
 }
@@ -493,6 +523,7 @@ func (e *Engine) validateDeltaLocked(prev *rcdc.Report, opts Options) (*rcdc.Rep
 	if ds.Full() {
 		return e.validateLocked(opts)
 	}
+	e.pecInvalidateLocked(ds.Devices())
 	gen := e.topo.Generation()
 	if e.cgen == nil {
 		e.cgen = contracts.NewGenerator(e.factsLocked())

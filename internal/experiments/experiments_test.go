@@ -60,6 +60,26 @@ func TestE4SolverGateSmoke(t *testing.T) {
 	checkResult(t, E4SolverGate(100, time.Second), "E4s")
 }
 
+// E20's rows feed BENCH_pec.json and the pec-smoke CI gate: the point
+// itself panics unless PEC renders byte-identically to the trie engine
+// and agrees with the SMT sample, so a clean return already certifies
+// equivalence. The speedup floor is only asserted at the full E20 sizes,
+// not at this smoke scale.
+func TestE20Smoke(t *testing.T) {
+	res, rows := E20PEC([]int{200})
+	checkResult(t, res, "E20")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v, want one point", rows)
+	}
+	r := rows[0]
+	if !r.Identical || !r.SMTAgree {
+		t.Errorf("equivalence flags false: %+v", r)
+	}
+	if r.AtomsPerDevice <= 1 || r.HopSets < 1 || r.PECWarmNS <= 0 {
+		t.Errorf("implausible row: %+v", r)
+	}
+}
+
 func TestE5DetectsPaperViolationSet(t *testing.T) {
 	r := E5Figure3()
 	// The §2.4.4 headline facts must appear in the table.

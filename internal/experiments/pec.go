@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/pec"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// E20Row is one machine-readable point of E20, serialized to
+// BENCH_pec.json by dcbench so equivalence-class-engine regressions diff
+// cleanly.
+type E20Row struct {
+	Devices        int     `json:"devices"`
+	AtomsPerDevice float64 `json:"atoms_per_device"`
+	HopSets        int     `json:"hop_sets"`
+	SlowContracts  int64   `json:"slow_path_contracts"`
+	TrieColdNS     int64   `json:"trie_cold_busy_ns"`
+	TrieWarmNS     int64   `json:"trie_warm_busy_ns"`
+	PECColdNS      int64   `json:"pec_cold_busy_ns"`
+	PECWarmNS      int64   `json:"pec_warm_busy_ns"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	Identical      bool    `json:"identical"`
+	SMTAgree       bool    `json:"smt_agree"`
+}
+
+// e20Busy sums the per-device validation times — pure checker work, no
+// FIB-pull or scheduling time — so the trie-vs-PEC comparison is about
+// the engines, not the harness.
+func e20Busy(rep *rcdc.Report) time.Duration {
+	var t time.Duration
+	for i := range rep.Devices {
+		t += rep.Devices[i].Elapsed
+	}
+	return t
+}
+
+// e20Point measures one fleet size: a cold and a warm full sweep through
+// each engine at Workers=1 (sequential, so busy time has no lock-wait or
+// scheduling noise), with three panic gates (failing make pec-smoke):
+//
+//   - byte identity: every PEC report — cold (atomizing) and warm
+//     (content-hash cache hits) — must render byte-identically to the
+//     trie engine's, on the same surface the shard-equivalence gate uses;
+//   - SMT agreement: one device per role is cross-checked against the
+//     independent bit-vector engine;
+//   - speedup floor: when gateSpeedup is set (the largest size of a run),
+//     the warm PEC sweep must beat the warm trie sweep by >= 2x.
+func e20Point(n int, gateSpeedup bool) E20Row {
+	topo := topology.MustNew(SizedParams("e20", n))
+	facts := metadata.FromTopology(topo)
+	gen := contracts.NewGenerator(facts)
+	gen.EnableMemo()
+	synth := bgp.NewSynth(topo, nil)
+	synth.EnableTableCache()
+
+	pc := &pec.Checker{Clock: Clock, Metrics: pecMetrics()}
+	trieV := &rcdc.Validator{Workers: 1, Clock: Clock, Metrics: validatorMetrics(), Contracts: gen}
+	pecV := &rcdc.Validator{Checker: pc, Workers: 1, Clock: Clock, Metrics: validatorMetrics(), Contracts: gen}
+	run := func(v *rcdc.Validator) *rcdc.Report {
+		rep, err := v.ValidateAll(facts, synth)
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+
+	trieCold := run(trieV)
+	trieWarm := run(trieV)
+	pecCold := run(pecV)
+	pecWarm := run(pecV)
+
+	truth := e19Render(trieCold)
+	identical := bytes.Equal(truth, e19Render(pecCold)) &&
+		bytes.Equal(truth, e19Render(pecWarm)) &&
+		bytes.Equal(truth, e19Render(trieWarm))
+	if !identical {
+		panic(fmt.Sprintf("e20: PEC report diverges from trie engine at %d devices", len(topo.Devices)))
+	}
+
+	smtAgree := true
+	seen := make(map[topology.Role]bool)
+	for i := range topo.Devices {
+		d := &topo.Devices[i]
+		if seen[d.Role] {
+			continue
+		}
+		seen[d.Role] = true
+		tbl, err := synth.Table(d.ID)
+		if err != nil {
+			panic(err)
+		}
+		dc := gen.ForDevice(d.ID)
+		smtViol, err := (rcdc.SMTChecker{Metrics: solverMetrics(), Clock: Clock}).CheckDevice(tbl, dc, d.Role)
+		if err != nil {
+			panic(err)
+		}
+		pecViol, err := pc.CheckDevice(tbl, dc, d.Role)
+		if err != nil {
+			panic(err)
+		}
+		if !sameViolations(smtViol, pecViol) {
+			smtAgree = false
+		}
+	}
+	if !smtAgree {
+		panic(fmt.Sprintf("e20: PEC verdicts diverge from the SMT engine at %d devices", len(topo.Devices)))
+	}
+
+	st := pc.Stats()
+	row := E20Row{
+		Devices:       len(topo.Devices),
+		HopSets:       st.HopSets,
+		SlowContracts: st.SlowPathContracts,
+		TrieColdNS:    int64(e20Busy(trieCold)),
+		TrieWarmNS:    int64(e20Busy(trieWarm)),
+		PECColdNS:     int64(e20Busy(pecCold)),
+		PECWarmNS:     int64(e20Busy(pecWarm)),
+		Identical:     identical,
+		SMTAgree:      smtAgree,
+	}
+	if st.Atomizations > 0 {
+		row.AtomsPerDevice = float64(st.Atoms) / float64(st.Atomizations)
+	}
+	if row.PECWarmNS > 0 {
+		row.WarmSpeedup = float64(row.TrieWarmNS) / float64(row.PECWarmNS)
+	}
+	if gateSpeedup && row.TrieWarmNS > 0 && row.WarmSpeedup < 2.0 {
+		panic(fmt.Sprintf("e20: warm PEC speedup %.2fx below the 2.0x floor at %d devices",
+			row.WarmSpeedup, row.Devices))
+	}
+	return row
+}
+
+// E20PEC benchmarks the packet-equivalence-class engine against the trie
+// engine across fleet sizes: per size, a cold full sweep (every device
+// atomizes) and a warm one (every device is a content-hash cache hit —
+// the steady state a monitoring loop lives in). Every point is
+// byte-identity-gated against the trie engine and cross-checked against
+// the SMT engine on a per-role device sample; the largest point must
+// clear a 2x warm-speedup floor. Any gate failure panics, so dcbench
+// exits non-zero (the pec-smoke CI hook). The machine-readable rows back
+// BENCH_pec.json.
+func E20PEC(deviceCounts []int) (Result, []E20Row) {
+	var b strings.Builder
+	rows := make([]E20Row, 0, len(deviceCounts))
+	fmt.Fprintf(&b, "%9s %12s %9s %11s %11s %11s %11s %9s %6s %6s\n",
+		"devices", "atoms/dev", "hopsets", "trie-cold", "trie-warm", "pec-cold", "pec-warm", "speedup", "ident", "smt")
+	for i, n := range deviceCounts {
+		r := e20Point(n, i == len(deviceCounts)-1)
+		rows = append(rows, r)
+		fmt.Fprintf(&b, "%9d %12.1f %9d %11s %11s %11s %11s %8.1fx %6v %6v\n",
+			r.Devices, r.AtomsPerDevice, r.HopSets,
+			time.Duration(r.TrieColdNS).Round(time.Microsecond),
+			time.Duration(r.TrieWarmNS).Round(time.Microsecond),
+			time.Duration(r.PECColdNS).Round(time.Microsecond),
+			time.Duration(r.PECWarmNS).Round(time.Microsecond),
+			r.WarmSpeedup, r.Identical, r.SMTAgree)
+	}
+	return Result{
+		ID:    "E20",
+		Title: "packet-equivalence-class engine vs trie: warm-sweep speedup with byte-identity gates",
+		Table: b.String(),
+		Notes: "cold sweeps atomize every FIB into destination equivalence classes; warm sweeps answer from content-hash caches (the monitoring steady state); every point renders byte-identically to the trie engine and agrees with the SMT engine on a per-role sample, and the largest point must clear a 2x warm-speedup floor — violations panic, failing make pec-smoke",
+	}, rows
+}

@@ -9,6 +9,7 @@ import (
 	"dcvalidate/internal/conflint"
 	"dcvalidate/internal/explore"
 	"dcvalidate/internal/obs"
+	"dcvalidate/internal/pec"
 	"dcvalidate/internal/rcdc"
 )
 
@@ -84,4 +85,13 @@ func exploreMetrics() *explore.Metrics {
 		return nil
 	}
 	return explore.NewMetrics(Metrics)
+}
+
+// pecMetrics is the packet-equivalence-class counterpart of
+// validatorMetrics.
+func pecMetrics() *pec.Metrics {
+	if Metrics == nil {
+		return nil
+	}
+	return pec.NewMetrics(Metrics)
 }

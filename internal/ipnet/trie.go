@@ -10,6 +10,7 @@ package ipnet
 type Trie[V any] struct {
 	root *trieNode[V]
 	size int
+	slab []trieNode[V]
 }
 
 type trieNode[V any] struct {
@@ -21,17 +22,32 @@ type trieNode[V any] struct {
 // Len returns the number of prefixes stored.
 func (t *Trie[V]) Len() int { return t.size }
 
+// newNode hands out nodes from a chunked slab: one bulk allocation per
+// chunk instead of one per node, which is what keeps table-trie builds
+// off the allocator's hot path when whole fleets are revalidated.
+// Pointers into a chunk stay valid forever — exhausting a chunk re-points
+// the slab at a fresh one and never moves old nodes; make() zeroes the
+// chunk so every handed-out node starts as the zero trieNode.
+func (t *Trie[V]) newNode() *trieNode[V] {
+	if len(t.slab) == 0 {
+		t.slab = make([]trieNode[V], 256)
+	}
+	n := &t.slab[0]
+	t.slab = t.slab[1:]
+	return n
+}
+
 // Insert stores val under p, replacing any existing value. It reports
 // whether the prefix was already present.
 func (t *Trie[V]) Insert(p Prefix, val V) (replaced bool) {
 	if t.root == nil {
-		t.root = &trieNode[V]{}
+		t.root = t.newNode()
 	}
 	n := t.root
 	for i := uint8(0); i < p.Bits; i++ {
 		b := p.Bit(i)
 		if n.child[b] == nil {
-			n.child[b] = &trieNode[V]{}
+			n.child[b] = t.newNode()
 		}
 		n = n.child[b]
 	}
@@ -153,17 +169,20 @@ func (t *Trie[V]) HasStrictDescendant(q Prefix) bool {
 	}
 	// Any set node strictly below n. Nodes exist only along insert paths,
 	// but Delete clears values without pruning, so confirm a set node.
-	var any func(m *trieNode[V]) bool
-	any = func(m *trieNode[V]) bool {
-		if m == nil {
-			return false
-		}
-		if m.set {
-			return true
-		}
-		return any(m.child[0]) || any(m.child[1])
+	// Package-level recursion rather than a recursive closure: the
+	// closure's self-reference forced a heap allocation per call on the
+	// checker fast path, which the zero-alloc steady-state gate flags.
+	return hasSetNode(n.child[0]) || hasSetNode(n.child[1])
+}
+
+func hasSetNode[V any](m *trieNode[V]) bool {
+	if m == nil {
+		return false
 	}
-	return any(n.child[0]) || any(n.child[1])
+	if m.set {
+		return true
+	}
+	return hasSetNode(m.child[0]) || hasSetNode(m.child[1])
 }
 
 // Walk visits all stored prefixes in lexicographic order.

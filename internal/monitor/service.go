@@ -57,6 +57,11 @@ type Instance struct {
 
 	// Workers bounds pull/validate parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Checker selects the per-device verification engine (nil = the
+	// prefix-trie checker). dcmon's -engine flag installs the SMT or
+	// packet-equivalence-class checker here; all three produce identical
+	// verdicts, so the choice only moves the time/space trade-off.
+	Checker rcdc.Checker
 	// Clock times the real (not modeled) phases of a cycle, e.g.
 	// CycleStats.ValidateTime; nil means the system clock. Tests inject
 	// a clock.Virtual for reproducible stats.
@@ -611,7 +616,7 @@ func (in *Instance) validateDocs(dc *Datacenter, dev topology.DeviceID, rawT, ra
 			Device: dev, Kind: d.Kind, Prefix: p, NextHops: d.NextHops,
 		})
 	}
-	v := rcdc.Validator{Workers: 1, Clock: in.Clock, Metrics: in.rcdcM}
+	v := rcdc.Validator{Checker: in.Checker, Workers: 1, Clock: in.Clock, Metrics: in.rcdcM}
 	return v.ValidateDevice(dc.Facts, tbl, set)
 }
 

@@ -1,0 +1,133 @@
+package pec
+
+import (
+	"reflect"
+	"testing"
+
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// fuzzReader decodes a byte stream into a FIB and contract set. The
+// decoder concentrates prefixes in a tiny address region with a small
+// prefix-length palette and a small hop universe, so shadowing, exact
+// duplicates, nesting, and hop-set mismatches all occur constantly.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+var fuzzBits = [...]uint8{0, 8, 12, 16, 20, 22, 23, 24, 25, 26, 28, 30, 32}
+
+func (r *fuzzReader) prefix() ipnet.Prefix {
+	bits := fuzzBits[int(r.byte())%len(fuzzBits)]
+	addr := uint32(0x0a000000) | uint32(r.byte())<<16 | uint32(r.byte())<<8 | uint32(r.byte())
+	if r.byte()%8 == 0 {
+		addr &= 0x0a0000ff // pile prefixes onto one /24 for dense nesting
+	}
+	return ipnet.PrefixFrom(ipnet.Addr(addr), bits)
+}
+
+func (r *fuzzReader) hopSet() []topology.DeviceID {
+	n := int(r.byte()) % 5
+	out := make([]topology.DeviceID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, topology.DeviceID(r.byte()%6))
+	}
+	return out
+}
+
+func (r *fuzzReader) decode() (*fib.Table, contracts.DeviceContracts, topology.Role, bool) {
+	exact := r.byte()%2 == 1
+	role := topology.Role(r.byte() % 4)
+	tbl := fib.NewTable(3)
+	for n := int(r.byte()) % 24; n > 0; n-- {
+		e := fib.Entry{Prefix: r.prefix()}
+		if r.byte()%6 == 0 {
+			e.Connected = true
+		} else {
+			e.NextHops = r.hopSet()
+		}
+		tbl.Add(e)
+	}
+	dc := contracts.DeviceContracts{Device: 3}
+	for n := int(r.byte()) % 8; n > 0; n-- {
+		c := contracts.Contract{Device: 3, Prefix: r.prefix(), NextHops: r.hopSet()}
+		if r.byte()%4 == 0 {
+			c.Kind = contracts.Default
+			c.Prefix = ipnet.Prefix{}
+		}
+		dc.Contracts = append(dc.Contracts, c)
+	}
+	return tbl, dc, role, exact
+}
+
+// FuzzPECDifferential drives randomized FIB/contract mutations through
+// the PEC engine with the trie engine as oracle: verdicts must match
+// field-for-field (and therefore byte-for-byte once rendered), the
+// cached re-check must return the identical result, and the engine's
+// counterexample classes must agree with longest-prefix-match lookups.
+func FuzzPECDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 5, 10, 1, 2, 3, 0, 4, 2, 2, 0, 3, 9, 9, 9, 1, 1})
+	f.Add([]byte{0, 0, 24, 0, 0, 0, 0, 0, 3, 1, 2, 3, 7, 0, 0, 0, 0, 0, 2, 2, 2,
+		8, 12, 0, 255, 1, 0, 2, 4, 5, 1, 0, 0, 0, 0, 0, 1, 1})
+	f.Add([]byte{1, 3, 12, 0, 0, 0, 0, 0, 2, 1, 2, 12, 0, 0, 0, 0, 0, 2, 2, 1,
+		0, 0, 0, 0, 0, 0, 2, 1, 2, 3, 1, 0, 0, 0, 0, 2, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		tbl, dc, role, exact := r.decode()
+
+		want, err := rcdc.TrieChecker{Exact: exact}.CheckDevice(tbl, dc, role)
+		if err != nil {
+			t.Fatalf("trie: %v", err)
+		}
+		pc := &Checker{Exact: exact}
+		got, err := pc.CheckDevice(tbl, dc, role)
+		if err != nil {
+			t.Fatalf("pec: %v", err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("engines diverge (exact=%v)\ntable: %+v\ncontracts: %+v\ntrie: %v\npec:  %v",
+				exact, tbl.Entries, dc.Contracts, want, got)
+		}
+		// The cache-hit path must reproduce the identical verdicts from a
+		// content-equal clone.
+		again, err := pc.CheckDevice(tbl.Clone(), dc, role)
+		if err != nil {
+			t.Fatalf("pec cached: %v", err)
+		}
+		if !reflect.DeepEqual(want, again) {
+			t.Fatalf("cached verdicts diverge\nfirst: %v\ncached: %v", got, again)
+		}
+		if st := pc.Stats(); st.CacheHits != 1 || st.Atomizations != 1 {
+			t.Fatalf("cache accounting off: %+v", st)
+		}
+
+		// Counterexample classes vs the LPM oracle at both endpoints.
+		for _, cl := range pc.Classes(tbl, dc) {
+			for _, a := range []ipnet.Addr{cl.Lo, cl.Hi} {
+				e, ok := tbl.Lookup(a)
+				if cl.HasOwner {
+					if !ok || e.Prefix != cl.Owner {
+						t.Fatalf("addr %v: class owner %v vs LPM %+v (ok=%v)", a, cl.Owner, e, ok)
+					}
+				} else if ok && !e.Prefix.IsDefault() {
+					t.Fatalf("addr %v: ownerless class but LPM hit %v", a, e.Prefix)
+				}
+			}
+		}
+	})
+}

@@ -1,11 +1,26 @@
 package rcdc
 
 import (
+	"sync"
+
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/fib"
 	"dcvalidate/internal/ipnet"
 	"dcvalidate/internal/topology"
 )
+
+// walkScratch pools the candidate and coverage slices of the general
+// specific-contract path. TrieChecker is a stateless value, so the pool
+// is package-level; pooling replaces the three per-walk slice
+// allocations the benchmem gate used to flag. The report-byte-identity
+// regression test pins that pooling changed no output.
+type walkScratch struct {
+	candidates []int
+	ancestors  []int
+	covered    []ipnet.Prefix
+}
+
+var walkPool = sync.Pool{New: func() any { return &walkScratch{} }}
 
 // TrieChecker is the specialized algorithm of §2.5.2: it exploits the fact
 // that both contract ranges and routing rules are proper address prefixes,
@@ -83,7 +98,12 @@ func appendSpecificViolations(out []Violation, tbl *fib.Table, tr *ipnet.Trie[in
 	// longest to shortest. The trie yields ancestors shortest-first, so
 	// collect and reverse; descendants are already at least as long as the
 	// contract range.
-	var candidates []int
+	ws := walkPool.Get().(*walkScratch)
+	candidates, ancestors, covered := ws.candidates[:0], ws.ancestors[:0], ws.covered[:0]
+	defer func() {
+		ws.candidates, ws.ancestors, ws.covered = candidates, ancestors, covered
+		walkPool.Put(ws)
+	}()
 	tr.Descendants(c.Prefix, func(_ ipnet.Prefix, idx int) bool {
 		candidates = append(candidates, idx)
 		return true
@@ -92,7 +112,6 @@ func appendSpecificViolations(out []Violation, tbl *fib.Table, tr *ipnet.Trie[in
 	// (stable order for equal lengths doesn't matter: equal-length
 	// prefixes under one range are disjoint).
 	sortByPrefixLenDesc(tbl, candidates)
-	var ancestors []int
 	tr.Ancestors(c.Prefix, func(p ipnet.Prefix, idx int) bool {
 		if p.IsDefault() || p == c.Prefix {
 			return true // default handled separately; exact match is in descendants
@@ -104,7 +123,6 @@ func appendSpecificViolations(out []Violation, tbl *fib.Table, tr *ipnet.Trie[in
 		candidates = append(candidates, ancestors[i])
 	}
 
-	var covered []ipnet.Prefix
 	rng := ipnet.RangeOf(c.Prefix)
 	for _, idx := range candidates {
 		r := &tbl.Entries[idx]

@@ -1,0 +1,74 @@
+package rcdc
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/clock"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTrieReportGolden pins the trie engine's full-fleet report
+// byte-for-byte against testdata/trie_report.golden on a fixed scenario:
+// the Figure 3 topology with a failed ToR-leaf link, a session shutdown,
+// and a policy misconfiguration, on a virtual clock so no timing leaks
+// into the bytes. The walk-scratch pooling and slab-allocated trie nodes
+// were introduced under this pin — any future allocation-path change
+// that alters a verdict, an ordering, or a hop-set diff fails here.
+// Regenerate with `go test ./internal/rcdc -run Golden -update`.
+func TestTrieReportGolden(t *testing.T) {
+	topo := topology.MustNew(topology.Figure3Params())
+	topo.FailLink(topo.ToRs()[0], topo.ClusterLeaves(0)[0])
+	cfg := map[topology.DeviceID]*bgp.DeviceConfig{
+		topo.ToRs()[1]:           {MaxECMPPaths: 1},
+		topo.ClusterLeaves(1)[0]: {RejectDefaultIn: true},
+		topo.ClusterLeaves(1)[1]: {SessionsDisabled: true},
+	}
+	facts := metadata.FromTopology(topo)
+	synth := bgp.NewSynth(topo, cfg)
+	v := Validator{Workers: 2, Clock: clock.NewVirtual(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))}
+	rep, err := v.ValidateAll(facts, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "devices=%d checked=%d failures=%d highrisk=%d\n",
+		len(rep.Devices), rep.Checked, rep.Failures, rep.HighRisk())
+	for i := range rep.Devices {
+		d := &rep.Devices[i]
+		if d.Healthy() {
+			continue
+		}
+		fmt.Fprintf(&buf, "dev=%d name=%s role=%s contracts=%d\n", d.Device, d.Name, d.Role, d.Contracts)
+		for _, viol := range d.Violations {
+			fmt.Fprintf(&buf, "  %s\n", viol.String())
+		}
+	}
+
+	path := filepath.Join("testdata", "trie_report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trie report drifted from golden (run with -update to accept)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

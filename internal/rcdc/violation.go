@@ -119,6 +119,18 @@ func classify(v *Violation, role topology.Role) {
 	}
 }
 
+// DiffHops is the exported form of diffHops for sibling engines (the
+// packet-equivalence-class checker in internal/pec) that must emit
+// violations field-identical to the trie engine: same missing/unexpected
+// content, order, and nil-vs-empty shape.
+func DiffHops(expected, actual []topology.DeviceID) (missing, unexpected []topology.DeviceID) {
+	return diffHops(expected, actual)
+}
+
+// Classify assigns the §2.6.4 severity exactly as the in-package engines
+// do; exported for sibling engines that construct Violations directly.
+func Classify(v *Violation, role topology.Role) { classify(v, role) }
+
 // diffHops computes missing/unexpected sets between expected and actual
 // next hops (both need not be sorted).
 func diffHops(expected, actual []topology.DeviceID) (missing, unexpected []topology.DeviceID) {

@@ -11,6 +11,7 @@ import (
 	"dcvalidate/internal/contracts"
 	"dcvalidate/internal/delta"
 	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/pec"
 	"dcvalidate/internal/rcdc"
 	"dcvalidate/internal/topology"
 )
@@ -21,6 +22,14 @@ type Options struct {
 	// Defaults match the engine's defaults (trie, subset semantics), so a
 	// default coordinator is byte-equivalent to a default single sweep.
 	SMT, Exact bool
+	// PEC selects the packet-equivalence-class engine (internal/pec) and
+	// wins over SMT when both are set. The coordinator owns one
+	// persistent checker shared by all shards, so per-device atomization
+	// caches amortize across sweeps and delta passes invalidate exactly
+	// the dirty devices.
+	PEC bool
+	// PECMetrics, when non-nil, instruments the PEC checker.
+	PECMetrics *pec.Metrics
 	// Workers is the stealing-pool size; 0 means one worker per shard.
 	Workers int
 	// Replicas is the virtual-node count per shard on the hash ring; 0
@@ -63,6 +72,7 @@ type Coordinator struct {
 	cgen  *contracts.Generator
 
 	shards []*shardState
+	pec    *pec.Checker // non-nil iff Options.PEC
 
 	mu     sync.Mutex
 	merged *rcdc.Report // last merge, keyed by merged.Generation
@@ -79,6 +89,9 @@ func New(topo *topology.Topology, cfg map[topology.DeviceID]*bgp.DeviceConfig, n
 	}
 	c.cgen = contracts.NewGenerator(c.facts)
 	c.cgen.EnableMemo()
+	if opts.PEC {
+		c.pec = &pec.Checker{Exact: opts.Exact, Clock: opts.Clock, Metrics: opts.PECMetrics}
+	}
 	c.shards = make([]*shardState, c.ring.Shards())
 	for i := range c.shards {
 		synth := bgp.NewSynth(topo, cfg)
@@ -120,7 +133,10 @@ func (c *Coordinator) Devices(i int) []topology.DeviceID {
 }
 
 func (c *Coordinator) checker() rcdc.Checker {
-	if c.opts.SMT {
+	switch {
+	case c.pec != nil:
+		return c.pec
+	case c.opts.SMT:
 		return rcdc.SMTChecker{Exact: c.opts.Exact}
 	}
 	return rcdc.TrieChecker{Exact: c.opts.Exact}
@@ -162,6 +178,11 @@ func (c *Coordinator) Sweep() (*rcdc.Report, error) {
 				dirty = ds.Devices()
 			}
 		}
+	}
+	if c.pec != nil && mode == "delta" {
+		// Blast-radius invalidation: dirty devices re-atomize, everyone
+		// else stays a content-hash cache hit inside the PEC checker.
+		c.pec.Invalidate(dirty)
 	}
 
 	queues := make([]*deque, len(c.shards))

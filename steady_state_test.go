@@ -1,0 +1,133 @@
+package dcvalidate
+
+import (
+	"fmt"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/pec"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// The steady state of a monitoring loop is the same healthy fleet swept
+// over and over. With pre-pulled tables, a memoized contract generator,
+// and the sequential scratch-backed ValidateAll path, that sweep must not
+// allocate at all — for the trie engine and for the PEC engine — which is
+// what keeps full-fleet re-validation cheap enough to run continuously.
+// TestValidateAllSteadyStateZeroAlloc asserts 0 allocs/op and
+// BenchmarkValidateAllSteadyState reports it (the make bench-smoke
+// -benchmem gate).
+
+// memSource serves pre-pulled, pre-indexed tables: the steady-state
+// fixture where pull cost and lazy trie builds are already paid.
+type memSource map[topology.DeviceID]*fib.Table
+
+func (m memSource) Table(id topology.DeviceID) (*fib.Table, error) {
+	tbl, ok := m[id]
+	if !ok {
+		return nil, fmt.Errorf("dcvalidate: no table for device %d", id)
+	}
+	return tbl, nil
+}
+
+// steadyFixture pulls every Figure 3 table once, pre-builds each table's
+// prefix trie, and returns a memoizing generator with every contract set
+// pre-generated — the warmed-up world a long-running validator lives in.
+func steadyFixture(tb testing.TB) (*metadata.Facts, memSource, *contracts.Generator) {
+	tb.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	synth := bgp.NewSynth(topo, nil)
+	src := make(memSource, len(topo.Devices))
+	for i := range topo.Devices {
+		id := topo.Devices[i].ID
+		tbl, err := synth.Table(id)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tbl.Trie() // pre-build the lazy index
+		src[id] = tbl
+	}
+	gen := contracts.NewGenerator(facts)
+	gen.EnableMemo()
+	for i := range topo.Devices {
+		gen.ForDevice(topo.Devices[i].ID)
+	}
+	return facts, src, gen
+}
+
+// steadyEngines are the engines under the zero-alloc gate. Metrics and
+// Tracer stay nil on the validators: instrumentation is allowed to
+// allocate, the validation path is not.
+func steadyEngines() []struct {
+	name    string
+	checker rcdc.Checker
+} {
+	return []struct {
+		name    string
+		checker rcdc.Checker
+	}{
+		{"trie", rcdc.TrieChecker{}},
+		{"pec", &pec.Checker{}},
+	}
+}
+
+func warmSteady(tb testing.TB, v *rcdc.Validator, facts *metadata.Facts, src memSource) {
+	tb.Helper()
+	for i := 0; i < 2; i++ { // warm scratch growth, pools, PEC caches
+		rep, err := v.ValidateAll(facts, src)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if rep.Failures != 0 {
+			tb.Fatalf("warmup: %d failures on a healthy fleet", rep.Failures)
+		}
+	}
+}
+
+func TestValidateAllSteadyStateZeroAlloc(t *testing.T) {
+	facts, src, gen := steadyFixture(t)
+	for _, e := range steadyEngines() {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			v := &rcdc.Validator{Checker: e.checker, Workers: 1, Contracts: gen, Scratch: &rcdc.Scratch{}}
+			warmSteady(t, v, facts, src)
+			var failures int
+			allocs := testing.AllocsPerRun(100, func() {
+				rep, err := v.ValidateAll(facts, src)
+				if err != nil {
+					panic(err)
+				}
+				failures += rep.Failures
+			})
+			if failures != 0 {
+				t.Fatalf("steady-state sweeps reported %d failures", failures)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state ValidateAll allocates %.1f times per sweep, want 0", allocs)
+			}
+		})
+	}
+}
+
+func BenchmarkValidateAllSteadyState(b *testing.B) {
+	for _, e := range steadyEngines() {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			facts, src, gen := steadyFixture(b)
+			v := &rcdc.Validator{Checker: e.checker, Workers: 1, Contracts: gen, Scratch: &rcdc.Scratch{}}
+			warmSteady(b, v, facts, src)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.ValidateAll(facts, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
