@@ -18,9 +18,11 @@
 // replay); e18 is the conflint detection gate (panics on clean-fleet false
 // positives, a missed seeded misconfig class, report instability, or
 // SMT/interval shadow disagreement); e20 gates the packet-equivalence-
-// class engine (panics unless PEC reports render byte-identically to the
-// trie engine at every size, agree with the SMT engine on a per-role
-// sample, and clear a 2x warm-sweep speedup floor at the largest size —
+// class engine (panics unless PEC reports — per-device, shared-arena,
+// and warm — render byte-identically to the trie engine at every size,
+// agree with the SMT engine on a per-role sample, clear a 2x
+// shared-arena cold dedup floor at >=2008 devices and a 2x warm-sweep
+// speedup floor at the largest size, and trie warm stays <=1.5x cold —
 // the make pec-smoke hook). Every run records a
 // per-experiment snapshot of the observability registry (validator,
 // solver, and synth-cache series plus dcv_experiment_seconds) and writes
@@ -126,7 +128,7 @@ func main() {
 	}
 	if *full {
 		e2Sizes = append(e2Sizes, 10000)
-		e20Sizes = append(e20Sizes, 10040)
+		e20Sizes = append(e20Sizes, 10160)
 	}
 
 	type exp struct {

@@ -108,7 +108,10 @@ type Engine struct {
 	// defaultKind routes runs that don't name an engine; pec/pecExact are
 	// the engine-lifetime packet-equivalence-class checkers (created
 	// lazily so non-PEC engines never pay for them) whose atomization
-	// caches the delta path invalidates by blast radius.
+	// caches the delta path invalidates by blast radius. Engine-lifetime
+	// also scopes the shared atom arena: shapes interned on the first
+	// sweep keep serving ShapeHits across later sweeps and deltas, with
+	// Invalidate detaching (and at zero refs evicting) rewritten devices.
 	defaultKind Kind
 	pec         *pec.Checker
 	pecExact    *pec.Checker

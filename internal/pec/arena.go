@@ -1,0 +1,766 @@
+// Fleet-level shared atom arena. Datacenter fleets are built from
+// near-clone devices: every ToR in a pod converges to a structurally
+// identical FIB modulo its own hosted prefixes, so atomizing each device
+// independently repeats the same work thousands of times. The arena
+// canonicalizes each device into a shape key — rule boundaries collapsed
+// to ranks, next hops renamed by first occurrence — and atomizes once per
+// distinct shape. Per-device state then holds only the shape reference;
+// a thin delta (the device's connected prefixes) is proven inert by an
+// exact locality check, and devices that fail the check fall back to the
+// private per-device path, so verdicts stay byte-identical to per-device
+// atomization by construction (FuzzArenaDifferential and the E20 gates
+// lock this).
+//
+// Soundness sketch. Every comparison evaluate makes on address values is
+// between recorded boundaries (rule edges, specific-contract edges), so
+// its verdicts depend only on (a) the order of those boundaries, (b) the
+// literal prefix lengths, and (c) set relations between next-hop sets —
+// ancestor lookups by exact prefix reduce to interval containment plus a
+// length match because fixed-length prefixes are aligned, and hop-set
+// relations are invariant under the injective rename. The delta split is
+// sound because a connected prefix whose range intersects no base-rule
+// range and no specific-contract range can never own an atom inside a
+// contract range, join a candidate span, or collide with an ancestor
+// lookup; collapsing its (possibly boundary-touching) range to a point in
+// rank space is order-preserving on everything the verdicts observe.
+// Whenever those conditions fail — a /0 connected route, a contract over
+// a hosted prefix, a supernet covering it — the device atomizes
+// privately and the arena is bypassed.
+package pec
+
+import (
+	"runtime"
+	"sync"
+
+	"dcvalidate/internal/clock"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// shape is one interned atomization, shared by every attached device.
+// The result fields are immutable once ready is closed; refs is guarded
+// by the owning Checker's mu and counts attached (or attaching) devices —
+// when it drops to zero the shape is evicted from the arena.
+type shape struct {
+	key   string
+	ready chan struct{}
+
+	// Set by the building device before ready closes.
+	descs      []violDesc
+	defaultPos int32 // base position of the winning default route, -1 if none
+	failed     bool  // defensive: descriptor derivation failed; waiters go private
+
+	refs int
+}
+
+// violDesc is one violation in shape coordinates: enough to re-materialize
+// the concrete rcdc.Violation on any attached device. ci indexes the
+// device's contract slice, pos the flagged rule among the device's base
+// (non-connected) entries; the concrete prefix, hop diff, and severity are
+// recomputed per device at materialization, so reports carry each clone's
+// own addresses and neighbors.
+type violDesc struct {
+	ci   int32
+	pos  int32 // base-entry position, -1 when no rule is flagged
+	kind rcdc.ViolationKind
+}
+
+// boundSlot is one recorded boundary value paired with the destination
+// of its collapsed rank: slot 2r / 2r+1 are the first / lastEx ranks of
+// ranged item r (base entries then specific contracts, in encoding
+// order). Sorting pairs once and scattering ranks back replaces two
+// binary searches per range — the hot half of key construction.
+type boundSlot struct {
+	v    uint64
+	slot int32 // -1 for the address-space sentinels
+}
+
+// keyScratch holds the reusable buffers of shape-key construction. It
+// lives inside the per-evaluation scratch so cold checks reuse one
+// allocation set; the warm path never touches it.
+type keyScratch struct {
+	enc      []byte
+	pairs    []boundSlot // entry boundary values with rank destinations
+	cpairs   []boundSlot // contract boundary values, a second sorted run
+	merged   []boundSlot // pairs ∪ cpairs, merged sorted
+	dests    []uint32    // scattered collapsed ranks, indexed by slot
+	bounds   []uint64    // distinct sorted boundary values
+	coll     []int32     // rank collapse offsets parallel to bounds
+	regFirst []uint64    // delta (connected) regions sorted by first
+	regLast  []uint64
+	regMax   []uint64 // prefix max of regLast
+	ends     []uint64 // distinct delta endpoints (device atom accounting)
+
+	// Hop renaming: dense epoch-marked table for realistic device IDs,
+	// map spillover for anything outside the dense window.
+	hopID    []uint32
+	hopEpoch []uint32
+	epoch    uint32
+	hopBig   map[topology.DeviceID]uint32
+	nextHop  uint32
+}
+
+// hopDense bounds the dense rename window: every real fleet's device IDs
+// are small contiguous ints, so the slice path covers them all, while a
+// hostile 2^31-ish ID can never force a giant allocation.
+const hopDense = 1 << 16
+
+func encU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// lowerBoundU64 returns the first index with a[i] >= v.
+func lowerBoundU64(a []uint64, v uint64) int {
+	i, j := 0, len(a)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if a[h] < v {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
+}
+
+// sortPairsIfNeeded leaves an already sorted run alone — the common case
+// for real FIBs and contract sets, whose ranges arrive in address order —
+// and falls back to a shellsort (sortU64's gap sequence) so adversarial
+// inputs can't go quadratic.
+func sortPairsIfNeeded(a []boundSlot) {
+	sorted := true
+	for i := 1; i < len(a); i++ {
+		if a[i-1].v > a[i].v {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	for _, gap := range [...]int{701, 301, 132, 57, 23, 10, 4, 1} {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap].v > v.v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
+// mergePairs merges two sorted runs into dst (reused between calls).
+func mergePairs(dst, a, b []boundSlot) []boundSlot {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].v <= b[j].v {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// rename maps a concrete next-hop device ID to its first-occurrence index
+// in this device's traversal. Injective, so all subset/equality relations
+// between this device's hop sets are preserved.
+func (k *keyScratch) rename(d topology.DeviceID) uint32 {
+	if i := int(d); i >= 0 && i < hopDense {
+		if i >= len(k.hopID) {
+			n := len(k.hopID) * 2
+			if n < 256 {
+				n = 256
+			}
+			for n <= i {
+				n *= 2
+			}
+			if n > hopDense {
+				n = hopDense
+			}
+			grown := make([]uint32, n)
+			copy(grown, k.hopID)
+			k.hopID = grown
+			ge := make([]uint32, n)
+			copy(ge, k.hopEpoch)
+			k.hopEpoch = ge
+		}
+		if k.hopEpoch[i] == k.epoch {
+			return k.hopID[i]
+		}
+		k.hopEpoch[i] = k.epoch
+		id := k.nextHop
+		k.hopID[i] = id
+		k.nextHop++
+		return id
+	}
+	if id, ok := k.hopBig[d]; ok {
+		return id
+	}
+	if k.hopBig == nil {
+		k.hopBig = make(map[topology.DeviceID]uint32)
+	}
+	id := k.nextHop
+	k.hopBig[d] = id
+	k.nextHop++
+	return id
+}
+
+// regionsIntersect reports whether [f, l) intersects any delta region.
+func (k *keyScratch) regionsIntersect(f, l uint64) bool {
+	j := lowerBoundU64(k.regFirst, l)
+	return j > 0 && k.regMax[j-1] > f
+}
+
+// buildShapeKey canonicalizes (tbl, dc, role) into s.kb.enc and returns
+// the device's exact atom count (base atoms plus the delta's extra
+// boundaries). ok is false when the locality conditions fail — a
+// connected /0 route, or any base rule or specific contract whose range
+// intersects a connected prefix — in which case the caller atomizes
+// privately. Two devices receive equal keys iff their base structures are
+// order-isomorphic, which (see the package comment) makes their verdict
+// descriptors interchangeable.
+func (c *Checker) buildShapeKey(s *scratch, tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role) (int, bool) {
+	k := &s.kb
+
+	// Delta regions: one per connected entry. A /0 connected route would
+	// shadow the default-route semantics, so it forces the private path.
+	k.regFirst = k.regFirst[:0]
+	k.regLast = k.regLast[:0]
+	nBase := 0
+	for i := range tbl.Entries {
+		e := &tbl.Entries[i]
+		if !e.Connected {
+			nBase++
+			continue
+		}
+		if e.Prefix.Bits == 0 {
+			return 0, false
+		}
+		k.regFirst = append(k.regFirst, uint64(e.Prefix.First()))
+		k.regLast = append(k.regLast, uint64(e.Prefix.Last())+1)
+	}
+	// Sort region pairs by (first, lastEx), dedup, build the prefix max
+	// used by the intersection test.
+	for i := 1; i < len(k.regFirst); i++ {
+		for j := i; j > 0 && (k.regFirst[j] < k.regFirst[j-1] ||
+			(k.regFirst[j] == k.regFirst[j-1] && k.regLast[j] < k.regLast[j-1])); j-- {
+			k.regFirst[j], k.regFirst[j-1] = k.regFirst[j-1], k.regFirst[j]
+			k.regLast[j], k.regLast[j-1] = k.regLast[j-1], k.regLast[j]
+		}
+	}
+	n := 0
+	for i := 0; i < len(k.regFirst); i++ {
+		if n == 0 || k.regFirst[i] != k.regFirst[n-1] || k.regLast[i] != k.regLast[n-1] {
+			k.regFirst[n], k.regLast[n] = k.regFirst[i], k.regLast[i]
+			n++
+		}
+	}
+	k.regFirst, k.regLast = k.regFirst[:n], k.regLast[:n]
+	k.regMax = append(k.regMax[:0], k.regLast...)
+	for i := 1; i < len(k.regMax); i++ {
+		if k.regMax[i-1] > k.regMax[i] {
+			k.regMax[i] = k.regMax[i-1]
+		}
+	}
+
+	// Boundary collection mirrors evaluate exactly: non-default base rule
+	// edges plus specific-contract edges plus the address-space ends. Any
+	// base range intersecting a delta region breaks the locality argument.
+	// Each range's two endpoints carry rank-destination slots so one sort
+	// plus a linear scatter replaces per-range binary searches.
+	k.pairs = append(k.pairs[:0], boundSlot{0, -1}, boundSlot{1 << 32, -1})
+	nRanges := int32(0)
+	for i := range tbl.Entries {
+		e := &tbl.Entries[i]
+		if e.Connected || e.Prefix.IsDefault() {
+			continue
+		}
+		f, l := uint64(e.Prefix.First()), uint64(e.Prefix.Last())+1
+		if len(k.regFirst) > 0 && k.regionsIntersect(f, l) {
+			return 0, false
+		}
+		k.pairs = append(k.pairs, boundSlot{f, 2 * nRanges}, boundSlot{l, 2*nRanges + 1})
+		nRanges++
+	}
+	k.cpairs = k.cpairs[:0]
+	for i := range dc.Contracts {
+		ct := &dc.Contracts[i]
+		if ct.Kind != contracts.Specific {
+			continue
+		}
+		f, l := uint64(ct.Prefix.First()), uint64(ct.Prefix.Last())+1
+		if len(k.regFirst) > 0 && k.regionsIntersect(f, l) {
+			return 0, false
+		}
+		k.cpairs = append(k.cpairs, boundSlot{f, 2 * nRanges}, boundSlot{l, 2*nRanges + 1})
+		nRanges++
+	}
+	// Entries and contracts each arrive in (near-)address order, so the
+	// two runs are usually already sorted — detect that, and merge instead
+	// of sorting the concatenation (the sentinels bracket the entry run
+	// without breaking its order).
+	sortPairsIfNeeded(k.pairs)
+	sortPairsIfNeeded(k.cpairs)
+	k.merged = mergePairs(k.merged, k.pairs, k.cpairs)
+	k.bounds = k.bounds[:0]
+	for i := range k.merged {
+		if n := len(k.bounds); n == 0 || k.bounds[n-1] != k.merged[i].v {
+			k.bounds = append(k.bounds, k.merged[i].v)
+		}
+	}
+
+	// Rank collapse: a delta region with both endpoints recorded has them
+	// necessarily adjacent (no base boundary may fall strictly inside),
+	// and deleting the region from the address line merges them — which is
+	// what makes a ToR's key independent of where its hosted-prefix hole
+	// sits in the fleet-wide prefix order.
+	k.coll = growI32(k.coll, len(k.bounds))
+	for i := range k.coll {
+		k.coll[i] = 0
+	}
+	k.ends = k.ends[:0]
+	for i := range k.regFirst {
+		df, dl := k.regFirst[i], k.regLast[i]
+		k.ends = append(k.ends, df, dl)
+		j := lowerBoundU64(k.bounds, df)
+		if j < len(k.bounds) && k.bounds[j] == df && j+1 < len(k.bounds) && k.bounds[j+1] == dl {
+			k.coll[j+1] = 1
+		}
+	}
+	for i := 1; i < len(k.coll); i++ {
+		k.coll[i] += k.coll[i-1]
+	}
+	// Scatter each boundary's collapsed rank — its distinct index minus
+	// the collapses at or below it — back to its range's slot.
+	k.dests = growU32(k.dests, int(2*nRanges))
+	di := -1
+	var prev uint64
+	for i := range k.merged {
+		p := &k.merged[i]
+		if di < 0 || p.v != prev {
+			di++
+			prev = p.v
+		}
+		if p.slot >= 0 {
+			k.dests[p.slot] = uint32(di - int(k.coll[di]))
+		}
+	}
+	// Device atom count: the base boundaries plus whichever delta
+	// endpoints they do not already record.
+	sortU64(k.ends)
+	k.ends = dedupU64(k.ends)
+	devAtoms := len(k.bounds) - 1
+	for _, v := range k.ends {
+		if j := lowerBoundU64(k.bounds, v); j == len(k.bounds) || k.bounds[j] != v {
+			devAtoms++
+		}
+	}
+
+	// Encoding: role, then base entries in table order, then contracts in
+	// contract order — collapsed ranks for ranges, literal prefix lengths,
+	// first-occurrence hop renames. Counts make the framing prefix-free;
+	// interning by the full encoding is exact, so key collisions are
+	// structurally impossible.
+	k.epoch++
+	if k.epoch == 0 { // wrapped: stale marks could alias, reset them
+		for i := range k.hopEpoch {
+			k.hopEpoch[i] = 0
+		}
+		k.epoch = 1
+	}
+	if len(k.hopBig) > 0 {
+		clear(k.hopBig)
+	}
+	k.nextHop = 0
+	ri := int32(0)
+	k.enc = k.enc[:0]
+	k.enc = encU32(k.enc, uint32(role))
+	k.enc = encU32(k.enc, uint32(nBase))
+	for i := range tbl.Entries {
+		e := &tbl.Entries[i]
+		if e.Connected {
+			continue
+		}
+		if e.Prefix.IsDefault() {
+			k.enc = append(k.enc, 1)
+		} else {
+			k.enc = append(k.enc, 0)
+			k.enc = encU32(k.enc, k.dests[2*ri])
+			k.enc = encU32(k.enc, k.dests[2*ri+1])
+			k.enc = append(k.enc, e.Prefix.Bits)
+			ri++
+		}
+		k.enc = encU32(k.enc, uint32(len(e.NextHops)))
+		for _, h := range e.NextHops {
+			k.enc = encU32(k.enc, k.rename(h))
+		}
+	}
+	k.enc = encU32(k.enc, uint32(len(dc.Contracts)))
+	for i := range dc.Contracts {
+		ct := &dc.Contracts[i]
+		if ct.Kind == contracts.Default {
+			k.enc = append(k.enc, 1)
+		} else {
+			k.enc = append(k.enc, 0)
+			k.enc = encU32(k.enc, k.dests[2*ri])
+			k.enc = encU32(k.enc, k.dests[2*ri+1])
+			k.enc = append(k.enc, ct.Prefix.Bits)
+			ri++
+		}
+		k.enc = encU32(k.enc, uint32(len(ct.NextHops)))
+		for _, h := range ct.NextHops {
+			k.enc = encU32(k.enc, k.rename(h))
+		}
+	}
+	return devAtoms, true
+}
+
+// baseTable filters a device's table down to its non-connected entries —
+// the structure the shape's representative atomizes. Entry positions in
+// the result are the base positions violDesc.pos refers to.
+func baseTable(tbl *fib.Table) *fib.Table {
+	base := fib.NewTable(tbl.Device)
+	base.Entries = make([]fib.Entry, 0, len(tbl.Entries))
+	for i := range tbl.Entries {
+		if !tbl.Entries[i].Connected {
+			base.Entries = append(base.Entries, tbl.Entries[i])
+		}
+	}
+	return base
+}
+
+func contractEq(a, b *contracts.Contract) bool {
+	if a.Device != b.Device || a.Kind != b.Kind || a.Prefix != b.Prefix || len(a.NextHops) != len(b.NextHops) {
+		return false
+	}
+	for i := range a.NextHops {
+		if a.NextHops[i] != b.NextHops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deriveDescs lifts the representative's concrete violations into shape
+// coordinates. Violations are emitted in contract order, so a forward
+// cursor recovers each contract index; flagged rules are recovered by
+// prefix — the engine always flags the last-write-wins entry, which is
+// exactly the last base entry carrying that prefix. The ok return is
+// defensive: a failure (which would indicate an engine invariant broken)
+// downgrades the shape so every attached device atomizes privately.
+func deriveDescs(viols []rcdc.Violation, dc contracts.DeviceContracts, base *fib.Table) ([]violDesc, int32, bool) {
+	defPos := int32(-1)
+	for i := range base.Entries {
+		if base.Entries[i].Prefix.IsDefault() {
+			defPos = int32(i)
+		}
+	}
+	if len(viols) == 0 {
+		return nil, defPos, true
+	}
+	lastAt := make(map[ipnet.Prefix]int32, len(base.Entries))
+	for i := range base.Entries {
+		lastAt[base.Entries[i].Prefix] = int32(i)
+	}
+	descs := make([]violDesc, 0, len(viols))
+	ci := 0
+	for i := range viols {
+		v := &viols[i]
+		for ci < len(dc.Contracts) && !contractEq(&dc.Contracts[ci], &v.Contract) {
+			ci++
+		}
+		if ci == len(dc.Contracts) {
+			return nil, defPos, false
+		}
+		d := violDesc{ci: int32(ci), pos: -1, kind: v.Kind}
+		switch v.Kind {
+		case rcdc.DefaultMismatch, rcdc.WrongNextHops:
+			p, ok := lastAt[v.RulePrefix]
+			if !ok {
+				return nil, defPos, false
+			}
+			d.pos = p
+		}
+		descs = append(descs, d)
+	}
+	return descs, defPos, true
+}
+
+// materializeShape instantiates a shape's abstract verdicts on one
+// attached device: concrete contracts, prefixes, hop diffs, and severity
+// all come from the device's own table and contract set, so the result is
+// byte-identical to what private atomization would have produced.
+func materializeShape(sh *shape, tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role) []rcdc.Violation {
+	if len(sh.descs) == 0 {
+		return nil
+	}
+	base := make([]int32, 0, len(tbl.Entries))
+	for i := range tbl.Entries {
+		if !tbl.Entries[i].Connected {
+			base = append(base, int32(i))
+		}
+	}
+	out := make([]rcdc.Violation, 0, len(sh.descs))
+	for _, d := range sh.descs {
+		ct := dc.Contracts[d.ci]
+		v := rcdc.Violation{Device: ct.Device, Contract: ct, Kind: d.kind}
+		switch d.kind {
+		case rcdc.MissingRoute:
+			if sh.defaultPos >= 0 {
+				v.Remaining = len(tbl.Entries[base[sh.defaultPos]].NextHops)
+			}
+		case rcdc.DefaultMismatch, rcdc.WrongNextHops:
+			e := &tbl.Entries[base[d.pos]]
+			v.RulePrefix = e.Prefix
+			v.Missing, v.Unexpected = rcdc.DiffHops(ct.NextHops, e.NextHops)
+			v.Remaining = len(e.NextHops)
+		}
+		rcdc.Classify(&v, role)
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkPrivate is the per-device cold path: atomize this device alone and
+// cache the verdicts. Shared by the DisableArena configuration, the
+// locality fallback, and defensive shape downgrades.
+func (c *Checker) checkPrivate(s *scratch, in *interner, tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role, th, ch uint64, fallback bool) ([]rcdc.Violation, error) {
+	start := clock.Or(c.Clock).Now()
+	viols, atoms, slow := c.evaluate(s, in, tbl, dc, role)
+	ops := s.ops
+	c.pool.Put(s)
+	c.Metrics.observeAtomize(clock.Since(c.Clock, start), atoms)
+	c.Metrics.observeEval(ops, int64(slow), in.count())
+
+	c.mu.Lock()
+	c.stats.Atomizations++
+	c.stats.Atoms += int64(atoms)
+	c.stats.SlowPathContracts += int64(slow)
+	if fallback {
+		c.stats.ShapeFallbacks++
+	}
+	detached, evicted := c.storeLocked(dc.Device, &deviceState{tblHash: th, conHash: ch, violations: viols, atoms: atoms})
+	shapes, refs := len(c.shapes), c.refsTotal
+	c.mu.Unlock()
+	if fallback {
+		c.Metrics.observeShape("fallback", shapes, refs)
+	}
+	c.observeDrop(detached, evicted)
+	return viols, nil
+}
+
+// checkShared answers a device-cache miss through the arena: key the
+// device's shape, attach to an existing atomization or build it once
+// (concurrent attachers of a new shape elect one builder and wait), and
+// materialize the verdicts against this device's concrete state.
+func (c *Checker) checkShared(s *scratch, in *interner, tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role, th, ch uint64) ([]rcdc.Violation, error) {
+	devAtoms, ok := c.buildShapeKey(s, tbl, dc, role)
+	if !ok {
+		return c.checkPrivate(s, in, tbl, dc, role, th, ch, true)
+	}
+
+	c.mu.Lock()
+	if c.shapes == nil {
+		c.shapes = make(map[string]*shape)
+	}
+	sh, found := c.shapes[string(s.kb.enc)]
+	var leader bool
+	if !found {
+		sh = &shape{key: string(s.kb.enc), ready: make(chan struct{})}
+		c.shapes[sh.key] = sh
+		leader = true
+	}
+	// Count the attaching device immediately so a concurrent Invalidate of
+	// the current holders cannot evict the shape mid-attach.
+	sh.refs++
+	c.refsTotal++
+	c.mu.Unlock()
+
+	if leader {
+		start := clock.Or(c.Clock).Now()
+		base := baseTable(tbl)
+		viols, atoms, slow := c.evaluate(s, in, base, dc, role)
+		ops := s.ops
+		descs, defPos, ok := deriveDescs(viols, dc, base)
+		sh.descs, sh.defaultPos, sh.failed = descs, defPos, !ok
+		close(sh.ready)
+		c.pool.Put(s)
+		c.Metrics.observeAtomize(clock.Since(c.Clock, start), atoms)
+		c.Metrics.observeEval(ops, int64(slow), in.count())
+
+		c.mu.Lock()
+		c.stats.Atomizations++
+		c.stats.ShapeBuilds++
+		c.stats.Atoms += int64(atoms)
+		c.stats.SlowPathContracts += int64(slow)
+		detached, evicted := c.storeLocked(dc.Device, &deviceState{
+			tblHash: th, conHash: ch, violations: viols, atoms: devAtoms, shape: sh,
+		})
+		shapes, refs := len(c.shapes), c.refsTotal
+		c.mu.Unlock()
+		c.Metrics.observeShape("build", shapes, refs)
+		c.observeDrop(detached, evicted)
+		return viols, nil
+	}
+
+	c.pool.Put(s)
+	<-sh.ready
+	if sh.failed {
+		// Defensive downgrade: drop the attach ref and atomize privately.
+		c.mu.Lock()
+		evicted := c.decrefLocked(sh)
+		c.mu.Unlock()
+		c.observeDrop(false, evicted)
+		s2, _ := c.pool.Get().(*scratch)
+		if s2 == nil {
+			s2 = &scratch{}
+		}
+		return c.checkPrivate(s2, in, tbl, dc, role, th, ch, true)
+	}
+	viols := materializeShape(sh, tbl, dc, role)
+	c.mu.Lock()
+	c.stats.ShapeHits++
+	detached, evicted := c.storeLocked(dc.Device, &deviceState{
+		tblHash: th, conHash: ch, violations: viols, atoms: devAtoms, shape: sh,
+	})
+	shapes, refs := len(c.shapes), c.refsTotal
+	c.mu.Unlock()
+	c.Metrics.observeShape("hit", shapes, refs)
+	c.observeDrop(detached, evicted)
+	return viols, nil
+}
+
+// storeLocked installs a device's new state, releasing its previous shape
+// attachment. Caller holds c.mu. A device landing on a different shape
+// than before is a detach; dropping a shape's last holder evicts it.
+func (c *Checker) storeLocked(dev topology.DeviceID, st *deviceState) (detached, evicted bool) {
+	if old := c.devs[dev]; old != nil && old.shape != nil {
+		if old.shape == st.shape {
+			// Re-attach to the same shape: the lookup already counted the
+			// new reference, so release the duplicate.
+			old.shape.refs--
+			c.refsTotal--
+		} else {
+			detached = true
+			c.stats.Detaches++
+			evicted = c.decrefLocked(old.shape)
+		}
+	}
+	c.devs[dev] = st
+	return detached, evicted
+}
+
+// decrefLocked releases one reference; at zero the shape leaves the
+// arena. The map identity check tolerates a re-interned successor under
+// the same key (an orphan kept alive by an in-flight attach).
+func (c *Checker) decrefLocked(sh *shape) bool {
+	sh.refs--
+	c.refsTotal--
+	if sh.refs > 0 {
+		return false
+	}
+	if cur, ok := c.shapes[sh.key]; ok && cur == sh {
+		delete(c.shapes, sh.key)
+	}
+	c.stats.Evictions++
+	return true
+}
+
+// observeDrop emits the metric side of a detach/evict whose stats side was
+// already counted under the lock (storeLocked / decrefLocked).
+func (c *Checker) observeDrop(detached, evicted bool) {
+	if detached {
+		c.Metrics.observeDetach()
+	}
+	if evicted {
+		c.Metrics.observeEvict()
+	}
+}
+
+// Prewarm walks the fleet once, keys every device, and atomizes each
+// distinct shape on a pool of workers — cold-start parallelism over
+// distinct shapes rather than devices, so a Clos with tens of shapes
+// saturates a core count the device count would oversubscribe thousands
+// of times. Devices failing the locality check are skipped (they atomize
+// privately during the sweep, keeping prewarm memory bounded by the
+// shape count). workers <= 0 uses GOMAXPROCS. Returns the number of
+// shapes built.
+func (c *Checker) Prewarm(facts *metadata.Facts, src fib.Source, gen *contracts.Generator, workers int) (int, error) {
+	if c.DisableArena {
+		return 0, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type work struct {
+		tbl  *fib.Table
+		dc   contracts.DeviceContracts
+		role topology.Role
+	}
+	var reps []work
+	seen := make(map[string]bool)
+	s, _ := c.pool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	for i := range facts.Devices {
+		df := &facts.Devices[i]
+		tbl, err := src.Table(df.ID)
+		if err != nil {
+			c.pool.Put(s)
+			return 0, err
+		}
+		dc := gen.ForDevice(df.ID)
+		if _, ok := c.buildShapeKey(s, tbl, dc, df.Role); !ok {
+			continue
+		}
+		if seen[string(s.kb.enc)] {
+			continue
+		}
+		c.mu.Lock()
+		_, have := c.shapes[string(s.kb.enc)]
+		c.mu.Unlock()
+		if have {
+			continue
+		}
+		seen[string(s.kb.enc)] = true
+		reps = append(reps, work{tbl: tbl, dc: dc, role: df.Role})
+	}
+	c.pool.Put(s)
+
+	jobs := make(chan work)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wk := range jobs {
+				if _, err := c.CheckDevice(wk.tbl, wk.dc, wk.role); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, wk := range reps {
+		jobs <- wk
+	}
+	close(jobs)
+	wg.Wait()
+	return len(reps), firstErr
+}

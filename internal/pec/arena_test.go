@@ -1,0 +1,261 @@
+package pec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dcvalidate/internal/bgp"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/metadata"
+	"dcvalidate/internal/rcdc"
+	"dcvalidate/internal/topology"
+)
+
+// arenaFixture pulls every Figure 3 table once and returns the fleet
+// facts, a memory source, and a memoized generator — the shared setup of
+// the arena tests.
+type tableSource map[topology.DeviceID]*fib.Table
+
+func (m tableSource) Table(id topology.DeviceID) (*fib.Table, error) {
+	tbl, ok := m[id]
+	if !ok {
+		return nil, fmt.Errorf("pec: no table for device %d", id)
+	}
+	return tbl, nil
+}
+
+func arenaFixture(tb testing.TB) (*metadata.Facts, tableSource, *contracts.Generator) {
+	tb.Helper()
+	topo := topology.MustNew(topology.Figure3Params())
+	facts := metadata.FromTopology(topo)
+	synth := bgp.NewSynth(topo, nil)
+	src := make(tableSource, len(topo.Devices))
+	for i := range topo.Devices {
+		id := topo.Devices[i].ID
+		tbl, err := synth.Table(id)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		src[id] = tbl
+	}
+	gen := contracts.NewGenerator(facts)
+	gen.EnableMemo()
+	return facts, src, gen
+}
+
+// sweep checks every device on c and returns the per-device violations.
+func sweep(tb testing.TB, c *Checker, facts *metadata.Facts, src tableSource, gen *contracts.Generator) map[topology.DeviceID][]rcdc.Violation {
+	tb.Helper()
+	out := make(map[topology.DeviceID][]rcdc.Violation, len(facts.Devices))
+	for i := range facts.Devices {
+		df := &facts.Devices[i]
+		tbl, err := src.Table(df.ID)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		viols, err := c.CheckDevice(tbl, gen.ForDevice(df.ID), df.Role)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[df.ID] = viols
+	}
+	return out
+}
+
+// TestArenaDedupAndIdentity locks the arena's reason to exist: a clone
+// fleet resolves to far fewer shapes than devices, and every device's
+// verdicts are identical to the per-device path's.
+func TestArenaDedupAndIdentity(t *testing.T) {
+	facts, src, gen := arenaFixture(t)
+	shared := &Checker{}
+	private := &Checker{DisableArena: true}
+	got := sweep(t, shared, facts, src, gen)
+	want := sweep(t, private, facts, src, gen)
+	for id, w := range want {
+		if !reflect.DeepEqual(got[id], w) {
+			t.Fatalf("device %d: shared-arena verdicts diverge\n shared: %+v\nprivate: %+v", id, got[id], w)
+		}
+	}
+	st := shared.Stats()
+	n := len(facts.Devices)
+	if st.ShapeFallbacks != 0 {
+		t.Fatalf("clean Clos fleet should pass the locality checks everywhere, got %+v", st)
+	}
+	if st.ShapeBuilds >= int64(n)/2 {
+		t.Fatalf("want real dedup (< %d builds for %d devices), got %+v", n/2, n, st)
+	}
+	if st.ShapeBuilds+st.ShapeHits != int64(n) {
+		t.Fatalf("builds+hits should cover the fleet, got %+v", st)
+	}
+	if st.Shapes != int(st.ShapeBuilds) {
+		t.Fatalf("every built shape should stay live, got %+v", st)
+	}
+	if st.Atomizations != st.ShapeBuilds {
+		t.Fatalf("arena sweep should atomize once per shape, got %+v", st)
+	}
+}
+
+// TestArenaDetachEvict locks the refcount life cycle: invalidating one
+// holder detaches it without evicting a shared shape; invalidating the
+// whole fleet evicts everything; re-sweeping re-interns.
+func TestArenaDetachEvict(t *testing.T) {
+	facts, src, gen := arenaFixture(t)
+	c := &Checker{}
+	sweep(t, c, facts, src, gen)
+	st0 := c.Stats()
+
+	// One ToR detaches; its shape survives on the other ToRs.
+	var tor topology.DeviceID
+	tors := 0
+	for i := range facts.Devices {
+		if facts.Devices[i].Role == topology.RoleToR {
+			tor = facts.Devices[i].ID
+			tors++
+		}
+	}
+	if tors < 2 {
+		t.Fatal("fixture needs at least two ToRs")
+	}
+	c.Invalidate([]topology.DeviceID{tor})
+	st := c.Stats()
+	if st.Detaches != 1 || st.Evictions != 0 || st.Shapes != st0.Shapes {
+		t.Fatalf("single detach should not evict a shared shape, got %+v", st)
+	}
+
+	// Rechecking the same content re-attaches via a shape hit, not a build.
+	tbl, _ := src.Table(tor)
+	if _, err := c.CheckDevice(tbl, gen.ForDevice(tor), topology.RoleToR); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.ShapeBuilds != st0.ShapeBuilds || st.ShapeHits != st0.ShapeHits+1 {
+		t.Fatalf("re-attach should hit the surviving shape, got %+v", st)
+	}
+
+	// Fleet-wide invalidation orphans and evicts every shape.
+	all := make([]topology.DeviceID, 0, len(facts.Devices))
+	for i := range facts.Devices {
+		all = append(all, facts.Devices[i].ID)
+	}
+	c.Invalidate(all)
+	st = c.Stats()
+	if st.Shapes != 0 || st.Evictions != int64(st0.Shapes) {
+		t.Fatalf("fleet invalidation should evict all %d shapes, got %+v", st0.Shapes, st)
+	}
+	sweep(t, c, facts, src, gen)
+	st = c.Stats()
+	if st.Shapes != st0.Shapes || st.ShapeBuilds != 2*st0.ShapeBuilds {
+		t.Fatalf("re-sweep should rebuild the arena, got %+v", st)
+	}
+}
+
+// TestArenaLocalityFallback: a device whose connected prefix is covered
+// by a specific contract breaks the delta-locality conditions and must
+// atomize privately — with verdicts still identical to the private path.
+func TestArenaLocalityFallback(t *testing.T) {
+	hosted := ipnet.MustParsePrefix("10.0.0.0/24")
+	up := topology.DeviceID(100)
+	tbl := fib.NewTable(1)
+	tbl.Add(fib.Entry{Prefix: ipnet.Prefix{}, NextHops: []topology.DeviceID{up}})
+	tbl.Add(fib.Entry{Prefix: hosted, Connected: true})
+	dc := contracts.DeviceContracts{Device: 1, Contracts: []contracts.Contract{
+		{Device: 1, Kind: contracts.Specific, Prefix: hosted, NextHops: []topology.DeviceID{up}},
+		{Device: 1, Kind: contracts.Default, NextHops: []topology.DeviceID{up}},
+	}}
+
+	shared := &Checker{}
+	private := &Checker{DisableArena: true}
+	got, err := shared.CheckDevice(tbl, dc, topology.RoleToR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := private.CheckDevice(tbl, dc, topology.RoleToR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback verdicts diverge: %+v vs %+v", got, want)
+	}
+	st := shared.Stats()
+	if st.ShapeFallbacks != 1 || st.ShapeBuilds != 0 || st.Shapes != 0 {
+		t.Fatalf("contract over a connected prefix must fall back, got %+v", st)
+	}
+}
+
+// TestArenaPrewarm: prewarming builds every shape up front so the
+// following cold sweep is all hits, and verdicts match the private path.
+func TestArenaPrewarm(t *testing.T) {
+	facts, src, gen := arenaFixture(t)
+	c := &Checker{}
+	nShapes, err := c.Prewarm(facts, src, gen, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nShapes <= 0 {
+		t.Fatalf("prewarm built %d shapes", nShapes)
+	}
+	st := c.Stats()
+	if st.ShapeBuilds != int64(nShapes) || st.Shapes != nShapes {
+		t.Fatalf("prewarm should build exactly the distinct shapes, got %+v", st)
+	}
+	got := sweep(t, c, facts, src, gen)
+	st = c.Stats()
+	if st.ShapeBuilds != int64(nShapes) {
+		t.Fatalf("post-prewarm sweep should not build new shapes, got %+v", st)
+	}
+	want := sweep(t, &Checker{DisableArena: true}, facts, src, gen)
+	for id, w := range want {
+		if !reflect.DeepEqual(got[id], w) {
+			t.Fatalf("device %d: prewarmed verdicts diverge", id)
+		}
+	}
+
+	// Prewarm on a disabled arena is an explicit no-op.
+	if n, err := (&Checker{DisableArena: true}).Prewarm(facts, src, gen, 4); n != 0 || err != nil {
+		t.Fatalf("disabled-arena prewarm = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestArenaMaterializedViolations corrupts every ToR's default route the
+// same structural way (keep only the first uplink) so the corrupted ToRs
+// still share one shape — each device's materialized violation must carry
+// its own prefix and its own hop diff, identical to the private path.
+func TestArenaMaterializedViolations(t *testing.T) {
+	facts, src, gen := arenaFixture(t)
+	for i := range facts.Devices {
+		df := &facts.Devices[i]
+		if df.Role != topology.RoleToR {
+			continue
+		}
+		tbl := src[df.ID].Clone()
+		for j := range tbl.Entries {
+			if tbl.Entries[j].Prefix.IsDefault() && len(tbl.Entries[j].NextHops) > 1 {
+				tbl.Entries[j].NextHops = tbl.Entries[j].NextHops[:1]
+			}
+		}
+		src[df.ID] = tbl
+	}
+	shared := &Checker{}
+	private := &Checker{DisableArena: true}
+	got := sweep(t, shared, facts, src, gen)
+	want := sweep(t, private, facts, src, gen)
+	sawViolation := false
+	for id, w := range want {
+		if len(w) > 0 {
+			sawViolation = true
+		}
+		if !reflect.DeepEqual(got[id], w) {
+			t.Fatalf("device %d: materialized violations diverge\n shared: %+v\nprivate: %+v", id, got[id], w)
+		}
+	}
+	if !sawViolation {
+		t.Fatal("fixture corruption produced no violations; test is vacuous")
+	}
+	st := shared.Stats()
+	if st.ShapeHits == 0 {
+		t.Fatalf("corrupted ToRs should still share a shape, got %+v", st)
+	}
+}

@@ -131,3 +131,122 @@ func FuzzPECDifferential(f *testing.F) {
 		}
 	})
 }
+
+// arenaDev is one synthetic near-clone in the arena fuzzer's fleet.
+type arenaDev struct {
+	tbl  *fib.Table
+	dc   contracts.DeviceContracts
+	role topology.Role
+}
+
+// cloneFor derives device i of a fuzzed fleet from the template: same
+// structure, device identity rewritten and every next hop offset into a
+// device-private band — near-clones that should share a shape — plus
+// zero to two extra connected entries that perturb (or break) the
+// delta-locality conditions on just that device.
+func (r *fuzzReader) cloneFor(i int, tbl *fib.Table, dc contracts.DeviceContracts, role topology.Role) arenaDev {
+	id := topology.DeviceID(1000 + i)
+	off := topology.DeviceID(16 * i)
+	shift := func(hops []topology.DeviceID) []topology.DeviceID {
+		out := make([]topology.DeviceID, len(hops))
+		for j, h := range hops {
+			out[j] = h + off
+		}
+		return out
+	}
+	d := arenaDev{tbl: fib.NewTable(id), role: role}
+	for _, e := range tbl.Entries {
+		d.tbl.Add(fib.Entry{Prefix: e.Prefix, Connected: e.Connected, NextHops: shift(e.NextHops)})
+	}
+	for n := int(r.byte()) % 3; n > 0; n-- {
+		p := r.prefix()
+		if p.Bits == 0 {
+			continue
+		}
+		d.tbl.Add(fib.Entry{Prefix: p, Connected: true})
+	}
+	d.dc = contracts.DeviceContracts{Device: id}
+	for _, ct := range dc.Contracts {
+		ct.Device = id
+		ct.NextHops = shift(ct.NextHops)
+		d.dc.Contracts = append(d.dc.Contracts, ct)
+	}
+	return d
+}
+
+// FuzzArenaDifferential drives a fleet of fuzzed near-clone devices
+// through the shared atom arena with the per-device PEC path and the trie
+// engine as oracles: all three must agree device by device, before and
+// after randomized mutation/invalidation/detach rounds. This is the
+// correctness line of the arena — shape sharing, rank collapse, verdict
+// materialization, refcounting, and the locality fallback all sit under
+// it.
+func FuzzArenaDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 5, 10, 1, 2, 3, 0, 4, 2, 2, 0, 3, 9, 9, 9, 1, 1, 3, 0, 2, 7, 1})
+	f.Add([]byte{0, 0, 24, 0, 0, 0, 0, 0, 3, 1, 2, 3, 7, 0, 0, 0, 0, 0, 2, 2, 2,
+		8, 12, 0, 255, 1, 0, 2, 4, 5, 1, 0, 0, 0, 0, 0, 1, 1, 2, 1, 8, 1, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		tbl, dc, role, exact := r.decode()
+		devs := make([]arenaDev, 2+int(r.byte())%4)
+		for i := range devs {
+			devs[i] = r.cloneFor(i, tbl, dc, role)
+		}
+
+		shared := &Checker{Exact: exact}
+		private := &Checker{DisableArena: true, Exact: exact}
+		trie := rcdc.TrieChecker{Exact: exact}
+		checkAll := func(stage string) {
+			for i := range devs {
+				d := &devs[i]
+				want, err := trie.CheckDevice(d.tbl, d.dc, d.role)
+				if err != nil {
+					t.Fatalf("%s dev %d trie: %v", stage, i, err)
+				}
+				gotS, err := shared.CheckDevice(d.tbl, d.dc, d.role)
+				if err != nil {
+					t.Fatalf("%s dev %d shared: %v", stage, i, err)
+				}
+				gotP, err := private.CheckDevice(d.tbl, d.dc, d.role)
+				if err != nil {
+					t.Fatalf("%s dev %d private: %v", stage, i, err)
+				}
+				if !reflect.DeepEqual(want, gotS) || !reflect.DeepEqual(want, gotP) {
+					t.Fatalf("%s dev %d diverges (exact=%v)\ntable: %+v\ncontracts: %+v\ntrie:    %v\nshared:  %v\nprivate: %v",
+						stage, i, exact, d.tbl.Entries, d.dc.Contracts, want, gotS, gotP)
+				}
+			}
+		}
+		checkAll("initial")
+
+		for round := 1 + int(r.byte())%3; round > 0; round-- {
+			d := &devs[int(r.byte())%len(devs)]
+			switch r.byte() % 3 {
+			case 0: // grow: a new rule changes the shape
+				d.tbl.Add(fib.Entry{Prefix: r.prefix(), NextHops: r.hopSet()})
+			case 1: // rewire: same structure candidate, different hops
+				if n := len(d.tbl.Entries); n > 0 {
+					d.tbl.Entries[int(r.byte())%n].NextHops = r.hopSet()
+				}
+			case 2: // shrink (rebuilt: slicing alone would leave a stale trie)
+				if n := len(d.tbl.Entries); n > 0 {
+					nt := fib.NewTable(d.tbl.Device)
+					for _, e := range d.tbl.Entries[:n-1] {
+						nt.Add(e)
+					}
+					d.tbl = nt
+				}
+			}
+			if r.byte()%2 == 0 {
+				// Explicit blast-radius invalidation: the mutated device plus
+				// one innocent bystander detach (and may evict / re-attach).
+				shared.Invalidate([]topology.DeviceID{
+					d.tbl.Device,
+					devs[int(r.byte())%len(devs)].tbl.Device,
+				})
+			}
+			checkAll("mutated")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package pec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcvalidate/internal/clock"
+	"dcvalidate/internal/contracts"
+	"dcvalidate/internal/fib"
+	"dcvalidate/internal/ipnet"
+	"dcvalidate/internal/obs"
+	"dcvalidate/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPECMetricsGoldenExposition runs a fixed arena scenario — cold fleet
+// sweep, warm re-sweep, one detach/re-attach, one locality fallback —
+// entirely on a virtual clock and compares the registry's Prometheus
+// exposition byte-for-byte against testdata/metrics_golden.prom. The
+// sweep order is the facts order and the clock never advances, so any
+// diff means the engine's recording or the exposition format changed
+// behavior. Regenerate with `go test ./internal/pec -run Golden -update`.
+func TestPECMetricsGoldenExposition(t *testing.T) {
+	facts, src, gen := arenaFixture(t)
+	reg := obs.NewRegistry()
+	c := &Checker{
+		Clock:   clock.NewVirtual(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)),
+		Metrics: NewMetrics(reg),
+	}
+	sweep(t, c, facts, src, gen) // cold: shape builds + hits
+	sweep(t, c, facts, src, gen) // warm: device-cache hits only
+
+	// Detach one ToR and re-attach it to the surviving shape.
+	var tor topology.DeviceID
+	for i := range facts.Devices {
+		if facts.Devices[i].Role == topology.RoleToR {
+			tor = facts.Devices[i].ID
+			break
+		}
+	}
+	c.Invalidate([]topology.DeviceID{tor})
+	tbl, err := src.Table(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckDevice(tbl, gen.ForDevice(tor), topology.RoleToR); err != nil {
+		t.Fatal(err)
+	}
+
+	// One device that fails the locality check: a specific contract over
+	// its own connected prefix forces the private fallback.
+	hosted := ipnet.MustParsePrefix("10.0.0.0/24")
+	ft := fib.NewTable(9001)
+	ft.Add(fib.Entry{Prefix: ipnet.Prefix{}, NextHops: []topology.DeviceID{9002}})
+	ft.Add(fib.Entry{Prefix: hosted, Connected: true})
+	fdc := contracts.DeviceContracts{Device: 9001, Contracts: []contracts.Contract{
+		{Device: 9001, Kind: contracts.Specific, Prefix: hosted, NextHops: []topology.DeviceID{9002}},
+	}}
+	if _, err := c.CheckDevice(ft, fdc, topology.RoleToR); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := reg.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("exposition is not byte-deterministic across writes")
+	}
+
+	golden := filepath.Join("testdata", "metrics_golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

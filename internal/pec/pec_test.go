@@ -188,7 +188,9 @@ func TestPECEdgeCases(t *testing.T) {
 
 // TestPECCacheAndInvalidate locks the content-hash cache behavior: equal
 // content hits regardless of pointer identity, changed content misses,
-// Invalidate forces re-atomization.
+// Invalidate forces re-atomization. Runs with the arena disabled so the
+// Atomizations counter reflects the per-device path alone — the arena's
+// own cache semantics are locked by arena_test.go.
 func TestPECCacheAndInvalidate(t *testing.T) {
 	topo := topology.MustNew(topology.Figure3Params())
 	facts := metadata.FromTopology(topo)
@@ -202,7 +204,7 @@ func TestPECCacheAndInvalidate(t *testing.T) {
 	dc := gen.ForDevice(dev)
 	role := facts.Devices[0].Role
 
-	c := &Checker{}
+	c := &Checker{DisableArena: true}
 	if _, err := c.CheckDevice(tbl, dc, role); err != nil {
 		t.Fatal(err)
 	}

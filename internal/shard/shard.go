@@ -71,8 +71,13 @@ type Coordinator struct {
 	facts *metadata.Facts
 	cgen  *contracts.Generator
 
+	// pec is shared by every shard (non-nil iff Options.PEC): the
+	// checker is safe for concurrent CheckDevice calls, and one
+	// fleet-wide instance means the shared atom arena dedupes shapes
+	// across shard boundaries — a ToR's shape built by shard 0 is a
+	// ShapeHit for the clone validated by shard 3.
 	shards []*shardState
-	pec    *pec.Checker // non-nil iff Options.PEC
+	pec    *pec.Checker
 
 	mu     sync.Mutex
 	merged *rcdc.Report // last merge, keyed by merged.Generation
